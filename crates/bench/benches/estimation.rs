@@ -1,0 +1,86 @@
+#![allow(missing_docs)]
+//! Criterion benches for the estimation pipeline: prior construction,
+//! tomogravity refinement, and IPF on the Géant topology.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_core::{generate_synthetic, SynthConfig};
+use ic_estimation::{
+    ipf_fit, EstimationPipeline, GravityPrior, IpfOptions, ObservationModel, StableFPrior,
+    StableFpPrior, TmPrior, Tomogravity, TomogravityOptions,
+};
+use ic_topology::{geant22, RoutingScheme};
+
+fn setup() -> (ObservationModel, ic_core::TmSeries) {
+    let om = ObservationModel::new(&geant22(), RoutingScheme::Ecmp).unwrap();
+    let mut cfg = SynthConfig::geant_like(77);
+    cfg.bins = 12;
+    let tm = generate_synthetic(&cfg).unwrap().series;
+    (om, tm)
+}
+
+fn bench_observation(c: &mut Criterion) {
+    let (om, tm) = setup();
+    c.bench_function("observe_geant_12bins", |b| {
+        b.iter(|| black_box(om.observe(&tm).unwrap()))
+    });
+    c.bench_function("routing_matrix_build_geant_ecmp", |b| {
+        b.iter(|| {
+            black_box(
+                ic_topology::RoutingMatrix::build(&geant22(), RoutingScheme::Ecmp).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_priors(c: &mut Criterion) {
+    let (om, tm) = setup();
+    let obs = om.observe(&tm).unwrap();
+    c.bench_function("gravity_prior_12bins", |b| {
+        b.iter(|| black_box(GravityPrior.prior_series(&obs).unwrap()))
+    });
+    let p: Vec<f64> = (1..=22).map(|k| 1.0 / k as f64).collect();
+    let fp = StableFpPrior {
+        f: 0.25,
+        preference: p,
+    };
+    c.bench_function("stable_fp_prior_12bins", |b| {
+        b.iter(|| black_box(fp.prior_series(&obs).unwrap()))
+    });
+    let f_only = StableFPrior { f: 0.25 };
+    c.bench_function("stable_f_prior_12bins", |b| {
+        b.iter(|| black_box(f_only.prior_series(&obs).unwrap()))
+    });
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let (om, tm) = setup();
+    let obs = om.observe(&tm).unwrap();
+    let prior = GravityPrior.prior_series(&obs).unwrap();
+    let tomo = Tomogravity::new(TomogravityOptions::default());
+    c.bench_function("tomogravity_refine_geant_12bins", |b| {
+        b.iter(|| black_box(tomo.refine(&om, &obs, &prior).unwrap()))
+    });
+    let pipeline = EstimationPipeline::new(om);
+    c.bench_function("full_pipeline_geant_12bins", |b| {
+        b.iter(|| black_box(pipeline.estimate(&GravityPrior, &obs).unwrap()))
+    });
+}
+
+fn bench_ipf(c: &mut Criterion) {
+    let (_, tm) = setup();
+    let snap = tm.snapshot(0).unwrap();
+    let rows = tm.ingress(0);
+    let cols = tm.egress(0);
+    c.bench_function("ipf_22x22", |b| {
+        b.iter(|| black_box(ipf_fit(&snap, &rows, &cols, IpfOptions::default()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_observation,
+    bench_priors,
+    bench_refinement,
+    bench_ipf
+);
+criterion_main!(benches);

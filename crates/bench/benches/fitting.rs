@@ -1,0 +1,54 @@
+#![allow(missing_docs)]
+//! Criterion benches for the Section 5.1 fitting program — the cost that
+//! determines how fast the Figure 3/5/6 experiments run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{
+    fit_stable_f, fit_stable_fp, fit_time_varying, generate_synthetic, FitOptions, SynthConfig,
+};
+
+fn series(nodes: usize, bins: usize) -> ic_core::TmSeries {
+    let mut cfg = SynthConfig::geant_like(1234);
+    cfg.nodes = nodes;
+    cfg.bins = bins;
+    generate_synthetic(&cfg).unwrap().series
+}
+
+fn bench_stable_fp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_stable_fp");
+    for (nodes, bins) in [(12usize, 48usize), (22, 96), (22, 288)] {
+        let tm = series(nodes, bins);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{bins}t")),
+            &tm,
+            |b, tm| b.iter(|| black_box(fit_stable_fp(tm, FitOptions::default()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let tm = series(12, 48);
+    c.bench_function("fit_stable_f_12n_48t", |b| {
+        b.iter(|| black_box(fit_stable_f(&tm, FitOptions::default()).unwrap()))
+    });
+    c.bench_function("fit_time_varying_12n_48t", |b| {
+        b.iter(|| black_box(fit_time_varying(&tm, FitOptions::default()).unwrap()))
+    });
+}
+
+fn bench_sweep_budget(c: &mut Criterion) {
+    // Cost per BCD sweep (fixed 5 sweeps, no early exit).
+    let tm = series(22, 96);
+    let opts = FitOptions {
+        max_sweeps: 5,
+        tolerance: 0.0,
+        ..FitOptions::default()
+    };
+    c.bench_function("fit_stable_fp_5_sweeps_22n_96t", |b| {
+        b.iter(|| black_box(fit_stable_fp(&tm, opts).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_stable_fp, bench_variants, bench_sweep_budget);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+#![allow(missing_docs)]
+//! Criterion benches for the traffic generators and measurement
+//! simulators: dataset build throughput and the packet-trace path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_core::{generate_synthetic, SynthConfig};
+use ic_flowsim::{
+    analyze_trace, sample_netflow, synthesize_trace, NetflowConfig, TraceConfig,
+};
+
+fn bench_synthetic_generation(c: &mut Criterion) {
+    let mut cfg = SynthConfig::geant_like(5);
+    cfg.bins = 288; // one day at 5-minute bins
+    c.bench_function("generate_synthetic_22n_288t", |b| {
+        b.iter(|| black_box(generate_synthetic(&cfg).unwrap()))
+    });
+}
+
+fn bench_netflow_sampling(c: &mut Criterion) {
+    let mut cfg = SynthConfig::geant_like(6);
+    cfg.bins = 96;
+    let tm = generate_synthetic(&cfg).unwrap().series;
+    c.bench_function("netflow_sampling_22n_96t", |b| {
+        b.iter(|| black_box(sample_netflow(&tm, NetflowConfig::default()).unwrap()))
+    });
+}
+
+fn bench_trace_path(c: &mut Criterion) {
+    let mut cfg = TraceConfig::abilene_like(7);
+    cfg.duration = 300.0;
+    cfg.rate_i = 2.0;
+    cfg.rate_j = 2.0;
+    c.bench_function("synthesize_trace_300s", |b| {
+        b.iter(|| black_box(synthesize_trace(&cfg).unwrap()))
+    });
+    let packets = synthesize_trace(&cfg).unwrap();
+    c.bench_function("analyze_trace_300s", |b| {
+        b.iter(|| black_box(analyze_trace(&packets, 300.0, 300.0).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_synthetic_generation,
+    bench_netflow_sampling,
+    bench_trace_path
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+#![allow(missing_docs)]
+//! Criterion benches for the dense linear-algebra kernels at the sizes the
+//! traffic-matrix pipelines actually use (n = 22 nodes, n² = 484 OD pairs,
+//! ~110 observation rows).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_linalg::{nnls, pseudo_inverse, Cholesky, Matrix, NnlsOptions, Qr, Svd};
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z = z ^ (z >> 31);
+        (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+}
+
+fn spd(n: usize, seed: u64) -> Matrix {
+    let b = deterministic_matrix(n + 4, n, seed);
+    let mut g = b.gram();
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = deterministic_matrix(110, 484, 1);
+    let b = deterministic_matrix(484, 110, 2);
+    c.bench_function("matmul_110x484_484x110", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let a = deterministic_matrix(110, 44, 3);
+    c.bench_function("qr_factor_110x44", |bench| {
+        bench.iter(|| black_box(Qr::factor(&a).unwrap()))
+    });
+    let rhs = vec![1.0; 110];
+    let qr = Qr::factor(&a).unwrap();
+    c.bench_function("qr_solve_110x44", |bench| {
+        bench.iter(|| black_box(qr.solve_least_squares(&rhs).unwrap()))
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let a = spd(110, 4);
+    c.bench_function("cholesky_factor_110", |bench| {
+        bench.iter(|| black_box(Cholesky::factor(&a).unwrap()))
+    });
+    let chol = Cholesky::factor(&a).unwrap();
+    let rhs = vec![1.0; 110];
+    c.bench_function("cholesky_solve_110", |bench| {
+        bench.iter(|| black_box(chol.solve(&rhs).unwrap()))
+    });
+}
+
+fn bench_svd_pinv(c: &mut Criterion) {
+    // The stable-fP prior pseudo-inverts a (2n x n) = 44x22 operator.
+    let a = deterministic_matrix(44, 22, 5);
+    c.bench_function("svd_44x22", |bench| {
+        bench.iter(|| black_box(Svd::factor(&a).unwrap()))
+    });
+    c.bench_function("pinv_44x22", |bench| {
+        bench.iter(|| black_box(pseudo_inverse(&a, None).unwrap()))
+    });
+}
+
+fn bench_nnls(c: &mut Criterion) {
+    let a = deterministic_matrix(484, 22, 6).map(f64::abs);
+    let x = vec![1.0; 22];
+    let b = a.matvec(&x).unwrap();
+    c.bench_function("nnls_484x22", |bench| {
+        bench.iter(|| black_box(nnls(&a, &b, NnlsOptions::default()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_qr,
+    bench_cholesky,
+    bench_svd_pinv,
+    bench_nnls
+);
+criterion_main!(benches);

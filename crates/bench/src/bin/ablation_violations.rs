@@ -1,0 +1,80 @@
+//! Ablation — how process violations move the IC-over-gravity fit
+//! improvement.
+//!
+//! The paper's Figure 3 numbers (Géant ≈ 20–25%, Totem ≈ 6–8%) sit between
+//! two extremes: an exact IC process (IC wins by ~100%) and noise-dominated
+//! data (neither model wins). This ablation sweeps the three violation
+//! knobs of the generator — per-OD burst noise, spatial forward-ratio
+//! jitter, and hot-potato asymmetry — and reports the resulting fit
+//! improvement, quantifying which violations close the gap. It doubles as
+//! the calibration evidence for the synthetic D1/D2 parameter choices
+//! (documented in EXPERIMENTS.md).
+
+use ic_bench::{fit_improvement_series, paper_fit_options, summarize};
+use ic_core::fit_stable_fp;
+use ic_flowsim::{sample_netflow, AggregateConfig, AggregateGenerator, NetflowConfig};
+use ic_linalg::Matrix;
+use ic_stats::rng::derive_seed;
+use ic_stats::{seeded_rng, DiurnalModel, DiurnalProfile};
+use ic_stats::dist::{LogNormal, Pareto, Sample};
+
+fn build_measured(n: usize, bins: usize, agg: AggregateConfig, seed: u64) -> ic_core::TmSeries {
+    let mut rng_p = seeded_rng(derive_seed(seed, 1));
+    let raw: Vec<f64> = LogNormal::new(-4.3, 1.7).unwrap().sample_n(&mut rng_p, n);
+    let mass: f64 = raw.iter().sum();
+    let preference: Vec<f64> = raw.iter().map(|&v| v / mass).collect();
+    let mut rng_b = seeded_rng(derive_seed(seed, 2));
+    let bases: Vec<f64> = Pareto::new(1.0e8, 1.15).unwrap().sample_n(&mut rng_b, n);
+    let base_ref = bases.iter().copied().fold(f64::MIN, f64::max);
+    let profile = DiurnalProfile::european_5min();
+    let mut activity = Matrix::zeros(n, bins);
+    for (i, &base) in bases.iter().enumerate() {
+        let model = DiurnalModel::with_aggregation_noise(profile, base, 0.25, base_ref).unwrap();
+        let mut rng_node = seeded_rng(derive_seed(seed, 1000 + i as u64));
+        for t in 0..bins {
+            activity[(i, t)] = model.sample_at(t, &mut rng_node);
+        }
+    }
+    let generator = AggregateGenerator::new(n, agg).unwrap();
+    let truth = generator.generate(&activity, &preference, 300.0).unwrap();
+    sample_netflow(
+        &truth,
+        NetflowConfig {
+            seed: derive_seed(seed, 3),
+            ..NetflowConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn improvement_for(agg: AggregateConfig, seed: u64) -> (f64, f64) {
+    let tm = build_measured(22, 288, agg, seed);
+    let fit = fit_stable_fp(&tm, paper_fit_options()).unwrap();
+    let imp = fit_improvement_series(&tm, &fit);
+    (summarize(&imp).mean, fit.params.f)
+}
+
+fn main() {
+    let f0 = 0.234;
+    println!("# Ablation: violation knobs vs fit improvement (22 nodes, 288 bins)");
+    println!("# knob\tvalue\tmean_improvement_%\tfitted_f");
+
+    for cv in [0.0, 0.12, 0.25, 0.4, 0.6, 0.9, 1.2] {
+        let mut agg = AggregateConfig::realistic(f0, 7);
+        agg.od_noise_cv = cv;
+        let (imp, f) = improvement_for(agg, 7);
+        println!("od_noise_cv\t{cv}\t{imp:.1}\t{f:.3}");
+    }
+    for std in [0.0, 0.03, 0.07, 0.12, 0.2] {
+        let mut agg = AggregateConfig::realistic(f0, 7);
+        agg.f_spatial_std = std;
+        let (imp, f) = improvement_for(agg, 7);
+        println!("f_spatial_std\t{std}\t{imp:.1}\t{f:.3}");
+    }
+    for asym in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let mut agg = AggregateConfig::realistic(f0, 7);
+        agg.asymmetry_fraction = asym;
+        let (imp, f) = improvement_for(agg, 7);
+        println!("asymmetry\t{asym}\t{imp:.1}\t{f:.3}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 5 — optimal f values over consecutive weeks (paper Section 5.2).
+//!
+//! Fits the stable-fP model to each of seven consecutive Totem weeks and
+//! prints the per-week optimal f. Paper shape: f ≈ 0.2, nearly constant
+//! across all seven weeks.
+
+use ic_bench::{d2_at, fit_weeks, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 5: optimal f over 7 consecutive Totem weeks ({scale:?})");
+    let ds = d2_at(scale, 7, 20041114);
+    let weeks = ds.measured_weeks().expect("weeks");
+    let fits = fit_weeks(&weeks);
+    println!("# week\tf");
+    for (w, fit) in fits.iter().enumerate() {
+        println!("{}\t{:.4}", w + 1, fit.params.f);
+    }
+    let fs: Vec<f64> = fits.iter().map(|f| f.params.f).collect();
+    let mean = fs.iter().sum::<f64>() / fs.len() as f64;
+    let max_delta = fs
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .fold(0.0_f64, f64::max);
+    println!("# mean f = {mean:.4}, max week-over-week delta = {max_delta:.4}");
+    println!("# ground-truth generating aggregate f = {:.4}", ds.ground_truth.aggregate_f);
+}

@@ -1,0 +1,41 @@
+//! Figure 6 — optimal preference values across weeks (paper Section 5.3).
+//!
+//! Fits the stable-fP model per week (Géant: 3 weeks, Totem: 7 weeks) and
+//! prints the per-node preference for every week side by side. Paper
+//! shape: per-node values overlay almost perfectly week over week; a few
+//! nodes are up to ~10x larger than typical.
+
+use ic_bench::{d1_at, d2_at, fit_weeks, Scale};
+use ic_core::stability::WeeklyFits;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 6: optimal P values over time ({scale:?})");
+    for (panel, name, weeks_n) in [("a", "geant-d1", 3usize), ("b", "totem-d2", 7usize)] {
+        let ds = match name {
+            "geant-d1" => d1_at(scale, weeks_n, 1),
+            _ => d2_at(scale, weeks_n, 20041114),
+        };
+        let weeks = ds.measured_weeks().expect("weeks");
+        let fits = fit_weeks(&weeks);
+        println!("\n## Figure 6({panel}): {name}");
+        print!("# node");
+        for w in 1..=fits.len() {
+            print!("\twk{w}");
+        }
+        println!("\ttruth");
+        let n = ds.descriptor.nodes;
+        for i in 0..n {
+            print!("{i}");
+            for fit in &fits {
+                print!("\t{:.4}", fit.params.preference[i]);
+            }
+            println!("\t{:.4}", ds.ground_truth.preference[i]);
+        }
+        let weekly = WeeklyFits { fits };
+        let min_corr = weekly
+            .preference_min_correlation()
+            .expect("at least two weeks");
+        println!("# min pairwise week correlation = {min_corr:.4} (1.0 = perfectly stable)");
+    }
+}

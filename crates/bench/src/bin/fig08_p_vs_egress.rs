@@ -1,0 +1,36 @@
+//! Figure 8 — fitted preference vs normalized mean egress counts
+//! (paper Section 5.3).
+//!
+//! Paper shape: egress volume is a poor proxy for preference — among nodes
+//! above median traffic there is little correlation.
+
+use ic_bench::{d1_at, d2_at, fit_weeks, Scale};
+use ic_core::stability::preference_vs_egress;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 8: optimal P vs normalized egress counts ({scale:?})");
+    for (panel, name) in [("a", "geant-d1"), ("b", "totem-d2")] {
+        let ds = match name {
+            "geant-d1" => d1_at(scale, 1, 1),
+            _ => d2_at(scale, 1, 20041114),
+        };
+        let weeks = ds.measured_weeks().expect("weeks");
+        let fit = &fit_weeks(&weeks)[0];
+        let cmp = preference_vs_egress(fit, &weeks[0]).expect("comparison");
+        println!("\n## Figure 8({panel}): {name}");
+        println!("# node\tP\tmean_egress_share");
+        for (i, (p, e)) in cmp
+            .preference
+            .iter()
+            .zip(cmp.egress_share.iter())
+            .enumerate()
+        {
+            println!("{i}\t{p:.4}\t{e:.4}");
+        }
+        println!(
+            "# pearson(all)={:.3} spearman(all)={:.3} pearson(above-median)={:.3}",
+            cmp.pearson_all, cmp.spearman_all, cmp.pearson_above_median
+        );
+    }
+}

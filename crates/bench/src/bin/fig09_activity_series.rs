@@ -1,0 +1,27 @@
+//! Figure 9 — fitted activity time series for the largest, a medium, and
+//! the smallest node (paper Section 5.4).
+//!
+//! Paper shape: strong daily periodicity, reduced weekend activity, and a
+//! sharper pattern at higher aggregation levels.
+
+use ic_bench::{d1_at, d2_at, fit_weeks, print_series, Scale};
+use ic_core::stability::activity_extremes;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 9: A_i(t) time series, largest/medium/smallest node ({scale:?})");
+    for (panel, name) in [("a", "geant-d1"), ("b", "totem-d2")] {
+        let ds = match name {
+            "geant-d1" => d1_at(scale, 1, 1),
+            _ => d2_at(scale, 1, 20041114),
+        };
+        let weeks = ds.measured_weeks().expect("weeks");
+        let fit = &fit_weeks(&weeks)[0];
+        println!("\n## Figure 9({panel}): {name}");
+        let labels = ["largest", "medium", "smallest"];
+        for (label, (idx, mean, series)) in labels.iter().zip(activity_extremes(fit)) {
+            println!("# {label}: node {idx}, mean A = {mean:.3e} bytes/bin");
+            print_series(&format!("A_node{idx}_{label}"), &series, 16);
+        }
+    }
+}

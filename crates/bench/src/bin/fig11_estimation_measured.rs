@@ -1,0 +1,32 @@
+//! Figure 11 — TM-estimation improvement over the gravity prior when all
+//! IC parameters are measured (paper Section 6.1).
+//!
+//! The "thought experiment" scenario: `f`, `{P_i}`, `{A_i(t)}` come from a
+//! Section 5.1 fit of the same week; both priors are refined by the same
+//! tomogravity + IPF steps. Paper shape: Géant 10–20%, Totem 20–30%.
+
+use ic_bench::{
+    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize,
+    Scale,
+};
+use ic_estimation::MeasuredIcPrior;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 11: estimation improvement over gravity, all params measured ({scale:?})");
+    for (panel, name) in [("a", "geant-d1"), ("b", "totem-d2")] {
+        let ds = match name {
+            "geant-d1" => d1_at(scale, 1, 1),
+            _ => d2_at(scale, 1, 20041114),
+        };
+        let weeks = ds.measured_weeks().expect("weeks");
+        let fit = &fit_weeks(&weeks)[0];
+        let prior = MeasuredIcPrior {
+            params: fit.params.clone(),
+        };
+        let cmp = estimation_comparison(name, &weeks[0], &prior);
+        println!("\n## Figure 11({panel}): {name}");
+        print_summary("improvement", &summarize(&cmp.improvement));
+        print_series("improvement", &cmp.improvement, 24);
+    }
+}

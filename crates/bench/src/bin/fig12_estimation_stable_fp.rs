@@ -1,0 +1,41 @@
+//! Figure 12 — TM-estimation improvement with the stable-fP prior:
+//! `f` and `{P_i}` calibrated on a *previous* week, activities estimated
+//! from ingress/egress counts via Eq. 7–9 (paper Section 6.2).
+//!
+//! Géant calibrates on the week immediately before; Totem on the week two
+//! weeks back (matching the paper's setup). Paper shape: 10–20%
+//! improvement for both.
+
+use ic_bench::{
+    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize,
+    Scale,
+};
+use ic_estimation::StableFpPrior;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 12: estimation improvement, f and P from a previous week ({scale:?})");
+    // (panel, dataset, weeks to build, calibration week index, target week index)
+    for (panel, name, weeks_n, cal, target) in
+        [("a", "geant-d1", 2usize, 0usize, 1usize), ("b", "totem-d2", 3, 0, 2)]
+    {
+        let ds = match name {
+            "geant-d1" => d1_at(scale, weeks_n, 1),
+            _ => d2_at(scale, weeks_n, 20041114),
+        };
+        let weeks = ds.measured_weeks().expect("weeks");
+        let fits = fit_weeks(&weeks[cal..=cal]);
+        let prior = StableFpPrior {
+            f: fits[0].params.f,
+            preference: fits[0].params.preference.clone(),
+        };
+        let cmp = estimation_comparison(name, &weeks[target], &prior);
+        println!(
+            "\n## Figure 12({panel}): {name} (calibrated on week {}, estimated week {})",
+            cal + 1,
+            target + 1
+        );
+        print_summary("improvement", &summarize(&cmp.improvement));
+        print_series("improvement", &cmp.improvement, 24);
+    }
+}

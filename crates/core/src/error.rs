@@ -1,0 +1,186 @@
+//! Accuracy metrics: the relative ℓ² temporal error (paper Eq. 6).
+//!
+//! ```text
+//! RelL2T(t) = ‖X(t) − X̂(t)‖_F / ‖X(t)‖_F
+//! ```
+//!
+//! "The metric we use for measuring accuracy of model prediction here and
+//! throughout the paper" — every figure from 3 through 13 is expressed in
+//! it, usually as the percentage improvement of the IC model over gravity.
+
+use crate::tm::TmSeries;
+use crate::{IcError, Result};
+
+/// Relative ℓ² temporal error at bin `t` between an observed series and a
+/// prediction (Eq. 6).
+///
+/// Returns 0 when both the observation and prediction are all-zero at `t`,
+/// and an error when shapes differ.
+pub fn rel_l2_temporal(observed: &TmSeries, predicted: &TmSeries, bin: usize) -> Result<f64> {
+    check_compatible(observed, predicted)?;
+    if bin >= observed.bins() {
+        return Err(IcError::DimensionMismatch {
+            context: "rel_l2_temporal bin",
+            expected: observed.bins(),
+            actual: bin,
+        });
+    }
+    let n2 = observed.nodes() * observed.nodes();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for r in 0..n2 {
+        let o = observed.as_matrix()[(r, bin)];
+        let p = predicted.as_matrix()[(r, bin)];
+        num += (o - p) * (o - p);
+        den += o * o;
+    }
+    if den == 0.0 {
+        return Ok(if num == 0.0 { 0.0 } else { f64::INFINITY });
+    }
+    Ok((num / den).sqrt())
+}
+
+/// The full error time series `RelL2T(t), t = 0..bins`.
+pub fn rel_l2_series(observed: &TmSeries, predicted: &TmSeries) -> Result<Vec<f64>> {
+    check_compatible(observed, predicted)?;
+    (0..observed.bins())
+        .map(|t| rel_l2_temporal(observed, predicted, t))
+        .collect()
+}
+
+/// Mean of `RelL2T(t)` over all bins — the objective of the Section 5.1
+/// fitting program (up to the constant factor `T`).
+pub fn mean_rel_l2(observed: &TmSeries, predicted: &TmSeries) -> Result<f64> {
+    let series = rel_l2_series(observed, predicted)?;
+    Ok(series.iter().sum::<f64>() / series.len() as f64)
+}
+
+/// Percentage improvement of `candidate` over `baseline` in a
+/// smaller-is-better metric: `100 · (baseline − candidate) / baseline`.
+///
+/// This is how Figures 3 and 11–13 report the IC model against gravity.
+/// Returns 0 when the baseline is 0 (no room to improve).
+pub fn improvement_percent(baseline: f64, candidate: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - candidate) / baseline
+    }
+}
+
+/// Per-bin improvement series of a candidate model over a baseline model,
+/// both measured against the same observed series.
+pub fn improvement_series(
+    observed: &TmSeries,
+    baseline: &TmSeries,
+    candidate: &TmSeries,
+) -> Result<Vec<f64>> {
+    let base = rel_l2_series(observed, baseline)?;
+    let cand = rel_l2_series(observed, candidate)?;
+    Ok(base
+        .iter()
+        .zip(cand.iter())
+        .map(|(&b, &c)| improvement_percent(b, c))
+        .collect())
+}
+
+fn check_compatible(a: &TmSeries, b: &TmSeries) -> Result<()> {
+    if a.nodes() != b.nodes() {
+        return Err(IcError::DimensionMismatch {
+            context: "series node counts",
+            expected: a.nodes(),
+            actual: b.nodes(),
+        });
+    }
+    if a.bins() != b.bins() {
+        return Err(IcError::DimensionMismatch {
+            context: "series bin counts",
+            expected: a.bins(),
+            actual: b.bins(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[&[f64]]) -> TmSeries {
+        // Build a 2-node series from per-bin [x00, x01, x10, x11] rows.
+        let bins = values.len();
+        let mut tm = TmSeries::zeros(2, bins, 300.0).unwrap();
+        for (t, row) in values.iter().enumerate() {
+            tm.set(0, 0, t, row[0]).unwrap();
+            tm.set(0, 1, t, row[1]).unwrap();
+            tm.set(1, 0, t, row[2]).unwrap();
+            tm.set(1, 1, t, row[3]).unwrap();
+        }
+        tm
+    }
+
+    #[test]
+    fn zero_error_for_identical_series() {
+        let tm = series(&[&[1.0, 2.0, 3.0, 4.0]]);
+        assert_eq!(rel_l2_temporal(&tm, &tm, 0).unwrap(), 0.0);
+        assert_eq!(mean_rel_l2(&tm, &tm).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_error_value() {
+        let obs = series(&[&[3.0, 0.0, 0.0, 4.0]]); // norm 5
+        let pred = series(&[&[0.0, 0.0, 0.0, 4.0]]); // error norm 3
+        let e = rel_l2_temporal(&obs, &pred, 0).unwrap();
+        assert!((e - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_and_mean() {
+        let obs = series(&[&[3.0, 0.0, 0.0, 4.0], &[5.0, 0.0, 0.0, 0.0]]);
+        let pred = series(&[&[0.0, 0.0, 0.0, 4.0], &[5.0, 0.0, 0.0, 0.0]]);
+        let s = rel_l2_series(&obs, &pred).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 0.6).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+        assert!((mean_rel_l2(&obs, &pred).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_observation_edge_cases() {
+        let obs = series(&[&[0.0, 0.0, 0.0, 0.0]]);
+        let zero_pred = series(&[&[0.0, 0.0, 0.0, 0.0]]);
+        let nonzero_pred = series(&[&[1.0, 0.0, 0.0, 0.0]]);
+        assert_eq!(rel_l2_temporal(&obs, &zero_pred, 0).unwrap(), 0.0);
+        assert!(rel_l2_temporal(&obs, &nonzero_pred, 0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn shape_checks() {
+        let a = series(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let b = TmSeries::zeros(3, 1, 300.0).unwrap();
+        assert!(rel_l2_temporal(&a, &b, 0).is_err());
+        let c = series(&[&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]]);
+        assert!(rel_l2_series(&a, &c).is_err());
+        assert!(rel_l2_temporal(&a, &a, 5).is_err());
+    }
+
+    #[test]
+    fn improvement_percent_signs() {
+        assert!((improvement_percent(0.4, 0.3) - 25.0).abs() < 1e-12);
+        assert!((improvement_percent(0.4, 0.5) + 25.0).abs() < 1e-12);
+        assert_eq!(improvement_percent(0.0, 0.3), 0.0);
+        assert_eq!(improvement_percent(0.4, 0.4), 0.0);
+    }
+
+    #[test]
+    fn improvement_series_compares_models() {
+        let obs = series(&[&[3.0, 0.0, 0.0, 4.0]]);
+        let bad = series(&[&[0.0, 0.0, 0.0, 4.0]]); // rel error 0.6
+        let good = series(&[&[3.0, 0.0, 0.0, 0.0]]); // rel error 0.8
+        let imp = improvement_series(&obs, &bad, &good).unwrap();
+        // good is actually worse: negative improvement.
+        assert!(imp[0] < 0.0);
+        let imp2 = improvement_series(&obs, &good, &bad).unwrap();
+        assert!(imp2[0] > 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The gravity model baseline.
+//!
+//! The gravity model assumes a packet's ingress `I` and egress `E` are
+//! independent: `P[E = j | I = i] = P[E = j]`, predicting
+//! `X_ij ≈ X_{i*} · X_{*j} / X_{**}` (paper Section 3). It is the baseline
+//! every result in the paper is measured against, both as a data-fitting
+//! model (Figure 3) and as a TM-estimation prior (Figures 11–13).
+
+use crate::tm::TmSeries;
+use crate::{IcError, Result};
+use ic_linalg::Matrix;
+
+/// Gravity prediction from explicit marginals: `X̂_ij = ingress_i *
+/// egress_j / total`.
+///
+/// `ingress` and `egress` must have equal lengths and non-negative entries;
+/// `total` is taken from the ingress sum (the two marginal sums agree for
+/// any physical traffic matrix, and the ingress sum is the convention used
+/// by the estimation pipeline).
+///
+/// # Examples
+///
+/// ```
+/// use ic_core::gravity_from_marginals;
+///
+/// let x = gravity_from_marginals(&[6.0, 3.0], &[3.0, 6.0]).unwrap();
+/// assert!((x[(0, 0)] - 2.0).abs() < 1e-12); // 6*3/9
+/// assert!((x[(0, 1)] - 4.0).abs() < 1e-12); // 6*6/9
+/// ```
+pub fn gravity_from_marginals(ingress: &[f64], egress: &[f64]) -> Result<Matrix> {
+    let n = ingress.len();
+    if egress.len() != n {
+        return Err(IcError::DimensionMismatch {
+            context: "gravity_from_marginals",
+            expected: n,
+            actual: egress.len(),
+        });
+    }
+    if n == 0 {
+        return Err(IcError::BadData("gravity of empty marginals"));
+    }
+    if ingress.iter().chain(egress.iter()).any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(IcError::BadData(
+            "gravity marginals must be finite and non-negative",
+        ));
+    }
+    let total: f64 = ingress.iter().sum();
+    if total <= 0.0 {
+        // A silent all-zero matrix is the right answer for an idle network.
+        return Ok(Matrix::zeros(n, n));
+    }
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = ingress[i] * egress[j] / total;
+        }
+    }
+    Ok(out)
+}
+
+/// Gravity prediction for every bin of a series, from the series' own
+/// marginals. Returns a new [`TmSeries`] of predictions.
+///
+/// This is the "fit" usage of the gravity model (Figure 3): the model's
+/// `2nt − 1` degrees of freedom are the observed marginals themselves, so
+/// the prediction requires no optimization.
+pub fn gravity_predict(tm: &TmSeries) -> Result<TmSeries> {
+    let n = tm.nodes();
+    let mut out = TmSeries::zeros(n, tm.bins(), tm.bin_seconds())?;
+    for t in 0..tm.bins() {
+        let pred = gravity_from_marginals(&tm.ingress(t), &tm.egress(t))?;
+        for i in 0..n {
+            for j in 0..n {
+                out.set(i, j, t, pred[(i, j)])?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_preservation() {
+        // Gravity predictions reproduce the input marginals exactly.
+        let ingress = [10.0, 30.0, 60.0];
+        let egress = [50.0, 25.0, 25.0];
+        let x = gravity_from_marginals(&ingress, &egress).unwrap();
+        let rows = x.row_sums();
+        let cols = x.col_sums();
+        for i in 0..3 {
+            assert!((rows[i] - ingress[i]).abs() < 1e-9);
+            assert!((cols[i] - egress[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_one_structure() {
+        let x = gravity_from_marginals(&[2.0, 4.0], &[3.0, 3.0]).unwrap();
+        // Rows are proportional: X is rank one.
+        let ratio0 = x[(0, 0)] / x[(1, 0)];
+        let ratio1 = x[(0, 1)] / x[(1, 1)];
+        assert!((ratio0 - ratio1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(gravity_from_marginals(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(gravity_from_marginals(&[], &[]).is_err());
+        assert!(gravity_from_marginals(&[-1.0], &[1.0]).is_err());
+        assert!(gravity_from_marginals(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_traffic_gives_zero_matrix() {
+        let x = gravity_from_marginals(&[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        assert!(x.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn series_prediction_matches_per_bin() {
+        let mut tm = TmSeries::zeros(2, 2, 300.0).unwrap();
+        tm.set(0, 1, 0, 8.0).unwrap();
+        tm.set(1, 0, 0, 2.0).unwrap();
+        tm.set(0, 1, 1, 4.0).unwrap();
+        tm.set(1, 1, 1, 4.0).unwrap();
+        let pred = gravity_predict(&tm).unwrap();
+        assert_eq!(pred.bins(), 2);
+        // Bin 0: ingress (8,2), egress (2,8), total 10.
+        assert!((pred.get(0, 0, 0).unwrap() - 1.6).abs() < 1e-12);
+        assert!((pred.get(0, 1, 0).unwrap() - 6.4).abs() < 1e-12);
+        // Marginals preserved per bin.
+        for t in 0..2 {
+            let gi = pred.ingress(t);
+            let oi = tm.ingress(t);
+            for (a, b) in gi.iter().zip(oi.iter()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gravity_exact_on_rank_one_truth() {
+        // If the truth itself satisfies packet independence, gravity
+        // reconstructs it perfectly.
+        let ingress = [5.0, 15.0];
+        let egress = [10.0, 10.0];
+        let truth = gravity_from_marginals(&ingress, &egress).unwrap();
+        let mut tm = TmSeries::zeros(2, 1, 300.0).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                tm.set(i, j, 0, truth[(i, j)]).unwrap();
+            }
+        }
+        let pred = gravity_predict(&tm).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (pred.get(i, j, 0).unwrap() - truth[(i, j)]).abs() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Synthetic traffic-matrix generation (paper Section 5.5).
+//!
+//! The paper's recipe for generating synthetic TMs with the stable-fP
+//! model:
+//!
+//! 1. choose `f` (0.2–0.3 is the empirically reasonable range),
+//! 2. draw preference values `{P_i}` from a long-tailed distribution
+//!    (lognormal recommended; the paper's MLE was `μ ≈ −4.3, σ ≈ 1.7`),
+//! 3. generate activity series `{A_i(t)}` from a model with daily
+//!    variation (cyclostationary),
+//! 4. assemble `X_ij(t)` with Eq. 5.
+//!
+//! The generator exposes the paper's "what-if" knobs directly: traffic mix
+//! via `f`, hot spots / flash crowds via the preference distribution, user
+//! population via the activity bases.
+
+use crate::model::{stable_fp_series, StableFpParams};
+use crate::tm::TmSeries;
+use crate::{IcError, Result};
+use ic_linalg::Matrix;
+use ic_stats::dist::Sample;
+use ic_stats::rng::derive_seed;
+use ic_stats::{seeded_rng, DiurnalModel, DiurnalProfile, LogNormal, Pareto};
+
+/// Configuration for synthetic stable-fP TM generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of access points.
+    pub nodes: usize,
+    /// Number of time bins to generate.
+    pub bins: usize,
+    /// Seconds per bin (metadata carried into the output series).
+    pub bin_seconds: f64,
+    /// Forward ratio (paper recommendation: 0.2–0.3).
+    pub f: f64,
+    /// Lognormal location parameter for preference sampling.
+    pub preference_mu: f64,
+    /// Lognormal scale parameter for preference sampling.
+    pub preference_sigma: f64,
+    /// Pareto scale (minimum) for node mean activity levels, bytes/bin.
+    pub activity_min: f64,
+    /// Pareto shape for node mean activity levels (smaller = more skewed
+    /// node sizes).
+    pub activity_alpha: f64,
+    /// Diurnal profile shared by all nodes.
+    pub profile: DiurnalProfile,
+    /// Reference noise coefficient of variation (see
+    /// [`DiurnalModel::with_aggregation_noise`]).
+    pub noise_cv: f64,
+    /// RNG seed; equal seeds give bit-identical output.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A Géant-sized default: 22 nodes, one week of 5-minute bins.
+    pub fn geant_like(seed: u64) -> Self {
+        SynthConfig {
+            nodes: 22,
+            bins: 2016,
+            bin_seconds: 300.0,
+            f: 0.25,
+            preference_mu: -4.3,
+            preference_sigma: 1.7,
+            activity_min: 5.0e6,
+            activity_alpha: 1.2,
+            profile: DiurnalProfile::european_5min(),
+            noise_cv: 0.25,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes == 0 || self.bins == 0 {
+            return Err(IcError::BadData("synth requires nodes > 0 and bins > 0"));
+        }
+        if !(0.0..=1.0).contains(&self.f) {
+            return Err(IcError::InvalidParameter {
+                name: "f",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Output of the synthetic generator: the series plus the ground-truth
+/// parameters that produced it.
+#[derive(Debug, Clone)]
+pub struct SynthOutput {
+    /// The generated traffic-matrix series.
+    pub series: TmSeries,
+    /// Ground-truth parameters (useful for validating estimators).
+    pub params: StableFpParams,
+}
+
+/// Generates a synthetic TM series per the Section 5.5 recipe.
+///
+/// # Examples
+///
+/// ```
+/// use ic_core::{generate_synthetic, SynthConfig};
+///
+/// let mut cfg = SynthConfig::geant_like(7);
+/// cfg.nodes = 5;
+/// cfg.bins = 48;
+/// let out = generate_synthetic(&cfg).unwrap();
+/// assert_eq!(out.series.nodes(), 5);
+/// assert_eq!(out.series.bins(), 48);
+/// assert!(out.series.is_physical());
+/// ```
+pub fn generate_synthetic(config: &SynthConfig) -> Result<SynthOutput> {
+    config.validate()?;
+    let n = config.nodes;
+
+    // Step 2: long-tailed preference values.
+    let mut rng_p = seeded_rng(derive_seed(config.seed, 1));
+    let lognormal = LogNormal::new(config.preference_mu, config.preference_sigma)?;
+    let raw: Vec<f64> = lognormal.sample_n(&mut rng_p, n);
+    let mass: f64 = raw.iter().sum();
+    let preference: Vec<f64> = raw.iter().map(|&v| v / mass).collect();
+
+    // Step 3: activity series with diurnal structure; base levels are
+    // heavy-tailed across nodes (a few big PoPs, many small ones).
+    let mut rng_base = seeded_rng(derive_seed(config.seed, 2));
+    let pareto = Pareto::new(config.activity_min, config.activity_alpha)?;
+    let bases: Vec<f64> = pareto.sample_n(&mut rng_base, n);
+    let base_ref = bases.iter().copied().fold(f64::MIN, f64::max);
+    let mut activity = Matrix::zeros(n, config.bins);
+    for (i, &base) in bases.iter().enumerate() {
+        let model =
+            DiurnalModel::with_aggregation_noise(config.profile, base, config.noise_cv, base_ref)?;
+        let mut rng_node = seeded_rng(derive_seed(config.seed, 1000 + i as u64));
+        for t in 0..config.bins {
+            activity[(i, t)] = model.sample_at(t, &mut rng_node);
+        }
+    }
+
+    // Step 4: assemble with Eq. 5.
+    let params = StableFpParams {
+        f: config.f,
+        preference,
+        activity,
+    };
+    let series = stable_fp_series(&params, config.bin_seconds)?;
+    Ok(SynthOutput { series, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit_stable_fp, FitOptions};
+
+    fn small_cfg(seed: u64) -> SynthConfig {
+        let mut cfg = SynthConfig::geant_like(seed);
+        cfg.nodes = 6;
+        cfg.bins = 96;
+        cfg
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_synthetic(&small_cfg(9)).unwrap();
+        let b = generate_synthetic(&small_cfg(9)).unwrap();
+        assert_eq!(a.series, b.series);
+        let c = generate_synthetic(&small_cfg(10)).unwrap();
+        assert_ne!(a.series, c.series);
+    }
+
+    #[test]
+    fn output_is_physical_and_sized() {
+        let out = generate_synthetic(&small_cfg(3)).unwrap();
+        assert!(out.series.is_physical());
+        assert_eq!(out.series.nodes(), 6);
+        assert_eq!(out.series.bins(), 96);
+        assert_eq!(out.params.preference.len(), 6);
+        assert!((out.params.preference.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_traffic_equals_total_activity() {
+        let out = generate_synthetic(&small_cfg(4)).unwrap();
+        for t in (0..96).step_by(17) {
+            let a_total: f64 = (0..6).map(|i| out.params.activity[(i, t)]).sum();
+            assert!((out.series.total(t) - a_total).abs() / a_total < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fitting_recovers_generator_parameters() {
+        // End-to-end: generate → fit → compare. This closes the loop
+        // between Sections 5.5 and 5.1.
+        let out = generate_synthetic(&small_cfg(5)).unwrap();
+        let fit = fit_stable_fp(&out.series, FitOptions::default()).unwrap();
+        assert!(fit.final_objective() < 1e-3, "{}", fit.final_objective());
+        assert!((fit.params.f - 0.25).abs() < 0.03, "f {}", fit.params.f);
+        for (got, want) in fit.params.preference.iter().zip(out.params.preference.iter()) {
+            assert!((got - want).abs() < 0.03, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut cfg = small_cfg(1);
+        cfg.nodes = 0;
+        assert!(generate_synthetic(&cfg).is_err());
+        let mut cfg = small_cfg(1);
+        cfg.f = 1.5;
+        assert!(generate_synthetic(&cfg).is_err());
+        let mut cfg = small_cfg(1);
+        cfg.preference_sigma = -1.0;
+        assert!(generate_synthetic(&cfg).is_err());
+    }
+
+    #[test]
+    fn diurnal_structure_present() {
+        let mut cfg = small_cfg(6);
+        cfg.bins = 288 * 2; // two days at 5-minute bins
+        cfg.noise_cv = 0.05;
+        let out = generate_synthetic(&cfg).unwrap();
+        // Total traffic at the daily peak exceeds the trough.
+        let peak_bin = (0.58 * 288.0) as usize;
+        let trough_bin = (peak_bin + 144) % 288;
+        let peak = out.series.total(peak_bin);
+        let trough = out.series.total(trough_bin);
+        assert!(peak > 1.5 * trough, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn preference_tail_is_long() {
+        // With sigma = 1.7 the largest preference should dwarf the median —
+        // the "few quite large" pattern of Figure 6.
+        let mut cfg = SynthConfig::geant_like(11);
+        cfg.nodes = 22;
+        cfg.bins = 4;
+        let out = generate_synthetic(&cfg).unwrap();
+        let mut p = out.params.preference.clone();
+        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = p[p.len() / 2];
+        let max = p[p.len() - 1];
+        assert!(max > 4.0 * median, "max {max} median {median}");
+    }
+}

@@ -1,0 +1,451 @@
+//! Traffic-matrix timeseries container.
+//!
+//! The paper organizes a timeseries of traffic matrices as the `n² x t`
+//! matrix `X` "where we have one (i, j) pair per row, and each row is a
+//! time series" (Section 6.2). [`TmSeries`] adopts exactly that layout,
+//! adds node names and bin metadata, and provides the marginal views
+//! (ingress `X_{i*}`, egress `X_{*j}`, total `X_{**}`) that every model in
+//! the workspace consumes.
+
+use crate::{IcError, Result};
+use ic_linalg::Matrix;
+
+/// A timeseries of `n x n` traffic matrices over `t` bins.
+///
+/// Storage follows the paper's convention: an `n² x t` matrix with OD pair
+/// `(i, j)` in row `i * n + j` (row-major vectorization, self-pairs
+/// included).
+///
+/// # Examples
+///
+/// ```
+/// use ic_core::TmSeries;
+///
+/// // Two nodes, two bins.
+/// let mut tm = TmSeries::zeros(2, 2, 300.0).unwrap();
+/// tm.set(0, 1, 0, 100.0).unwrap(); // X_{01}(t=0) = 100 bytes
+/// assert_eq!(tm.get(0, 1, 0).unwrap(), 100.0);
+/// assert_eq!(tm.ingress(0)[0], 100.0);
+/// assert_eq!(tm.egress(0)[1], 100.0);
+/// assert_eq!(tm.total(0), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmSeries {
+    nodes: usize,
+    bins: usize,
+    /// Seconds per time bin (300 for 5-minute bins, 900 for 15-minute).
+    bin_seconds: f64,
+    /// Optional node names (length `nodes` when present).
+    node_names: Option<Vec<String>>,
+    /// `n² x t`, row (i * n + j), column t.
+    data: Matrix,
+}
+
+impl TmSeries {
+    /// Creates an all-zero series.
+    pub fn zeros(nodes: usize, bins: usize, bin_seconds: f64) -> Result<Self> {
+        if nodes == 0 || bins == 0 {
+            return Err(IcError::BadData("TmSeries requires nodes > 0 and bins > 0"));
+        }
+        if !(bin_seconds > 0.0) || !bin_seconds.is_finite() {
+            return Err(IcError::InvalidParameter {
+                name: "bin_seconds",
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(TmSeries {
+            nodes,
+            bins,
+            bin_seconds,
+            node_names: None,
+            data: Matrix::zeros(nodes * nodes, bins),
+        })
+    }
+
+    /// Wraps an existing `n² x t` matrix.
+    pub fn from_matrix(nodes: usize, bin_seconds: f64, data: Matrix) -> Result<Self> {
+        if data.rows() != nodes * nodes || data.cols() == 0 {
+            return Err(IcError::DimensionMismatch {
+                context: "TmSeries::from_matrix",
+                expected: nodes * nodes,
+                actual: data.rows(),
+            });
+        }
+        if !(bin_seconds > 0.0) || !bin_seconds.is_finite() {
+            return Err(IcError::InvalidParameter {
+                name: "bin_seconds",
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(TmSeries {
+            nodes,
+            bins: data.cols(),
+            bin_seconds,
+            node_names: None,
+            data,
+        })
+    }
+
+    /// Attaches node names; the length must equal the node count.
+    pub fn with_node_names(mut self, names: Vec<String>) -> Result<Self> {
+        if names.len() != self.nodes {
+            return Err(IcError::DimensionMismatch {
+                context: "TmSeries::with_node_names",
+                expected: self.nodes,
+                actual: names.len(),
+            });
+        }
+        self.node_names = Some(names);
+        Ok(self)
+    }
+
+    /// Number of nodes `n`.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of time bins `t`.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Seconds per bin.
+    pub fn bin_seconds(&self) -> f64 {
+        self.bin_seconds
+    }
+
+    /// Node names, when attached.
+    pub fn node_names(&self) -> Option<&[String]> {
+        self.node_names.as_deref()
+    }
+
+    /// The underlying `n² x t` matrix (paper layout).
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutable access to the underlying matrix.
+    pub fn as_matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// Row-major OD index of `(origin, destination)`.
+    #[inline]
+    pub fn od_index(&self, origin: usize, destination: usize) -> usize {
+        origin * self.nodes + destination
+    }
+
+    /// Reads `X_{ij}(t)`; errors when out of range.
+    pub fn get(&self, origin: usize, destination: usize, bin: usize) -> Result<f64> {
+        self.check_bounds(origin, destination, bin)?;
+        Ok(self.data[(self.od_index(origin, destination), bin)])
+    }
+
+    /// Writes `X_{ij}(t)`; errors when out of range.
+    pub fn set(&mut self, origin: usize, destination: usize, bin: usize, value: f64) -> Result<()> {
+        self.check_bounds(origin, destination, bin)?;
+        let idx = self.od_index(origin, destination);
+        self.data[(idx, bin)] = value;
+        Ok(())
+    }
+
+    /// Adds `value` to `X_{ij}(t)`; errors when out of range.
+    pub fn add(&mut self, origin: usize, destination: usize, bin: usize, value: f64) -> Result<()> {
+        self.check_bounds(origin, destination, bin)?;
+        let idx = self.od_index(origin, destination);
+        self.data[(idx, bin)] += value;
+        Ok(())
+    }
+
+    fn check_bounds(&self, origin: usize, destination: usize, bin: usize) -> Result<()> {
+        if origin >= self.nodes || destination >= self.nodes {
+            return Err(IcError::DimensionMismatch {
+                context: "TmSeries node index",
+                expected: self.nodes,
+                actual: origin.max(destination),
+            });
+        }
+        if bin >= self.bins {
+            return Err(IcError::DimensionMismatch {
+                context: "TmSeries bin index",
+                expected: self.bins,
+                actual: bin,
+            });
+        }
+        Ok(())
+    }
+
+    /// The traffic matrix at bin `t` as a dense `n x n` snapshot.
+    pub fn snapshot(&self, bin: usize) -> Result<Matrix> {
+        if bin >= self.bins {
+            return Err(IcError::DimensionMismatch {
+                context: "TmSeries::snapshot",
+                expected: self.bins,
+                actual: bin,
+            });
+        }
+        let n = self.nodes;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = self.data[(i * n + j, bin)];
+            }
+        }
+        Ok(m)
+    }
+
+    /// The vectorized traffic matrix at bin `t` (length `n²`).
+    pub fn column(&self, bin: usize) -> Vec<f64> {
+        self.data.col(bin)
+    }
+
+    /// Ingress counts `X_{i*}(t)` for every node at bin `t`.
+    pub fn ingress(&self, bin: usize) -> Vec<f64> {
+        let n = self.nodes;
+        (0..n)
+            .map(|i| (0..n).map(|j| self.data[(i * n + j, bin)]).sum())
+            .collect()
+    }
+
+    /// Egress counts `X_{*j}(t)` for every node at bin `t`.
+    pub fn egress(&self, bin: usize) -> Vec<f64> {
+        let n = self.nodes;
+        (0..n)
+            .map(|j| (0..n).map(|i| self.data[(i * n + j, bin)]).sum())
+            .collect()
+    }
+
+    /// Total traffic `X_{**}(t)` at bin `t`.
+    pub fn total(&self, bin: usize) -> f64 {
+        let n = self.nodes;
+        (0..n * n).map(|r| self.data[(r, bin)]).sum()
+    }
+
+    /// Frobenius norm of the traffic matrix at bin `t`.
+    pub fn norm(&self, bin: usize) -> f64 {
+        let n2 = self.nodes * self.nodes;
+        let mut s = 0.0;
+        for r in 0..n2 {
+            let v = self.data[(r, bin)];
+            s += v * v;
+        }
+        s.sqrt()
+    }
+
+    /// Mean traffic matrix over all bins, as an `n x n` snapshot.
+    pub fn mean_snapshot(&self) -> Matrix {
+        let n = self.nodes;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let row = i * n + j;
+                let mean: f64 =
+                    (0..self.bins).map(|t| self.data[(row, t)]).sum::<f64>() / self.bins as f64;
+                m[(i, j)] = mean;
+            }
+        }
+        m
+    }
+
+    /// Mean ingress counts over all bins.
+    pub fn mean_ingress(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.nodes];
+        for t in 0..self.bins {
+            for (a, v) in acc.iter_mut().zip(self.ingress(t)) {
+                *a += v;
+            }
+        }
+        acc.iter_mut().for_each(|a| *a /= self.bins as f64);
+        acc
+    }
+
+    /// Mean egress counts over all bins.
+    pub fn mean_egress(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.nodes];
+        for t in 0..self.bins {
+            for (a, v) in acc.iter_mut().zip(self.egress(t)) {
+                *a += v;
+            }
+        }
+        acc.iter_mut().for_each(|a| *a /= self.bins as f64);
+        acc
+    }
+
+    /// Extracts the sub-series of bins `[start, start + len)`.
+    pub fn slice_bins(&self, start: usize, len: usize) -> Result<TmSeries> {
+        if len == 0 || start + len > self.bins {
+            return Err(IcError::BadData("slice_bins out of range"));
+        }
+        let n2 = self.nodes * self.nodes;
+        let mut data = Matrix::zeros(n2, len);
+        for r in 0..n2 {
+            for c in 0..len {
+                data[(r, c)] = self.data[(r, start + c)];
+            }
+        }
+        Ok(TmSeries {
+            nodes: self.nodes,
+            bins: len,
+            bin_seconds: self.bin_seconds,
+            node_names: self.node_names.clone(),
+            data,
+        })
+    }
+
+    /// Splits the series into consecutive weeks of `bins_per_week` bins,
+    /// dropping a trailing partial week.
+    pub fn split_weeks(&self, bins_per_week: usize) -> Result<Vec<TmSeries>> {
+        if bins_per_week == 0 {
+            return Err(IcError::InvalidParameter {
+                name: "bins_per_week",
+                constraint: "must be positive",
+            });
+        }
+        let weeks = self.bins / bins_per_week;
+        if weeks == 0 {
+            return Err(IcError::BadData(
+                "series shorter than one week; nothing to split",
+            ));
+        }
+        (0..weeks)
+            .map(|w| self.slice_bins(w * bins_per_week, bins_per_week))
+            .collect()
+    }
+
+    /// True when every entry is finite and non-negative.
+    pub fn is_physical(&self) -> bool {
+        self.data.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TmSeries {
+        // 2 nodes, 3 bins with recognizable values.
+        let mut tm = TmSeries::zeros(2, 3, 300.0).unwrap();
+        for t in 0..3 {
+            tm.set(0, 0, t, 1.0 + t as f64).unwrap();
+            tm.set(0, 1, t, 10.0).unwrap();
+            tm.set(1, 0, t, 20.0).unwrap();
+            tm.set(1, 1, t, 2.0).unwrap();
+        }
+        tm
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TmSeries::zeros(0, 1, 300.0).is_err());
+        assert!(TmSeries::zeros(1, 0, 300.0).is_err());
+        assert!(TmSeries::zeros(1, 1, 0.0).is_err());
+        assert!(TmSeries::zeros(1, 1, f64::NAN).is_err());
+        assert!(TmSeries::from_matrix(2, 300.0, Matrix::zeros(3, 4)).is_err());
+        assert!(TmSeries::from_matrix(2, 0.0, Matrix::zeros(4, 4)).is_err());
+        assert!(TmSeries::from_matrix(2, 300.0, Matrix::zeros(4, 4)).is_ok());
+    }
+
+    #[test]
+    fn get_set_add_bounds() {
+        let mut tm = tiny();
+        assert!(tm.get(2, 0, 0).is_err());
+        assert!(tm.get(0, 2, 0).is_err());
+        assert!(tm.get(0, 0, 3).is_err());
+        assert!(tm.set(2, 0, 0, 1.0).is_err());
+        assert!(tm.add(0, 0, 9, 1.0).is_err());
+        tm.add(0, 1, 0, 5.0).unwrap();
+        assert_eq!(tm.get(0, 1, 0).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn marginals() {
+        let tm = tiny();
+        assert_eq!(tm.ingress(0), vec![11.0, 22.0]);
+        assert_eq!(tm.egress(0), vec![21.0, 12.0]);
+        assert_eq!(tm.total(0), 33.0);
+        // Totals of ingress and egress always agree.
+        let ti: f64 = tm.ingress(1).iter().sum();
+        let te: f64 = tm.egress(1).iter().sum();
+        assert!((ti - te).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let tm = tiny();
+        let snap = tm.snapshot(2).unwrap();
+        assert_eq!(snap[(0, 0)], 3.0);
+        assert_eq!(snap[(0, 1)], 10.0);
+        assert_eq!(snap[(1, 0)], 20.0);
+        assert!(tm.snapshot(3).is_err());
+    }
+
+    #[test]
+    fn column_matches_layout() {
+        let tm = tiny();
+        let col = tm.column(0);
+        assert_eq!(col, vec![1.0, 10.0, 20.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let tm = tiny();
+        let want = (1.0_f64 + 100.0 + 400.0 + 4.0).sqrt();
+        assert!((tm.norm(0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        let tm = tiny();
+        let m = tm.mean_snapshot();
+        assert!((m[(0, 0)] - 2.0).abs() < 1e-12); // mean of 1,2,3
+        assert_eq!(m[(0, 1)], 10.0);
+        let mi = tm.mean_ingress();
+        assert!((mi[0] - 12.0).abs() < 1e-12);
+        let me = tm.mean_egress();
+        assert!((me[1] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slicing_and_weeks() {
+        let tm = tiny();
+        let s = tm.slice_bins(1, 2).unwrap();
+        assert_eq!(s.bins(), 2);
+        assert_eq!(s.get(0, 0, 0).unwrap(), 2.0);
+        assert!(tm.slice_bins(2, 2).is_err());
+        assert!(tm.slice_bins(0, 0).is_err());
+        let weeks = tm.split_weeks(1).unwrap();
+        assert_eq!(weeks.len(), 3);
+        assert!(tm.split_weeks(0).is_err());
+        assert!(tm.split_weeks(5).is_err());
+    }
+
+    #[test]
+    fn node_names_validation() {
+        let tm = tiny();
+        assert!(tm
+            .clone()
+            .with_node_names(vec!["a".into()])
+            .is_err());
+        let named = tm.with_node_names(vec!["a".into(), "b".into()]).unwrap();
+        assert_eq!(named.node_names().unwrap()[1], "b");
+    }
+
+    #[test]
+    fn physical_check() {
+        let mut tm = tiny();
+        assert!(tm.is_physical());
+        tm.set(0, 0, 0, -1.0).unwrap();
+        assert!(!tm.is_physical());
+        tm.set(0, 0, 0, f64::NAN).unwrap();
+        assert!(!tm.is_physical());
+    }
+
+    #[test]
+    fn od_index_layout() {
+        let tm = tiny();
+        assert_eq!(tm.od_index(0, 0), 0);
+        assert_eq!(tm.od_index(0, 1), 1);
+        assert_eq!(tm.od_index(1, 0), 2);
+        assert_eq!(tm.od_index(1, 1), 3);
+    }
+}

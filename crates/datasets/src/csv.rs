@@ -1,0 +1,206 @@
+//! Portable CSV serialization for traffic-matrix series.
+//!
+//! The synthetic datasets stand in for retired collections, but the
+//! toolkit accepts externally supplied traffic matrices through the same
+//! interface: a simple CSV schema that a few lines of any language can
+//! produce.
+//!
+//! Format (text, UTF-8):
+//!
+//! ```text
+//! # tm-ic-csv v1 nodes=3 bins=4 bin_seconds=300
+//! # names=a,b,c                (optional)
+//! 0,0,12.5,13.0,11.8,12.2      (origin, destination, then one value/bin)
+//! 0,1,...
+//! ```
+//!
+//! Rows may appear in any order; missing OD pairs default to zero.
+
+use crate::{DatasetError, Result};
+use ic_core::TmSeries;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes a series to CSV.
+pub fn write_tm_csv<W: Write>(tm: &TmSeries, mut out: W) -> Result<()> {
+    writeln!(
+        out,
+        "# tm-ic-csv v1 nodes={} bins={} bin_seconds={}",
+        tm.nodes(),
+        tm.bins(),
+        tm.bin_seconds()
+    )?;
+    if let Some(names) = tm.node_names() {
+        writeln!(out, "# names={}", names.join(","))?;
+    }
+    let n = tm.nodes();
+    for i in 0..n {
+        for j in 0..n {
+            write!(out, "{i},{j}")?;
+            for t in 0..tm.bins() {
+                // `{:?}` prints f64 with round-trip precision.
+                write!(out, ",{:?}", tm.get(i, j, t)?)?;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a series from CSV (the format written by [`write_tm_csv`]).
+pub fn read_tm_csv<R: Read>(input: R) -> Result<TmSeries> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| DatasetError::Format("empty input".into()))??;
+    let (nodes, bins, bin_seconds) = parse_header(&header)?;
+    let mut names: Option<Vec<String>> = None;
+    let mut tm = TmSeries::zeros(nodes, bins, bin_seconds)?;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# names=") {
+            names = Some(rest.split(',').map(|s| s.trim().to_string()).collect());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let i: usize = parse_field(parts.next(), "origin")?;
+        let j: usize = parse_field(parts.next(), "destination")?;
+        let values: Vec<f64> = parts
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| DatasetError::Format(format!("bad value {s:?}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        if values.len() != bins {
+            return Err(DatasetError::Format(format!(
+                "row ({i},{j}) has {} values, expected {bins}",
+                values.len()
+            )));
+        }
+        for (t, &v) in values.iter().enumerate() {
+            tm.set(i, j, t, v)?;
+        }
+    }
+    if let Some(names) = names {
+        tm = tm.with_node_names(names)?;
+    }
+    Ok(tm)
+}
+
+fn parse_header(line: &str) -> Result<(usize, usize, f64)> {
+    if !line.starts_with("# tm-ic-csv v1") {
+        return Err(DatasetError::Format(format!(
+            "unrecognized header: {line:?}"
+        )));
+    }
+    let mut nodes = None;
+    let mut bins = None;
+    let mut bin_seconds = None;
+    for token in line.split_whitespace() {
+        if let Some(v) = token.strip_prefix("nodes=") {
+            nodes = v.parse::<usize>().ok();
+        } else if let Some(v) = token.strip_prefix("bins=") {
+            bins = v.parse::<usize>().ok();
+        } else if let Some(v) = token.strip_prefix("bin_seconds=") {
+            bin_seconds = v.parse::<f64>().ok();
+        }
+    }
+    match (nodes, bins, bin_seconds) {
+        (Some(n), Some(b), Some(s)) => Ok((n, b, s)),
+        _ => Err(DatasetError::Format(
+            "header missing nodes=, bins= or bin_seconds=".into(),
+        )),
+    }
+}
+
+fn parse_field(field: Option<&str>, what: &str) -> Result<usize> {
+    field
+        .ok_or_else(|| DatasetError::Format(format!("missing {what} field")))?
+        .trim()
+        .parse::<usize>()
+        .map_err(|e| DatasetError::Format(format!("bad {what}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TmSeries {
+        let mut tm = TmSeries::zeros(2, 3, 300.0).unwrap();
+        tm.set(0, 1, 0, 1.5).unwrap();
+        tm.set(0, 1, 1, 2.25).unwrap();
+        tm.set(1, 0, 2, 1e9).unwrap();
+        tm.set(1, 1, 0, 0.1).unwrap();
+        tm.with_node_names(vec!["alpha".into(), "beta".into()])
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let tm = sample();
+        let mut buf = Vec::new();
+        write_tm_csv(&tm, &mut buf).unwrap();
+        let back = read_tm_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, tm);
+        assert_eq!(back.node_names().unwrap()[0], "alpha");
+    }
+
+    #[test]
+    fn round_trip_without_names() {
+        let mut tm = TmSeries::zeros(3, 2, 900.0).unwrap();
+        tm.set(2, 0, 1, 0.125).unwrap();
+        let mut buf = Vec::new();
+        write_tm_csv(&tm, &mut buf).unwrap();
+        let back = read_tm_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, tm);
+        assert!(back.node_names().is_none());
+    }
+
+    #[test]
+    fn missing_rows_default_to_zero() {
+        let input = "# tm-ic-csv v1 nodes=2 bins=2 bin_seconds=300\n0,1,5.0,6.0\n";
+        let tm = read_tm_csv(input.as_bytes()).unwrap();
+        assert_eq!(tm.get(0, 1, 1).unwrap(), 6.0);
+        assert_eq!(tm.get(1, 0, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_tm_csv("".as_bytes()).is_err());
+        assert!(read_tm_csv("not a header\n".as_bytes()).is_err());
+        assert!(read_tm_csv("# tm-ic-csv v1 nodes=2\n".as_bytes()).is_err());
+        let bad_row = "# tm-ic-csv v1 nodes=2 bins=2 bin_seconds=300\n0,1,5.0\n";
+        assert!(read_tm_csv(bad_row.as_bytes()).is_err());
+        let bad_val = "# tm-ic-csv v1 nodes=2 bins=1 bin_seconds=300\n0,1,zebra\n";
+        assert!(read_tm_csv(bad_val.as_bytes()).is_err());
+        let bad_idx = "# tm-ic-csv v1 nodes=2 bins=1 bin_seconds=300\n9,1,5.0\n";
+        assert!(read_tm_csv(bad_idx.as_bytes()).is_err());
+        let missing = "# tm-ic-csv v1 nodes=2 bins=1 bin_seconds=300\n0\n";
+        assert!(read_tm_csv(missing.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let input = "# tm-ic-csv v1 nodes=2 bins=1 bin_seconds=300\n\n# a comment\n0,1,7.0\n";
+        let tm = read_tm_csv(input.as_bytes()).unwrap();
+        assert_eq!(tm.get(0, 1, 0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut tm = TmSeries::zeros(2, 1, 300.0).unwrap();
+        tm.set(0, 1, 0, 1.234_567_890_123_456_7e-300).unwrap();
+        tm.set(1, 0, 0, 9.87e307).unwrap();
+        let mut buf = Vec::new();
+        write_tm_csv(&tm, &mut buf).unwrap();
+        let back = read_tm_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, tm);
+    }
+}

@@ -1,0 +1,135 @@
+//! Dataset container and descriptors.
+
+use ic_core::TmSeries;
+use ic_linalg::Matrix;
+
+/// Metadata describing a built dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDescriptor {
+    /// Dataset name (`"geant-d1"`, `"totem-d2"`).
+    pub name: String,
+    /// Number of access points.
+    pub nodes: usize,
+    /// Bins per week.
+    pub bins_per_week: usize,
+    /// Number of whole weeks.
+    pub weeks: usize,
+    /// Seconds per bin.
+    pub bin_seconds: f64,
+    /// Seed the build is deterministic in.
+    pub seed: u64,
+    /// Free-form notes (sampling rate, anomaly counts, ...).
+    pub notes: String,
+}
+
+impl DatasetDescriptor {
+    /// Total number of bins.
+    pub fn total_bins(&self) -> usize {
+        self.bins_per_week * self.weeks
+    }
+
+    /// Renders a small human-readable manifest (key=value lines) suitable
+    /// for experiment logs.
+    pub fn manifest(&self) -> String {
+        format!(
+            "name={}\nnodes={}\nbins_per_week={}\nweeks={}\nbin_seconds={}\nseed={}\nnotes={}\n",
+            self.name,
+            self.nodes,
+            self.bins_per_week,
+            self.weeks,
+            self.bin_seconds,
+            self.seed,
+            self.notes
+        )
+    }
+}
+
+/// The generative ground truth behind a dataset, retained so experiments
+/// can compare estimates against the process that made the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// True per-node activity series (`n x bins`).
+    pub activity: Matrix,
+    /// True preference vector (sums to 1).
+    pub preference: Vec<f64>,
+    /// Realized per-pair forward ratios.
+    pub pair_f: Matrix,
+    /// Byte-weighted aggregate forward ratio of the generating mix.
+    pub aggregate_f: f64,
+}
+
+/// A built traffic-matrix dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Metadata.
+    pub descriptor: DatasetDescriptor,
+    /// The true (pre-measurement) traffic matrices.
+    pub truth: TmSeries,
+    /// The measured traffic matrices (after sampling noise / anomalies) —
+    /// what the paper's authors actually had.
+    pub measured: TmSeries,
+    /// The generating process parameters.
+    pub ground_truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Splits the measured series into whole weeks.
+    pub fn measured_weeks(&self) -> crate::Result<Vec<TmSeries>> {
+        Ok(self.measured.split_weeks(self.descriptor.bins_per_week)?)
+    }
+
+    /// Splits the truth series into whole weeks.
+    pub fn truth_weeks(&self) -> crate::Result<Vec<TmSeries>> {
+        Ok(self.truth.split_weeks(self.descriptor.bins_per_week)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_helpers() {
+        let d = DatasetDescriptor {
+            name: "x".into(),
+            nodes: 4,
+            bins_per_week: 10,
+            weeks: 3,
+            bin_seconds: 300.0,
+            seed: 7,
+            notes: "test".into(),
+        };
+        assert_eq!(d.total_bins(), 30);
+        let m = d.manifest();
+        assert!(m.contains("name=x"));
+        assert!(m.contains("weeks=3"));
+        assert!(m.contains("seed=7"));
+    }
+
+    #[test]
+    fn dataset_week_split() {
+        let truth = TmSeries::zeros(2, 6, 300.0).unwrap();
+        let measured = TmSeries::zeros(2, 6, 300.0).unwrap();
+        let ds = Dataset {
+            descriptor: DatasetDescriptor {
+                name: "t".into(),
+                nodes: 2,
+                bins_per_week: 3,
+                weeks: 2,
+                bin_seconds: 300.0,
+                seed: 0,
+                notes: String::new(),
+            },
+            truth,
+            measured,
+            ground_truth: GroundTruth {
+                activity: Matrix::zeros(2, 6),
+                preference: vec![0.5, 0.5],
+                pair_f: Matrix::filled(2, 2, 0.25),
+                aggregate_f: 0.25,
+            },
+        };
+        assert_eq!(ds.measured_weeks().unwrap().len(), 2);
+        assert_eq!(ds.truth_weeks().unwrap().len(), 2);
+    }
+}

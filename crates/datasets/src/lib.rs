@@ -1,0 +1,140 @@
+//! # ic-datasets — synthetic stand-ins for the paper's datasets
+//!
+//! The paper's evaluation uses three datasets that are no longer
+//! obtainable:
+//!
+//! * **D1** — Géant sampled NetFlow: 22 PoPs, 1/1000 packet sampling,
+//!   5-minute bins (2016 per week), three weeks of Nov–Dec 2004;
+//! * **D2** — the public TOTEM traffic matrices from the same network:
+//!   23 PoPs (`de` split into `de1`/`de2`), 15-minute bins (672 per week),
+//!   months of data with documented measurement anomalies;
+//! * **D3** — two-hour bidirectional packet-header traces at Abilene's
+//!   IPLS router (links toward CLEV and KSCY).
+//!
+//! This crate rebuilds each one synthetically on top of the
+//! connection-level generator in `ic-flowsim`: ground truth comes from an
+//! independent-connection *process with violations* (per-pair forward-ratio
+//! jitter, burst noise), measurement applies the same distortions the real
+//! collections suffered (1/1000 packet sampling for D1/D2, anomaly
+//! injection for D2, trace truncation for D3). Every build is
+//! deterministic in its seed. See DESIGN.md §2 for the substitution
+//! argument.
+//!
+//! Modules: [`dataset`] (container + descriptors), [`geant`] (D1),
+//! [`totem`] (D2 with [`totem::AnomalyConfig`]), [`abilene`] (D3),
+//! [`csv`] (portable text serialization so externally collected TMs can be
+//! loaded through the same interface).
+
+pub mod abilene;
+pub mod csv;
+pub mod dataset;
+pub mod geant;
+pub mod totem;
+
+pub use abilene::{build_d3, AbileneConfig, AbileneDataset};
+pub use csv::{read_tm_csv, write_tm_csv};
+pub use dataset::{Dataset, DatasetDescriptor, GroundTruth};
+pub use geant::{build_d1, GeantConfig};
+pub use totem::{build_d2, AnomalyConfig, TotemConfig};
+
+/// Errors produced by dataset builders and I/O.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// A configuration value is out of its domain.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Constraint violated.
+        constraint: &'static str,
+    },
+    /// Serialization / parsing failure with a human-readable explanation.
+    Format(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// An underlying model failure.
+    Core(ic_core::IcError),
+    /// An underlying simulation failure.
+    FlowSim(ic_flowsim::FlowSimError),
+    /// An underlying statistics failure.
+    Stats(ic_stats::StatsError),
+}
+
+impl core::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { field, constraint } => {
+                write!(f, "invalid config {field}: {constraint}")
+            }
+            DatasetError::Format(msg) => write!(f, "format error: {msg}"),
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Core(e) => write!(f, "core model failure: {e}"),
+            DatasetError::FlowSim(e) => write!(f, "flow simulation failure: {e}"),
+            DatasetError::Stats(e) => write!(f, "statistics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Core(e) => Some(e),
+            DatasetError::FlowSim(e) => Some(e),
+            DatasetError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<ic_core::IcError> for DatasetError {
+    fn from(e: ic_core::IcError) -> Self {
+        DatasetError::Core(e)
+    }
+}
+
+impl From<ic_flowsim::FlowSimError> for DatasetError {
+    fn from(e: ic_flowsim::FlowSimError) -> Self {
+        DatasetError::FlowSim(e)
+    }
+}
+
+impl From<ic_stats::StatsError> for DatasetError {
+    fn from(e: ic_stats::StatsError) -> Self {
+        DatasetError::Stats(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, DatasetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        assert!(DatasetError::InvalidConfig {
+            field: "weeks",
+            constraint: "must be positive"
+        }
+        .to_string()
+        .contains("weeks"));
+        assert!(DatasetError::Format("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        let e: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: DatasetError = ic_core::IcError::BadData("x").into();
+        assert!(e.to_string().contains("x"));
+        let e: DatasetError = ic_stats::StatsError::InsufficientData("y").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: DatasetError = ic_flowsim::FlowSimError::BadInput("z").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,157 @@
+//! Estimation-quality metrics beyond the temporal RelL2.
+//!
+//! The paper evaluates with the relative ℓ² *temporal* error (Eq. 6,
+//! following Soule et al. \[19\]); the same literature also reports the
+//! **spatial** error (per OD flow, across time) and the accuracy on the
+//! **largest flows** (which dominate operational decisions — Soule et
+//! al. \[20\] is entirely about the largest elements). This module
+//! provides both, so estimator comparisons can be read flow-wise as well
+//! as bin-wise.
+
+use crate::{EstimationError, Result};
+use ic_core::TmSeries;
+
+/// Relative ℓ² **spatial** error of OD pair `(i, j)`: the error of its
+/// time series across all bins,
+/// `‖x_ij(·) − x̂_ij(·)‖₂ / ‖x_ij(·)‖₂`.
+pub fn rel_l2_spatial(
+    observed: &TmSeries,
+    predicted: &TmSeries,
+    origin: usize,
+    destination: usize,
+) -> Result<f64> {
+    check(observed, predicted)?;
+    let n = observed.nodes();
+    if origin >= n || destination >= n {
+        return Err(EstimationError::DimensionMismatch {
+            context: "rel_l2_spatial node index",
+            expected: n,
+            actual: origin.max(destination),
+        });
+    }
+    let row = origin * n + destination;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in 0..observed.bins() {
+        let o = observed.as_matrix()[(row, t)];
+        let p = predicted.as_matrix()[(row, t)];
+        num += (o - p) * (o - p);
+        den += o * o;
+    }
+    if den == 0.0 {
+        return Ok(if num == 0.0 { 0.0 } else { f64::INFINITY });
+    }
+    Ok((num / den).sqrt())
+}
+
+/// Spatial errors for all OD pairs, as `(origin, destination, error)`
+/// triples sorted by the pair's mean volume, largest first.
+pub fn spatial_error_by_volume(
+    observed: &TmSeries,
+    predicted: &TmSeries,
+) -> Result<Vec<(usize, usize, f64)>> {
+    check(observed, predicted)?;
+    let n = observed.nodes();
+    let mean = observed.mean_snapshot();
+    let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            out.push((i, j, rel_l2_spatial(observed, predicted, i, j)?));
+        }
+    }
+    out.sort_by(|a, b| {
+        mean[(b.0, b.1)]
+            .partial_cmp(&mean[(a.0, a.1)])
+            .expect("finite volumes")
+    });
+    Ok(out)
+}
+
+/// Mean spatial error over the largest `k` OD flows by mean volume — the
+/// "how well do we estimate the elephants" number.
+pub fn top_flow_error(observed: &TmSeries, predicted: &TmSeries, k: usize) -> Result<f64> {
+    if k == 0 {
+        return Err(EstimationError::InvalidParameter {
+            name: "k",
+            constraint: "must be positive",
+        });
+    }
+    let ranked = spatial_error_by_volume(observed, predicted)?;
+    let take = k.min(ranked.len());
+    Ok(ranked[..take].iter().map(|&(_, _, e)| e).sum::<f64>() / take as f64)
+}
+
+fn check(a: &TmSeries, b: &TmSeries) -> Result<()> {
+    if a.nodes() != b.nodes() || a.bins() != b.bins() {
+        return Err(EstimationError::DimensionMismatch {
+            context: "evaluate series shapes",
+            expected: a.nodes() * a.bins(),
+            actual: b.nodes() * b.bins(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(usize, usize, usize, f64)], n: usize, bins: usize) -> TmSeries {
+        let mut tm = TmSeries::zeros(n, bins, 300.0).unwrap();
+        for &(i, j, t, v) in vals {
+            tm.set(i, j, t, v).unwrap();
+        }
+        tm
+    }
+
+    #[test]
+    fn spatial_error_known_value() {
+        let obs = series(&[(0, 1, 0, 3.0), (0, 1, 1, 4.0)], 2, 2);
+        let pred = series(&[(0, 1, 0, 3.0), (0, 1, 1, 0.0)], 2, 2);
+        // num = 4, den = 5 → 0.8.
+        let e = rel_l2_spatial(&obs, &pred, 0, 1).unwrap();
+        assert!((e - 0.8).abs() < 1e-12);
+        // Zero flow / zero prediction → 0 error.
+        assert_eq!(rel_l2_spatial(&obs, &pred, 1, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spatial_error_infinite_for_phantom_traffic() {
+        let obs = series(&[], 2, 1);
+        let pred = series(&[(0, 1, 0, 5.0)], 2, 1);
+        assert!(rel_l2_spatial(&obs, &pred, 0, 1).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn ranking_orders_by_volume() {
+        let obs = series(
+            &[(0, 1, 0, 100.0), (1, 0, 0, 10.0), (1, 1, 0, 1.0)],
+            2,
+            1,
+        );
+        let ranked = spatial_error_by_volume(&obs, &obs).unwrap();
+        assert_eq!((ranked[0].0, ranked[0].1), (0, 1));
+        assert_eq!((ranked[1].0, ranked[1].1), (1, 0));
+        assert!(ranked.iter().all(|&(_, _, e)| e == 0.0));
+    }
+
+    #[test]
+    fn top_flow_error_averages_largest() {
+        let obs = series(&[(0, 1, 0, 100.0), (1, 0, 0, 10.0)], 2, 1);
+        let pred = series(&[(0, 1, 0, 100.0), (1, 0, 0, 20.0)], 2, 1);
+        // Largest flow (0,1) is exact; top-1 error = 0.
+        assert_eq!(top_flow_error(&obs, &pred, 1).unwrap(), 0.0);
+        // Top-2 includes the bad flow (error 1.0): mean = 0.5.
+        assert!((top_flow_error(&obs, &pred, 2).unwrap() - 0.5).abs() < 1e-12);
+        assert!(top_flow_error(&obs, &pred, 0).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = series(&[], 2, 1);
+        let b = series(&[], 3, 1);
+        assert!(rel_l2_spatial(&a, &b, 0, 0).is_err());
+        assert!(rel_l2_spatial(&a, &a, 5, 0).is_err());
+        assert!(spatial_error_by_volume(&a, &b).is_err());
+    }
+}

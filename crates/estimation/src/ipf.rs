@@ -1,0 +1,243 @@
+//! Iterative proportional fitting (step 3 of the blueprint).
+//!
+//! "Step 3: Run an iterative proportional fitting algorithm to make sure
+//! the estimated TM x_est adheres to link capacity constraints ... step 3
+//! remains the same across many solutions" (paper Section 6). IPF
+//! alternately rescales rows and columns of the estimate until both
+//! marginals match the observed ingress/egress counts; on non-negative
+//! input with a positive support pattern it converges to the unique
+//! minimum-relative-entropy adjustment.
+
+use crate::{EstimationError, Result};
+use ic_linalg::Matrix;
+
+/// Options controlling the IPF iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpfOptions {
+    /// Maximum row/column sweep pairs.
+    pub max_iterations: usize,
+    /// Convergence threshold on the relative marginal mismatch.
+    pub tolerance: f64,
+}
+
+impl Default for IpfOptions {
+    fn default() -> Self {
+        IpfOptions {
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Fits matrix `x` to the target row and column sums by IPF.
+///
+/// Requirements: `x` non-negative, targets non-negative, and the two
+/// target totals equal (up to rounding; they are renormalized internally).
+/// Rows/columns with a zero target are zeroed. Returns the fitted matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ic_estimation::{ipf_fit, IpfOptions};
+/// use ic_linalg::Matrix;
+///
+/// let x = Matrix::filled(2, 2, 1.0);
+/// let fitted = ipf_fit(&x, &[3.0, 1.0], &[2.0, 2.0], IpfOptions::default()).unwrap();
+/// let rows = fitted.row_sums();
+/// assert!((rows[0] - 3.0).abs() < 1e-6);
+/// ```
+pub fn ipf_fit(
+    x: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    options: IpfOptions,
+) -> Result<Matrix> {
+    let (n, m) = x.shape();
+    if row_targets.len() != n || col_targets.len() != m {
+        return Err(EstimationError::DimensionMismatch {
+            context: "ipf targets",
+            expected: n + m,
+            actual: row_targets.len() + col_targets.len(),
+        });
+    }
+    if x.as_slice().iter().any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(EstimationError::BadData("ipf requires non-negative input"));
+    }
+    if row_targets
+        .iter()
+        .chain(col_targets.iter())
+        .any(|&v| v < 0.0 || !v.is_finite())
+    {
+        return Err(EstimationError::BadData(
+            "ipf requires non-negative finite targets",
+        ));
+    }
+    let row_total: f64 = row_targets.iter().sum();
+    let col_total: f64 = col_targets.iter().sum();
+    if row_total == 0.0 || col_total == 0.0 {
+        return Ok(Matrix::zeros(n, m));
+    }
+    // Rescale the column targets so totals agree exactly (measurement
+    // noise makes them differ slightly in practice).
+    let scale = row_total / col_total;
+    let cols: Vec<f64> = col_targets.iter().map(|&v| v * scale).collect();
+
+    let mut w = x.clone();
+    // Seed zero rows/columns whose target is positive: IPF cannot create
+    // mass where the support is empty, so give such cells a tiny uniform
+    // mass (this mirrors the standard practice for structurally missing
+    // priors).
+    for i in 0..n {
+        if row_targets[i] > 0.0 && w.row(i).iter().all(|&v| v == 0.0) {
+            for j in 0..m {
+                w[(i, j)] = 1.0;
+            }
+        }
+    }
+    for j in 0..m {
+        if cols[j] > 0.0 && (0..n).all(|i| w[(i, j)] == 0.0) {
+            for i in 0..n {
+                w[(i, j)] = 1.0;
+            }
+        }
+    }
+
+    for _ in 0..options.max_iterations {
+        // Row scaling.
+        for i in 0..n {
+            let sum: f64 = w.row(i).iter().sum();
+            if sum > 0.0 {
+                let s = row_targets[i] / sum;
+                for v in w.row_mut(i) {
+                    *v *= s;
+                }
+            } else if row_targets[i] == 0.0 {
+                for v in w.row_mut(i) {
+                    *v = 0.0;
+                }
+            }
+        }
+        // Column scaling.
+        let col_sums = w.col_sums();
+        for j in 0..m {
+            if col_sums[j] > 0.0 {
+                let s = cols[j] / col_sums[j];
+                for i in 0..n {
+                    w[(i, j)] *= s;
+                }
+            } else if cols[j] == 0.0 {
+                for i in 0..n {
+                    w[(i, j)] = 0.0;
+                }
+            }
+        }
+        // Convergence: worst relative row mismatch (columns are exact right
+        // after column scaling).
+        let mut worst = 0.0_f64;
+        for i in 0..n {
+            let sum: f64 = w.row(i).iter().sum();
+            let target = row_targets[i];
+            if target > 0.0 {
+                worst = worst.max((sum - target).abs() / target);
+            } else {
+                worst = worst.max(sum.abs() / row_total);
+            }
+        }
+        if worst < options.tolerance {
+            break;
+        }
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_marginals(w: &Matrix, rows: &[f64], cols: &[f64], tol: f64) {
+        let rs = w.row_sums();
+        let cs = w.col_sums();
+        for (got, want) in rs.iter().zip(rows.iter()) {
+            assert!((got - want).abs() <= tol * want.max(1.0), "rows {rs:?} vs {rows:?}");
+        }
+        for (got, want) in cs.iter().zip(cols.iter()) {
+            assert!((got - want).abs() <= tol * want.max(1.0), "cols {cs:?} vs {cols:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_seed_hits_targets() {
+        let x = Matrix::filled(3, 3, 1.0);
+        let rows = [6.0, 3.0, 1.0];
+        let cols = [2.0, 4.0, 4.0];
+        let w = ipf_fit(&x, &rows, &cols, IpfOptions::default()).unwrap();
+        assert_marginals(&w, &rows, &cols, 1e-6);
+    }
+
+    #[test]
+    fn preserves_structure_of_prior() {
+        // IPF keeps cross-product ratios of the seed; a diagonal-heavy seed
+        // stays diagonal-heavy.
+        let mut x = Matrix::filled(2, 2, 1.0);
+        x[(0, 0)] = 10.0;
+        x[(1, 1)] = 10.0;
+        let rows = [10.0, 10.0];
+        let cols = [10.0, 10.0];
+        let w = ipf_fit(&x, &rows, &cols, IpfOptions::default()).unwrap();
+        assert!(w[(0, 0)] > 3.0 * w[(0, 1)]);
+        assert_marginals(&w, &rows, &cols, 1e-6);
+    }
+
+    #[test]
+    fn already_consistent_is_fixed_point() {
+        let x = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let w = ipf_fit(&x, &[3.0, 3.0], &[3.0, 3.0], IpfOptions::default()).unwrap();
+        assert!(w.approx_eq(&x, 1e-9));
+    }
+
+    #[test]
+    fn zero_targets_zero_rows() {
+        let x = Matrix::filled(2, 2, 1.0);
+        let w = ipf_fit(&x, &[0.0, 4.0], &[2.0, 2.0], IpfOptions::default()).unwrap();
+        assert_eq!(w.row(0), &[0.0, 0.0]);
+        assert_marginals(&w, &[0.0, 4.0], &[2.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn seeds_empty_support_when_needed() {
+        // Prior says row 0 is empty but the target demands mass there.
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let w = ipf_fit(&x, &[2.0, 2.0], &[2.0, 2.0], IpfOptions::default()).unwrap();
+        assert_marginals(&w, &[2.0, 2.0], &[2.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn mismatched_totals_are_reconciled() {
+        // Column targets sum to 12, rows to 6: columns get rescaled.
+        let x = Matrix::filled(2, 2, 1.0);
+        let w = ipf_fit(&x, &[3.0, 3.0], &[6.0, 6.0], IpfOptions::default()).unwrap();
+        let rs = w.row_sums();
+        assert!((rs[0] - 3.0).abs() < 1e-6);
+        let total: f64 = w.sum();
+        assert!((total - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validates_input() {
+        let x = Matrix::filled(2, 2, 1.0);
+        assert!(ipf_fit(&x, &[1.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+        assert!(ipf_fit(&x, &[1.0, 1.0], &[-1.0, 3.0], IpfOptions::default()).is_err());
+        let mut bad = Matrix::filled(2, 2, 1.0);
+        bad[(0, 0)] = -1.0;
+        assert!(ipf_fit(&bad, &[1.0, 1.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+        bad[(0, 0)] = f64::NAN;
+        assert!(ipf_fit(&bad, &[1.0, 1.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn all_zero_targets_give_zero_matrix() {
+        let x = Matrix::filled(2, 2, 5.0);
+        let w = ipf_fit(&x, &[0.0, 0.0], &[0.0, 0.0], IpfOptions::default()).unwrap();
+        assert!(w.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

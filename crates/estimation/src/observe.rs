@@ -1,0 +1,242 @@
+//! The measurement side of TM estimation.
+//!
+//! "In networking environments today, Y and R are readily available; the
+//! link counts Y can be obtained through standard SNMP measurements and the
+//! routing matrix R can be obtained by computing shortest paths using IGP
+//! link weights" (paper Section 6). [`ObservationModel`] packages `R`
+//! together with the ingress/egress incidence operators `H` and `G` of
+//! Section 6.2; [`Observations`] carries the per-bin measurements derived
+//! from a (ground-truth or measured) traffic-matrix series.
+
+use crate::{EstimationError, Result};
+use ic_core::TmSeries;
+use ic_linalg::Matrix;
+use ic_topology::{egress_incidence, ingress_incidence, RoutingMatrix, RoutingScheme, Topology};
+
+/// The static observation operators of a network.
+#[derive(Debug, Clone)]
+pub struct ObservationModel {
+    routing: RoutingMatrix,
+    h: Matrix,
+    g: Matrix,
+    nodes: usize,
+}
+
+impl ObservationModel {
+    /// Builds the observation model for a topology under a routing scheme.
+    pub fn new(topo: &Topology, scheme: RoutingScheme) -> Result<Self> {
+        let routing = RoutingMatrix::build(topo, scheme)?;
+        let n = topo.node_count();
+        Ok(ObservationModel {
+            routing,
+            h: ingress_incidence(n),
+            g: egress_incidence(n),
+            nodes: n,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of backbone links.
+    pub fn links(&self) -> usize {
+        self.routing.link_count()
+    }
+
+    /// The routing matrix `R`.
+    pub fn routing(&self) -> &RoutingMatrix {
+        &self.routing
+    }
+
+    /// The ingress incidence operator `H`.
+    pub fn h(&self) -> &Matrix {
+        &self.h
+    }
+
+    /// The egress incidence operator `G`.
+    pub fn g(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// The stacked observation operator `[R; H; G]` used by the
+    /// least-squares refinement: backbone link counts plus access-link
+    /// (marginal) counts.
+    pub fn stacked(&self) -> Result<Matrix> {
+        let rh = self
+            .routing
+            .as_matrix()
+            .vstack(&self.h)
+            .map_err(EstimationError::from)?;
+        rh.vstack(&self.g).map_err(EstimationError::from)
+    }
+
+    /// Derives per-bin observations from a series (the experiment's stand-in
+    /// for SNMP collection).
+    pub fn observe(&self, tm: &TmSeries) -> Result<Observations> {
+        if tm.nodes() != self.nodes {
+            return Err(EstimationError::DimensionMismatch {
+                context: "observe",
+                expected: self.nodes,
+                actual: tm.nodes(),
+            });
+        }
+        let bins = tm.bins();
+        let links = self.routing.link_count();
+        let mut y = Matrix::zeros(links, bins);
+        let mut ingress = Matrix::zeros(self.nodes, bins);
+        let mut egress = Matrix::zeros(self.nodes, bins);
+        for t in 0..bins {
+            let x = tm.column(t);
+            let yt = self
+                .routing
+                .link_counts(&x)
+                .map_err(EstimationError::from)?;
+            for (l, &v) in yt.iter().enumerate() {
+                y[(l, t)] = v;
+            }
+            for (i, &v) in tm.ingress(t).iter().enumerate() {
+                ingress[(i, t)] = v;
+            }
+            for (j, &v) in tm.egress(t).iter().enumerate() {
+                egress[(j, t)] = v;
+            }
+        }
+        Ok(Observations {
+            y,
+            ingress,
+            egress,
+            bin_seconds: tm.bin_seconds(),
+        })
+    }
+}
+
+/// Per-bin measurements: backbone link counts and node marginals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observations {
+    /// Link counts, `links x bins`.
+    pub y: Matrix,
+    /// Ingress counts `X_{i*}`, `nodes x bins`.
+    pub ingress: Matrix,
+    /// Egress counts `X_{*j}`, `nodes x bins`.
+    pub egress: Matrix,
+    /// Seconds per bin.
+    pub bin_seconds: f64,
+}
+
+impl Observations {
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.ingress.rows()
+    }
+
+    /// Ingress counts at one bin.
+    pub fn ingress_at(&self, bin: usize) -> Vec<f64> {
+        self.ingress.col(bin)
+    }
+
+    /// Egress counts at one bin.
+    pub fn egress_at(&self, bin: usize) -> Vec<f64> {
+        self.egress.col(bin)
+    }
+
+    /// Link counts at one bin.
+    pub fn y_at(&self, bin: usize) -> Vec<f64> {
+        self.y.col(bin)
+    }
+
+    /// The stacked observation vector `[Y; ingress; egress]` at one bin.
+    pub fn stacked_at(&self, bin: usize) -> Vec<f64> {
+        let mut v = self.y.col(bin);
+        v.extend(self.ingress.col(bin));
+        v.extend(self.egress.col(bin));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_topology::geant22;
+
+    fn tiny_tm(n: usize, bins: usize) -> TmSeries {
+        let mut tm = TmSeries::zeros(n, bins, 300.0).unwrap();
+        for t in 0..bins {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        tm.set(i, j, t, (10 * (i + 1) + j + t) as f64).unwrap();
+                    }
+                }
+            }
+        }
+        tm
+    }
+
+    #[test]
+    fn observation_shapes() {
+        let topo = geant22();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        assert_eq!(om.nodes(), 22);
+        assert_eq!(om.links(), topo.link_count());
+        let tm = tiny_tm(22, 3);
+        let obs = om.observe(&tm).unwrap();
+        assert_eq!(obs.bins(), 3);
+        assert_eq!(obs.nodes(), 22);
+        assert_eq!(obs.y.rows(), topo.link_count());
+        assert_eq!(obs.stacked_at(0).len(), topo.link_count() + 44);
+    }
+
+    #[test]
+    fn marginal_observations_match_series() {
+        let topo = geant22();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let tm = tiny_tm(22, 2);
+        let obs = om.observe(&tm).unwrap();
+        assert_eq!(obs.ingress_at(1), tm.ingress(1));
+        assert_eq!(obs.egress_at(0), tm.egress(0));
+    }
+
+    #[test]
+    fn stacked_operator_consistent_with_observations() {
+        let topo = geant22();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let tm = tiny_tm(22, 1);
+        let obs = om.observe(&tm).unwrap();
+        let a = om.stacked().unwrap();
+        let x = tm.column(0);
+        let ax = a.matvec(&x).unwrap();
+        let want = obs.stacked_at(0);
+        for (got, want) in ax.iter().zip(want.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let topo = geant22();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let tm = tiny_tm(5, 1);
+        assert!(om.observe(&tm).is_err());
+    }
+
+    #[test]
+    fn link_counts_conserve_traffic() {
+        // Total bytes on access links (= total TM) is invariant; backbone
+        // counts reflect multi-hop paths.
+        let topo = geant22();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let tm = tiny_tm(22, 1);
+        let obs = om.observe(&tm).unwrap();
+        let ingress_total: f64 = obs.ingress_at(0).iter().sum();
+        assert!((ingress_total - tm.total(0)).abs() < 1e-9);
+        let y_total: f64 = obs.y_at(0).iter().sum();
+        assert!(y_total >= tm.total(0) * 0.5, "backbone carries traffic");
+    }
+}

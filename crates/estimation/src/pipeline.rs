@@ -1,0 +1,295 @@
+//! The end-to-end estimation pipeline and the improvement comparison.
+//!
+//! Wires the three blueprint steps together (prior → tomogravity → IPF)
+//! and computes the per-bin percentage improvement of an IC prior over the
+//! gravity prior — the quantity Figures 11, 12 and 13 plot.
+
+use crate::ipf::{ipf_fit, IpfOptions};
+use crate::observe::{ObservationModel, Observations};
+use crate::prior::{GravityPrior, TmPrior};
+use crate::tomogravity::{Tomogravity, TomogravityOptions};
+use crate::Result;
+use ic_core::{improvement_percent, rel_l2_series, TmSeries};
+
+/// The three-step estimation pipeline.
+#[derive(Debug, Clone)]
+pub struct EstimationPipeline {
+    model: ObservationModel,
+    tomo: Tomogravity,
+    ipf: IpfOptions,
+}
+
+impl EstimationPipeline {
+    /// Creates a pipeline over an observation model with default step
+    /// options.
+    pub fn new(model: ObservationModel) -> Self {
+        EstimationPipeline {
+            model,
+            tomo: Tomogravity::new(TomogravityOptions::default()),
+            ipf: IpfOptions::default(),
+        }
+    }
+
+    /// Replaces the tomogravity options.
+    pub fn with_tomogravity(mut self, options: TomogravityOptions) -> Self {
+        self.tomo = Tomogravity::new(options);
+        self
+    }
+
+    /// Replaces the IPF options.
+    pub fn with_ipf(mut self, options: IpfOptions) -> Self {
+        self.ipf = options;
+        self
+    }
+
+    /// The observation model in use.
+    pub fn model(&self) -> &ObservationModel {
+        &self.model
+    }
+
+    /// Runs the full three-step pipeline with the given prior strategy.
+    pub fn estimate(&self, prior: &dyn TmPrior, obs: &Observations) -> Result<TmSeries> {
+        let prior_series = prior.prior_series(obs)?;
+        self.estimate_from_series(&prior_series, obs)
+    }
+
+    /// Runs steps 2 and 3 from an explicit prior series.
+    pub fn estimate_from_series(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+    ) -> Result<TmSeries> {
+        let refined = self.tomo.refine(&self.model, obs, prior_series)?;
+        // Step 3: per-bin IPF to the observed marginals.
+        let n = refined.nodes();
+        let mut out = TmSeries::zeros(n, refined.bins(), refined.bin_seconds())?;
+        for t in 0..refined.bins() {
+            let snapshot = refined.snapshot(t)?;
+            let fitted = ipf_fit(&snapshot, &obs.ingress_at(t), &obs.egress_at(t), self.ipf)?;
+            for i in 0..n {
+                for j in 0..n {
+                    out.set(i, j, t, fitted[(i, j)])?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Result of comparing an IC prior against the gravity prior on the same
+/// data.
+#[derive(Debug, Clone)]
+pub struct ComparisonResult {
+    /// Per-bin percentage improvement of the IC-prior estimate over the
+    /// gravity-prior estimate (positive = IC better).
+    pub improvement: Vec<f64>,
+    /// Mean of the improvement series.
+    pub mean_improvement: f64,
+    /// Per-bin relative L2 errors of the IC-prior estimate.
+    pub errors_candidate: Vec<f64>,
+    /// Per-bin relative L2 errors of the gravity-prior estimate.
+    pub errors_gravity: Vec<f64>,
+}
+
+/// Runs the pipeline twice — once with `candidate`, once with the gravity
+/// prior — and reports the improvement of the candidate, measured against
+/// `truth` (the series the observations were derived from).
+pub fn compare_priors(
+    pipeline: &EstimationPipeline,
+    candidate: &dyn TmPrior,
+    truth: &TmSeries,
+    obs: &Observations,
+) -> Result<ComparisonResult> {
+    let est_candidate = pipeline.estimate(candidate, obs)?;
+    let est_gravity = pipeline.estimate(&GravityPrior, obs)?;
+    let errors_candidate = rel_l2_series(truth, &est_candidate)?;
+    let errors_gravity = rel_l2_series(truth, &est_gravity)?;
+    let improvement: Vec<f64> = errors_gravity
+        .iter()
+        .zip(errors_candidate.iter())
+        .map(|(&g, &c)| improvement_percent(g, c))
+        .collect();
+    let mean_improvement = improvement.iter().sum::<f64>() / improvement.len().max(1) as f64;
+    Ok(ComparisonResult {
+        improvement,
+        mean_improvement,
+        errors_candidate,
+        errors_gravity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::{MeasuredIcPrior, StableFPrior, StableFpPrior};
+    use ic_core::model::StableFpParams;
+    use ic_core::{mean_rel_l2, stable_fp_series};
+    use ic_linalg::Matrix;
+    use ic_topology::{RoutingScheme, Topology};
+
+    fn ring_topology(n: usize) -> Topology {
+        let mut t = Topology::new("ring");
+        let ids: Vec<usize> = (0..n)
+            .map(|k| t.add_node(format!("n{k}")).unwrap())
+            .collect();
+        for k in 0..n {
+            t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+                .unwrap();
+        }
+        // A chord for path diversity.
+        t.add_symmetric_link(ids[0], ids[n / 2], 1.0, 1e12).unwrap();
+        t
+    }
+
+    /// IC-process truth with mild non-IC perturbation so neither prior is
+    /// exact.
+    fn truth_series(n: usize, bins: usize, f: f64) -> (TmSeries, StableFpParams) {
+        let p: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let psum: f64 = p.iter().sum();
+        let p: Vec<f64> = p.iter().map(|v| v / psum).collect();
+        let mut activity = Matrix::zeros(n, bins);
+        for i in 0..n {
+            for t in 0..bins {
+                activity[(i, t)] =
+                    1e6 * (n - i) as f64 * (1.0 + 0.25 * ((t * (i + 1)) as f64).sin().abs());
+            }
+        }
+        let params = StableFpParams {
+            f,
+            preference: p,
+            activity,
+        };
+        let mut tm = stable_fp_series(&params, 300.0).unwrap();
+        // Deterministic perturbation (~5%) breaking exact IC structure.
+        for t in 0..bins {
+            for i in 0..n {
+                for j in 0..n {
+                    let v = tm.get(i, j, t).unwrap();
+                    let wiggle = 1.0 + 0.05 * (((i * 13 + j * 7 + t * 3) % 9) as f64 - 4.0) / 4.0;
+                    tm.set(i, j, t, v * wiggle).unwrap();
+                }
+            }
+        }
+        (tm, params)
+    }
+
+    #[test]
+    fn pipeline_estimate_respects_marginals() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, _) = truth_series(5, 2, 0.25);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let est = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        for t in 0..2 {
+            let gi = est.ingress(t);
+            let ti = truth.ingress(t);
+            for (g, t_) in gi.iter().zip(ti.iter()) {
+                assert!((g - t_).abs() / t_.max(1.0) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_ic_prior_beats_gravity_prior() {
+        // The Section 6.1 scenario in miniature: both priors refined by the
+        // same steps 2+3; the IC prior should come out ahead.
+        let topo = ring_topology(6);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, params) = truth_series(6, 3, 0.22);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let cmp = compare_priors(
+            &pipeline,
+            &MeasuredIcPrior { params },
+            &truth,
+            &obs,
+        )
+        .unwrap();
+        assert!(
+            cmp.mean_improvement > 0.0,
+            "mean improvement {}",
+            cmp.mean_improvement
+        );
+        assert_eq!(cmp.improvement.len(), 3);
+        assert_eq!(cmp.errors_candidate.len(), 3);
+    }
+
+    #[test]
+    fn stable_fp_prior_beats_gravity_prior() {
+        let topo = ring_topology(6);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, params) = truth_series(6, 3, 0.22);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let cmp = compare_priors(
+            &pipeline,
+            &StableFpPrior {
+                f: params.f,
+                preference: params.preference.clone(),
+            },
+            &truth,
+            &obs,
+        )
+        .unwrap();
+        assert!(
+            cmp.mean_improvement > 0.0,
+            "mean improvement {}",
+            cmp.mean_improvement
+        );
+    }
+
+    #[test]
+    fn stable_f_prior_beats_gravity_prior() {
+        let topo = ring_topology(6);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, params) = truth_series(6, 3, 0.22);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let cmp =
+            compare_priors(&pipeline, &StableFPrior { f: params.f }, &truth, &obs).unwrap();
+        assert!(
+            cmp.mean_improvement > 0.0,
+            "mean improvement {}",
+            cmp.mean_improvement
+        );
+    }
+
+    #[test]
+    fn refinement_improves_over_raw_prior() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, _) = truth_series(5, 2, 0.25);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let raw_prior = GravityPrior.prior_series(&obs).unwrap();
+        let est = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        let e_raw = mean_rel_l2(&truth, &raw_prior).unwrap();
+        let e_est = mean_rel_l2(&truth, &est).unwrap();
+        assert!(
+            e_est < e_raw,
+            "pipeline ({e_est}) should beat raw prior ({e_raw})"
+        );
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let topo = ring_topology(4);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let pipeline = EstimationPipeline::new(om)
+            .with_tomogravity(TomogravityOptions {
+                ridge: 1e-8,
+                weight_floor: 1e-3,
+                clamp_negative: true,
+            })
+            .with_ipf(IpfOptions {
+                max_iterations: 50,
+                tolerance: 1e-8,
+            });
+        assert_eq!(pipeline.model().nodes(), 4);
+        let (truth, _) = truth_series(4, 1, 0.25);
+        let obs = pipeline.model().observe(&truth).unwrap();
+        let est = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        assert!(est.is_physical());
+    }
+}

@@ -1,0 +1,422 @@
+//! Priors for TM estimation (step 1 of the blueprint).
+//!
+//! Four priors are provided: the gravity baseline and the three IC priors
+//! corresponding to the paper's measurement scenarios (Sections 6.1–6.3).
+//! All implement [`TmPrior`], producing a full prior series from
+//! [`Observations`] alone — which is the point: priors may only consume
+//! what the scenario says is measurable.
+
+use crate::observe::Observations;
+use crate::{EstimationError, Result};
+use ic_core::model::StableFpParams;
+use ic_core::{gravity_from_marginals, stable_fp_series, TmSeries};
+use ic_linalg::{pseudo_inverse, Matrix};
+
+/// A prior construction strategy.
+pub trait TmPrior {
+    /// Short name used in experiment reports (e.g. `"gravity"`).
+    fn name(&self) -> &'static str;
+
+    /// Builds the prior series from per-bin observations.
+    fn prior_series(&self, obs: &Observations) -> Result<TmSeries>;
+}
+
+/// The gravity prior: `X̂_ij(t) = X_{i*}(t) · X_{*j}(t) / X_{**}(t)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GravityPrior;
+
+impl TmPrior for GravityPrior {
+    fn name(&self) -> &'static str {
+        "gravity"
+    }
+
+    fn prior_series(&self, obs: &Observations) -> Result<TmSeries> {
+        let n = obs.nodes();
+        let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        for t in 0..obs.bins() {
+            let x = gravity_from_marginals(&obs.ingress_at(t), &obs.egress_at(t))?;
+            for i in 0..n {
+                for j in 0..n {
+                    out.set(i, j, t, x[(i, j)])?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Section 6.1: all IC parameters (`f`, `{P_i}`, `{A_i(t)}`) were measured
+/// directly; the prior is the stable-fP evaluation of those parameters.
+///
+/// The parameters typically come from a Section 5.1 fit of a directly
+/// measured TM — the paper's "thought experiment ... to understand the
+/// bounds of the gain the IC model can achieve".
+#[derive(Debug, Clone)]
+pub struct MeasuredIcPrior {
+    /// The measured parameters.
+    pub params: StableFpParams,
+}
+
+impl TmPrior for MeasuredIcPrior {
+    fn name(&self) -> &'static str {
+        "ic-measured"
+    }
+
+    fn prior_series(&self, obs: &Observations) -> Result<TmSeries> {
+        if self.params.bins() != obs.bins() {
+            return Err(EstimationError::DimensionMismatch {
+                context: "MeasuredIcPrior bins",
+                expected: obs.bins(),
+                actual: self.params.bins(),
+            });
+        }
+        if self.params.nodes() != obs.nodes() {
+            return Err(EstimationError::DimensionMismatch {
+                context: "MeasuredIcPrior nodes",
+                expected: obs.nodes(),
+                actual: self.params.nodes(),
+            });
+        }
+        Ok(stable_fp_series(&self.params, obs.bin_seconds)?)
+    }
+}
+
+/// Section 6.2: `f` and `{P_i}` measured in a previous week; `{A_i(t)}`
+/// estimated per bin from ingress/egress counts via the pseudo-inverse of
+/// `QΦ` (paper Eq. 7–9).
+///
+/// `Φ` is the linear map from activities to the vectorized TM under the
+/// stable-fP model; `Q = [H; G]` maps the TM to its marginals. Then
+/// `Ã(t) = (QΦ)⁺ [ingress(t); egress(t)]` and the prior is `Φ Ã(t)`.
+#[derive(Debug, Clone)]
+pub struct StableFpPrior {
+    /// Previously measured forward ratio.
+    pub f: f64,
+    /// Previously measured preference (normalized internally).
+    pub preference: Vec<f64>,
+}
+
+impl StableFpPrior {
+    /// Builds `Φ` (`n² x n`) for the stored `f` and `P`.
+    fn phi(&self, p: &[f64]) -> Matrix {
+        let n = p.len();
+        let f = self.f;
+        let mut phi = Matrix::zeros(n * n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let row = i * n + j;
+                phi[(row, i)] += f * p[j];
+                phi[(row, j)] += (1.0 - f) * p[i];
+            }
+        }
+        phi
+    }
+}
+
+impl TmPrior for StableFpPrior {
+    fn name(&self) -> &'static str {
+        "ic-stable-fp"
+    }
+
+    fn prior_series(&self, obs: &Observations) -> Result<TmSeries> {
+        let n = obs.nodes();
+        if self.preference.len() != n {
+            return Err(EstimationError::DimensionMismatch {
+                context: "StableFpPrior preference",
+                expected: n,
+                actual: self.preference.len(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.f) {
+            return Err(EstimationError::InvalidParameter {
+                name: "f",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        let mass: f64 = self.preference.iter().sum();
+        if !(mass > 0.0) {
+            return Err(EstimationError::BadData(
+                "preference must have positive mass",
+            ));
+        }
+        let p: Vec<f64> = self.preference.iter().map(|&v| v / mass).collect();
+        let phi = self.phi(&p);
+        // Q Φ stacks the ingress and egress images of Φ.
+        let h = ic_topology::ingress_incidence(n);
+        let g = ic_topology::egress_incidence(n);
+        let q = h.vstack(&g).map_err(EstimationError::from)?;
+        let qphi = q.matmul(&phi).map_err(EstimationError::from)?;
+        let pinv = pseudo_inverse(&qphi, None).map_err(EstimationError::from)?;
+
+        let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        for t in 0..obs.bins() {
+            let mut counts = obs.ingress_at(t);
+            counts.extend(obs.egress_at(t));
+            let mut a = pinv.matvec(&counts).map_err(EstimationError::from)?;
+            // Physical activities are non-negative; the unconstrained
+            // pseudo-inverse can dip below zero on noisy bins.
+            for v in &mut a {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let x = phi.matvec(&a).map_err(EstimationError::from)?;
+            for i in 0..n {
+                for j in 0..n {
+                    out.set(i, j, t, x[i * n + j])?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Section 6.3: only `f` is known. Per bin, activities and preferences are
+/// recovered from the marginal inversion (paper Eq. 11–12):
+///
+/// ```text
+/// Ã_i = (f·X_{i*} − (1−f)·X_{*i}) / (2f − 1)
+/// P̃_i ∝ (f·X_{*i} − (1−f)·X_{i*}) / (2f − 1)
+/// ```
+///
+/// and the prior is the stable-f evaluation with those values. `f = 1/2`
+/// makes the inversion singular and is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct StableFPrior {
+    /// The measured forward ratio.
+    pub f: f64,
+}
+
+impl TmPrior for StableFPrior {
+    fn name(&self) -> &'static str {
+        "ic-stable-f"
+    }
+
+    fn prior_series(&self, obs: &Observations) -> Result<TmSeries> {
+        if !(0.0..=1.0).contains(&self.f) {
+            return Err(EstimationError::InvalidParameter {
+                name: "f",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        let denom = 2.0 * self.f - 1.0;
+        if denom.abs() < 1e-6 {
+            return Err(EstimationError::InvalidParameter {
+                name: "f",
+                constraint: "Eq. 11-12 inversion requires f != 1/2",
+            });
+        }
+        let n = obs.nodes();
+        let f = self.f;
+        let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        for t in 0..obs.bins() {
+            let ing = obs.ingress_at(t);
+            let eg = obs.egress_at(t);
+            let a: Vec<f64> = (0..n)
+                .map(|i| ((f * ing[i] - (1.0 - f) * eg[i]) / denom).max(0.0))
+                .collect();
+            let p_raw: Vec<f64> = (0..n)
+                .map(|i| ((f * eg[i] - (1.0 - f) * ing[i]) / denom).max(0.0))
+                .collect();
+            let pmass: f64 = p_raw.iter().sum();
+            if pmass <= 0.0 {
+                // An idle bin: zero prior.
+                continue;
+            }
+            let p: Vec<f64> = p_raw.iter().map(|&v| v / pmass).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    let v = f * a[i] * p[j] + (1.0 - f) * a[j] * p[i];
+                    out.set(i, j, t, v)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservationModel;
+    use ic_core::{mean_rel_l2, simplified_ic};
+    use ic_topology::{geant22, RoutingScheme, Topology};
+
+    /// A small topology and an exactly-IC series on it.
+    fn setup(f: f64) -> (Topology, TmSeries, StableFpParams) {
+        let mut topo = Topology::new("t4");
+        let a = topo.add_node("a").unwrap();
+        let b = topo.add_node("b").unwrap();
+        let c = topo.add_node("c").unwrap();
+        let d = topo.add_node("d").unwrap();
+        topo.add_symmetric_link(a, b, 1.0, 1e12).unwrap();
+        topo.add_symmetric_link(b, c, 1.0, 1e12).unwrap();
+        topo.add_symmetric_link(c, d, 1.0, 1e12).unwrap();
+        topo.add_symmetric_link(d, a, 1.0, 1e12).unwrap();
+        let n = 4;
+        let bins = 6;
+        let p = vec![0.4, 0.3, 0.2, 0.1];
+        let mut activity = Matrix::zeros(n, bins);
+        for i in 0..n {
+            for t in 0..bins {
+                activity[(i, t)] =
+                    1000.0 * (i + 1) as f64 * (1.0 + 0.2 * ((t + i) as f64).cos().abs());
+            }
+        }
+        let params = StableFpParams {
+            f,
+            preference: p,
+            activity,
+        };
+        let tm = stable_fp_series(&params, 300.0).unwrap();
+        (topo, tm, params)
+    }
+
+    #[test]
+    fn gravity_prior_matches_direct_computation() {
+        let (topo, tm, _) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        assert_eq!(GravityPrior.name(), "gravity");
+        let direct = gravity_from_marginals(&tm.ingress(0), &tm.egress(0)).unwrap();
+        assert!((prior.get(0, 1, 0).unwrap() - direct[(0, 1)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_prior_reproduces_exact_ic_data() {
+        let (topo, tm, params) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let prior = MeasuredIcPrior { params }.prior_series(&obs).unwrap();
+        assert!(mean_rel_l2(&tm, &prior).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn measured_prior_validates_shape() {
+        let (topo, tm, params) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let bad = StableFpParams {
+            activity: Matrix::zeros(4, 3), // wrong bin count
+            ..params
+        };
+        assert!(MeasuredIcPrior { params: bad }.prior_series(&obs).is_err());
+    }
+
+    #[test]
+    fn stable_fp_prior_recovers_exact_ic_data() {
+        // With the true f and P, activities recovered from marginals alone
+        // must reproduce the exact IC series.
+        let (topo, tm, params) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let prior = StableFpPrior {
+            f: params.f,
+            preference: params.preference.clone(),
+        }
+        .prior_series(&obs)
+        .unwrap();
+        let err = mean_rel_l2(&tm, &prior).unwrap();
+        assert!(err < 1e-9, "stable-fP prior error {err}");
+    }
+
+    #[test]
+    fn stable_fp_prior_beats_gravity_with_wrong_but_close_params() {
+        // Perturb P a little: the IC prior should still beat gravity on
+        // IC-structured data.
+        let (topo, tm, params) = setup(0.22);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let mut p = params.preference.clone();
+        p[0] *= 1.1;
+        p[3] *= 0.9;
+        let ic = StableFpPrior {
+            f: 0.24,
+            preference: p,
+        }
+        .prior_series(&obs)
+        .unwrap();
+        let grav = GravityPrior.prior_series(&obs).unwrap();
+        let e_ic = mean_rel_l2(&tm, &ic).unwrap();
+        let e_gr = mean_rel_l2(&tm, &grav).unwrap();
+        assert!(e_ic < e_gr, "ic {e_ic} vs gravity {e_gr}");
+    }
+
+    #[test]
+    fn stable_f_prior_recovers_exact_ic_data() {
+        let (topo, tm, params) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        let prior = StableFPrior { f: params.f }.prior_series(&obs).unwrap();
+        let err = mean_rel_l2(&tm, &prior).unwrap();
+        assert!(err < 1e-9, "stable-f prior error {err}");
+    }
+
+    #[test]
+    fn stable_f_prior_rejects_half() {
+        let (topo, tm, _) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        assert!(StableFPrior { f: 0.5 }.prior_series(&obs).is_err());
+        assert!(StableFPrior { f: 1.5 }.prior_series(&obs).is_err());
+    }
+
+    #[test]
+    fn stable_fp_prior_validates_inputs() {
+        let (topo, tm, _) = setup(0.25);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        assert!(StableFpPrior {
+            f: 0.25,
+            preference: vec![0.5; 3]
+        }
+        .prior_series(&obs)
+        .is_err());
+        assert!(StableFpPrior {
+            f: 1.5,
+            preference: vec![0.25; 4]
+        }
+        .prior_series(&obs)
+        .is_err());
+        assert!(StableFpPrior {
+            f: 0.25,
+            preference: vec![0.0; 4]
+        }
+        .prior_series(&obs)
+        .is_err());
+    }
+
+    #[test]
+    fn priors_scale_to_geant() {
+        // Shape check on the real 22-node topology.
+        let topo = geant22();
+        let n = topo.node_count();
+        let mut tm = TmSeries::zeros(n, 2, 300.0).unwrap();
+        let p: Vec<f64> = (1..=n).map(|k| k as f64).collect();
+        let a: Vec<f64> = (1..=n).map(|k| 1e7 * k as f64).collect();
+        let x = simplified_ic(0.25, &a, &p).unwrap();
+        for t in 0..2 {
+            for i in 0..n {
+                for j in 0..n {
+                    tm.set(i, j, t, x[(i, j)]).unwrap();
+                }
+            }
+        }
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&tm).unwrap();
+        for prior in [
+            Box::new(GravityPrior) as Box<dyn TmPrior>,
+            Box::new(StableFPrior { f: 0.25 }),
+            Box::new(StableFpPrior {
+                f: 0.25,
+                preference: p.clone(),
+            }),
+        ] {
+            let series = prior.prior_series(&obs).unwrap();
+            assert_eq!(series.nodes(), n, "{}", prior.name());
+            assert_eq!(series.bins(), 2);
+            assert!(series.is_physical());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the estimation pipeline components.
+
+use ic_estimation::{ipf_fit, IpfOptions};
+use ic_linalg::Matrix;
+use proptest::prelude::*;
+
+fn nonneg_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.1f64..100.0, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IPF always lands on the requested marginals when the seed has full
+    /// support and the targets are consistent.
+    #[test]
+    fn ipf_hits_marginals(
+        x in nonneg_matrix(4),
+        rows in proptest::collection::vec(1.0f64..50.0, 4),
+    ) {
+        // Column targets: a permutation of rows keeps totals equal.
+        let mut cols = rows.clone();
+        cols.rotate_left(1);
+        let w = ipf_fit(&x, &rows, &cols, IpfOptions::default()).unwrap();
+        let rs = w.row_sums();
+        let cs = w.col_sums();
+        for (got, want) in rs.iter().zip(rows.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * want, "rows {rs:?} vs {rows:?}");
+        }
+        for (got, want) in cs.iter().zip(cols.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * want, "cols {cs:?} vs {cols:?}");
+        }
+    }
+
+    /// IPF preserves non-negativity and never invents mass where both the
+    /// seed and the targets are zero.
+    #[test]
+    fn ipf_preserves_nonnegativity(x in nonneg_matrix(3)) {
+        let rows = x.row_sums();
+        let cols = x.col_sums();
+        let w = ipf_fit(&x, &rows, &cols, IpfOptions::default()).unwrap();
+        prop_assert!(w.as_slice().iter().all(|&v| v >= 0.0));
+        // Consistent input is a fixed point.
+        prop_assert!(w.approx_eq(&x, 1e-6 * (1.0 + x.max_abs())));
+    }
+
+    /// IPF preserves zero cells of the seed (it only rescales), keeping
+    /// the prior's structural zeros — the property that makes it safe as
+    /// step 3 of the pipeline.
+    #[test]
+    fn ipf_preserves_structural_zeros(
+        x in nonneg_matrix(3),
+        zero_row in 0usize..3,
+        zero_col in 0usize..3,
+    ) {
+        let mut seeded = x.clone();
+        seeded[(zero_row, zero_col)] = 0.0;
+        // Keep targets consistent with *some* feasible matrix: use the
+        // seeded matrix's own marginals.
+        let rows = seeded.row_sums();
+        let cols = seeded.col_sums();
+        let w = ipf_fit(&seeded, &rows, &cols, IpfOptions::default()).unwrap();
+        prop_assert_eq!(w[(zero_row, zero_col)], 0.0);
+    }
+}

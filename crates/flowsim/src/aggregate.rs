@@ -1,0 +1,474 @@
+//! OD-aggregate bidirectional traffic generation.
+//!
+//! Generates ground-truth traffic-matrix series from the
+//! independent-connection *process* — initiators chosen by activity,
+//! responders by preference, each aggregate split into forward and reverse
+//! bytes — plus controlled violations that keep the data honest:
+//!
+//! * **per-pair forward-ratio jitter**: `f_ij` varies around the
+//!   application-mix aggregate across node pairs (spatial) and bins
+//!   (temporal), so the simplified IC model (constant `f`) never fits
+//!   exactly, mirroring real networks;
+//! * **per-OD burst noise**: lognormal multiplicative noise models the
+//!   compound-Poisson variance of heavy-tailed connection arrivals without
+//!   per-connection event cost;
+//! * **hot-potato routing asymmetry** (paper Section 5.6, Figure 10): a
+//!   configurable fraction of reverse bytes re-enters the measurement
+//!   domain at a *different* egress node, which is exactly the violation
+//!   that separates the general IC model (Eq. 1) from the simplified one
+//!   (Eq. 2).
+//!
+//! The generator is the ground-truth source for the synthetic Géant and
+//! Totem datasets in `ic-datasets`.
+
+use crate::{FlowSimError, Result};
+use ic_core::TmSeries;
+use ic_linalg::Matrix;
+use ic_stats::dist::{LogNormal, Normal, Sample};
+use ic_stats::rng::derive_seed;
+use ic_stats::seeded_rng;
+
+/// Configuration of the OD-aggregate generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateConfig {
+    /// Aggregate forward ratio (e.g. from
+    /// [`AppMix::aggregate_f`](crate::apps::AppMix::aggregate_f)).
+    pub f0: f64,
+    /// Standard deviation of the *spatial* per-pair jitter added to `f0`
+    /// (fixed over time for each pair).
+    pub f_spatial_std: f64,
+    /// Standard deviation of the *node-level* initiator component of the
+    /// forward ratio: node `i` contributes a fixed offset `u_i` to every
+    /// `f_ij`. Physically this is per-PoP application mix (a campus PoP
+    /// initiates web-heavy traffic, an exchange PoP peer-heavy), and it is
+    /// the violation that biases single-`f` marginal inversions (paper
+    /// Eq. 11–12) — pair-i.i.d. jitter alone averages out of the
+    /// marginals.
+    pub f_node_std: f64,
+    /// Standard deviation of the *temporal* jitter added per (pair, bin).
+    pub f_temporal_std: f64,
+    /// Clamp bounds for realized `f_ij` values.
+    pub f_bounds: (f64, f64),
+    /// Coefficient of variation of the per-(pair, bin) lognormal burst
+    /// noise (0 disables).
+    pub od_noise_cv: f64,
+    /// Fraction of reverse bytes diverted to an alternate egress node
+    /// (hot-potato violation; 0 disables).
+    pub asymmetry_fraction: f64,
+    /// Alternate egress map used by the asymmetry violation; node `j`'s
+    /// diverted reverse traffic enters at `alt[j]`. `None` = rotate by one.
+    pub alt_egress: Option<Vec<usize>>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AggregateConfig {
+    /// A clean IC process: no jitter, no noise, no asymmetry. The
+    /// simplified IC model fits such data exactly.
+    pub fn ideal(f0: f64, seed: u64) -> Self {
+        AggregateConfig {
+            f0,
+            f_spatial_std: 0.0,
+            f_node_std: 0.0,
+            f_temporal_std: 0.0,
+            f_bounds: (0.01, 0.99),
+            od_noise_cv: 0.0,
+            asymmetry_fraction: 0.0,
+            alt_egress: None,
+            seed,
+        }
+    }
+
+    /// A realistic process with moderate violations (used by the Géant-like
+    /// dataset). The burst-noise level is calibrated so the stable-fP fit
+    /// improvement over gravity lands in the paper's Figure 3(a) band of
+    /// 20–25% (see the `ablation_violations` sweep in `ic-bench`).
+    pub fn realistic(f0: f64, seed: u64) -> Self {
+        AggregateConfig {
+            f0,
+            f_spatial_std: 0.03,
+            f_node_std: 0.04,
+            f_temporal_std: 0.015,
+            f_bounds: (0.02, 0.95),
+            od_noise_cv: 0.45,
+            asymmetry_fraction: 0.0,
+            alt_egress: None,
+            seed,
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.f0) {
+            return Err(FlowSimError::InvalidConfig {
+                field: "f0",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        if self.f_spatial_std < 0.0 || self.f_temporal_std < 0.0 || self.f_node_std < 0.0 {
+            return Err(FlowSimError::InvalidConfig {
+                field: "f jitter std",
+                constraint: "must be non-negative",
+            });
+        }
+        if !(self.f_bounds.0 < self.f_bounds.1)
+            || self.f_bounds.0 < 0.0
+            || self.f_bounds.1 > 1.0
+        {
+            return Err(FlowSimError::InvalidConfig {
+                field: "f_bounds",
+                constraint: "need 0 <= lo < hi <= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.asymmetry_fraction) {
+            return Err(FlowSimError::InvalidConfig {
+                field: "asymmetry_fraction",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        if self.od_noise_cv < 0.0 || self.od_noise_cv > 2.0 {
+            return Err(FlowSimError::InvalidConfig {
+                field: "od_noise_cv",
+                constraint: "must lie in [0, 2]",
+            });
+        }
+        if let Some(alt) = &self.alt_egress {
+            if alt.len() != n || alt.iter().any(|&v| v >= n) {
+                return Err(FlowSimError::InvalidConfig {
+                    field: "alt_egress",
+                    constraint: "must map every node to a valid node",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The OD-aggregate generator: holds the realized per-pair forward ratios
+/// so experiments can inspect the ground truth.
+#[derive(Debug, Clone)]
+pub struct AggregateGenerator {
+    config: AggregateConfig,
+    /// Realized spatial forward ratios per (initiator, responder) pair.
+    pair_f: Matrix,
+    nodes: usize,
+}
+
+impl AggregateGenerator {
+    /// Creates a generator for `nodes` access points, drawing the spatial
+    /// forward-ratio field.
+    pub fn new(nodes: usize, config: AggregateConfig) -> Result<Self> {
+        if nodes == 0 {
+            return Err(FlowSimError::InvalidConfig {
+                field: "nodes",
+                constraint: "must be positive",
+            });
+        }
+        config.validate(nodes)?;
+        let mut pair_f = Matrix::filled(nodes, nodes, config.f0);
+        if config.f_spatial_std > 0.0 || config.f_node_std > 0.0 {
+            let mut rng = seeded_rng(derive_seed(config.seed, 0xF_5EED));
+            // Node-level initiator offsets (per-PoP application mix).
+            let node_offsets: Vec<f64> = if config.f_node_std > 0.0 {
+                let nd = Normal::new(0.0, config.f_node_std).map_err(FlowSimError::from)?;
+                (0..nodes).map(|_| nd.sample(&mut rng)).collect()
+            } else {
+                vec![0.0; nodes]
+            };
+            let pair_jitter = if config.f_spatial_std > 0.0 {
+                Some(Normal::new(0.0, config.f_spatial_std).map_err(FlowSimError::from)?)
+            } else {
+                None
+            };
+            for i in 0..nodes {
+                for j in 0..nodes {
+                    let mut v = config.f0 + node_offsets[i];
+                    if let Some(pj) = &pair_jitter {
+                        v += pj.sample(&mut rng);
+                    }
+                    pair_f[(i, j)] = v.clamp(config.f_bounds.0, config.f_bounds.1);
+                }
+            }
+        }
+        Ok(AggregateGenerator {
+            config,
+            pair_f,
+            nodes,
+        })
+    }
+
+    /// The realized spatial forward ratios (ground truth for ablations).
+    pub fn pair_f(&self) -> &Matrix {
+        &self.pair_f
+    }
+
+    /// Mean realized forward ratio across pairs.
+    pub fn mean_f(&self) -> f64 {
+        self.pair_f.sum() / (self.nodes * self.nodes) as f64
+    }
+
+    /// Generates a ground-truth series from activity (`n x t`, bytes/bin)
+    /// and preference (length `n`, any positive scale).
+    pub fn generate(
+        &self,
+        activity: &Matrix,
+        preference: &[f64],
+        bin_seconds: f64,
+    ) -> Result<TmSeries> {
+        let n = self.nodes;
+        if activity.rows() != n {
+            return Err(FlowSimError::BadInput(
+                "activity row count must equal node count",
+            ));
+        }
+        if preference.len() != n {
+            return Err(FlowSimError::BadInput(
+                "preference length must equal node count",
+            ));
+        }
+        let pmass: f64 = preference.iter().sum();
+        if !(pmass > 0.0) || preference.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+            return Err(FlowSimError::BadInput(
+                "preference must be non-negative with positive total",
+            ));
+        }
+        let p: Vec<f64> = preference.iter().map(|&v| v / pmass).collect();
+        let bins = activity.cols();
+        let mut tm = TmSeries::zeros(n, bins, bin_seconds).map_err(FlowSimError::from)?;
+
+        let mut rng = seeded_rng(derive_seed(self.config.seed, 0x6E_4EAF));
+        let burst = if self.config.od_noise_cv > 0.0 {
+            let sigma2 = (1.0 + self.config.od_noise_cv * self.config.od_noise_cv).ln();
+            Some(LogNormal::new(-sigma2 / 2.0, sigma2.sqrt()).map_err(FlowSimError::from)?)
+        } else {
+            None
+        };
+        let temporal = if self.config.f_temporal_std > 0.0 {
+            Some(Normal::new(0.0, self.config.f_temporal_std).map_err(FlowSimError::from)?)
+        } else {
+            None
+        };
+
+        for t in 0..bins {
+            for i in 0..n {
+                let a_it = activity[(i, t)];
+                if a_it <= 0.0 {
+                    continue;
+                }
+                for (j, &pj) in p.iter().enumerate() {
+                    if pj == 0.0 {
+                        continue;
+                    }
+                    let mut volume = a_it * pj;
+                    if let Some(b) = &burst {
+                        volume *= b.sample(&mut rng);
+                    }
+                    let mut f_ij = self.pair_f[(i, j)];
+                    if let Some(tj) = &temporal {
+                        f_ij = (f_ij + tj.sample(&mut rng))
+                            .clamp(self.config.f_bounds.0, self.config.f_bounds.1);
+                    }
+                    let fwd = volume * f_ij;
+                    let rev = volume - fwd;
+                    tm.add(i, j, t, fwd).map_err(FlowSimError::from)?;
+                    // Reverse traffic: responder j back to initiator i,
+                    // possibly hot-potato-diverted to an alternate ingress.
+                    if self.config.asymmetry_fraction > 0.0 {
+                        let alt_j = self
+                            .config
+                            .alt_egress
+                            .as_ref()
+                            .map(|m| m[j])
+                            .unwrap_or((j + 1) % n);
+                        let diverted = rev * self.config.asymmetry_fraction;
+                        tm.add(alt_j, i, t, diverted).map_err(FlowSimError::from)?;
+                        tm.add(j, i, t, rev - diverted).map_err(FlowSimError::from)?;
+                    } else {
+                        tm.add(j, i, t, rev).map_err(FlowSimError::from)?;
+                    }
+                }
+            }
+        }
+        Ok(tm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::{fit_stable_fp, gravity_predict, mean_rel_l2, FitOptions};
+
+    fn activity(n: usize, bins: usize) -> Matrix {
+        let mut a = Matrix::zeros(n, bins);
+        for i in 0..n {
+            for t in 0..bins {
+                a[(i, t)] = 1000.0 * (i + 1) as f64 * (1.0 + 0.3 * ((t * (i + 2)) as f64).sin().abs());
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn ideal_process_is_exactly_ic() {
+        let n = 5;
+        let gen = AggregateGenerator::new(n, AggregateConfig::ideal(0.25, 1)).unwrap();
+        let a = activity(n, 8);
+        let p = [0.4, 0.25, 0.2, 0.1, 0.05];
+        let tm = gen.generate(&a, &p, 300.0).unwrap();
+        // Conservation: total TM traffic per bin = total activity per bin.
+        for t in 0..8 {
+            let a_total: f64 = (0..n).map(|i| a[(i, t)]).sum();
+            assert!((tm.total(t) - a_total).abs() / a_total < 1e-9);
+        }
+        // The stable-fP fit should reach ~zero error and recover f.
+        let fit = fit_stable_fp(&tm, FitOptions::default()).unwrap();
+        assert!(fit.final_objective() < 1e-6, "{}", fit.final_objective());
+        assert!((fit.params.f - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn realistic_process_favors_ic_over_gravity() {
+        // The structural claim of the paper, in miniature: on
+        // connection-structured traffic the IC fit beats the gravity fit.
+        let n = 6;
+        let gen = AggregateGenerator::new(n, AggregateConfig::realistic(0.22, 2)).unwrap();
+        let a = activity(n, 24);
+        let p = [0.35, 0.25, 0.15, 0.12, 0.08, 0.05];
+        let tm = gen.generate(&a, &p, 300.0).unwrap();
+        let ic = fit_stable_fp(&tm, FitOptions::default())
+            .unwrap()
+            .predict(300.0)
+            .unwrap();
+        let grav = gravity_predict(&tm).unwrap();
+        let e_ic = mean_rel_l2(&tm, &ic).unwrap();
+        let e_gr = mean_rel_l2(&tm, &grav).unwrap();
+        assert!(
+            e_ic < e_gr,
+            "IC ({e_ic}) should beat gravity ({e_gr}) on IC-process data"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = 4;
+        let a = activity(n, 5);
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let g1 = AggregateGenerator::new(n, AggregateConfig::realistic(0.25, 9)).unwrap();
+        let g2 = AggregateGenerator::new(n, AggregateConfig::realistic(0.25, 9)).unwrap();
+        assert_eq!(
+            g1.generate(&a, &p, 300.0).unwrap(),
+            g2.generate(&a, &p, 300.0).unwrap()
+        );
+        let g3 = AggregateGenerator::new(n, AggregateConfig::realistic(0.25, 10)).unwrap();
+        assert_ne!(
+            g1.generate(&a, &p, 300.0).unwrap(),
+            g3.generate(&a, &p, 300.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn spatial_jitter_spreads_pair_f() {
+        let mut cfg = AggregateConfig::ideal(0.25, 3);
+        cfg.f_spatial_std = 0.05;
+        let gen = AggregateGenerator::new(8, cfg).unwrap();
+        let f = gen.pair_f();
+        let mean = gen.mean_f();
+        assert!((mean - 0.25).abs() < 0.03, "mean {mean}");
+        let spread = f
+            .as_slice()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        assert!(spread.1 - spread.0 > 0.02, "jitter too small: {spread:?}");
+        // All clamped into bounds.
+        assert!(f.as_slice().iter().all(|&v| (0.01..=0.99).contains(&v)));
+    }
+
+    #[test]
+    fn asymmetry_diverts_reverse_traffic() {
+        let n = 3;
+        let mut cfg = AggregateConfig::ideal(0.5, 4);
+        cfg.asymmetry_fraction = 1.0; // all reverse diverted
+        let gen = AggregateGenerator::new(n, cfg).unwrap();
+        let mut a = Matrix::zeros(n, 1);
+        a[(0, 0)] = 100.0; // only node 0 initiates
+        let p = [0.0, 1.0, 0.0]; // responder always node 1
+        let tm = gen.generate(&a, &p, 300.0).unwrap();
+        // Forward: X_01 = 50. Reverse should be X_10 = 50 but is fully
+        // diverted to alt(1) = 2: X_20 = 50.
+        assert!((tm.get(0, 1, 0).unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(tm.get(1, 0, 0).unwrap(), 0.0);
+        assert!((tm.get(2, 0, 0).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_alt_egress_map() {
+        let n = 3;
+        let mut cfg = AggregateConfig::ideal(0.5, 5);
+        cfg.asymmetry_fraction = 0.5;
+        cfg.alt_egress = Some(vec![0, 0, 0]); // everything diverts via node 0
+        let gen = AggregateGenerator::new(n, cfg).unwrap();
+        let mut a = Matrix::zeros(n, 1);
+        a[(1, 0)] = 100.0;
+        let p = [0.0, 0.0, 1.0]; // initiator 1 -> responder 2
+        let tm = gen.generate(&a, &p, 300.0).unwrap();
+        // Reverse total 50, half diverted to node 0's ingress.
+        assert!((tm.get(2, 1, 0).unwrap() - 25.0).abs() < 1e-9);
+        assert!((tm.get(0, 1, 0).unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(AggregateGenerator::new(0, AggregateConfig::ideal(0.25, 1)).is_err());
+        let mut cfg = AggregateConfig::ideal(1.5, 1);
+        assert!(AggregateGenerator::new(3, cfg.clone()).is_err());
+        cfg.f0 = 0.25;
+        cfg.f_bounds = (0.9, 0.1);
+        assert!(AggregateGenerator::new(3, cfg.clone()).is_err());
+        cfg.f_bounds = (0.01, 0.99);
+        cfg.asymmetry_fraction = 2.0;
+        assert!(AggregateGenerator::new(3, cfg.clone()).is_err());
+        cfg.asymmetry_fraction = 0.0;
+        cfg.alt_egress = Some(vec![0, 1]); // wrong length
+        assert!(AggregateGenerator::new(3, cfg.clone()).is_err());
+        cfg.alt_egress = Some(vec![0, 1, 9]); // out of range
+        assert!(AggregateGenerator::new(3, cfg).is_err());
+        let mut cfg = AggregateConfig::ideal(0.25, 1);
+        cfg.od_noise_cv = 5.0;
+        assert!(AggregateGenerator::new(3, cfg).is_err());
+    }
+
+    #[test]
+    fn generate_validates_inputs() {
+        let gen = AggregateGenerator::new(3, AggregateConfig::ideal(0.25, 1)).unwrap();
+        let a = activity(2, 4); // wrong rows
+        assert!(gen.generate(&a, &[0.5, 0.3, 0.2], 300.0).is_err());
+        let a = activity(3, 4);
+        assert!(gen.generate(&a, &[0.5, 0.5], 300.0).is_err()); // wrong len
+        assert!(gen.generate(&a, &[0.0, 0.0, 0.0], 300.0).is_err()); // no mass
+        assert!(gen.generate(&a, &[-0.1, 0.6, 0.5], 300.0).is_err());
+    }
+
+    #[test]
+    fn burst_noise_preserves_mean_volume() {
+        let n = 4;
+        let mut cfg = AggregateConfig::ideal(0.25, 6);
+        cfg.od_noise_cv = 0.3;
+        let gen = AggregateGenerator::new(n, cfg).unwrap();
+        let bins = 400;
+        let mut a = Matrix::zeros(n, bins);
+        for i in 0..n {
+            for t in 0..bins {
+                a[(i, t)] = 1000.0;
+            }
+        }
+        let p = [0.25; 4];
+        let tm = gen.generate(&a, &p, 300.0).unwrap();
+        let mean_total: f64 = (0..bins).map(|t| tm.total(t)).sum::<f64>() / bins as f64;
+        // E[noise] = 1, so mean total ≈ 4000.
+        assert!(
+            (mean_total - 4000.0).abs() / 4000.0 < 0.02,
+            "mean {mean_total}"
+        );
+    }
+}

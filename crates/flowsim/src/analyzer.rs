@@ -1,0 +1,384 @@
+//! The Section 5.2 trace-analysis procedure.
+//!
+//! Replays the paper's measurement of `f_ij` from bidirectional packet
+//! traces, step by step:
+//!
+//! 1. "form connections by matching flows between the two links that have
+//!    corresponding 5-tuples";
+//! 2. "identify the initiator of a connection as the sender of the TCP SYN
+//!    packet";
+//! 3. per 5-minute bin, accumulate `I_i` (traffic on link i→j in
+//!    connections initiated at i with a response on j→i), `R_i` (traffic on
+//!    link i→j in connections initiated at j), and analogously `I_j`,
+//!    `R_j`;
+//! 4. "classify the remaining traffic as unknown" — connections whose SYN
+//!    predates the trace;
+//! 5. `f_ij = I_i / (I_i + R_j)`.
+
+use crate::trace::{LinkDirection, PacketRecord};
+use crate::{FlowSimError, Result};
+use std::collections::HashMap;
+
+/// Per-bin f measurements and their ingredients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinFMeasurement {
+    /// Forward bytes of i-initiated connections (on link i→j).
+    pub i_i: f64,
+    /// Reverse bytes of j-initiated connections (on link i→j).
+    pub r_i: f64,
+    /// Forward bytes of j-initiated connections (on link j→i).
+    pub i_j: f64,
+    /// Reverse bytes of i-initiated connections (on link j→i).
+    pub r_j: f64,
+    /// Bytes whose connection could not be classified.
+    pub unknown: f64,
+    /// `f_ij = I_i / (I_i + R_j)`; `None` when the bin carries no
+    /// classified i-initiated traffic.
+    pub f_ij: Option<f64>,
+    /// `f_ji = I_j / (I_j + R_i)`.
+    pub f_ji: Option<f64>,
+}
+
+/// Whole-trace analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Per-bin measurements.
+    pub bins: Vec<BinFMeasurement>,
+    /// Total captured bytes.
+    pub total_bytes: f64,
+    /// Fraction of bytes classified unknown (the paper reports < 20%,
+    /// noting straddling connections inflate it).
+    pub unknown_fraction: f64,
+    /// Number of connections with an observed SYN.
+    pub classified_connections: usize,
+    /// Number of 5-tuples without an observed SYN.
+    pub unknown_connections: usize,
+}
+
+impl TraceAnalysis {
+    /// The `f_ij` time series with unclassifiable bins skipped.
+    pub fn f_ij_series(&self) -> Vec<f64> {
+        self.bins.iter().filter_map(|b| b.f_ij).collect()
+    }
+
+    /// The `f_ji` time series with unclassifiable bins skipped.
+    pub fn f_ji_series(&self) -> Vec<f64> {
+        self.bins.iter().filter_map(|b| b.f_ji).collect()
+    }
+}
+
+/// Canonical bidirectional 5-tuple key (TCP protocol implied).
+fn conn_key(p: &PacketRecord) -> (u32, u16, u32, u16) {
+    if (p.src, p.sport) <= (p.dst, p.dport) {
+        (p.src, p.sport, p.dst, p.dport)
+    } else {
+        (p.dst, p.dport, p.src, p.sport)
+    }
+}
+
+/// Which side a host sits on, inferred from the link its packets use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Initiator {
+    SideI,
+    SideJ,
+}
+
+/// Analyzes a packet trace into per-bin f measurements.
+///
+/// `duration` is the capture length in seconds and `bin_seconds` the
+/// aggregation bin (the paper uses 300 s bins over 7200 s traces).
+///
+/// # Examples
+///
+/// ```
+/// use ic_flowsim::{analyze_trace, synthesize_trace, TraceConfig};
+///
+/// let mut cfg = TraceConfig::abilene_like(5);
+/// cfg.duration = 600.0;
+/// let packets = synthesize_trace(&cfg).unwrap();
+/// let analysis = analyze_trace(&packets, 600.0, 300.0).unwrap();
+/// assert_eq!(analysis.bins.len(), 2);
+/// assert!(analysis.unknown_fraction < 0.5);
+/// ```
+pub fn analyze_trace(
+    packets: &[PacketRecord],
+    duration: f64,
+    bin_seconds: f64,
+) -> Result<TraceAnalysis> {
+    if !(duration > 0.0) || !(bin_seconds > 0.0) || bin_seconds > duration {
+        return Err(FlowSimError::InvalidConfig {
+            field: "duration/bin_seconds",
+            constraint: "need 0 < bin_seconds <= duration",
+        });
+    }
+    if packets.is_empty() {
+        return Err(FlowSimError::BadInput("empty trace"));
+    }
+    let nbins = (duration / bin_seconds).ceil() as usize;
+
+    // Pass 1: attribute initiators by pure SYN.
+    let mut initiators: HashMap<(u32, u16, u32, u16), Initiator> = HashMap::new();
+    for p in packets {
+        if p.syn && !p.ack {
+            let side = match p.link {
+                // A SYN captured on link i→j was sent by a side-I host.
+                LinkDirection::IToJ => Initiator::SideI,
+                LinkDirection::JToI => Initiator::SideJ,
+            };
+            initiators.entry(conn_key(p)).or_insert(side);
+        }
+    }
+
+    // Pass 2: bin byte accumulation.
+    let mut bins = vec![
+        BinFMeasurement {
+            i_i: 0.0,
+            r_i: 0.0,
+            i_j: 0.0,
+            r_j: 0.0,
+            unknown: 0.0,
+            f_ij: None,
+            f_ji: None,
+        };
+        nbins
+    ];
+    let mut total = 0.0;
+    let mut unknown_total = 0.0;
+    let mut unknown_keys: HashMap<(u32, u16, u32, u16), ()> = HashMap::new();
+    for p in packets {
+        let bin = ((p.time / bin_seconds) as usize).min(nbins - 1);
+        total += p.bytes;
+        match initiators.get(&conn_key(p)) {
+            None => {
+                bins[bin].unknown += p.bytes;
+                unknown_total += p.bytes;
+                unknown_keys.insert(conn_key(p), ());
+            }
+            Some(init) => match (p.link, init) {
+                // Link i→j carries forward bytes of I-initiated connections
+                // (I_i) and reverse bytes of J-initiated ones (R_i).
+                (LinkDirection::IToJ, Initiator::SideI) => bins[bin].i_i += p.bytes,
+                (LinkDirection::IToJ, Initiator::SideJ) => bins[bin].r_i += p.bytes,
+                (LinkDirection::JToI, Initiator::SideJ) => bins[bin].i_j += p.bytes,
+                (LinkDirection::JToI, Initiator::SideI) => bins[bin].r_j += p.bytes,
+            },
+        }
+    }
+
+    // Pass 3: per-bin f values.
+    for b in &mut bins {
+        if b.i_i + b.r_j > 0.0 {
+            b.f_ij = Some(b.i_i / (b.i_i + b.r_j));
+        }
+        if b.i_j + b.r_i > 0.0 {
+            b.f_ji = Some(b.i_j / (b.i_j + b.r_i));
+        }
+    }
+
+    Ok(TraceAnalysis {
+        bins,
+        total_bytes: total,
+        unknown_fraction: if total > 0.0 { unknown_total / total } else { 0.0 },
+        classified_connections: initiators.len(),
+        unknown_connections: unknown_keys.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{AppMix, AppProfile};
+    use crate::trace::{synthesize_trace, TraceConfig};
+
+    /// Hand-built two-connection trace with known f values.
+    fn manual_trace() -> Vec<PacketRecord> {
+        let mut v = Vec::new();
+        // Connection 1: initiated on side I, 100 B forward, 300 B reverse
+        // (f = 0.25), all inside bin 0.
+        v.push(PacketRecord {
+            time: 1.0,
+            src: 0,
+            dst: 1,
+            sport: 1024,
+            dport: 80,
+            syn: true,
+            ack: false,
+            bytes: 0.0,
+            link: LinkDirection::IToJ,
+        });
+        v.push(PacketRecord {
+            time: 1.1,
+            src: 1,
+            dst: 0,
+            sport: 80,
+            dport: 1024,
+            syn: true,
+            ack: true,
+            bytes: 0.0,
+            link: LinkDirection::JToI,
+        });
+        v.push(PacketRecord {
+            time: 2.0,
+            src: 0,
+            dst: 1,
+            sport: 1024,
+            dport: 80,
+            syn: false,
+            ack: true,
+            bytes: 100.0,
+            link: LinkDirection::IToJ,
+        });
+        v.push(PacketRecord {
+            time: 3.0,
+            src: 1,
+            dst: 0,
+            sport: 80,
+            dport: 1024,
+            syn: false,
+            ack: true,
+            bytes: 300.0,
+            link: LinkDirection::JToI,
+        });
+        // Connection 2: initiated on side J, 50 B forward (J→I), 50 B
+        // reverse (I→J): f_ji contribution 0.5.
+        v.push(PacketRecord {
+            time: 4.0,
+            src: 10,
+            dst: 11,
+            sport: 2000,
+            dport: 80,
+            syn: true,
+            ack: false,
+            bytes: 0.0,
+            link: LinkDirection::JToI,
+        });
+        v.push(PacketRecord {
+            time: 5.0,
+            src: 10,
+            dst: 11,
+            sport: 2000,
+            dport: 80,
+            syn: false,
+            ack: true,
+            bytes: 50.0,
+            link: LinkDirection::JToI,
+        });
+        v.push(PacketRecord {
+            time: 6.0,
+            src: 11,
+            dst: 10,
+            sport: 80,
+            dport: 2000,
+            syn: false,
+            ack: true,
+            bytes: 50.0,
+            link: LinkDirection::IToJ,
+        });
+        v
+    }
+
+    #[test]
+    fn manual_trace_f_values() {
+        let analysis = analyze_trace(&manual_trace(), 300.0, 300.0).unwrap();
+        assert_eq!(analysis.bins.len(), 1);
+        let b = &analysis.bins[0];
+        // I_i = 100 (conn 1 fwd), R_j = 300 (conn 1 rev): f_ij = 0.25.
+        assert!((b.f_ij.unwrap() - 0.25).abs() < 1e-12);
+        // I_j = 50, R_i = 50: f_ji = 0.5.
+        assert!((b.f_ji.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(analysis.unknown_connections, 0);
+        assert_eq!(analysis.classified_connections, 2);
+        assert_eq!(analysis.unknown_fraction, 0.0);
+    }
+
+    #[test]
+    fn missing_syn_classified_unknown() {
+        let mut trace = manual_trace();
+        // Remove connection 1's SYN packets: its data becomes unknown.
+        trace.retain(|p| !(p.syn && p.sport == 1024) && !(p.syn && p.dport == 1024));
+        let analysis = analyze_trace(&trace, 300.0, 300.0).unwrap();
+        assert_eq!(analysis.unknown_connections, 1);
+        let b = &analysis.bins[0];
+        assert_eq!(b.unknown, 400.0);
+        // Only connection 2 remains classified.
+        assert!(b.f_ij.is_none());
+        assert!((b.f_ji.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_f_matches_mix_aggregate() {
+        // Synthesize with a single-app mix so the expected f is exact, and
+        // verify the analyzer recovers it.
+        let mix = AppMix::new(vec![(AppProfile::p2p(), 1.0)]).unwrap();
+        let cfg = TraceConfig {
+            duration: 1800.0,
+            mix,
+            rate_i: 4.0,
+            rate_j: 4.0,
+            mean_duration: 10.0,
+            max_packets_per_direction: 32,
+            seed: 42,
+        };
+        let packets = synthesize_trace(&cfg).unwrap();
+        let analysis = analyze_trace(&packets, cfg.duration, 300.0).unwrap();
+        let series = analysis.f_ij_series();
+        assert!(!series.is_empty());
+        let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        assert!(
+            (mean - 0.35).abs() < 0.05,
+            "measured mean f {mean} vs p2p profile 0.35"
+        );
+    }
+
+    #[test]
+    fn research_mix_lands_in_paper_band_with_modest_unknown() {
+        let cfg = TraceConfig {
+            duration: 3600.0,
+            ..TraceConfig::abilene_like(7)
+        };
+        let packets = synthesize_trace(&cfg).unwrap();
+        let analysis = analyze_trace(&packets, cfg.duration, 300.0).unwrap();
+        // Figure 4's headline: f in 0.2–0.3 at all times, both directions.
+        for (t, b) in analysis.bins.iter().enumerate() {
+            if let Some(f) = b.f_ij {
+                assert!((0.08..=0.45).contains(&f), "bin {t}: f_ij = {f}");
+            }
+        }
+        let fij = analysis.f_ij_series();
+        let fji = analysis.f_ji_series();
+        let mean_ij: f64 = fij.iter().sum::<f64>() / fij.len() as f64;
+        let mean_ji: f64 = fji.iter().sum::<f64>() / fji.len() as f64;
+        assert!((0.15..=0.35).contains(&mean_ij), "mean f_ij {mean_ij}");
+        // Spatial stability: the two directions agree closely.
+        assert!(
+            (mean_ij - mean_ji).abs() < 0.06,
+            "directions disagree: {mean_ij} vs {mean_ji}"
+        );
+        // Unknown fraction below the paper's 20% observation.
+        assert!(
+            analysis.unknown_fraction < 0.35,
+            "unknown fraction {}",
+            analysis.unknown_fraction
+        );
+        assert!(analysis.unknown_connections > 0, "straddlers should exist");
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(analyze_trace(&[], 300.0, 300.0).is_err());
+        let t = manual_trace();
+        assert!(analyze_trace(&t, 0.0, 300.0).is_err());
+        assert!(analyze_trace(&t, 300.0, 0.0).is_err());
+        assert!(analyze_trace(&t, 300.0, 600.0).is_err());
+    }
+
+    #[test]
+    fn bin_count_and_assignment() {
+        let analysis = analyze_trace(&manual_trace(), 600.0, 300.0).unwrap();
+        assert_eq!(analysis.bins.len(), 2);
+        // All manual packets are inside bin 0.
+        assert!(analysis.bins[1].f_ij.is_none());
+        assert!(analysis.bins[1].f_ji.is_none());
+        assert_eq!(analysis.bins[1].unknown, 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! The per-timestep activity solves of the Section 5.1 fitting program share
+//! one normal-equations matrix `MᵀM` across all 2016 bins of a week; we
+//! factor it once with [`Cholesky`] and back-substitute per bin, which is
+//! what makes whole-week fits cheap.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use ic_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let ch = Cholesky::factor(&a).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is trusted (callers in this workspace construct Gram
+    /// matrices, which are symmetric by construction). Returns
+    /// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
+    /// encountered.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::InvalidArgument("cholesky: matrix not square"));
+        }
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("cholesky: empty matrix"));
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors with a ridge term: `A + ridge * I`.
+    ///
+    /// Used to regularize nearly-singular normal equations (e.g. a
+    /// preference solve when one node carries no traffic).
+    pub fn factor_regularized(a: &Matrix, ridge: f64) -> Result<Self> {
+        if ridge < 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky: ridge must be non-negative",
+            ));
+        }
+        let mut work = a.clone();
+        let n = work.rows().min(work.cols());
+        for i in 0..n {
+            work[(i, i)] += ridge;
+        }
+        Cholesky::factor(&work)
+    }
+
+    /// Solves `A x = b` via forward + back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for (i, &v) in x.iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Determinant of `A`, computed as `Π L_ii²`.
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.l.rows() {
+            let lii = self.l[(i, i)];
+            d *= lii * lii;
+        }
+        d
+    }
+
+    /// Log-determinant of `A` (numerically safer than `det().ln()`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a random-ish B, guaranteed SPD.
+        let b = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 1.0, 3.0],
+            &[2.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Cholesky::factor(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_definite() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn ridge_rescues_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+        let ch = Cholesky::factor_regularized(&a, 1e-6).unwrap();
+        let x = ch.solve(&[2.0, 2.0]).unwrap();
+        // Regularized solution is near (1, 1).
+        assert!((x[0] - 1.0).abs() < 1e-3);
+        assert!((x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_must_be_nonnegative() {
+        let a = Matrix::identity(2);
+        assert!(Cholesky::factor_regularized(&a, -1.0).is_err());
+    }
+
+    #[test]
+    fn solve_validates_length() {
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x = ch.solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-9));
+        assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn determinant_of_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!((ch.det() - 1.0).abs() < 1e-12);
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Matrix::diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 24.0).abs() < 1e-9);
+        assert!((ch.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Lawson–Hanson non-negative least squares.
+//!
+//! The Section 5.1 fitting program constrains activities and preferences to
+//! be non-negative. Its block-coordinate sub-problems are therefore NNLS
+//! problems `min ‖A x − b‖₂ s.t. x ≥ 0`; this module implements the
+//! classic active-set algorithm of Lawson & Hanson (1974), which is exact
+//! for these small, well-conditioned systems.
+
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::{LinalgError, Result};
+
+/// Options controlling the NNLS active-set iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct NnlsOptions {
+    /// Maximum outer iterations; the default `3 * n` follows common
+    /// practice (scipy uses the same bound).
+    pub max_iterations: Option<usize>,
+    /// Dual-feasibility tolerance for termination.
+    pub tolerance: f64,
+}
+
+impl Default for NnlsOptions {
+    fn default() -> Self {
+        NnlsOptions {
+            max_iterations: None,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Solves `min ‖A x − b‖₂` subject to `x ≥ 0`.
+///
+/// Returns the optimal `x`. The active-set method maintains a passive set
+/// `P` of coordinates allowed to be positive; at each step it solves the
+/// unconstrained least-squares problem restricted to `P` and walks toward
+/// it while keeping feasibility.
+///
+/// # Examples
+///
+/// ```
+/// use ic_linalg::{nnls, Matrix, NnlsOptions};
+///
+/// // Unconstrained optimum is x = (-1, 2); NNLS clips the first coordinate.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+/// let x = nnls(&a, &[-1.0, 2.0], NnlsOptions::default()).unwrap();
+/// assert_eq!(x[0], 0.0);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64], options: NnlsOptions) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "nnls",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let max_iter = options.max_iterations.unwrap_or(3 * n.max(8));
+    let tol = options.tolerance;
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    // Dual vector w = Aᵀ (b − A x); at the solution w ≤ 0 on the active set.
+    let mut iterations = 0usize;
+    loop {
+        let ax = a.matvec(&x)?;
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let w = a.matvec_transposed(&resid)?;
+        // Pick the most violating active coordinate.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol {
+                match best {
+                    Some((_, wv)) if wv >= w[j] => {}
+                    _ => best = Some((j, w[j])),
+                }
+            }
+        }
+        let Some((enter, _)) = best else {
+            return Ok(x); // KKT satisfied.
+        };
+        passive[enter] = true;
+
+        // Inner loop: solve restricted LS, backtrack while infeasible.
+        loop {
+            iterations += 1;
+            if iterations > max_iter {
+                return Err(LinalgError::NoConvergence {
+                    routine: "nnls",
+                    iterations: max_iter,
+                });
+            }
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let z = solve_subproblem(a, b, &idx)?;
+            if z.iter().all(|&v| v > tol) {
+                // Fully feasible step.
+                x.fill(0.0);
+                for (&j, &zj) in idx.iter().zip(z.iter()) {
+                    x[j] = zj;
+                }
+                break;
+            }
+            // Backtrack: find the largest alpha keeping x + alpha (z - x) >= 0.
+            let mut alpha = f64::INFINITY;
+            for (&j, &zj) in idx.iter().zip(z.iter()) {
+                if zj <= tol {
+                    let xj = x[j];
+                    let denom = xj - zj;
+                    if denom > 0.0 {
+                        alpha = alpha.min(xj / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (&j, &zj) in idx.iter().zip(z.iter()) {
+                x[j] += alpha * (zj - x[j]);
+            }
+            // Move zeroed coordinates back to the active set.
+            for &j in &idx {
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+}
+
+/// Unconstrained least squares restricted to the columns in `idx`.
+fn solve_subproblem(a: &Matrix, b: &[f64], idx: &[usize]) -> Result<Vec<f64>> {
+    let m = a.rows();
+    let k = idx.len();
+    let mut sub = Matrix::zeros(m, k);
+    for i in 0..m {
+        let row = a.row(i);
+        for (c, &j) in idx.iter().enumerate() {
+            sub[(i, c)] = row[j];
+        }
+    }
+    match Qr::factor(&sub).and_then(|qr| qr.solve_least_squares(b)) {
+        Ok(z) => Ok(z),
+        Err(LinalgError::Singular) => {
+            // Degenerate passive set (collinear columns): fall back to the
+            // minimum-norm solution via the pseudo-inverse.
+            let p = crate::pinv::pseudo_inverse(&sub, None)?;
+            p.matvec(b)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Convenience wrapper: NNLS against normal equations `(AᵀA) x = Aᵀb` when
+/// the caller has already accumulated the Gram matrix `ata` and moment
+/// vector `atb`.
+///
+/// This is used by the preference solve of the fitting program, which
+/// accumulates normal equations across thousands of time bins without ever
+/// materializing the tall design matrix. Since `AᵀA` is SPD (or nearly so),
+/// we synthesize a square-root factor via Cholesky with a tiny ridge and
+/// run standard NNLS on it.
+pub fn nnls_from_normal_equations(
+    ata: &Matrix,
+    atb: &[f64],
+    options: NnlsOptions,
+) -> Result<Vec<f64>> {
+    let n = ata.rows();
+    if ata.cols() != n {
+        return Err(LinalgError::InvalidArgument(
+            "nnls_from_normal_equations: Gram matrix must be square",
+        ));
+    }
+    if atb.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "nnls_from_normal_equations",
+            lhs: ata.shape(),
+            rhs: (atb.len(), 1),
+        });
+    }
+    // Scale-aware ridge keeps the factorization stable without visibly
+    // perturbing the solution.
+    let scale = ata.max_abs().max(f64::MIN_POSITIVE);
+    let ridge = scale * 1e-12;
+    let chol = crate::cholesky::Cholesky::factor_regularized(ata, ridge)?;
+    // A = Lᵀ reproduces AᵀA = L Lᵀ; the matching rhs is b' = L⁻¹ (Aᵀ b).
+    let l = chol.l();
+    let n_ = l.rows();
+    let mut bprime = vec![0.0; n_];
+    for i in 0..n_ {
+        let mut s = atb[i];
+        for j in 0..i {
+            s -= l[(i, j)] * bprime[j];
+        }
+        bprime[i] = s / l[(i, i)];
+    }
+    nnls(&l.transpose(), &bprime, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_optimum_feasible() {
+        // If the LS optimum is already non-negative, NNLS returns it.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x_true = [2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clips_negative_coordinates() {
+        let a = Matrix::identity(3);
+        let x = nnls(&a, &[-5.0, 0.0, 7.0], NnlsOptions::default()).unwrap();
+        assert_eq!(x[0], 0.0);
+        assert_eq!(x[1], 0.0);
+        assert!((x[2] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_lawson_hanson_example() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 2.0],
+            &[10.0, 11.0, -9.0],
+            &[-1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let b = [-1.0, 11.0, 0.0];
+        let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        // Solution must be feasible and satisfy KKT: Aᵀ(b−Ax) ≤ 0 where x=0,
+        // = 0 where x>0.
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let r: Vec<f64> = {
+            let ax = a.matvec(&x).unwrap();
+            b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect()
+        };
+        let w = a.matvec_transposed(&r).unwrap();
+        for (j, (&xj, &wj)) in x.iter().zip(w.iter()).enumerate() {
+            if xj > 1e-9 {
+                assert!(wj.abs() < 1e-7, "coordinate {j}: w = {wj}");
+            } else {
+                assert!(wj <= 1e-7, "coordinate {j}: w = {wj}");
+            }
+        }
+    }
+
+    #[test]
+    fn nnls_never_beats_unconstrained_ls_but_is_close_when_feasible() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 1.0],
+            &[1.0, 2.0],
+            &[0.5, 0.5],
+        ])
+        .unwrap();
+        let b = [4.0, 3.0, 1.0];
+        let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        let ls = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        if ls.iter().all(|&v| v >= 0.0) {
+            for (xn, xl) in x.iter().zip(ls.iter()) {
+                assert!((xn - xl).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let x = nnls(&a, &[0.0, 0.0], NnlsOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let a = Matrix::identity(2);
+        assert!(nnls(&a, &[1.0], NnlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_columns_gives_empty_solution() {
+        let a = Matrix::zeros(3, 0);
+        let x = nnls(&a, &[1.0, 2.0, 3.0], NnlsOptions::default()).unwrap();
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn handles_collinear_columns() {
+        // Columns 0 and 1 are identical: solution mass is split or placed on
+        // one of them; residual must still be optimal.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0],
+            &[1.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let b = [2.0, 2.0, 5.0];
+        let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-8);
+        assert!((x[2] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_equations_variant_matches_direct() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 0.5],
+            &[0.3, 1.0],
+            &[1.0, 1.0],
+        ])
+        .unwrap();
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let direct = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        let ata = a.gram();
+        let atb = a.matvec_transposed(&b).unwrap();
+        let viane = nnls_from_normal_equations(&ata, &atb, NnlsOptions::default()).unwrap();
+        for (d, v) in direct.iter().zip(viane.iter()) {
+            assert!((d - v).abs() < 1e-6, "direct {direct:?} vs NE {viane:?}");
+        }
+    }
+
+    #[test]
+    fn normal_equations_validates_shapes() {
+        let ata = Matrix::zeros(2, 3);
+        assert!(nnls_from_normal_equations(&ata, &[1.0, 2.0], NnlsOptions::default()).is_err());
+        let ata = Matrix::identity(2);
+        assert!(nnls_from_normal_equations(&ata, &[1.0], NnlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let a = Matrix::identity(2);
+        let opts = NnlsOptions {
+            max_iterations: Some(0),
+            tolerance: 1e-10,
+        };
+        assert!(matches!(
+            nnls(&a, &[1.0, 1.0], opts),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+}

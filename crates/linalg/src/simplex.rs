@@ -1,0 +1,173 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! The preference vector of the IC model is constrained to `P ≥ 0,
+//! ΣP = 1` (paper Section 5.1). The fitting program mostly enforces this by
+//! rescaling (the model is scale-invariant in `(A, P)` jointly), but the
+//! projection is also exposed for estimators that need a hard projection
+//! step, and is a useful primitive in its own right.
+//!
+//! Algorithm: the O(n log n) sort-based method of Held, Wolfe & Crowder
+//! (1974), as popularized by Duchi et al. (2008).
+
+/// Projects `v` onto the simplex `{x : x ≥ 0, Σx = radius}` in Euclidean
+/// distance, returning the projection.
+///
+/// `radius` must be positive and finite; non-finite input entries are
+/// treated as 0 (a defensive choice documented here rather than a panic,
+/// since upstream estimators can produce NaNs on degenerate weeks).
+///
+/// # Examples
+///
+/// ```
+/// use ic_linalg::project_to_simplex;
+///
+/// let p = project_to_simplex(&[0.5, 0.5, 0.5], 1.0);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!((p[0] - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn project_to_simplex(v: &[f64], radius: f64) -> Vec<f64> {
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "simplex radius must be positive and finite"
+    );
+    let n = v.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let clean: Vec<f64> = v
+        .iter()
+        .map(|&x| if x.is_finite() { x } else { 0.0 })
+        .collect();
+    // Sort descending.
+    let mut u = clean.clone();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("cleaned values are finite"));
+    // Find rho = max{ j : u_j - (Σ_{k<=j} u_k - radius)/j > 0 }.
+    let mut cumsum = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (j, &uj) in u.iter().enumerate() {
+        cumsum += uj;
+        let candidate = (cumsum - radius) / (j as f64 + 1.0);
+        if uj - candidate > 0.0 {
+            rho = j + 1;
+            theta = candidate;
+        }
+    }
+    if rho == 0 {
+        // All mass collapses onto the largest coordinate (can only happen
+        // with pathological inputs); distribute uniformly as a safe default.
+        return vec![radius / n as f64; n];
+    }
+    clean.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Normalizes a non-negative vector to sum to one.
+///
+/// Returns `None` if the sum is not positive (all-zero or negative mass),
+/// in which case callers typically fall back to the uniform distribution.
+pub fn normalize_to_unit_sum(v: &[f64]) -> Option<Vec<f64>> {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        Some(v.iter().map(|&x| x / sum).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_simplex(p: &[f64], radius: f64) -> bool {
+        p.iter().all(|&x| x >= -1e-12) && (p.iter().sum::<f64>() - radius).abs() < 1e-9
+    }
+
+    #[test]
+    fn already_on_simplex_is_fixed_point() {
+        let p = [0.2, 0.3, 0.5];
+        let proj = project_to_simplex(&p, 1.0);
+        for (a, b) in p.iter().zip(proj.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_input_projects_uniformly() {
+        let proj = project_to_simplex(&[7.0, 7.0, 7.0, 7.0], 1.0);
+        assert!(on_simplex(&proj, 1.0));
+        for &x in &proj {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_entries_are_zeroed() {
+        let proj = project_to_simplex(&[1.0, -100.0], 1.0);
+        assert!(on_simplex(&proj, 1.0));
+        assert_eq!(proj[1], 0.0);
+        assert!((proj[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_custom_radius() {
+        let proj = project_to_simplex(&[1.0, 2.0, 3.0], 6.0);
+        assert!(on_simplex(&proj, 6.0));
+        // Input already sums to 6 and is non-negative: fixed point.
+        assert!((proj[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_is_closest_point() {
+        // Compare against a brute-force grid for a 2-simplex.
+        let v = [0.9, 0.4];
+        let proj = project_to_simplex(&v, 1.0);
+        let d_proj: f64 = v
+            .iter()
+            .zip(proj.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let mut best = f64::INFINITY;
+        let steps = 2000;
+        for i in 0..=steps {
+            let x0 = i as f64 / steps as f64;
+            let x1 = 1.0 - x0;
+            let d = (v[0] - x0).powi(2) + (v[1] - x1).powi(2);
+            best = best.min(d);
+        }
+        assert!(d_proj <= best + 1e-6);
+    }
+
+    #[test]
+    fn handles_nan_input_defensively() {
+        let proj = project_to_simplex(&[f64::NAN, 1.0], 1.0);
+        assert!(on_simplex(&proj, 1.0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(project_to_simplex(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_panics() {
+        project_to_simplex(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn normalize_happy_path() {
+        let p = normalize_to_unit_sum(&[2.0, 2.0]).unwrap();
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_mass() {
+        assert!(normalize_to_unit_sum(&[0.0, 0.0]).is_none());
+        assert!(normalize_to_unit_sum(&[]).is_none());
+    }
+
+    #[test]
+    fn normalize_rejects_infinite_mass() {
+        assert!(normalize_to_unit_sum(&[f64::INFINITY, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check the *defining axioms* of each kernel on randomized inputs:
+//! QR reconstructs and orthogonalizes, the pseudo-inverse satisfies all
+//! four Moore–Penrose conditions, NNLS satisfies KKT, and the simplex
+//! projection lands on the simplex and is idempotent.
+
+use ic_linalg::pinv::satisfies_moore_penrose;
+use ic_linalg::qr::solve;
+use ic_linalg::{nnls, project_to_simplex, pseudo_inverse, Matrix, NnlsOptions, Qr, Svd};
+use proptest::prelude::*;
+
+/// Strategy: matrix of the given shape with entries in [-10, 10].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized data"))
+}
+
+fn small_shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..7, 1usize..7).prop_map(|(m, n)| if m >= n { (m, n) } else { (n, m) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs((m, n) in small_shape(), seed in any::<u64>()) {
+        let a = deterministic_matrix(m, n, seed);
+        let qr = Qr::factor(&a).unwrap();
+        let back = qr.q_thin().matmul(&qr.r()).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal((m, n) in small_shape(), seed in any::<u64>()) {
+        let a = deterministic_matrix(m, n, seed);
+        let q = Qr::factor(&a).unwrap().q_thin();
+        let qtq = q.gram();
+        // Columns associated with zero reflectors may be exactly e_j; the
+        // Gram matrix is still near identity for full-rank random input.
+        prop_assert!(qtq.approx_eq(&Matrix::identity(n), 1e-7));
+    }
+
+    #[test]
+    fn svd_reconstructs(rows in 1usize..7, cols in 1usize..7, seed in any::<u64>()) {
+        let a = deterministic_matrix(rows, cols, seed);
+        let svd = Svd::factor(&a).unwrap();
+        let back = svd.reconstruct().unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-7 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn svd_values_sorted_nonnegative(rows in 1usize..7, cols in 1usize..7, seed in any::<u64>()) {
+        let a = deterministic_matrix(rows, cols, seed);
+        let svd = Svd::factor(&a).unwrap();
+        let s = svd.singular_values();
+        prop_assert!(s.iter().all(|&x| x >= 0.0));
+        prop_assert!(s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn pinv_satisfies_all_axioms(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        let a = deterministic_matrix(rows, cols, seed);
+        let p = pseudo_inverse(&a, None).unwrap();
+        let scale = 1.0 + a.max_abs().max(p.max_abs());
+        prop_assert!(satisfies_moore_penrose(&a, &p, 1e-6 * scale * scale));
+    }
+
+    #[test]
+    fn nnls_is_feasible_and_kkt(rows in 1usize..7, cols in 1usize..5, seed in any::<u64>()) {
+        let a = deterministic_matrix(rows, cols, seed);
+        let b: Vec<f64> = deterministic_matrix(rows, 1, seed ^ 0x9e37_79b9).into_vec();
+        let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let w = a.matvec_transposed(&r).unwrap();
+        let scale = 1.0 + a.max_abs() * (1.0 + b.iter().fold(0.0_f64, |m, &v| m.max(v.abs())));
+        for (j, (&xj, &wj)) in x.iter().zip(w.iter()).enumerate() {
+            if xj > 1e-8 {
+                prop_assert!(wj.abs() <= 1e-5 * scale, "stationarity at {}: {}", j, wj);
+            } else {
+                prop_assert!(wj <= 1e-5 * scale, "dual feasibility at {}: {}", j, wj);
+            }
+        }
+    }
+
+    #[test]
+    fn simplex_projection_lands_on_simplex(v in proptest::collection::vec(-5.0_f64..5.0, 1..12)) {
+        let p = project_to_simplex(&v, 1.0);
+        prop_assert_eq!(p.len(), v.len());
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_projection_is_idempotent(v in proptest::collection::vec(-5.0_f64..5.0, 1..12)) {
+        let p1 = project_to_simplex(&v, 1.0);
+        let p2 = project_to_simplex(&p1, 1.0);
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_consistent_square_systems(n in 1usize..6, seed in any::<u64>()) {
+        // Build a well-conditioned matrix: random + n * I.
+        let mut a = deterministic_matrix(n, n, seed);
+        for i in 0..n {
+            let v = a[(i, i)] + 20.0;
+            a[(i, i)] = v;
+        }
+        let x_true: Vec<f64> = deterministic_matrix(n, 1, seed ^ 0xdead_beef).into_vec();
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(seed in any::<u64>()) {
+        let a = deterministic_matrix(3, 4, seed);
+        let b = deterministic_matrix(4, 2, seed ^ 1);
+        let c = deterministic_matrix(2, 5, seed ^ 2);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-7 * (1.0 + left.max_abs())));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(seed in any::<u64>()) {
+        let a = deterministic_matrix(3, 4, seed);
+        let b = deterministic_matrix(4, 2, seed ^ 7);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9 * (1.0 + lhs.max_abs())));
+    }
+}
+
+/// Deterministic pseudo-random matrix from a seed (splitmix64), so proptest
+/// shrinking stays meaningful.
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z = z ^ (z >> 31);
+        // Map to [-10, 10).
+        (z as f64 / u64::MAX as f64) * 20.0 - 10.0
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).expect("sized data")
+}

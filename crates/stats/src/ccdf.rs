@@ -1,0 +1,163 @@
+//! Empirical complementary CDFs and Kolmogorov–Smirnov distances.
+//!
+//! Figure 7 of the paper plots the log-log CCDF of the fitted preference
+//! values against the best-fit exponential and lognormal curves, arguing
+//! that the long-tailed lognormal matches the tail better. This module
+//! provides the empirical CCDF and a KS distance for quantifying "better".
+
+use crate::{Result, StatsError};
+
+/// An empirical complementary CDF: for each sorted sample value `x`,
+/// `P(X > x)` estimated as the fraction of strictly greater observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ccdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Ccdf {
+    /// The `(value, P(X > value))` pairs, sorted by value.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the empirical CCDF at `x` (step function, right limits).
+    pub fn eval(&self, x: f64) -> f64 {
+        // Number of observations strictly greater than x, via binary search.
+        let n = self.points.len() as f64;
+        let idx = self.points.partition_point(|&(v, _)| v <= x);
+        (self.points.len() - idx) as f64 / n
+    }
+}
+
+/// Builds the empirical CCDF of `xs`; errors on empty input.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stats::empirical_ccdf;
+///
+/// let ccdf = empirical_ccdf(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(ccdf.eval(2.5), 0.5);
+/// assert_eq!(ccdf.eval(0.0), 1.0);
+/// assert_eq!(ccdf.eval(4.0), 0.0);
+/// ```
+pub fn empirical_ccdf(xs: &[f64]) -> Result<Ccdf> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("ccdf of empty sample"));
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::InsufficientData(
+            "ccdf requires finite observations",
+        ));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let points = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (sorted.len() - i - 1) as f64 / n))
+        .collect();
+    Ok(Ccdf { points })
+}
+
+/// Kolmogorov–Smirnov distance between a sample and an analytic CCDF.
+///
+/// `model_ccdf(x)` must return `P(X > x)` under the model. The statistic is
+/// `sup_x |F_n(x) − F(x)|`, evaluated at the sample points (where the
+/// supremum of the difference with a continuous model is attained).
+pub fn ks_distance(xs: &[f64], model_ccdf: impl Fn(f64) -> f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("ks distance of empty sample"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let model_cdf = 1.0 - model_ccdf(x);
+        // Empirical CDF just below and at x.
+        let below = i as f64 / n;
+        let at = (i + 1) as f64 / n;
+        d = d.max((model_cdf - below).abs()).max((at - model_cdf).abs());
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, LogNormal, Sample};
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn ccdf_step_function() {
+        let c = empirical_ccdf(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(c.eval(0.5), 1.0);
+        assert!((c.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.eval(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.eval(2.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn ccdf_points_sorted() {
+        let c = empirical_ccdf(&[5.0, 1.0, 3.0]).unwrap();
+        let vals: Vec<f64> = c.points().iter().map(|&(v, _)| v).collect();
+        assert_eq!(vals, vec![1.0, 3.0, 5.0]);
+        // Probabilities decrease.
+        let probs: Vec<f64> = c.points().iter().map(|&(_, p)| p).collect();
+        assert!(probs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn ccdf_rejects_bad_input() {
+        assert!(empirical_ccdf(&[]).is_err());
+        assert!(empirical_ccdf(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ks_distance_zero_for_own_quantiles() {
+        // Sample = exact quantiles of Exp(1): KS should be small (1/(2n)).
+        let d = Exponential::new(1.0).unwrap();
+        let n = 100;
+        let xs: Vec<f64> = (1..=n)
+            .map(|i| {
+                let u = (i as f64 - 0.5) / n as f64;
+                -(1.0 - u).ln()
+            })
+            .collect();
+        let ks = ks_distance(&xs, |x| d.ccdf(x)).unwrap();
+        assert!(ks <= 0.5 / n as f64 + 1e-9, "ks = {ks}");
+    }
+
+    #[test]
+    fn ks_separates_exponential_from_lognormal() {
+        // This is the statistical heart of Figure 7: a lognormal sample is
+        // fitted far better by the lognormal CCDF than the exponential.
+        let mut rng = seeded_rng(77);
+        let ln = LogNormal::new(-4.3, 1.7).unwrap();
+        let xs = ln.sample_n(&mut rng, 400);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let exp_fit = Exponential::new(1.0 / mean).unwrap();
+        let ks_ln = ks_distance(&xs, |x| ln.ccdf(x)).unwrap();
+        let ks_exp = ks_distance(&xs, |x| exp_fit.ccdf(x)).unwrap();
+        assert!(
+            ks_ln < ks_exp,
+            "lognormal should fit better: {ks_ln} vs {ks_exp}"
+        );
+        assert!(ks_exp > 0.2, "exponential badly misfits the tail: {ks_exp}");
+    }
+
+    #[test]
+    fn ks_empty_errors() {
+        assert!(ks_distance(&[], |_| 0.5).is_err());
+    }
+
+    #[test]
+    fn ks_is_bounded_by_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ks = ks_distance(&xs, |_| 0.0).unwrap(); // model says everything tiny
+        assert!(ks <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,576 @@
+//! Probability distributions with deterministic samplers.
+//!
+//! Implemented from scratch on top of `rand`'s uniform source (the offline
+//! crate set does not include `rand_distr`): Box–Muller normals, lognormal,
+//! inverse-CDF exponential and Pareto, Knuth/normal-approximation Poisson,
+//! and rejection-sampled truncated normals.
+//!
+//! Each distribution also exposes its density/CCDF where the toolkit needs
+//! it (the Figure 7 tail comparison evaluates analytic CCDFs).
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Common sampling interface for the distributions in this module.
+pub trait Sample {
+    /// Draws one value using the supplied RNG.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` values into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std` must be positive and finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self> {
+        if !(std > 0.0) || !std.is_finite() || !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "std",
+                value: std,
+                constraint: "must be positive and finite (mean must be finite)",
+            });
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        standard_normal_cdf((x - self.mean) / self.std)
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one value per call keeps the implementation simple
+        // and the stream deterministic.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.mean + self.std * r * theta.cos()
+    }
+}
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma²)`.
+///
+/// This is the paper's model for the tail of the preference values `{P_i}`
+/// (Figure 7; the reported MLE was `mu ≈ −4.3, sigma ≈ 1.7`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal distribution; `sigma` must be positive/finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma > 0.0) || !sigma.is_finite() || !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be positive and finite (mu must be finite)",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Location parameter (mean of `ln X`).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter (std of `ln X`).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Distribution mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Complementary CDF `P(X > x)`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        1.0 - standard_normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = Normal::standard().sample(rng);
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Exponential distribution with the given rate `λ` (mean `1/λ`).
+///
+/// Roughan \[17\] suggested exponentially distributed node totals as gravity
+/// model inputs; Figure 7 compares this tail against the lognormal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution; `rate` must be positive/finite.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Distribution mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Complementary CDF `exp(−λx)`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for heavy-tailed connection sizes in the flow simulator — the
+/// elephants-and-mice structure of Internet flows is what makes sampled
+/// NetFlow noisy, and the simulator must reproduce that noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; both parameters must be positive.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self> {
+        if !(x_min > 0.0) || !x_min.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "x_min",
+                value: x_min,
+                constraint: "must be positive and finite",
+            });
+        }
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+
+    /// Scale parameter (minimum value).
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Shape (tail index); smaller is heavier-tailed.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Distribution mean (infinite when `alpha <= 1`).
+    pub fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        }
+    }
+
+    /// Complementary CDF `(x_min/x)^alpha` for `x >= x_min`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if x <= self.x_min {
+            1.0
+        } else {
+            (self.x_min / x).powf(self.alpha)
+        }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Models the number of sampled packets under 1-in-N NetFlow thinning and
+/// per-bin connection arrival counts. Uses Knuth's product method for
+/// small `lambda` and a normal approximation (continuity-corrected,
+/// clamped at zero) for large `lambda`, which is accurate far beyond the
+/// needs of the thinning model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Threshold above which the normal approximation to Poisson is used.
+const POISSON_NORMAL_THRESHOLD: f64 = 64.0;
+
+impl Poisson {
+    /// Creates a Poisson distribution; `lambda` must be non-negative/finite.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda >= 0.0) || !lambda.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                constraint: "must be non-negative and finite",
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// Mean (= variance) of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws an integer count.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < POISSON_NORMAL_THRESHOLD {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+                // Defensive cap: probability of reaching this is ~0 for
+                // lambda < 64, but a cap keeps the loop total.
+                if k > 10_000 {
+                    return k;
+                }
+            }
+        } else {
+            let z = Normal::standard().sample(rng);
+            let x = self.lambda + self.lambda.sqrt() * z + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+}
+
+impl Sample for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_count(rng) as f64
+    }
+}
+
+/// Normal distribution truncated to `[lo, hi]`, sampled by rejection.
+///
+/// Used for bounded multiplicative noise (e.g. per-pair forward-ratio
+/// jitter must stay inside `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal; requires `lo < hi` and a valid base
+    /// normal. Rejection sampling is efficient as long as `[lo, hi]` has
+    /// non-negligible mass; a deterministic fallback (clamping) kicks in
+    /// after a bounded number of rejections so sampling always terminates.
+    pub fn new(mean: f64, std: f64, lo: f64, hi: f64) -> Result<Self> {
+        if !(lo < hi) {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+                constraint: "requires lo < hi",
+            });
+        }
+        Ok(TruncatedNormal {
+            inner: Normal::new(mean, std)?,
+            lo,
+            hi,
+        })
+    }
+
+    /// Lower truncation bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper truncation bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sample for TruncatedNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..256 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        // Pathological truncation window: fall back to clamping.
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Standard normal CDF via an Abramowitz–Stegun style erf approximation.
+///
+/// Absolute error is below 1.5e-7, far tighter than any tolerance used in
+/// the toolkit's statistical comparisons.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / core::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::summary::Summary;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let xs = d.sample_n(&mut rng, 50_000);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 3.0).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std - 2.0).abs() < 0.05, "std {}", s.std);
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        let d = Normal::standard();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((d.cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((d.cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut rng = seeded_rng(2);
+        let d = LogNormal::new(-4.3, 1.7).unwrap();
+        let xs = d.sample_n(&mut rng, 100_000);
+        // Compare mean of logs, which is the MLE and robust to tail noise.
+        let logs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let s = Summary::of(&logs).unwrap();
+        assert!((s.mean + 4.3).abs() < 0.03, "mu-hat {}", s.mean);
+        assert!((s.std - 1.7).abs() < 0.03, "sigma-hat {}", s.std);
+    }
+
+    #[test]
+    fn lognormal_all_positive() {
+        let mut rng = seeded_rng(3);
+        let d = LogNormal::new(0.0, 3.0).unwrap();
+        assert!(d.sample_n(&mut rng, 1000).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_ccdf_bounds() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.ccdf(-1.0), 1.0);
+        assert!((d.ccdf(1.0) - 0.5).abs() < 1e-7); // median of LN(0,1) is 1
+        assert!(d.ccdf(1e9) < 1e-6);
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        assert!((d.mean() - (1.0 + 0.125_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_moments_and_ccdf() {
+        let mut rng = seeded_rng(4);
+        let d = Exponential::new(0.5).unwrap();
+        assert_eq!(d.mean(), 2.0);
+        let xs = d.sample_n(&mut rng, 50_000);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 2.0).abs() < 0.05);
+        assert!((d.ccdf(2.0) - (-1.0_f64).exp()).abs() < 1e-12);
+        assert_eq!(d.ccdf(0.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pareto_tail_and_support() {
+        let mut rng = seeded_rng(5);
+        let d = Pareto::new(10.0, 1.5).unwrap();
+        let xs = d.sample_n(&mut rng, 20_000);
+        assert!(xs.iter().all(|&x| x >= 10.0));
+        // Empirical CCDF at 2*x_min should match (1/2)^1.5 ≈ 0.3536.
+        let frac = xs.iter().filter(|&&x| x > 20.0).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.3536).abs() < 0.02, "tail fraction {frac}");
+        assert!((d.mean() - 30.0).abs() < 1e-12);
+        assert!(Pareto::new(1.0, 0.9).unwrap().mean().is_infinite());
+    }
+
+    #[test]
+    fn pareto_rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = seeded_rng(6);
+        let d = Poisson::new(3.5).unwrap();
+        let xs = d.sample_n(&mut rng, 50_000);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 3.5).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std * s.std - 3.5).abs() < 0.15, "var {}", s.std * s.std);
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = seeded_rng(7);
+        let d = Poisson::new(500.0).unwrap();
+        let xs = d.sample_n(&mut rng, 20_000);
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 500.0).abs() < 1.0, "mean {}", s.mean);
+        assert!((s.std - 500.0_f64.sqrt()).abs() < 0.5, "std {}", s.std);
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = seeded_rng(8);
+        let d = Poisson::new(0.0).unwrap();
+        assert_eq!(d.sample_count(&mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_rejects_negative() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = seeded_rng(9);
+        let d = TruncatedNormal::new(0.25, 0.2, 0.0, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng, 5_000);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn truncated_normal_pathological_window_terminates() {
+        let mut rng = seeded_rng(10);
+        // Window 40 sigma away from the mean: rejection always fails, the
+        // clamp fallback must kick in.
+        let d = TruncatedNormal::new(0.0, 1.0, 40.0, 41.0).unwrap();
+        let x = d.sample(&mut rng);
+        assert!((40.0..=41.0).contains(&x));
+    }
+
+    #[test]
+    fn truncated_normal_rejects_inverted_bounds() {
+        assert!(TruncatedNormal::new(0.0, 1.0, 1.0, 0.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables; the A&S 7.1.26 approximation is
+        // accurate to ~1.5e-7, including a ~1e-9 residual at 0.
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn sample_n_length() {
+        let mut rng = seeded_rng(11);
+        assert_eq!(Normal::standard().sample_n(&mut rng, 17).len(), 17);
+    }
+}

@@ -1,0 +1,368 @@
+//! Cyclostationary diurnal activity model.
+//!
+//! Section 5.4 of the paper observes that activity levels `A_i(t)` show
+//! "strong periodic patterns ... corresponding to daily variation as well as
+//! to reduced activity on the weekend", and that nodes with higher activity
+//! show a *more pronounced* (less noisy) pattern, "consistent with the
+//! aggregation of a higher number of users". Section 5.5 recommends a
+//! cyclostationary model (superposition of a limited number of periodic
+//! waveforms, Soule et al. \[20\]) for generating activity inputs.
+//!
+//! [`DiurnalModel`] implements exactly that: a base level modulated by one
+//! or two daily harmonics, attenuated on weekends, with multiplicative
+//! lognormal noise whose coefficient of variation shrinks as the base level
+//! grows (the aggregation effect).
+
+use crate::dist::{LogNormal, Sample};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Shape of the daily/weekly cycle, shared by all nodes of a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Number of time bins per day (e.g. 288 for 5-minute bins).
+    pub bins_per_day: usize,
+    /// Fraction of the day at which activity peaks (0.58 ≈ 14:00).
+    pub peak_time: f64,
+    /// Relative amplitude of the fundamental daily harmonic, in `[0, 1)`.
+    pub daily_amplitude: f64,
+    /// Relative amplitude of the second harmonic (morning/evening double
+    /// hump); usually much smaller than `daily_amplitude`.
+    pub second_harmonic: f64,
+    /// Multiplier applied on Saturdays and Sundays (e.g. 0.6 for a 40%
+    /// weekend dip).
+    pub weekend_factor: f64,
+    /// Day of week of bin 0, with 0 = Monday … 6 = Sunday.
+    pub start_weekday: usize,
+}
+
+impl DiurnalProfile {
+    /// A profile resembling European research-network traffic: 5-minute
+    /// bins, mid-afternoon peak, pronounced diurnal swing, weekend dip.
+    pub fn european_5min() -> Self {
+        DiurnalProfile {
+            bins_per_day: 288,
+            peak_time: 0.58,
+            daily_amplitude: 0.55,
+            second_harmonic: 0.12,
+            weekend_factor: 0.60,
+            start_weekday: 0,
+        }
+    }
+
+    /// The same shape at 15-minute resolution (96 bins/day).
+    pub fn european_15min() -> Self {
+        DiurnalProfile {
+            bins_per_day: 96,
+            ..Self::european_5min()
+        }
+    }
+
+    /// Validates the profile parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.bins_per_day == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins_per_day",
+                value: 0.0,
+                constraint: "must be positive",
+            });
+        }
+        if !(0.0..1.0).contains(&self.peak_time) {
+            return Err(StatsError::InvalidParameter {
+                name: "peak_time",
+                value: self.peak_time,
+                constraint: "must lie in [0, 1)",
+            });
+        }
+        if !(0.0..1.0).contains(&self.daily_amplitude) {
+            return Err(StatsError::InvalidParameter {
+                name: "daily_amplitude",
+                value: self.daily_amplitude,
+                constraint: "must lie in [0, 1)",
+            });
+        }
+        if self.second_harmonic < 0.0 || self.second_harmonic + self.daily_amplitude >= 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "second_harmonic",
+                value: self.second_harmonic,
+                constraint: "must be >= 0 with daily_amplitude + second_harmonic < 1",
+            });
+        }
+        if !(self.weekend_factor > 0.0) || self.weekend_factor > 1.5 {
+            return Err(StatsError::InvalidParameter {
+                name: "weekend_factor",
+                value: self.weekend_factor,
+                constraint: "must lie in (0, 1.5]",
+            });
+        }
+        if self.start_weekday > 6 {
+            return Err(StatsError::InvalidParameter {
+                name: "start_weekday",
+                value: self.start_weekday as f64,
+                constraint: "must lie in 0..=6 (0 = Monday)",
+            });
+        }
+        Ok(())
+    }
+
+    /// The deterministic (noise-free) modulation factor at bin `t`.
+    ///
+    /// Always strictly positive for a validated profile.
+    pub fn modulation(&self, t: usize) -> f64 {
+        let day = t / self.bins_per_day;
+        let frac = (t % self.bins_per_day) as f64 / self.bins_per_day as f64;
+        let phase = 2.0 * core::f64::consts::PI * (frac - self.peak_time);
+        let cycle = 1.0 + self.daily_amplitude * phase.cos()
+            + self.second_harmonic * (2.0 * phase).cos();
+        let weekday = (self.start_weekday + day) % 7;
+        let weekend = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        cycle * weekend
+    }
+}
+
+/// Per-node activity generator: base level × diurnal modulation × noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalModel {
+    profile: DiurnalProfile,
+    base: f64,
+    noise_cv: f64,
+}
+
+impl DiurnalModel {
+    /// Creates a model for one node.
+    ///
+    /// * `base` — mean activity level in bytes per bin; must be positive.
+    /// * `noise_cv` — coefficient of variation of the multiplicative
+    ///   lognormal noise; must be in `[0, 2]`.
+    pub fn new(profile: DiurnalProfile, base: f64, noise_cv: f64) -> Result<Self> {
+        profile.validate()?;
+        if !(base > 0.0) || !base.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "base",
+                value: base,
+                constraint: "must be positive and finite",
+            });
+        }
+        if !(0.0..=2.0).contains(&noise_cv) {
+            return Err(StatsError::InvalidParameter {
+                name: "noise_cv",
+                value: noise_cv,
+                constraint: "must lie in [0, 2]",
+            });
+        }
+        Ok(DiurnalModel {
+            profile,
+            base,
+            noise_cv,
+        })
+    }
+
+    /// Creates a model whose noise shrinks with aggregation level, the
+    /// Section 5.4 effect: `cv = cv_ref * sqrt(base_ref / base)`, clamped
+    /// to `[0.02, 0.8]`.
+    pub fn with_aggregation_noise(
+        profile: DiurnalProfile,
+        base: f64,
+        cv_ref: f64,
+        base_ref: f64,
+    ) -> Result<Self> {
+        if !(base_ref > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "base_ref",
+                value: base_ref,
+                constraint: "must be positive",
+            });
+        }
+        let cv = (cv_ref * (base_ref / base).sqrt()).clamp(0.02, 0.8);
+        DiurnalModel::new(profile, base, cv)
+    }
+
+    /// Base (mean) activity level.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Noise coefficient of variation.
+    pub fn noise_cv(&self) -> f64 {
+        self.noise_cv
+    }
+
+    /// The profile shared with other nodes.
+    pub fn profile(&self) -> &DiurnalProfile {
+        &self.profile
+    }
+
+    /// Deterministic expected value at bin `t` (no noise).
+    pub fn expected(&self, t: usize) -> f64 {
+        self.base * self.profile.modulation(t)
+    }
+
+    /// Samples the activity level at bin `t`.
+    pub fn sample_at<R: Rng + ?Sized>(&self, t: usize, rng: &mut R) -> f64 {
+        let expected = self.expected(t);
+        if self.noise_cv == 0.0 {
+            return expected;
+        }
+        // Lognormal multiplicative noise with unit mean and the requested
+        // coefficient of variation: sigma² = ln(1 + cv²), mu = −sigma²/2.
+        let sigma2 = (1.0 + self.noise_cv * self.noise_cv).ln();
+        let noise = LogNormal::new(-sigma2 / 2.0, sigma2.sqrt())
+            .expect("validated parameters")
+            .sample(rng);
+        expected * noise
+    }
+
+    /// Generates a full activity time series of `bins` values.
+    pub fn generate<R: Rng + ?Sized>(&self, bins: usize, rng: &mut R) -> Vec<f64> {
+        (0..bins).map(|t| self.sample_at(t, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::summary::Summary;
+
+    fn profile() -> DiurnalProfile {
+        DiurnalProfile::european_5min()
+    }
+
+    #[test]
+    fn builtin_profiles_validate() {
+        assert!(DiurnalProfile::european_5min().validate().is_ok());
+        assert!(DiurnalProfile::european_15min().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut p = profile();
+        p.bins_per_day = 0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.peak_time = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.daily_amplitude = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.second_harmonic = 0.6;
+        p.daily_amplitude = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.weekend_factor = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.start_weekday = 7;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn modulation_is_positive_and_periodic() {
+        let p = profile();
+        for t in 0..(7 * p.bins_per_day) {
+            assert!(p.modulation(t) > 0.0, "bin {t}");
+        }
+        // Same time of day on two weekdays match.
+        assert!((p.modulation(10) - p.modulation(10 + p.bins_per_day)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modulation_peaks_near_peak_time() {
+        let p = profile();
+        let peak_bin = (p.peak_time * p.bins_per_day as f64) as usize;
+        let peak = p.modulation(peak_bin);
+        let trough_bin = (peak_bin + p.bins_per_day / 2) % p.bins_per_day;
+        let trough = p.modulation(trough_bin);
+        assert!(
+            peak > 1.3 && trough < 0.7,
+            "peak {peak}, trough {trough}"
+        );
+    }
+
+    #[test]
+    fn weekend_attenuation_applies() {
+        let p = profile(); // starts Monday
+        let sat_bin = 5 * p.bins_per_day + 10;
+        let mon_bin = 10;
+        let ratio = p.modulation(sat_bin) / p.modulation(mon_bin);
+        assert!((ratio - p.weekend_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_weekday_shifts_weekend() {
+        let mut p = profile();
+        p.start_weekday = 5; // starts Saturday
+        assert!((p.modulation(10) / profile().modulation(10) - p.weekend_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_validates_params() {
+        assert!(DiurnalModel::new(profile(), 0.0, 0.1).is_err());
+        assert!(DiurnalModel::new(profile(), -1.0, 0.1).is_err());
+        assert!(DiurnalModel::new(profile(), 1.0, -0.1).is_err());
+        assert!(DiurnalModel::new(profile(), 1.0, 3.0).is_err());
+        assert!(DiurnalModel::new(profile(), 1e6, 0.2).is_ok());
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic() {
+        let m = DiurnalModel::new(profile(), 100.0, 0.0).unwrap();
+        let mut rng = seeded_rng(1);
+        for t in 0..10 {
+            assert_eq!(m.sample_at(t, &mut rng), m.expected(t));
+        }
+    }
+
+    #[test]
+    fn noise_has_unit_mean() {
+        let m = DiurnalModel::new(profile(), 1000.0, 0.3).unwrap();
+        let mut rng = seeded_rng(2);
+        // Sample one fixed bin many times; the mean must approach expected.
+        let xs: Vec<f64> = (0..40_000).map(|_| m.sample_at(0, &mut rng)).collect();
+        let s = Summary::of(&xs).unwrap();
+        let expected = m.expected(0);
+        assert!(
+            (s.mean - expected).abs() / expected < 0.02,
+            "mean {} vs expected {}",
+            s.mean,
+            expected
+        );
+        let cv = s.std / s.mean;
+        assert!((cv - 0.3).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn aggregation_reduces_noise() {
+        let small = DiurnalModel::with_aggregation_noise(profile(), 1e5, 0.3, 1e7).unwrap();
+        let large = DiurnalModel::with_aggregation_noise(profile(), 1e9, 0.3, 1e7).unwrap();
+        assert!(small.noise_cv() > large.noise_cv());
+        assert!(large.noise_cv() >= 0.02);
+        assert!(small.noise_cv() <= 0.8);
+        assert!(DiurnalModel::with_aggregation_noise(profile(), 1.0, 0.3, 0.0).is_err());
+    }
+
+    #[test]
+    fn generate_produces_weeklong_series() {
+        let p = profile();
+        let m = DiurnalModel::new(p, 500.0, 0.1).unwrap();
+        let mut rng = seeded_rng(3);
+        let week = m.generate(7 * p.bins_per_day, &mut rng);
+        assert_eq!(week.len(), 2016);
+        assert!(week.iter().all(|&x| x > 0.0));
+        // Weekday daytime mean exceeds weekend daytime mean.
+        let weekday_slice = &week[0..p.bins_per_day];
+        let weekend_slice = &week[5 * p.bins_per_day..6 * p.bins_per_day];
+        let wd = Summary::of(weekday_slice).unwrap().mean;
+        let we = Summary::of(weekend_slice).unwrap().mean;
+        assert!(wd > we, "weekday {wd} vs weekend {we}");
+    }
+
+    #[test]
+    fn accessors() {
+        let m = DiurnalModel::new(profile(), 5.0, 0.2).unwrap();
+        assert_eq!(m.base(), 5.0);
+        assert_eq!(m.noise_cv(), 0.2);
+        assert_eq!(m.profile().bins_per_day, 288);
+    }
+}

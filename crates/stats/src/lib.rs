@@ -1,0 +1,102 @@
+//! # ic-stats — statistics substrate
+//!
+//! Probability distributions, estimators, and time-series models used across
+//! the independent-connection traffic-matrix toolkit. The paper's
+//! characterization study (Section 5) needs:
+//!
+//! * samplers for the long-tailed **lognormal** preference distribution, the
+//!   **exponential** strawman it is compared against (Figure 7), heavy-tailed
+//!   **Pareto** connection sizes, and **Poisson** packet counts for the
+//!   NetFlow 1/1000 thinning model ([`dist`]),
+//! * maximum-likelihood fitters and empirical CCDFs with Kolmogorov–Smirnov
+//!   distances for the Figure 7 comparison ([`fit`], [`ccdf`]),
+//! * Pearson/Spearman correlation for the "preference is uncorrelated with
+//!   egress volume / activity" analyses of Figure 8 and Section 5.4
+//!   ([`corr`]),
+//! * descriptive statistics ([`summary`]),
+//! * the **cyclostationary diurnal activity model** (daily/weekly harmonics
+//!   with weekend attenuation, in the spirit of Soule et al. \[20\]) that
+//!   generates the `A_i(t)` inputs for synthetic traffic matrices
+//!   ([`diurnal`]),
+//! * deterministic seeding helpers so every experiment in the repository is
+//!   reproducible bit-for-bit ([`rng`]).
+//!
+//! The `repro` note for this paper flags the thin Rust stats ecosystem; this
+//! crate is therefore self-contained on top of `rand` (no `rand_distr`,
+//! no `statrs`).
+
+pub mod ccdf;
+pub mod corr;
+pub mod dist;
+pub mod diurnal;
+pub mod fit;
+pub mod rng;
+pub mod summary;
+pub mod timeseries;
+
+pub use ccdf::{empirical_ccdf, ks_distance, Ccdf};
+pub use corr::{pearson, spearman};
+pub use dist::{Exponential, LogNormal, Normal, Pareto, Poisson, Sample, TruncatedNormal};
+pub use diurnal::{DiurnalModel, DiurnalProfile};
+pub use fit::{fit_exponential_mle, fit_lognormal_mle, ExponentialFit, LogNormalFit};
+pub use rng::seeded_rng;
+pub use summary::Summary;
+pub use timeseries::{autocorrelation, dominant_period, moving_average, periodicity_strength};
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter is out of its domain.
+    InvalidParameter {
+        /// Parameter name, e.g. `"sigma"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be positive"`.
+        constraint: &'static str,
+    },
+    /// The input sample is empty or otherwise unusable for estimation.
+    InsufficientData(&'static str),
+}
+
+impl core::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            StatsError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = StatsError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+            constraint: "must be positive",
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(StatsError::InsufficientData("empty sample")
+            .to_string()
+            .contains("empty sample"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&StatsError::InsufficientData("x"));
+    }
+}

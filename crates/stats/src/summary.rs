@@ -1,0 +1,168 @@
+//! Descriptive statistics.
+
+use crate::{Result, StatsError};
+
+/// Summary statistics of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; errors on an empty sample.
+    pub fn of(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::InsufficientData("summary of empty sample"));
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = if xs.len() > 1 {
+            xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Ok(Summary {
+            count: xs.len(),
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+            median: quantile(xs, 0.5)?,
+        })
+    }
+}
+
+/// Empirical quantile with linear interpolation between order statistics.
+///
+/// `q` must lie in `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("quantile of empty sample"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            value: q,
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Mean of a slice; errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("mean of empty sample"));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Coefficient of variation `std / mean`; errors when the mean is zero or
+/// the sample is empty.
+pub fn coefficient_of_variation(xs: &[f64]) -> Result<f64> {
+    let s = Summary::of(xs)?;
+    if s.mean == 0.0 {
+        return Err(StatsError::InsufficientData(
+            "coefficient of variation undefined for zero mean",
+        ));
+    }
+    Ok(s.std / s.mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1 denominator: sqrt(32/7).
+        assert!((s.std - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn summary_empty_errors() {
+        assert!(Summary::of(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_validates_q() {
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn mean_and_cv() {
+        assert_eq!(mean(&[1.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+        let cv = coefficient_of_variation(&[1.0, 3.0]).unwrap();
+        assert!((cv - core::f64::consts::SQRT_2 / 2.0).abs() < 1e-12);
+        assert!(coefficient_of_variation(&[-1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Time-series analysis utilities.
+//!
+//! Used to *verify* the temporal structure the paper describes rather than
+//! just eyeball it: Figure 9's "strong periodic patterns ... corresponding
+//! to daily variation" becomes a measurable statement (autocorrelation
+//! peak at the one-day lag), and weekend attenuation becomes a ratio test.
+
+use crate::{Result, StatsError};
+
+/// Sample autocorrelation at lag `k` (biased estimator, as standard).
+///
+/// Errors on an empty series, a lag outside the series, or zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stats::timeseries::autocorrelation;
+///
+/// let period4: Vec<f64> = (0..64).map(|t| (t % 4) as f64).collect();
+/// assert!(autocorrelation(&period4, 4).unwrap() > 0.9);
+/// assert!(autocorrelation(&period4, 2).unwrap() < 0.0);
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("autocorrelation of empty series"));
+    }
+    if lag >= xs.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "lag",
+            value: lag as f64,
+            constraint: "must be smaller than the series length",
+        });
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return Err(StatsError::InsufficientData(
+            "autocorrelation undefined for constant series",
+        ));
+    }
+    let cov: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum::<f64>()
+        / n;
+    Ok(cov / var)
+}
+
+/// Strength of a periodic component with the given period: the
+/// autocorrelation at that lag, clamped below at 0.
+///
+/// A value near 1 means the series repeats almost exactly with that
+/// period; near 0 means no such structure.
+pub fn periodicity_strength(xs: &[f64], period: usize) -> Result<f64> {
+    Ok(autocorrelation(xs, period)?.max(0.0))
+}
+
+/// Detects the dominant period among candidates by autocorrelation.
+///
+/// Returns `(period, strength)` for the strongest candidate, or an error
+/// if no candidate fits inside the series.
+pub fn dominant_period(xs: &[f64], candidates: &[usize]) -> Result<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for &p in candidates {
+        if p == 0 || p >= xs.len() {
+            continue;
+        }
+        let s = autocorrelation(xs, p)?;
+        match best {
+            Some((_, bs)) if bs >= s => {}
+            _ => best = Some((p, s)),
+        }
+    }
+    best.ok_or(StatsError::InvalidParameter {
+        name: "candidates",
+        value: 0.0,
+        constraint: "need at least one candidate period shorter than the series",
+    })
+}
+
+/// Centered moving average with the given (odd) window; endpoints use the
+/// available partial window.
+pub fn moving_average(xs: &[f64], window: usize) -> Result<Vec<f64>> {
+    if window == 0 || window % 2 == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "window",
+            value: window as f64,
+            constraint: "must be odd and positive",
+        });
+    }
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData("moving average of empty series"));
+    }
+    let half = window / 2;
+    let out = (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Ratio of the mean over one span of bins to the mean over another —
+/// e.g. weekend days vs weekdays for the Figure 9 attenuation check.
+pub fn span_mean_ratio(
+    xs: &[f64],
+    numerator: core::ops::Range<usize>,
+    denominator: core::ops::Range<usize>,
+) -> Result<f64> {
+    if numerator.end > xs.len() || denominator.end > xs.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "range",
+            value: xs.len() as f64,
+            constraint: "ranges must lie inside the series",
+        });
+    }
+    if numerator.is_empty() || denominator.is_empty() {
+        return Err(StatsError::InsufficientData("empty span"));
+    }
+    let num: f64 =
+        xs[numerator.clone()].iter().sum::<f64>() / numerator.len() as f64;
+    let den: f64 =
+        xs[denominator.clone()].iter().sum::<f64>() / denominator.len() as f64;
+    if den == 0.0 {
+        return Err(StatsError::InsufficientData("zero denominator span"));
+    }
+    Ok(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::{DiurnalModel, DiurnalProfile};
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn autocorrelation_of_sine_peaks_at_period() {
+        // Long series: the biased estimator shrinks by (n - lag)/n, so use
+        // n >> lag for a tight threshold.
+        let period = 24;
+        let xs: Vec<f64> = (0..period * 40)
+            .map(|t| (2.0 * core::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect();
+        assert!(autocorrelation(&xs, period).unwrap() > 0.95);
+        assert!(autocorrelation(&xs, period / 2).unwrap() < -0.9);
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_validates() {
+        assert!(autocorrelation(&[], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+        assert!(autocorrelation(&[5.0; 10], 1).is_err());
+    }
+
+    #[test]
+    fn white_noise_has_weak_periodicity() {
+        let mut rng = seeded_rng(8);
+        use rand::Rng;
+        let xs: Vec<f64> = (0..512).map(|_| rng.gen::<f64>()).collect();
+        let s = periodicity_strength(&xs, 24).unwrap();
+        assert!(s < 0.15, "strength {s}");
+    }
+
+    #[test]
+    fn dominant_period_finds_daily_cycle_in_diurnal_model() {
+        // The Figure 9 claim, quantified: a diurnal activity series has a
+        // dominant period of one day.
+        let profile = DiurnalProfile::european_5min();
+        let model = DiurnalModel::new(profile, 1000.0, 0.1).unwrap();
+        let mut rng = seeded_rng(9);
+        let series = model.generate(288 * 5, &mut rng); // five weekdays
+        let (period, strength) =
+            dominant_period(&series, &[96, 144, 288, 432]).unwrap();
+        assert_eq!(period, 288, "daily period should dominate");
+        assert!(strength > 0.5, "strength {strength}");
+    }
+
+    #[test]
+    fn dominant_period_needs_valid_candidates() {
+        assert!(dominant_period(&[1.0, 2.0, 3.0], &[0, 10]).is_err());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let sm = moving_average(&xs, 3).unwrap();
+        assert_eq!(sm.len(), xs.len());
+        // Interior points average to ~(0+10+0)/3.
+        assert!((sm[2] - 20.0 / 3.0).abs() < 1e-12);
+        // Variance decreases.
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&sm) < var(&xs));
+    }
+
+    #[test]
+    fn moving_average_validates() {
+        assert!(moving_average(&[1.0], 0).is_err());
+        assert!(moving_average(&[1.0], 2).is_err());
+        assert!(moving_average(&[], 3).is_err());
+    }
+
+    #[test]
+    fn span_ratio_detects_weekend_dip() {
+        let profile = DiurnalProfile::european_5min(); // starts Monday
+        let model = DiurnalModel::new(profile, 1000.0, 0.0).unwrap();
+        let mut rng = seeded_rng(10);
+        let week = model.generate(288 * 7, &mut rng);
+        // Saturday (day 5) vs Monday (day 0).
+        let ratio = span_mean_ratio(&week, 5 * 288..6 * 288, 0..288).unwrap();
+        assert!((ratio - profile.weekend_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_ratio_validates() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(span_mean_ratio(&xs, 0..9, 0..1).is_err());
+        assert!(span_mean_ratio(&xs, 1..1, 0..1).is_err());
+        assert!(span_mean_ratio(&[0.0, 1.0], 1..2, 0..1).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the statistics substrate.
+
+use ic_stats::dist::{Exponential, LogNormal, Normal, Pareto, Poisson, Sample};
+use ic_stats::summary::quantile;
+use ic_stats::{empirical_ccdf, ks_distance, pearson, seeded_rng, spearman, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..40)) {
+        let s = Summary::of(&xs).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let q = quantile(&xs, k as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev);
+            prop_assert!(q >= s.min - 1e-9 && q <= s.max + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// The empirical CCDF is a non-increasing step function from 1 to 0.
+    #[test]
+    fn ccdf_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let c = empirical_ccdf(&xs).unwrap();
+        let pts = c.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        prop_assert_eq!(c.eval(f64::NEG_INFINITY + 1.0), 1.0);
+        prop_assert_eq!(c.eval(pts.last().unwrap().0), 0.0);
+    }
+
+    /// KS distance lies in [0, 1] for any model function.
+    #[test]
+    fn ks_bounded(xs in proptest::collection::vec(0.1f64..1e3, 1..40), rate in 0.01f64..10.0) {
+        let d = Exponential::new(rate).unwrap();
+        let ks = ks_distance(&xs, |x| d.ccdf(x)).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ks));
+    }
+
+    /// Correlation coefficients live in [-1, 1] and are symmetric.
+    #[test]
+    fn correlation_bounds(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..30),
+        seed in any::<u64>(),
+    ) {
+        // Derive a second sample with nonzero variance deterministically.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 0.5 + ((i as u64 ^ seed) % 97) as f64)
+            .collect();
+        if let (Ok(r), Ok(rho)) = (pearson(&xs, &ys), spearman(&xs, &ys)) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rho));
+            let r2 = pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    /// Samplers respect their supports for arbitrary valid parameters.
+    #[test]
+    fn samplers_respect_support(
+        mu in -5.0f64..5.0,
+        sigma in 0.1f64..3.0,
+        rate in 0.01f64..10.0,
+        xm in 0.1f64..100.0,
+        alpha in 0.5f64..4.0,
+        lambda in 0.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let ln = LogNormal::new(mu, sigma).unwrap();
+        let ex = Exponential::new(rate).unwrap();
+        let pa = Pareto::new(xm, alpha).unwrap();
+        let po = Poisson::new(lambda).unwrap();
+        for _ in 0..32 {
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+            prop_assert!(ex.sample(&mut rng) >= 0.0);
+            prop_assert!(pa.sample(&mut rng) >= xm);
+            let k = po.sample(&mut rng);
+            prop_assert!(k >= 0.0 && k.fract() == 0.0);
+        }
+        // Normal samples are finite.
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!(n.sample(&mut rng).is_finite());
+    }
+
+    /// Summary invariants: min <= median <= max, std >= 0.
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..60)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, xs.len());
+    }
+}

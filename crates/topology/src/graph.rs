@@ -1,0 +1,349 @@
+//! PoP-level network topology: nodes and weighted directed links.
+
+use crate::{Result, TopologyError};
+use std::collections::HashMap;
+
+/// Index of a node (access point / PoP) within a [`Topology`].
+pub type NodeId = usize;
+
+/// Index of a directed link within a [`Topology`].
+pub type LinkId = usize;
+
+/// A directed backbone link with an IGP weight and a nominal capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// IGP weight used for shortest-path routing (positive).
+    pub igp_weight: f64,
+    /// Nominal capacity in bytes per time bin (positive). Used by
+    /// fault-injection and capacity-planning examples; routing ignores it.
+    pub capacity: f64,
+}
+
+/// A PoP-level network topology.
+///
+/// Nodes are access points ("PoPs" in the paper's datasets); links are
+/// directed. Building is incremental ([`Topology::add_node`],
+/// [`Topology::add_link`], [`Topology::add_symmetric_link`]) and finished
+/// by [`Topology::validate`], which checks strong connectivity so that all
+/// OD pairs are routable.
+///
+/// # Examples
+///
+/// ```
+/// use ic_topology::Topology;
+///
+/// let mut topo = Topology::new("triangle");
+/// let a = topo.add_node("a").unwrap();
+/// let b = topo.add_node("b").unwrap();
+/// let c = topo.add_node("c").unwrap();
+/// topo.add_symmetric_link(a, b, 1.0, 1e9).unwrap();
+/// topo.add_symmetric_link(b, c, 1.0, 1e9).unwrap();
+/// topo.add_symmetric_link(a, c, 3.0, 1e9).unwrap();
+/// topo.validate().unwrap();
+/// assert_eq!(topo.node_count(), 3);
+/// assert_eq!(topo.link_count(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: String,
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            node_names: Vec::new(),
+            name_index: HashMap::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Descriptive name (e.g. `"geant22"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a node; names must be unique.
+    pub fn add_node(&mut self, name: impl Into<String>) -> Result<NodeId> {
+        let name = name.into();
+        if self.name_index.contains_key(&name) {
+            return Err(TopologyError::DuplicateNode(name));
+        }
+        let id = self.node_names.len();
+        self.name_index.insert(name.clone(), id);
+        self.node_names.push(name);
+        Ok(id)
+    }
+
+    /// Adds a directed link with the given IGP weight and capacity.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        igp_weight: f64,
+        capacity: f64,
+    ) -> Result<LinkId> {
+        let n = self.node_names.len();
+        if from >= n {
+            return Err(TopologyError::UnknownNode(format!("node #{from}")));
+        }
+        if to >= n {
+            return Err(TopologyError::UnknownNode(format!("node #{to}")));
+        }
+        let reason = if from == to {
+            Some("self-loop links are not allowed")
+        } else if !(igp_weight > 0.0) || !igp_weight.is_finite() {
+            Some("IGP weight must be positive and finite")
+        } else if !(capacity > 0.0) || !capacity.is_finite() {
+            Some("capacity must be positive and finite")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Err(TopologyError::InvalidLink {
+                from: self.node_names[from].clone(),
+                to: self.node_names[to].clone(),
+                reason,
+            });
+        }
+        self.links.push(Link {
+            from,
+            to,
+            igp_weight,
+            capacity,
+        });
+        Ok(self.links.len() - 1)
+    }
+
+    /// Adds a pair of directed links `from -> to` and `to -> from` with the
+    /// same weight and capacity, returning their ids.
+    pub fn add_symmetric_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        igp_weight: f64,
+        capacity: f64,
+    ) -> Result<(LinkId, LinkId)> {
+        let l1 = self.add_link(a, b, igp_weight, capacity)?;
+        let l2 = self.add_link(b, a, igp_weight, capacity)?;
+        Ok((l1, l2))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node name by id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id]
+    }
+
+    /// All node names in id order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Link by id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id]
+    }
+
+    /// All links in id order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Outgoing links of `node` as `(link id, link)` pairs.
+    pub fn out_links(&self, node: NodeId) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.from == node)
+    }
+
+    /// Checks that the topology is non-empty and strongly connected.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        // BFS from node 0 forward and backward; strong connectivity for the
+        // symmetric topologies we build reduces to both searches covering V.
+        let fwd = self.reachable_from(0, false);
+        if let Some(missing) = (0..n).find(|&v| !fwd[v]) {
+            return Err(TopologyError::Disconnected {
+                from: self.node_names[0].clone(),
+                to: self.node_names[missing].clone(),
+            });
+        }
+        let bwd = self.reachable_from(0, true);
+        if let Some(missing) = (0..n).find(|&v| !bwd[v]) {
+            return Err(TopologyError::Disconnected {
+                from: self.node_names[missing].clone(),
+                to: self.node_names[0].clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn reachable_from(&self, start: NodeId, reverse: bool) -> Vec<bool> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for l in &self.links {
+                let (src, dst) = if reverse { (l.to, l.from) } else { (l.from, l.to) };
+                if src == v && !seen[dst] {
+                    seen[dst] = true;
+                    stack.push(dst);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of OD pairs (`n²`, self-pairs included).
+    pub fn od_pair_count(&self) -> usize {
+        self.node_count() * self.node_count()
+    }
+
+    /// Row-major OD index of `(origin, destination)`.
+    pub fn od_index(&self, origin: NodeId, destination: NodeId) -> usize {
+        origin * self.node_count() + destination
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Topology {
+        let mut t = Topology::new("line");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        let c = t.add_node("c").unwrap();
+        t.add_symmetric_link(a, b, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(b, c, 2.0, 1e9).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = line3();
+        assert_eq!(t.name(), "line");
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.node_by_name("b"), Some(1));
+        assert_eq!(t.node_by_name("zz"), None);
+        assert_eq!(t.node_name(2), "c");
+        assert_eq!(t.node_names().len(), 3);
+        assert_eq!(t.link(0).from, 0);
+        assert_eq!(t.links().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut t = Topology::new("x");
+        t.add_node("a").unwrap();
+        assert!(matches!(
+            t.add_node("a"),
+            Err(TopologyError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn bad_links_rejected() {
+        let mut t = Topology::new("x");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        assert!(t.add_link(a, 9, 1.0, 1.0).is_err());
+        assert!(t.add_link(9, b, 1.0, 1.0).is_err());
+        assert!(t.add_link(a, a, 1.0, 1.0).is_err());
+        assert!(t.add_link(a, b, 0.0, 1.0).is_err());
+        assert!(t.add_link(a, b, -1.0, 1.0).is_err());
+        assert!(t.add_link(a, b, f64::NAN, 1.0).is_err());
+        assert!(t.add_link(a, b, 1.0, 0.0).is_err());
+        assert!(t.add_link(a, b, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn validate_connected() {
+        assert!(line3().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_empty() {
+        assert!(matches!(
+            Topology::new("e").validate(),
+            Err(TopologyError::Empty)
+        ));
+    }
+
+    #[test]
+    fn validate_catches_unreachable() {
+        let mut t = Topology::new("x");
+        t.add_node("a").unwrap();
+        t.add_node("island").unwrap();
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_one_way_reachability() {
+        let mut t = Topology::new("x");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        t.add_link(a, b, 1.0, 1.0).unwrap(); // no way back
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn out_links_filters_by_source() {
+        let t = line3();
+        let from_b: Vec<usize> = t.out_links(1).map(|(id, _)| id).collect();
+        assert_eq!(from_b.len(), 2);
+        for (_, l) in t.out_links(1) {
+            assert_eq!(l.from, 1);
+        }
+    }
+
+    #[test]
+    fn od_indexing() {
+        let t = line3();
+        assert_eq!(t.od_pair_count(), 9);
+        assert_eq!(t.od_index(0, 0), 0);
+        assert_eq!(t.od_index(1, 2), 5);
+        assert_eq!(t.od_index(2, 1), 7);
+    }
+}

@@ -1,0 +1,490 @@
+//! Shortest-path routing and the routing matrix `R`.
+//!
+//! Reproduces the measurement side of the TM estimation problem: "the
+//! routing matrix R can be obtained by computing shortest paths using IGP
+//! link weights together with the network topology information" (paper
+//! Section 6). Two schemes are provided:
+//!
+//! * [`RoutingScheme::SinglePath`] — destination-based forwarding with a
+//!   deterministic tie-break (lowest link id), matching a router FIB with
+//!   one next-hop per destination; `R` is 0/1.
+//! * [`RoutingScheme::Ecmp`] — exact equal-cost multi-path splitting by
+//!   shortest-path counting; `R` has fractional entries, which the paper
+//!   notes arise "if traffic splitting is supported".
+
+use crate::graph::{NodeId, Topology};
+use crate::{Result, TopologyError};
+use ic_linalg::Matrix;
+use std::collections::BinaryHeap;
+
+/// Routing scheme used to build the routing matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingScheme {
+    /// One deterministic shortest path per OD pair.
+    SinglePath,
+    /// Equal-cost multi-path with exact fractional splitting.
+    Ecmp,
+}
+
+/// The routing matrix of a topology: `links x od_pairs`, entry = fraction
+/// of the OD pair's traffic crossing the link.
+///
+/// # Examples
+///
+/// ```
+/// use ic_topology::{geant22, RoutingMatrix, RoutingScheme};
+///
+/// let topo = geant22();
+/// let routing = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+/// // Every off-diagonal OD pair is fully routed: its column sums to at
+/// // least 1 link's worth of traffic (more if the path has several hops).
+/// let col = routing.od_fractions(0, 1);
+/// let total: f64 = col.iter().sum();
+/// assert!(total >= 1.0 - 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingMatrix {
+    matrix: Matrix,
+    node_count: usize,
+}
+
+/// Tolerance for comparing path lengths (IGP weights are small integers in
+/// practice; this absorbs floating-point noise only).
+const EPS: f64 = 1e-9;
+
+impl RoutingMatrix {
+    /// Builds the routing matrix for `topo` under `scheme`.
+    ///
+    /// Fails when the topology is invalid or not strongly connected.
+    pub fn build(topo: &Topology, scheme: RoutingScheme) -> Result<Self> {
+        topo.validate()?;
+        let n = topo.node_count();
+        let l = topo.link_count();
+        let mut matrix = Matrix::zeros(l, n * n);
+        match scheme {
+            RoutingScheme::SinglePath => {
+                // Destination-based: for each destination t, compute
+                // distances to t, then greedily walk from every source.
+                for t in 0..n {
+                    let (dist_to_t, _) = dijkstra_reverse(topo, t);
+                    for s in 0..n {
+                        if s == t {
+                            continue;
+                        }
+                        let od = topo.od_index(s, t);
+                        let mut u = s;
+                        let mut hops = 0usize;
+                        while u != t {
+                            // Pick the lowest-id outgoing link on a shortest
+                            // path toward t.
+                            let mut chosen: Option<(usize, NodeId)> = None;
+                            for (lid, link) in topo.out_links(u) {
+                                if (link.igp_weight + dist_to_t[link.to] - dist_to_t[u]).abs()
+                                    < EPS
+                                {
+                                    chosen = Some((lid, link.to));
+                                    break; // out_links iterates in id order
+                                }
+                            }
+                            let (lid, v) = chosen.ok_or_else(|| TopologyError::Disconnected {
+                                from: topo.node_name(s).to_string(),
+                                to: topo.node_name(t).to_string(),
+                            })?;
+                            matrix[(lid, od)] = 1.0;
+                            u = v;
+                            hops += 1;
+                            if hops > n {
+                                // A cycle would indicate an internal
+                                // inconsistency in the distance labels.
+                                return Err(TopologyError::Disconnected {
+                                    from: topo.node_name(s).to_string(),
+                                    to: topo.node_name(t).to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            RoutingScheme::Ecmp => {
+                // Forward pass per source: distances and path counts.
+                let forward: Vec<(Vec<f64>, Vec<f64>)> =
+                    (0..n).map(|s| dijkstra_forward(topo, s)).collect();
+                // Backward pass per destination: distances-to and counts.
+                let backward: Vec<(Vec<f64>, Vec<f64>)> =
+                    (0..n).map(|t| dijkstra_reverse(topo, t)).collect();
+                for s in 0..n {
+                    let (dist_s, count_s) = &forward[s];
+                    for t in 0..n {
+                        if s == t {
+                            continue;
+                        }
+                        let (dist_to_t, count_to_t) = &backward[t];
+                        let od = topo.od_index(s, t);
+                        let total_paths = count_s[t];
+                        if total_paths == 0.0 {
+                            return Err(TopologyError::Disconnected {
+                                from: topo.node_name(s).to_string(),
+                                to: topo.node_name(t).to_string(),
+                            });
+                        }
+                        for (lid, link) in topo.links().iter().enumerate() {
+                            let on_shortest = (dist_s[link.from]
+                                + link.igp_weight
+                                + dist_to_t[link.to]
+                                - dist_s[t])
+                                .abs()
+                                < EPS;
+                            if on_shortest {
+                                let through = count_s[link.from] * count_to_t[link.to];
+                                matrix[(lid, od)] = through / total_paths;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RoutingMatrix {
+            matrix,
+            node_count: n,
+        })
+    }
+
+    /// The underlying `links x n²` matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Number of nodes of the routed topology.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of links (rows).
+    pub fn link_count(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Fractions of OD pair `(s, t)`'s traffic on every link (a column of
+    /// `R` reshaped per link).
+    pub fn od_fractions(&self, s: NodeId, t: NodeId) -> Vec<f64> {
+        let od = s * self.node_count + t;
+        self.matrix.col(od)
+    }
+
+    /// Computes link counts `Y = R x` for a vectorized traffic matrix.
+    pub fn link_counts(&self, tm_vector: &[f64]) -> core::result::Result<Vec<f64>, ic_linalg::LinalgError> {
+        self.matrix.matvec(tm_vector)
+    }
+
+    /// Verifies flow conservation for one OD pair: net out-flow of the
+    /// origin is 1, net in-flow of the destination is 1, all transit nodes
+    /// balance. Used by tests and fault diagnostics.
+    pub fn check_conservation(&self, topo: &Topology, s: NodeId, t: NodeId) -> bool {
+        if s == t {
+            return true;
+        }
+        let fractions = self.od_fractions(s, t);
+        for v in 0..self.node_count {
+            let mut net = 0.0;
+            for (lid, link) in topo.links().iter().enumerate() {
+                if link.from == v {
+                    net += fractions[lid];
+                }
+                if link.to == v {
+                    net -= fractions[lid];
+                }
+            }
+            let expected = if v == s {
+                1.0
+            } else if v == t {
+                -1.0
+            } else {
+                0.0
+            };
+            if (net - expected).abs() > 1e-6 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Max-heap entry ordered by negated distance (so the BinaryHeap pops the
+/// minimum-distance node first), tie-broken by node id for determinism.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reverse on distance for min-heap behaviour; forward on node id.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra from `source` over forward links, also counting shortest paths.
+fn dijkstra_forward(topo: &Topology, source: NodeId) -> (Vec<f64>, Vec<f64>) {
+    dijkstra_impl(topo, source, false)
+}
+
+/// Dijkstra *to* `target` (over reversed links), counting shortest paths
+/// from every node to the target.
+fn dijkstra_reverse(topo: &Topology, target: NodeId) -> (Vec<f64>, Vec<f64>) {
+    dijkstra_impl(topo, target, true)
+}
+
+fn dijkstra_impl(topo: &Topology, root: NodeId, reverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = topo.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut count = vec![0.0; n];
+    let mut done = vec![false; n];
+    dist[root] = 0.0;
+    count[root] = 1.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for link in topo.links() {
+            let (from, to) = if reverse {
+                (link.to, link.from)
+            } else {
+                (link.from, link.to)
+            };
+            if from != u {
+                continue;
+            }
+            let nd = d + link.igp_weight;
+            if nd + EPS < dist[to] {
+                dist[to] = nd;
+                count[to] = count[u];
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: to,
+                });
+            } else if (nd - dist[to]).abs() < EPS {
+                count[to] += count[u];
+            }
+        }
+    }
+    (dist, count)
+}
+
+/// The ingress incidence operator `H` (`n x n²`): `H[i][(i,j)] = 1` for all
+/// `j`, so `H x` is the vector of ingress counts `X_{i*}` (paper Section
+/// 6.2).
+pub fn ingress_incidence(n: usize) -> Matrix {
+    let mut h = Matrix::zeros(n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, i * n + j)] = 1.0;
+        }
+    }
+    h
+}
+
+/// The egress incidence operator `G` (`n x n²`): `G[j][(i,j)] = 1` for all
+/// `i`, so `G x` is the vector of egress counts `X_{*j}`.
+pub fn egress_incidence(n: usize) -> Matrix {
+    let mut g = Matrix::zeros(n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            g[(j, i * n + j)] = 1.0;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{abilene, geant22};
+
+    fn square_topo() -> Topology {
+        // a - b
+        // |   |
+        // d - c   all weights 1: two equal-cost paths a->c.
+        let mut t = Topology::new("square");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        let c = t.add_node("c").unwrap();
+        let d = t.add_node("d").unwrap();
+        t.add_symmetric_link(a, b, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(b, c, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(c, d, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(d, a, 1.0, 1e9).unwrap();
+        t
+    }
+
+    #[test]
+    fn single_path_routes_every_pair() {
+        let topo = square_topo();
+        let r = RoutingMatrix::build(&topo, RoutingScheme::SinglePath).unwrap();
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!(r.check_conservation(&topo, s, t), "pair {s}->{t}");
+                if s != t {
+                    // 0/1 entries under single path.
+                    assert!(r
+                        .od_fractions(s, t)
+                        .iter()
+                        .all(|&f| f == 0.0 || f == 1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_splits_equal_cost_paths() {
+        let topo = square_topo();
+        let r = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+        // a -> c has two 2-hop paths: via b and via d, each carrying 1/2.
+        let f = r.od_fractions(0, 2);
+        let on_half: Vec<f64> = f.iter().copied().filter(|&x| x > 0.0).collect();
+        assert_eq!(on_half.len(), 4, "two 2-hop paths use 4 links");
+        assert!(on_half.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+        assert!(r.check_conservation(&topo, 0, 2));
+    }
+
+    #[test]
+    fn self_pairs_cross_no_links() {
+        let topo = square_topo();
+        for scheme in [RoutingScheme::SinglePath, RoutingScheme::Ecmp] {
+            let r = RoutingMatrix::build(&topo, scheme).unwrap();
+            for v in 0..4 {
+                assert!(r.od_fractions(v, v).iter().all(|&f| f == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn link_counts_match_manual_sum() {
+        let topo = square_topo();
+        let r = RoutingMatrix::build(&topo, RoutingScheme::SinglePath).unwrap();
+        let n = 4;
+        let mut x = vec![0.0; n * n];
+        x[topo.od_index(0, 1)] = 10.0; // a->b direct
+        x[topo.od_index(1, 0)] = 4.0; // b->a direct
+        let y = r.link_counts(&x).unwrap();
+        let total: f64 = y.iter().sum();
+        assert!((total - 14.0).abs() < 1e-12, "one-hop flows: Y sums to X");
+    }
+
+    #[test]
+    fn conservation_on_real_topologies() {
+        for topo in [geant22(), abilene()] {
+            let r = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+            let n = topo.node_count();
+            for s in 0..n {
+                for t in 0..n {
+                    assert!(
+                        r.check_conservation(&topo, s, t),
+                        "{} pair {s}->{t}",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_path_deterministic() {
+        let topo = square_topo();
+        let r1 = RoutingMatrix::build(&topo, RoutingScheme::SinglePath).unwrap();
+        let r2 = RoutingMatrix::build(&topo, RoutingScheme::SinglePath).unwrap();
+        assert!(r1.as_matrix().approx_eq(r2.as_matrix(), 0.0));
+    }
+
+    #[test]
+    fn ecmp_fractions_in_unit_interval() {
+        let topo = geant22();
+        let r = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+        for &v in r.as_matrix().as_slice() {
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn disconnected_topology_rejected() {
+        let mut t = Topology::new("iso");
+        t.add_node("a").unwrap();
+        t.add_node("b").unwrap();
+        assert!(RoutingMatrix::build(&t, RoutingScheme::Ecmp).is_err());
+    }
+
+    #[test]
+    fn incidence_operators_compute_marginals() {
+        let n = 3;
+        let h = ingress_incidence(n);
+        let g = egress_incidence(n);
+        // x[i*n+j] = 10*i + j for recognizability.
+        let x: Vec<f64> = (0..n * n).map(|k| (10 * (k / n) + k % n) as f64).collect();
+        let ingress = h.matvec(&x).unwrap();
+        let egress = g.matvec(&x).unwrap();
+        for i in 0..n {
+            let want_in: f64 = (0..n).map(|j| (10 * i + j) as f64).sum();
+            let want_out: f64 = (0..n).map(|k| (10 * k + i) as f64).sum();
+            assert!((ingress[i] - want_in).abs() < 1e-12);
+            assert!((egress[i] - want_out).abs() < 1e-12);
+        }
+        // Total ingress equals total egress equals total traffic.
+        let ti: f64 = ingress.iter().sum();
+        let te: f64 = egress.iter().sum();
+        let tx: f64 = x.iter().sum();
+        assert!((ti - tx).abs() < 1e-12);
+        assert!((te - tx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_paths_accumulate_hops() {
+        // Line a-b-c: a->c must cross both links.
+        let mut t = Topology::new("line");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        let c = t.add_node("c").unwrap();
+        t.add_symmetric_link(a, b, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(b, c, 1.0, 1e9).unwrap();
+        let r = RoutingMatrix::build(&t, RoutingScheme::Ecmp).unwrap();
+        let f = r.od_fractions(a, c);
+        let hops: f64 = f.iter().sum();
+        assert!((hops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igp_weights_steer_routing() {
+        // Square with one cheap diagonal: a->c prefers the 2-hop path only
+        // if weights say so.
+        let mut t = Topology::new("weighted");
+        let a = t.add_node("a").unwrap();
+        let b = t.add_node("b").unwrap();
+        let c = t.add_node("c").unwrap();
+        t.add_symmetric_link(a, b, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(b, c, 1.0, 1e9).unwrap();
+        t.add_symmetric_link(a, c, 5.0, 1e9).unwrap(); // expensive direct
+        let r = RoutingMatrix::build(&t, RoutingScheme::Ecmp).unwrap();
+        let f = r.od_fractions(a, c);
+        // Direct a->c link (id 4) must carry nothing.
+        assert_eq!(f[4], 0.0);
+        let hops: f64 = f.iter().sum();
+        assert!((hops - 2.0).abs() < 1e-12);
+    }
+}

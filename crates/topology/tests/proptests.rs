@@ -1,0 +1,108 @@
+//! Property-based tests for routing: on random connected topologies, both
+//! routing schemes satisfy flow conservation for every OD pair, and ECMP
+//! fractions form valid splits.
+
+use ic_topology::{RoutingMatrix, RoutingScheme, Topology};
+use proptest::prelude::*;
+
+/// Strategy: a random strongly connected topology of `n` nodes — a ring
+/// (guaranteeing connectivity) plus random chords with random weights.
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (3usize..8, proptest::collection::vec((0usize..8, 0usize..8, 1u32..20), 0..10)).prop_map(
+        |(n, chords)| {
+            let mut t = Topology::new("random");
+            let ids: Vec<usize> = (0..n)
+                .map(|k| t.add_node(format!("n{k}")).unwrap())
+                .collect();
+            for k in 0..n {
+                t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0 + (k % 3) as f64, 1e12)
+                    .unwrap();
+            }
+            for (a, b, w) in chords {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    // Duplicate links are fine (parallel links exist in
+                    // real networks).
+                    t.add_symmetric_link(ids[a], ids[b], w as f64, 1e12).unwrap();
+                }
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Conservation holds for every OD pair under both schemes.
+    #[test]
+    fn conservation_everywhere(topo in topo_strategy()) {
+        for scheme in [RoutingScheme::SinglePath, RoutingScheme::Ecmp] {
+            let r = RoutingMatrix::build(&topo, scheme).unwrap();
+            let n = topo.node_count();
+            for s in 0..n {
+                for t in 0..n {
+                    prop_assert!(
+                        r.check_conservation(&topo, s, t),
+                        "{scheme:?} violates conservation for {s}->{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// ECMP fractions stay within [0, 1]; single-path entries are 0/1.
+    #[test]
+    fn fraction_domains(topo in topo_strategy()) {
+        let ecmp = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+        prop_assert!(ecmp
+            .as_matrix()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        let single = RoutingMatrix::build(&topo, RoutingScheme::SinglePath).unwrap();
+        prop_assert!(single
+            .as_matrix()
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// Link counts scale linearly with traffic: Y(c·x) = c·Y(x).
+    #[test]
+    fn link_counts_linear(topo in topo_strategy(), c in 0.1f64..10.0) {
+        let r = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+        let n = topo.node_count();
+        let x: Vec<f64> = (0..n * n).map(|k| (k % 7) as f64 + 1.0).collect();
+        let xc: Vec<f64> = x.iter().map(|&v| v * c).collect();
+        let y = r.link_counts(&x).unwrap();
+        let yc = r.link_counts(&xc).unwrap();
+        for (a, b) in y.iter().zip(yc.iter()) {
+            prop_assert!((a * c - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Single-path routing never uses more total hop-bytes than ... ECMP
+    /// and single-path agree on total traffic entering the network: the
+    /// sum of access (ingress) counts is scheme-independent, and both
+    /// schemes route along shortest paths, so per-OD hop counts (weighted
+    /// path lengths in links) are equal whenever the tie-set has uniform
+    /// hop length; in general ECMP's expected hop count can differ, but
+    /// every individual OD column must still sum to at least 1 for
+    /// distinct endpoints (at least one link crossed).
+    #[test]
+    fn od_columns_cross_at_least_one_link(topo in topo_strategy()) {
+        let r = RoutingMatrix::build(&topo, RoutingScheme::Ecmp).unwrap();
+        let n = topo.node_count();
+        for s in 0..n {
+            for t in 0..n {
+                let hops: f64 = r.od_fractions(s, t).iter().sum();
+                if s == t {
+                    prop_assert_eq!(hops, 0.0);
+                } else {
+                    prop_assert!(hops >= 1.0 - 1e-9, "{s}->{t} hops {hops}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Measuring the forward ratio from packet traces (paper Section 5.2).
+//!
+//! Replays the paper's Abilene study: synthesize a two-hour bidirectional
+//! packet-header trace on the IPLS↔CLEV link pair, match connections by
+//! 5-tuple, attribute initiators by SYN, and measure `f` per 5-minute bin.
+//! Also demonstrates the failure mode the paper warns about: connections
+//! that straddle the trace start lose their SYN and become unknown
+//! traffic.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example trace_study            # 2-hour trace
+//! cargo run --release --example trace_study -- --short # 10-minute trace
+//! ```
+
+use tm_ic::datasets::{build_d3, AbileneConfig};
+use tm_ic::flowsim::{analyze_trace, AppMix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let short = std::env::args().any(|a| a == "--short");
+    let cfg = if short {
+        AbileneConfig::smoke(20020814)
+    } else {
+        AbileneConfig::default()
+    };
+    println!(
+        "synthesizing {}s of bidirectional packet headers at IPLS...",
+        cfg.duration
+    );
+    let ds = build_d3(&cfg)?;
+    println!(
+        "  IPLS<->CLEV: {} packets, IPLS<->KSCY: {} packets",
+        ds.ipls_clev.len(),
+        ds.ipls_kscy.len()
+    );
+
+    let mix = AppMix::research_network_2004();
+    println!(
+        "application mix aggregate f = {:.3} (what the measurement should recover)",
+        mix.aggregate_f()
+    );
+
+    for (name, trace) in [("IPLS<->CLEV", &ds.ipls_clev), ("IPLS<->KSCY", &ds.ipls_kscy)] {
+        let analysis = analyze_trace(trace, ds.duration, 300.0)?;
+        println!("\n## {name}");
+        println!(
+            "  connections: {} classified, {} unknown (no SYN in window)",
+            analysis.classified_connections, analysis.unknown_connections
+        );
+        println!(
+            "  unknown traffic fraction: {:.1}% (paper observed < 20%)",
+            100.0 * analysis.unknown_fraction
+        );
+        let fij = analysis.f_ij_series();
+        let fji = analysis.f_ji_series();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "  f forward-direction mean = {:.3}, reverse-direction mean = {:.3}",
+            mean(&fij),
+            mean(&fji)
+        );
+        println!("  bin-by-bin f (forward direction):");
+        for (t, b) in analysis.bins.iter().enumerate() {
+            if let Some(f) = b.f_ij {
+                println!("    bin {t:>2}: f = {f:.3}");
+            }
+        }
+    }
+    println!("\n(both directions land near the mix aggregate and stay stable in time\n — the spatial/temporal stability that justifies the stable-f model)");
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # tm-ic — independent-connection traffic-matrix toolkit (facade)
+//!
+//! Reproduction of *"An Independent-Connection Model for Traffic Matrices"*
+//! (Erramilli, Crovella, Taft — IMC 2006). This facade crate re-exports the
+//! workspace's public API so applications can depend on a single crate:
+//!
+//! * [`linalg`] — dense linear algebra substrate,
+//! * [`stats`] — distributions, MLE fits, diurnal activity models,
+//! * [`topology`] — PoP graphs, routing matrices, link counts,
+//! * [`flowsim`] — connection-level traffic and packet-trace simulation,
+//! * [`datasets`] — synthetic stand-ins for the paper's D1/D2/D3 datasets,
+//! * [`core`] — the IC model family, gravity model, and the Section 5.1
+//!   fitting program (the paper's contribution),
+//! * [`estimation`] — traffic-matrix estimation with IC and gravity priors.
+//!
+//! See `examples/quickstart.rs` for a 60-second tour.
+
+pub use ic_core as core;
+pub use ic_datasets as datasets;
+pub use ic_estimation as estimation;
+pub use ic_flowsim as flowsim;
+pub use ic_linalg as linalg;
+pub use ic_stats as stats;
+pub use ic_topology as topology;

@@ -1,0 +1,178 @@
+//! Cross-crate integration: dataset generation → model fitting → TM
+//! estimation, asserting the paper's qualitative claims at smoke scale.
+
+use std::sync::OnceLock;
+use tm_ic::core::{fit_stable_fp, gravity_predict, mean_rel_l2, FitOptions};
+use tm_ic::datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
+use tm_ic::estimation::{
+    compare_priors, EstimationPipeline, MeasuredIcPrior, ObservationModel, StableFPrior,
+    StableFpPrior,
+};
+use tm_ic::topology::{geant22, totem23, RoutingScheme};
+
+fn d1() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| build_d1(&GeantConfig::smoke(1)).expect("D1 smoke build"))
+}
+
+fn d2() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| build_d2(&TotemConfig::smoke(20041114)).expect("D2 smoke build"))
+}
+
+/// Figure 3's claim: the stable-fP fit beats the gravity model on both
+/// datasets, more on Géant than on Totem.
+#[test]
+fn ic_fit_beats_gravity_on_both_datasets() {
+    let mut improvements = Vec::new();
+    for ds in [d1(), d2()] {
+        let week = &ds.measured_weeks().unwrap()[0];
+        let fit = fit_stable_fp(week, FitOptions::default()).unwrap();
+        let ic = fit.predict(week.bin_seconds()).unwrap();
+        let grav = gravity_predict(week).unwrap();
+        let e_ic = mean_rel_l2(week, &ic).unwrap();
+        let e_gr = mean_rel_l2(week, &grav).unwrap();
+        assert!(
+            e_ic < e_gr,
+            "{}: IC {e_ic} should beat gravity {e_gr}",
+            ds.descriptor.name
+        );
+        improvements.push(100.0 * (e_gr - e_ic) / e_gr);
+    }
+    assert!(
+        improvements[0] > improvements[1],
+        "Geant improvement ({:.1}%) should exceed Totem ({:.1}%), as in Figure 3",
+        improvements[0],
+        improvements[1]
+    );
+}
+
+/// The fitted forward ratio lands in the paper's 0.2–0.3 band on D1 and
+/// close to it on D2, despite sampling noise and anomalies.
+#[test]
+fn fitted_f_in_paper_band() {
+    let week = &d1().measured_weeks().unwrap()[0];
+    let fit = fit_stable_fp(week, FitOptions::default()).unwrap();
+    assert!(
+        (0.18..=0.32).contains(&fit.params.f),
+        "D1 f = {}",
+        fit.params.f
+    );
+    let week = &d2().measured_weeks().unwrap()[0];
+    let fit = fit_stable_fp(week, FitOptions::default()).unwrap();
+    assert!(
+        (0.18..=0.36).contains(&fit.params.f),
+        "D2 f = {}",
+        fit.params.f
+    );
+}
+
+/// Week-over-week stability of f and P (Figures 5 and 6).
+#[test]
+fn parameters_stable_across_weeks() {
+    for ds in [d1(), d2()] {
+        let weeks = ds.measured_weeks().unwrap();
+        let fits: Vec<_> = weeks
+            .iter()
+            .map(|w| fit_stable_fp(w, FitOptions::default()).unwrap())
+            .collect();
+        let f_delta = (fits[1].params.f - fits[0].params.f).abs();
+        assert!(
+            f_delta < 0.05,
+            "{}: f moved {f_delta} between weeks",
+            ds.descriptor.name
+        );
+        let r = ic_stats::pearson(&fits[0].params.preference, &fits[1].params.preference)
+            .unwrap();
+        assert!(
+            r > 0.95,
+            "{}: preference correlation {r} across weeks",
+            ds.descriptor.name
+        );
+    }
+}
+
+/// Section 6's claim: every IC prior yields better estimates than the
+/// gravity prior, on both topologies.
+#[test]
+fn all_ic_priors_beat_gravity_in_estimation() {
+    for (ds, topo) in [(d1(), geant22()), (d2(), totem23())] {
+        let weeks = ds.measured_weeks().unwrap();
+        let cal = fit_stable_fp(&weeks[0], FitOptions::default()).unwrap();
+        let target_fit = fit_stable_fp(&weeks[1], FitOptions::default()).unwrap();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let obs = om.observe(&weeks[1]).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+
+        let measured = compare_priors(
+            &pipeline,
+            &MeasuredIcPrior {
+                params: target_fit.params.clone(),
+            },
+            &weeks[1],
+            &obs,
+        )
+        .unwrap();
+        let stable_fp = compare_priors(
+            &pipeline,
+            &StableFpPrior {
+                f: cal.params.f,
+                preference: cal.params.preference.clone(),
+            },
+            &weeks[1],
+            &obs,
+        )
+        .unwrap();
+        let stable_f = compare_priors(
+            &pipeline,
+            &StableFPrior { f: cal.params.f },
+            &weeks[1],
+            &obs,
+        )
+        .unwrap();
+        for (name, cmp) in [
+            ("measured", &measured),
+            ("stable-fP", &stable_fp),
+            ("stable-f", &stable_f),
+        ] {
+            assert!(
+                cmp.mean_improvement > 0.0,
+                "{} / {name}: improvement {}",
+                ds.descriptor.name,
+                cmp.mean_improvement
+            );
+        }
+    }
+}
+
+/// The estimation pipeline's output respects the observed marginals
+/// (the IPF step's contract) on real dataset weeks.
+#[test]
+fn pipeline_output_matches_marginals() {
+    let ds = d1();
+    let week = &ds.measured_weeks().unwrap()[0];
+    let om = ObservationModel::new(&geant22(), RoutingScheme::Ecmp).unwrap();
+    let obs = om.observe(week).unwrap();
+    let pipeline = EstimationPipeline::new(om);
+    let est = pipeline
+        .estimate(&tm_ic::estimation::GravityPrior, &obs)
+        .unwrap();
+    for t in (0..week.bins()).step_by(97) {
+        let want = week.ingress(t);
+        let got = est.ingress(t);
+        for (w, g) in want.iter().zip(got.iter()) {
+            assert!((w - g).abs() <= 1e-6 * w.max(1.0), "bin {t}");
+        }
+    }
+}
+
+/// Ground truth exposure: the dataset's generating parameters are
+/// recoverable by the fitting program to reasonable accuracy.
+#[test]
+fn fit_recovers_generating_preference() {
+    let ds = d1();
+    let week = &ds.measured_weeks().unwrap()[0];
+    let fit = fit_stable_fp(week, FitOptions::default()).unwrap();
+    let r = ic_stats::pearson(&fit.params.preference, &ds.ground_truth.preference).unwrap();
+    assert!(r > 0.9, "fitted vs generating preference correlation {r}");
+}

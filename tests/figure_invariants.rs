@@ -1,0 +1,73 @@
+//! Integration tests pinning the paper-figure invariants that do not need
+//! week-scale data: the Figure 2 example, the Figure 4 trace study, the
+//! Figure 7 tail comparison, and the CSV interchange path.
+
+use tm_ic::core::figure2_example;
+use tm_ic::datasets::{build_d3, read_tm_csv, write_tm_csv, AbileneConfig};
+use tm_ic::flowsim::analyze_trace;
+use tm_ic::stats::{fit_exponential_mle, fit_lognormal_mle, ks_distance, LogNormal, Sample};
+
+/// Figure 2: the paper's exact conditional probabilities.
+#[test]
+fn figure2_probabilities_match_paper() {
+    let r = figure2_example();
+    assert!((r.p_e_a_given_i_a - 0.50).abs() < 0.005);
+    assert!((r.p_e_a_given_i_b - 0.93).abs() < 0.01);
+    assert!((r.p_e_a_given_i_c - 0.95).abs() < 0.005);
+    assert!((r.p_e_a - 0.65).abs() < 0.005);
+}
+
+/// Figure 4 shape: f in a sane band at every bin, directions similar,
+/// modest unknown fraction — end to end through synthesis + analysis.
+#[test]
+fn trace_study_produces_stable_f() {
+    let cfg = AbileneConfig {
+        duration: 1800.0,
+        rate: 3.0,
+        seed: 20020814,
+    };
+    let ds = build_d3(&cfg).unwrap();
+    let analysis = analyze_trace(&ds.ipls_clev, ds.duration, 300.0).unwrap();
+    assert_eq!(analysis.bins.len(), 6);
+    let fij = analysis.f_ij_series();
+    assert!(!fij.is_empty());
+    for &f in &fij {
+        assert!((0.05..=0.5).contains(&f), "f = {f}");
+    }
+    assert!(analysis.unknown_fraction < 0.35);
+    // Directional agreement (spatial stability of f).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let d = (mean(&fij) - mean(&analysis.f_ji_series())).abs();
+    assert!(d < 0.12, "directions disagree by {d}");
+}
+
+/// Figure 7 shape: on a lognormal preference sample, the lognormal MLE
+/// beats the exponential MLE in KS distance (through the public stats
+/// API, with paper-like parameters and sample size).
+#[test]
+fn lognormal_beats_exponential_on_preference_tails() {
+    let mut rng = tm_ic::stats::seeded_rng(2006);
+    let truth = LogNormal::new(-4.3, 1.7).unwrap();
+    // 22 nodes, as in the Géant dataset.
+    let sample: Vec<f64> = truth.sample_n(&mut rng, 22);
+    let ln = fit_lognormal_mle(&sample).unwrap().distribution().unwrap();
+    let ex = fit_exponential_mle(&sample).unwrap().distribution().unwrap();
+    let ks_ln = ks_distance(&sample, |x| ln.ccdf(x)).unwrap();
+    let ks_ex = ks_distance(&sample, |x| ex.ccdf(x)).unwrap();
+    assert!(ks_ln < ks_ex, "lognormal {ks_ln} vs exponential {ks_ex}");
+}
+
+/// The CSV interchange round-trips a trace-derived traffic series exactly,
+/// so externally collected TMs can enter the toolkit.
+#[test]
+fn csv_interchange_round_trips() {
+    // Small synthetic series via the public API.
+    let mut cfg = tm_ic::core::SynthConfig::geant_like(3);
+    cfg.nodes = 6;
+    cfg.bins = 12;
+    let out = tm_ic::core::generate_synthetic(&cfg).unwrap();
+    let mut buf = Vec::new();
+    write_tm_csv(&out.series, &mut buf).unwrap();
+    let back = read_tm_csv(buf.as_slice()).unwrap();
+    assert_eq!(back, out.series);
+}
