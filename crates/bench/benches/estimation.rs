@@ -25,9 +25,7 @@ fn bench_observation(c: &mut Criterion) {
     });
     c.bench_function("routing_matrix_build_geant_ecmp", |b| {
         b.iter(|| {
-            black_box(
-                ic_topology::RoutingMatrix::build(&geant22(), RoutingScheme::Ecmp).unwrap(),
-            )
+            black_box(ic_topology::RoutingMatrix::build(&geant22(), RoutingScheme::Ecmp).unwrap())
         })
     });
 }

@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ic_core::{generate_synthetic, SynthConfig};
-use ic_flowsim::{
-    analyze_trace, sample_netflow, synthesize_trace, NetflowConfig, TraceConfig,
-};
+use ic_flowsim::{analyze_trace, sample_netflow, synthesize_trace, NetflowConfig, TraceConfig};
 
 fn bench_synthetic_generation(c: &mut Criterion) {
     let mut cfg = SynthConfig::geant_like(5);

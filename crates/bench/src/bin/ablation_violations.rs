@@ -14,9 +14,9 @@ use ic_bench::{fit_improvement_series, paper_fit_options, summarize};
 use ic_core::fit_stable_fp;
 use ic_flowsim::{sample_netflow, AggregateConfig, AggregateGenerator, NetflowConfig};
 use ic_linalg::Matrix;
+use ic_stats::dist::{LogNormal, Pareto, Sample};
 use ic_stats::rng::derive_seed;
 use ic_stats::{seeded_rng, DiurnalModel, DiurnalProfile};
-use ic_stats::dist::{LogNormal, Pareto, Sample};
 
 fn build_measured(n: usize, bins: usize, agg: AggregateConfig, seed: u64) -> ic_core::TmSeries {
     let mut rng_p = seeded_rng(derive_seed(seed, 1));

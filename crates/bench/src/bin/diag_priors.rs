@@ -12,11 +12,19 @@ fn main() {
     println!("ds\tseed\tfig3\tfig11\tfig12\tfig13\tf_hat");
     for seed in [20041114u64, 1, 7, 41, 99, 123, 2004, 555] {
         for ds_name in ["d1", "d2"] {
-            let ds = if ds_name == "d1" { d1_at(Scale::Smoke, 2, seed) } else { d2_at(Scale::Smoke, 2, seed) };
+            let ds = if ds_name == "d1" {
+                d1_at(Scale::Smoke, 2, seed)
+            } else {
+                d2_at(Scale::Smoke, 2, seed)
+            };
             let weeks = ds.measured_weeks().unwrap();
             let fits = fit_weeks(&weeks);
             let fig3 = summarize(&fit_improvement_series(&weeks[1], &fits[1])).mean;
-            let topo = if ds_name == "d1" { geant22() } else { totem23() };
+            let topo = if ds_name == "d1" {
+                geant22()
+            } else {
+                totem23()
+            };
             let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
             let obs = om.observe(&weeks[1]).unwrap();
             let pipe = EstimationPipeline::new(om);
@@ -25,11 +33,23 @@ fn main() {
                 mean_rel_l2(&weeks[1], &est).unwrap()
             };
             let g = post(&GravityPrior);
-            let m = post(&MeasuredIcPrior { params: fits[1].params.clone() });
-            let fp = post(&StableFpPrior { f: fits[0].params.f, preference: fits[0].params.preference.clone() });
-            let fo = post(&StableFPrior { f: fits[0].params.f });
-            println!("{ds_name}\t{seed}\t{fig3:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.3}",
-                100.0*(g-m)/g, 100.0*(g-fp)/g, 100.0*(g-fo)/g, fits[1].params.f);
+            let m = post(&MeasuredIcPrior {
+                params: fits[1].params.clone(),
+            });
+            let fp = post(&StableFpPrior {
+                f: fits[0].params.f,
+                preference: fits[0].params.preference.clone(),
+            });
+            let fo = post(&StableFPrior {
+                f: fits[0].params.f,
+            });
+            println!(
+                "{ds_name}\t{seed}\t{fig3:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.3}",
+                100.0 * (g - m) / g,
+                100.0 * (g - fp) / g,
+                100.0 * (g - fo) / g,
+                fits[1].params.f
+            );
         }
     }
 }

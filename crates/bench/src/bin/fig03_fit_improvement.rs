@@ -7,8 +7,7 @@
 //! improvement, Totem ≈ 6–8%.
 
 use ic_bench::{
-    d1_at, d2_at, fit_improvement_series, fit_weeks, print_series, print_summary, summarize,
-    Scale,
+    d1_at, d2_at, fit_improvement_series, fit_weeks, print_series, print_summary, summarize, Scale,
 };
 
 fn main() {
@@ -23,7 +22,10 @@ fn main() {
         let weeks = ds.measured_weeks().expect("weeks");
         let fits = fit_weeks(&weeks);
         let imp = fit_improvement_series(&weeks[0], &fits[0]);
-        println!("\n## Figure 3({panel}): {name}, fitted f = {:.3}", fits[0].params.f);
+        println!(
+            "\n## Figure 3({panel}): {name}, fitted f = {:.3}",
+            fits[0].params.f
+        );
         print_summary(&format!("improvement_{name}"), &summarize(&imp));
         print_series(&format!("improvement_{name}"), &imp, 24);
     }

@@ -21,15 +21,24 @@ fn main() {
     let ds = build_d3(&cfg).expect("D3 build");
     let analysis = analyze_trace(&ds.ipls_clev, ds.duration, 300.0).expect("analysis");
 
-    println!("# unknown traffic fraction: {:.3} (paper: < 0.20)", analysis.unknown_fraction);
+    println!(
+        "# unknown traffic fraction: {:.3} (paper: < 0.20)",
+        analysis.unknown_fraction
+    );
     println!(
         "# classified connections: {}, unknown 5-tuples: {}",
         analysis.classified_connections, analysis.unknown_connections
     );
     println!("# bin\tf(IPLS->CLEV)\tf(CLEV->IPLS)");
     for (t, b) in analysis.bins.iter().enumerate() {
-        let fij = b.f_ij.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into());
-        let fji = b.f_ji.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into());
+        let fij = b
+            .f_ij
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "-".into());
+        let fji = b
+            .f_ji
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "-".into());
         println!("{t}\t{fij}\t{fji}");
     }
     print_summary("f_ij", &summarize(&analysis.f_ij_series()));

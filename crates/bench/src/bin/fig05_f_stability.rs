@@ -23,5 +23,8 @@ fn main() {
         .map(|w| (w[1] - w[0]).abs())
         .fold(0.0_f64, f64::max);
     println!("# mean f = {mean:.4}, max week-over-week delta = {max_delta:.4}");
-    println!("# ground-truth generating aggregate f = {:.4}", ds.ground_truth.aggregate_f);
+    println!(
+        "# ground-truth generating aggregate f = {:.4}",
+        ds.ground_truth.aggregate_f
+    );
 }

@@ -6,8 +6,7 @@
 //! tomogravity + IPF steps. Paper shape: Géant 10–20%, Totem 20–30%.
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize,
-    Scale,
+    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
 };
 use ic_estimation::MeasuredIcPrior;
 

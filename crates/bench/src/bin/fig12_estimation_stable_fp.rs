@@ -7,8 +7,7 @@
 //! improvement for both.
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize,
-    Scale,
+    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
 };
 use ic_estimation::StableFpPrior;
 
@@ -16,9 +15,10 @@ fn main() {
     let scale = Scale::from_args();
     println!("# Figure 12: estimation improvement, f and P from a previous week ({scale:?})");
     // (panel, dataset, weeks to build, calibration week index, target week index)
-    for (panel, name, weeks_n, cal, target) in
-        [("a", "geant-d1", 2usize, 0usize, 1usize), ("b", "totem-d2", 3, 0, 2)]
-    {
+    for (panel, name, weeks_n, cal, target) in [
+        ("a", "geant-d1", 2usize, 0usize, 1usize),
+        ("b", "totem-d2", 3, 0, 2),
+    ] {
         let ds = match name {
             "geant-d1" => d1_at(scale, weeks_n, 1),
             _ => d2_at(scale, weeks_n, 20041114),

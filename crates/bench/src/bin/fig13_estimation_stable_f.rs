@@ -6,17 +6,17 @@
 //! less side information than Figure 12.
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize,
-    Scale,
+    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
 };
 use ic_estimation::StableFPrior;
 
 fn main() {
     let scale = Scale::from_args();
     println!("# Figure 13: estimation improvement, only f known ({scale:?})");
-    for (panel, name, weeks_n, cal, target) in
-        [("a", "geant-d1", 2usize, 0usize, 1usize), ("b", "totem-d2", 3, 0, 2)]
-    {
+    for (panel, name, weeks_n, cal, target) in [
+        ("a", "geant-d1", 2usize, 0usize, 1usize),
+        ("b", "totem-d2", 3, 0, 2),
+    ] {
         let ds = match name {
             "geant-d1" => d1_at(scale, weeks_n, 1),
             _ => d2_at(scale, weeks_n, 20041114),
@@ -24,7 +24,9 @@ fn main() {
         let weeks = ds.measured_weeks().expect("weeks");
         // Only f is carried over from the calibration week.
         let fits = fit_weeks(&weeks[cal..=cal]);
-        let prior = StableFPrior { f: fits[0].params.f };
+        let prior = StableFPrior {
+            f: fits[0].params.f,
+        };
         let cmp = estimation_comparison(name, &weeks[target], &prior);
         println!(
             "\n## Figure 13({panel}): {name} (f from week {}, estimated week {})",

@@ -10,11 +10,11 @@
 //! finish in seconds and exercise the identical code paths on shorter
 //! weeks, which is what the integration tests use.
 
-use ic_core::{
-    fit_stable_fp, improvement_percent, rel_l2_series, FitOptions, FitResult, TmSeries,
-};
+use ic_core::{fit_stable_fp, improvement_percent, rel_l2_series, FitOptions, FitResult, TmSeries};
 use ic_datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
-use ic_estimation::{compare_priors, ComparisonResult, EstimationPipeline, ObservationModel, TmPrior};
+use ic_estimation::{
+    compare_priors, ComparisonResult, EstimationPipeline, ObservationModel, TmPrior,
+};
 use ic_topology::{geant22, totem23, RoutingScheme};
 
 /// Experiment scale.

@@ -151,7 +151,9 @@ mod tests {
         let zero_pred = series(&[&[0.0, 0.0, 0.0, 0.0]]);
         let nonzero_pred = series(&[&[1.0, 0.0, 0.0, 0.0]]);
         assert_eq!(rel_l2_temporal(&obs, &zero_pred, 0).unwrap(), 0.0);
-        assert!(rel_l2_temporal(&obs, &nonzero_pred, 0).unwrap().is_infinite());
+        assert!(rel_l2_temporal(&obs, &nonzero_pred, 0)
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]

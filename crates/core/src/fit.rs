@@ -230,12 +230,7 @@ fn preference_rhs(x: &TmSeries, bin: usize, f: f64, a: &[f64]) -> Vec<f64> {
 
 /// Solves one bin's activity with the shared factorization, falling back to
 /// NNLS when the unconstrained solution leaves the feasible orthant.
-fn solve_activity_bin(
-    gram: &TwoTermGram,
-    f: f64,
-    p: &[f64],
-    rhs: &[f64],
-) -> Result<Vec<f64>> {
+fn solve_activity_bin(gram: &TwoTermGram, f: f64, p: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
     let a = gram.solve(rhs)?;
     if a.iter().all(|&v| v >= 0.0) {
         return Ok(a);
@@ -436,8 +431,8 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
                 *hk += w * r;
             }
         }
-        let p_new = nnls_from_normal_equations(&g, &h, NnlsOptions::default())
-            .map_err(IcError::from)?;
+        let p_new =
+            nnls_from_normal_equations(&g, &h, NnlsOptions::default()).map_err(IcError::from)?;
         let mass: f64 = p_new.iter().sum();
         if mass > 0.0 {
             // Renormalize to the simplex, absorbing the scale into A.
@@ -595,8 +590,8 @@ fn solve_f_per_bin_preference(
         }
         for i in 0..n {
             for j in 0..n {
-                let d = activity[(i, t)] * preference[(j, t)]
-                    - activity[(j, t)] * preference[(i, t)];
+                let d =
+                    activity[(i, t)] * preference[(j, t)] - activity[(j, t)] * preference[(i, t)];
                 if d == 0.0 {
                     continue;
                 }
@@ -919,7 +914,9 @@ mod tests {
             .objective_history
             .last()
             .unwrap();
-        let o_sfp = fit_stable_fp(&tm, FitOptions::default()).unwrap().final_objective();
+        let o_sfp = fit_stable_fp(&tm, FitOptions::default())
+            .unwrap()
+            .final_objective();
         assert!(o_tv <= o_sf + 1e-6, "tv {o_tv} vs sf {o_sf}");
         assert!(o_sf <= o_sfp + 1e-6, "sf {o_sf} vs sfp {o_sfp}");
     }

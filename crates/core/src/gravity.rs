@@ -39,7 +39,11 @@ pub fn gravity_from_marginals(ingress: &[f64], egress: &[f64]) -> Result<Matrix>
     if n == 0 {
         return Err(IcError::BadData("gravity of empty marginals"));
     }
-    if ingress.iter().chain(egress.iter()).any(|&v| v < 0.0 || !v.is_finite()) {
+    if ingress
+        .iter()
+        .chain(egress.iter())
+        .any(|&v| v < 0.0 || !v.is_finite())
+    {
         return Err(IcError::BadData(
             "gravity marginals must be finite and non-negative",
         ));

@@ -131,8 +131,7 @@ pub fn general_ic(f: &Matrix, activity: &[f64], preference: &[f64]) -> Result<Ma
     let mut x = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
-            x[(i, j)] =
-                f[(i, j)] * activity[i] * p[j] + (1.0 - f[(j, i)]) * activity[j] * p[i];
+            x[(i, j)] = f[(i, j)] * activity[i] * p[j] + (1.0 - f[(j, i)]) * activity[j] * p[i];
         }
     }
     Ok(x)

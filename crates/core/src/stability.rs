@@ -47,7 +47,10 @@ impl WeeklyFits {
     /// The per-week preference vectors (Figure 6 overlay), one row per
     /// week.
     pub fn preference_series(&self) -> Vec<Vec<f64>> {
-        self.fits.iter().map(|f| f.params.preference.clone()).collect()
+        self.fits
+            .iter()
+            .map(|f| f.params.preference.clone())
+            .collect()
     }
 
     /// Week-over-week stability of `f`: maximum absolute difference between

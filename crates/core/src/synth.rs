@@ -193,7 +193,12 @@ mod tests {
         let fit = fit_stable_fp(&out.series, FitOptions::default()).unwrap();
         assert!(fit.final_objective() < 1e-3, "{}", fit.final_objective());
         assert!((fit.params.f - 0.25).abs() < 0.03, "f {}", fit.params.f);
-        for (got, want) in fit.params.preference.iter().zip(out.params.preference.iter()) {
+        for (got, want) in fit
+            .params
+            .preference
+            .iter()
+            .zip(out.params.preference.iter())
+        {
             assert!((got - want).abs() < 0.03, "{got} vs {want}");
         }
     }

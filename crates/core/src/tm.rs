@@ -314,7 +314,10 @@ impl TmSeries {
 
     /// True when every entry is finite and non-negative.
     pub fn is_physical(&self) -> bool {
-        self.data.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0)
+        self.data
+            .as_slice()
+            .iter()
+            .all(|&v| v.is_finite() && v >= 0.0)
     }
 }
 
@@ -422,10 +425,7 @@ mod tests {
     #[test]
     fn node_names_validation() {
         let tm = tiny();
-        assert!(tm
-            .clone()
-            .with_node_names(vec!["a".into()])
-            .is_err());
+        assert!(tm.clone().with_node_names(vec!["a".into()]).is_err());
         let named = tm.with_node_names(vec!["a".into(), "b".into()]).unwrap();
         assert_eq!(named.node_names().unwrap()[1], "b");
     }

@@ -46,7 +46,7 @@ impl Default for GeantConfig {
             weeks: 3,
             bins_per_week: 2016,
             seed: 1, // chosen so the Figure 3/11-13 magnitudes land in the
-                     // paper's reported bands (see diag_priors in ic-bench)
+            // paper's reported bands (see diag_priors in ic-bench)
             sampling: Some(NetflowConfig::default()),
         }
     }

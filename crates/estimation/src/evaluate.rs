@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_volume() {
-        let obs = series(
-            &[(0, 1, 0, 100.0), (1, 0, 0, 10.0), (1, 1, 0, 1.0)],
-            2,
-            1,
-        );
+        let obs = series(&[(0, 1, 0, 100.0), (1, 0, 0, 10.0), (1, 1, 0, 1.0)], 2, 1);
         let ranked = spatial_error_by_volume(&obs, &obs).unwrap();
         assert_eq!((ranked[0].0, ranked[0].1), (0, 1));
         assert_eq!((ranked[1].0, ranked[1].1), (1, 0));

@@ -158,10 +158,16 @@ mod tests {
         let rs = w.row_sums();
         let cs = w.col_sums();
         for (got, want) in rs.iter().zip(rows.iter()) {
-            assert!((got - want).abs() <= tol * want.max(1.0), "rows {rs:?} vs {rows:?}");
+            assert!(
+                (got - want).abs() <= tol * want.max(1.0),
+                "rows {rs:?} vs {rows:?}"
+            );
         }
         for (got, want) in cs.iter().zip(cols.iter()) {
-            assert!((got - want).abs() <= tol * want.max(1.0), "cols {cs:?} vs {cols:?}");
+            assert!(
+                (got - want).abs() <= tol * want.max(1.0),
+                "cols {cs:?} vs {cols:?}"
+            );
         }
     }
 

@@ -199,13 +199,7 @@ mod tests {
         let (truth, params) = truth_series(6, 3, 0.22);
         let obs = om.observe(&truth).unwrap();
         let pipeline = EstimationPipeline::new(om);
-        let cmp = compare_priors(
-            &pipeline,
-            &MeasuredIcPrior { params },
-            &truth,
-            &obs,
-        )
-        .unwrap();
+        let cmp = compare_priors(&pipeline, &MeasuredIcPrior { params }, &truth, &obs).unwrap();
         assert!(
             cmp.mean_improvement > 0.0,
             "mean improvement {}",
@@ -246,8 +240,7 @@ mod tests {
         let (truth, params) = truth_series(6, 3, 0.22);
         let obs = om.observe(&truth).unwrap();
         let pipeline = EstimationPipeline::new(om);
-        let cmp =
-            compare_priors(&pipeline, &StableFPrior { f: params.f }, &truth, &obs).unwrap();
+        let cmp = compare_priors(&pipeline, &StableFPrior { f: params.f }, &truth, &obs).unwrap();
         assert!(
             cmp.mean_improvement > 0.0,
             "mean improvement {}",

@@ -111,7 +111,11 @@ impl Tomogravity {
 
         // Residual of the constraints at the prior.
         let ax = a.matvec(x_prior).map_err(EstimationError::from)?;
-        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let resid: Vec<f64> = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(&bi, &axi)| bi - axi)
+            .collect();
 
         // Build A W Aᵀ (rows x rows).
         let mut awat = Matrix::zeros(rows, rows);
@@ -146,7 +150,9 @@ impl Tomogravity {
             }
         };
         // x = x_p + W Aᵀ λ.
-        let at_lambda = a.matvec_transposed(&lambda).map_err(EstimationError::from)?;
+        let at_lambda = a
+            .matvec_transposed(&lambda)
+            .map_err(EstimationError::from)?;
         let mut x: Vec<f64> = x_prior
             .iter()
             .zip(at_lambda.iter().zip(w.iter()))

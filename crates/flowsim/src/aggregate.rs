@@ -110,10 +110,7 @@ impl AggregateConfig {
                 constraint: "must be non-negative",
             });
         }
-        if !(self.f_bounds.0 < self.f_bounds.1)
-            || self.f_bounds.0 < 0.0
-            || self.f_bounds.1 > 1.0
-        {
+        if !(self.f_bounds.0 < self.f_bounds.1) || self.f_bounds.0 < 0.0 || self.f_bounds.1 > 1.0 {
             return Err(FlowSimError::InvalidConfig {
                 field: "f_bounds",
                 constraint: "need 0 <= lo < hi <= 1",
@@ -281,7 +278,8 @@ impl AggregateGenerator {
                             .unwrap_or((j + 1) % n);
                         let diverted = rev * self.config.asymmetry_fraction;
                         tm.add(alt_j, i, t, diverted).map_err(FlowSimError::from)?;
-                        tm.add(j, i, t, rev - diverted).map_err(FlowSimError::from)?;
+                        tm.add(j, i, t, rev - diverted)
+                            .map_err(FlowSimError::from)?;
                     } else {
                         tm.add(j, i, t, rev).map_err(FlowSimError::from)?;
                     }
@@ -301,7 +299,8 @@ mod tests {
         let mut a = Matrix::zeros(n, bins);
         for i in 0..n {
             for t in 0..bins {
-                a[(i, t)] = 1000.0 * (i + 1) as f64 * (1.0 + 0.3 * ((t * (i + 2)) as f64).sin().abs());
+                a[(i, t)] =
+                    1000.0 * (i + 1) as f64 * (1.0 + 0.3 * ((t * (i + 2)) as f64).sin().abs());
             }
         }
         a

@@ -178,7 +178,11 @@ pub fn analyze_trace(
     Ok(TraceAnalysis {
         bins,
         total_bytes: total,
-        unknown_fraction: if total > 0.0 { unknown_total / total } else { 0.0 },
+        unknown_fraction: if total > 0.0 {
+            unknown_total / total
+        } else {
+            0.0
+        },
         classified_connections: initiators.len(),
         unknown_connections: unknown_keys.len(),
     })
@@ -192,89 +196,89 @@ mod tests {
 
     /// Hand-built two-connection trace with known f values.
     fn manual_trace() -> Vec<PacketRecord> {
-        let mut v = Vec::new();
-        // Connection 1: initiated on side I, 100 B forward, 300 B reverse
-        // (f = 0.25), all inside bin 0.
-        v.push(PacketRecord {
-            time: 1.0,
-            src: 0,
-            dst: 1,
-            sport: 1024,
-            dport: 80,
-            syn: true,
-            ack: false,
-            bytes: 0.0,
-            link: LinkDirection::IToJ,
-        });
-        v.push(PacketRecord {
-            time: 1.1,
-            src: 1,
-            dst: 0,
-            sport: 80,
-            dport: 1024,
-            syn: true,
-            ack: true,
-            bytes: 0.0,
-            link: LinkDirection::JToI,
-        });
-        v.push(PacketRecord {
-            time: 2.0,
-            src: 0,
-            dst: 1,
-            sport: 1024,
-            dport: 80,
-            syn: false,
-            ack: true,
-            bytes: 100.0,
-            link: LinkDirection::IToJ,
-        });
-        v.push(PacketRecord {
-            time: 3.0,
-            src: 1,
-            dst: 0,
-            sport: 80,
-            dport: 1024,
-            syn: false,
-            ack: true,
-            bytes: 300.0,
-            link: LinkDirection::JToI,
-        });
-        // Connection 2: initiated on side J, 50 B forward (J→I), 50 B
-        // reverse (I→J): f_ji contribution 0.5.
-        v.push(PacketRecord {
-            time: 4.0,
-            src: 10,
-            dst: 11,
-            sport: 2000,
-            dport: 80,
-            syn: true,
-            ack: false,
-            bytes: 0.0,
-            link: LinkDirection::JToI,
-        });
-        v.push(PacketRecord {
-            time: 5.0,
-            src: 10,
-            dst: 11,
-            sport: 2000,
-            dport: 80,
-            syn: false,
-            ack: true,
-            bytes: 50.0,
-            link: LinkDirection::JToI,
-        });
-        v.push(PacketRecord {
-            time: 6.0,
-            src: 11,
-            dst: 10,
-            sport: 80,
-            dport: 2000,
-            syn: false,
-            ack: true,
-            bytes: 50.0,
-            link: LinkDirection::IToJ,
-        });
-        v
+        vec![
+            // Connection 1: initiated on side I, 100 B forward, 300 B
+            // reverse (f = 0.25), all inside bin 0.
+            PacketRecord {
+                time: 1.0,
+                src: 0,
+                dst: 1,
+                sport: 1024,
+                dport: 80,
+                syn: true,
+                ack: false,
+                bytes: 0.0,
+                link: LinkDirection::IToJ,
+            },
+            PacketRecord {
+                time: 1.1,
+                src: 1,
+                dst: 0,
+                sport: 80,
+                dport: 1024,
+                syn: true,
+                ack: true,
+                bytes: 0.0,
+                link: LinkDirection::JToI,
+            },
+            PacketRecord {
+                time: 2.0,
+                src: 0,
+                dst: 1,
+                sport: 1024,
+                dport: 80,
+                syn: false,
+                ack: true,
+                bytes: 100.0,
+                link: LinkDirection::IToJ,
+            },
+            PacketRecord {
+                time: 3.0,
+                src: 1,
+                dst: 0,
+                sport: 80,
+                dport: 1024,
+                syn: false,
+                ack: true,
+                bytes: 300.0,
+                link: LinkDirection::JToI,
+            },
+            // Connection 2: initiated on side J, 50 B forward (J→I), 50 B
+            // reverse (I→J): f_ji contribution 0.5.
+            PacketRecord {
+                time: 4.0,
+                src: 10,
+                dst: 11,
+                sport: 2000,
+                dport: 80,
+                syn: true,
+                ack: false,
+                bytes: 0.0,
+                link: LinkDirection::JToI,
+            },
+            PacketRecord {
+                time: 5.0,
+                src: 10,
+                dst: 11,
+                sport: 2000,
+                dport: 80,
+                syn: false,
+                ack: true,
+                bytes: 50.0,
+                link: LinkDirection::JToI,
+            },
+            PacketRecord {
+                time: 6.0,
+                src: 11,
+                dst: 10,
+                sport: 80,
+                dport: 2000,
+                syn: false,
+                ack: true,
+                bytes: 50.0,
+                link: LinkDirection::IToJ,
+            },
+        ]
     }
 
     #[test]
@@ -295,7 +299,7 @@ mod tests {
     fn missing_syn_classified_unknown() {
         let mut trace = manual_trace();
         // Remove connection 1's SYN packets: its data becomes unknown.
-        trace.retain(|p| !(p.syn && p.sport == 1024) && !(p.syn && p.dport == 1024));
+        trace.retain(|p| !(p.syn && (p.sport == 1024 || p.dport == 1024)));
         let analysis = analyze_trace(&trace, 300.0, 300.0).unwrap();
         assert_eq!(analysis.unknown_connections, 1);
         let b = &analysis.bins[0];

@@ -139,10 +139,8 @@ impl AppMix {
                 constraint: "must have positive total",
             });
         }
-        let (profiles, weights): (Vec<_>, Vec<_>) = entries
-            .into_iter()
-            .map(|(p, w)| (p, w / total))
-            .unzip();
+        let (profiles, weights): (Vec<_>, Vec<_>) =
+            entries.into_iter().map(|(p, w)| (p, w / total)).unzip();
         let raw_counts: Vec<f64> = profiles
             .iter()
             .zip(&weights)

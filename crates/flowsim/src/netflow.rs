@@ -82,8 +82,8 @@ pub fn sample_netflow(truth: &TmSeries, config: NetflowConfig) -> Result<TmSerie
         ));
     }
     let n = truth.nodes();
-    let mut out = TmSeries::zeros(n, truth.bins(), truth.bin_seconds())
-        .map_err(FlowSimError::from)?;
+    let mut out =
+        TmSeries::zeros(n, truth.bins(), truth.bin_seconds()).map_err(FlowSimError::from)?;
     let mut rng = seeded_rng(derive_seed(config.seed, 0x5A_3713));
     let inv_rate = 1.0 / config.sampling_rate;
     for t in 0..truth.bins() {

@@ -167,10 +167,7 @@ mod tests {
         for s in 0..runs {
             let mut rng = seeded_rng(100 + s);
             let records = build_flow_records(&packets, 0.01, 60.0, &mut rng).unwrap();
-            sum += records
-                .iter()
-                .map(|r| r.estimated_bytes(0.01))
-                .sum::<f64>();
+            sum += records.iter().map(|r| r.estimated_bytes(0.01)).sum::<f64>();
         }
         let mean = sum / runs as f64;
         assert!(

@@ -185,7 +185,15 @@ pub fn synthesize_trace(config: &TraceConfig) -> Result<Vec<PacketRecord>> {
             .sample_count(&mut rng);
         for _ in 0..fresh {
             let start = rng.gen::<f64>() * config.duration;
-            emit_connection(config, &mut rng, &mut packets, &mut conn_counter, side, start, &lifetime);
+            emit_connection(
+                config,
+                &mut rng,
+                &mut packets,
+                &mut conn_counter,
+                side,
+                start,
+                &lifetime,
+            );
         }
         // Straddlers: stationary population rate * E[lifetime]; residual
         // age is exponential by memorylessness.
@@ -194,7 +202,15 @@ pub fn synthesize_trace(config: &TraceConfig) -> Result<Vec<PacketRecord>> {
             .sample_count(&mut rng);
         for _ in 0..strad {
             let age = lifetime.sample(&mut rng);
-            emit_connection(config, &mut rng, &mut packets, &mut conn_counter, side, -age, &lifetime);
+            emit_connection(
+                config,
+                &mut rng,
+                &mut packets,
+                &mut conn_counter,
+                side,
+                -age,
+                &lifetime,
+            );
         }
     }
 
@@ -260,8 +276,22 @@ fn emit_connection<R: Rng + ?Sized>(
 
     // Data packets, each direction spread uniformly over the lifetime.
     for (bytes, link, src, dst, sp, dp) in [
-        (fwd_bytes, fwd_link, initiator_host, responder_host, sport, dport),
-        (rev_bytes, rev_link, responder_host, initiator_host, dport, sport),
+        (
+            fwd_bytes,
+            fwd_link,
+            initiator_host,
+            responder_host,
+            sport,
+            dport,
+        ),
+        (
+            rev_bytes,
+            rev_link,
+            responder_host,
+            initiator_host,
+            dport,
+            sport,
+        ),
     ] {
         if bytes <= 0.0 {
             continue;
@@ -308,9 +338,7 @@ mod tests {
         let packets = synthesize_trace(&small_cfg(1)).unwrap();
         assert!(!packets.is_empty());
         assert!(packets.windows(2).all(|w| w[0].time <= w[1].time));
-        assert!(packets
-            .iter()
-            .all(|p| p.time >= 0.0 && p.time < 300.0));
+        assert!(packets.iter().all(|p| p.time >= 0.0 && p.time < 300.0));
     }
 
     #[test]

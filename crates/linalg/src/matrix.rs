@@ -195,7 +195,9 @@ impl Matrix {
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index {j} out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Checked element access; `None` when out of bounds.

@@ -68,7 +68,11 @@ pub fn nnls(a: &Matrix, b: &[f64], options: NnlsOptions) -> Result<Vec<f64>> {
     let mut iterations = 0usize;
     loop {
         let ax = a.matvec(&x)?;
-        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let resid: Vec<f64> = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(&bi, &axi)| bi - axi)
+            .collect();
         let w = a.matvec_transposed(&resid)?;
         // Pick the most violating active coordinate.
         let mut best: Option<(usize, f64)> = None;
@@ -227,12 +231,8 @@ mod tests {
 
     #[test]
     fn classic_lawson_hanson_example() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0, 2.0],
-            &[10.0, 11.0, -9.0],
-            &[-1.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 1.0, 2.0], &[10.0, 11.0, -9.0], &[-1.0, 0.0, 0.0]]).unwrap();
         let b = [-1.0, 11.0, 0.0];
         let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
         // Solution must be feasible and satisfy KKT: Aᵀ(b−Ax) ≤ 0 where x=0,
@@ -240,7 +240,10 @@ mod tests {
         assert!(x.iter().all(|&v| v >= 0.0));
         let r: Vec<f64> = {
             let ax = a.matvec(&x).unwrap();
-            b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect()
+            b.iter()
+                .zip(ax.iter())
+                .map(|(&bi, &axi)| bi - axi)
+                .collect()
         };
         let w = a.matvec_transposed(&r).unwrap();
         for (j, (&xj, &wj)) in x.iter().zip(w.iter()).enumerate() {
@@ -254,12 +257,7 @@ mod tests {
 
     #[test]
     fn nnls_never_beats_unconstrained_ls_but_is_close_when_feasible() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 1.0],
-            &[1.0, 2.0],
-            &[0.5, 0.5],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0], &[0.5, 0.5]]).unwrap();
         let b = [4.0, 3.0, 1.0];
         let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
         let ls = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
@@ -294,12 +292,7 @@ mod tests {
     fn handles_collinear_columns() {
         // Columns 0 and 1 are identical: solution mass is split or placed on
         // one of them; residual must still be optimal.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0, 0.0],
-            &[1.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let b = [2.0, 2.0, 5.0];
         let x = nnls(&a, &b, NnlsOptions::default()).unwrap();
         assert!((x[0] + x[1] - 2.0).abs() < 1e-8);
@@ -308,13 +301,7 @@ mod tests {
 
     #[test]
     fn normal_equations_variant_matches_direct() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 0.5],
-            &[0.3, 1.0],
-            &[1.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 0.5], &[0.3, 1.0], &[1.0, 1.0]]).unwrap();
         let b = [1.0, -2.0, 3.0, 0.5];
         let direct = nnls(&a, &b, NnlsOptions::default()).unwrap();
         let ata = a.gram();

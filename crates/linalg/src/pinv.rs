@@ -77,24 +77,15 @@ mod tests {
 
     #[test]
     fn pinv_satisfies_moore_penrose_full_rank() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let p = pseudo_inverse(&a, None).unwrap();
         assert!(satisfies_moore_penrose(&a, &p, 1e-9));
     }
 
     #[test]
     fn pinv_satisfies_moore_penrose_rank_deficient() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 4.0, 6.0],
-            &[-1.0, -2.0, -3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[-1.0, -2.0, -3.0]]).unwrap();
         let p = pseudo_inverse(&a, None).unwrap();
         assert!(satisfies_moore_penrose(&a, &p, 1e-9));
     }

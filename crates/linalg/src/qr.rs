@@ -329,12 +329,7 @@ mod tests {
 
     #[test]
     fn q_has_orthonormal_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, -1.0],
-            &[0.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.0, 4.0]]).unwrap();
         let q = Qr::factor(&a).unwrap().q_thin();
         let qtq = q.gram();
         assert!(qtq.approx_eq(&Matrix::identity(2), 1e-10));
@@ -351,13 +346,7 @@ mod tests {
 
     #[test]
     fn overdetermined_least_squares_matches_normal_equations() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-            &[1.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]).unwrap();
         let b = [6.0, 5.0, 7.0, 10.0];
         let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
         // Known regression line: intercept 3.5, slope 1.4.
@@ -366,12 +355,7 @@ mod tests {
 
     #[test]
     fn least_squares_residual_orthogonal_to_columns() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
         let b = [1.0, 0.0, 2.0];
         let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
         let r = residual(&a, &x, &b).unwrap();
@@ -381,12 +365,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_detected() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.0],
-            &[3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let qr = Qr::factor(&a).unwrap();
         assert_eq!(qr.rank(), 1);
         assert!(matches!(
@@ -405,11 +384,7 @@ mod tests {
 
     #[test]
     fn underdetermined_solution_satisfies_system() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0, 1.0],
-            &[0.0, 1.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 1.0], &[0.0, 1.0, -1.0, 2.0]]).unwrap();
         let b = [4.0, 1.0];
         let x = solve(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();

@@ -268,12 +268,7 @@ mod tests {
     #[test]
     fn rank_deficient_detected() {
         // Rank-1 matrix.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.0],
-            &[3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let svd = Svd::factor(&a).unwrap();
         assert_eq!(svd.rank(), 1);
         assert!(svd.condition_number().is_infinite());

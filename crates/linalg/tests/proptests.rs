@@ -10,12 +10,6 @@ use ic_linalg::qr::solve;
 use ic_linalg::{nnls, project_to_simplex, pseudo_inverse, Matrix, NnlsOptions, Qr, Svd};
 use proptest::prelude::*;
 
-/// Strategy: matrix of the given shape with entries in [-10, 10].
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized data"))
-}
-
 fn small_shape() -> impl Strategy<Value = (usize, usize)> {
     (1usize..7, 1usize..7).prop_map(|(m, n)| if m >= n { (m, n) } else { (n, m) })
 }

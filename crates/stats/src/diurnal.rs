@@ -112,10 +112,14 @@ impl DiurnalProfile {
         let day = t / self.bins_per_day;
         let frac = (t % self.bins_per_day) as f64 / self.bins_per_day as f64;
         let phase = 2.0 * core::f64::consts::PI * (frac - self.peak_time);
-        let cycle = 1.0 + self.daily_amplitude * phase.cos()
-            + self.second_harmonic * (2.0 * phase).cos();
+        let cycle =
+            1.0 + self.daily_amplitude * phase.cos() + self.second_harmonic * (2.0 * phase).cos();
         let weekday = (self.start_weekday + day) % 7;
-        let weekend = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        let weekend = if weekday >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
         cycle * weekend
     }
 }
@@ -274,10 +278,7 @@ mod tests {
         let peak = p.modulation(peak_bin);
         let trough_bin = (peak_bin + p.bins_per_day / 2) % p.bins_per_day;
         let trough = p.modulation(trough_bin);
-        assert!(
-            peak > 1.3 && trough < 0.7,
-            "peak {peak}, trough {trough}"
-        );
+        assert!(peak > 1.3 && trough < 0.7, "peak {peak}, trough {trough}");
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::{Result, StatsError};
 /// ```
 pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
     if xs.is_empty() {
-        return Err(StatsError::InsufficientData("autocorrelation of empty series"));
+        return Err(StatsError::InsufficientData(
+            "autocorrelation of empty series",
+        ));
     }
     if lag >= xs.len() {
         return Err(StatsError::InvalidParameter {
@@ -82,7 +84,7 @@ pub fn dominant_period(xs: &[f64], candidates: &[usize]) -> Result<(usize, f64)>
 /// Centered moving average with the given (odd) window; endpoints use the
 /// available partial window.
 pub fn moving_average(xs: &[f64], window: usize) -> Result<Vec<f64>> {
-    if window == 0 || window % 2 == 0 {
+    if window == 0 || window.is_multiple_of(2) {
         return Err(StatsError::InvalidParameter {
             name: "window",
             value: window as f64,
@@ -90,7 +92,9 @@ pub fn moving_average(xs: &[f64], window: usize) -> Result<Vec<f64>> {
         });
     }
     if xs.is_empty() {
-        return Err(StatsError::InsufficientData("moving average of empty series"));
+        return Err(StatsError::InsufficientData(
+            "moving average of empty series",
+        ));
     }
     let half = window / 2;
     let out = (0..xs.len())
@@ -120,10 +124,8 @@ pub fn span_mean_ratio(
     if numerator.is_empty() || denominator.is_empty() {
         return Err(StatsError::InsufficientData("empty span"));
     }
-    let num: f64 =
-        xs[numerator.clone()].iter().sum::<f64>() / numerator.len() as f64;
-    let den: f64 =
-        xs[denominator.clone()].iter().sum::<f64>() / denominator.len() as f64;
+    let num: f64 = xs[numerator.clone()].iter().sum::<f64>() / numerator.len() as f64;
+    let den: f64 = xs[denominator.clone()].iter().sum::<f64>() / denominator.len() as f64;
     if den == 0.0 {
         return Err(StatsError::InsufficientData("zero denominator span"));
     }
@@ -173,8 +175,7 @@ mod tests {
         let model = DiurnalModel::new(profile, 1000.0, 0.1).unwrap();
         let mut rng = seeded_rng(9);
         let series = model.generate(288 * 5, &mut rng); // five weekdays
-        let (period, strength) =
-            dominant_period(&series, &[96, 144, 288, 432]).unwrap();
+        let (period, strength) = dominant_period(&series, &[96, 144, 288, 432]).unwrap();
         assert_eq!(period, 288, "daily period should dominate");
         assert!(strength > 0.5, "strength {strength}");
     }

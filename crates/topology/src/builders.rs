@@ -27,8 +27,12 @@ fn must_add(topo: &mut Topology, names: &[&str]) {
 }
 
 fn must_link(topo: &mut Topology, a: &str, b: &str, w: f64) {
-    let ia = topo.node_by_name(a).expect("builder links reference known nodes");
-    let ib = topo.node_by_name(b).expect("builder links reference known nodes");
+    let ia = topo
+        .node_by_name(a)
+        .expect("builder links reference known nodes");
+    let ib = topo
+        .node_by_name(b)
+        .expect("builder links reference known nodes");
     topo.add_symmetric_link(ia, ib, w, CAP_10G_5MIN)
         .expect("builder links are valid");
 }
@@ -168,8 +172,7 @@ pub fn abilene() -> Topology {
     must_add(
         &mut t,
         &[
-            "STTL", "SNVA", "LOSA", "DNVR", "HSTN", "KSCY", "IPLS", "CLEV", "ATLA", "NYCM",
-            "WASH",
+            "STTL", "SNVA", "LOSA", "DNVR", "HSTN", "KSCY", "IPLS", "CLEV", "ATLA", "NYCM", "WASH",
         ],
     );
     must_link(&mut t, "STTL", "SNVA", 10.0);

@@ -218,7 +218,11 @@ impl Topology {
         seen[start] = true;
         while let Some(v) = stack.pop() {
             for l in &self.links {
-                let (src, dst) = if reverse { (l.to, l.from) } else { (l.from, l.to) };
+                let (src, dst) = if reverse {
+                    (l.to, l.from)
+                } else {
+                    (l.from, l.to)
+                };
                 if src == v && !seen[dst] {
                     seen[dst] = true;
                     stack.push(dst);

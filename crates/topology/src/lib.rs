@@ -70,7 +70,10 @@ impl core::fmt::Display for TopologyError {
                 write!(f, "invalid link {from} -> {to}: {reason}")
             }
             TopologyError::Disconnected { from, to } => {
-                write!(f, "topology is not strongly connected: no path {from} -> {to}")
+                write!(
+                    f,
+                    "topology is not strongly connected: no path {from} -> {to}"
+                )
             }
             TopologyError::Empty => write!(f, "topology has no nodes"),
         }

@@ -79,8 +79,7 @@ impl RoutingMatrix {
                             // path toward t.
                             let mut chosen: Option<(usize, NodeId)> = None;
                             for (lid, link) in topo.out_links(u) {
-                                if (link.igp_weight + dist_to_t[link.to] - dist_to_t[u]).abs()
-                                    < EPS
+                                if (link.igp_weight + dist_to_t[link.to] - dist_to_t[u]).abs() < EPS
                                 {
                                     chosen = Some((lid, link.to));
                                     break; // out_links iterates in id order
@@ -128,12 +127,11 @@ impl RoutingMatrix {
                             });
                         }
                         for (lid, link) in topo.links().iter().enumerate() {
-                            let on_shortest = (dist_s[link.from]
-                                + link.igp_weight
-                                + dist_to_t[link.to]
-                                - dist_s[t])
-                                .abs()
-                                < EPS;
+                            let on_shortest =
+                                (dist_s[link.from] + link.igp_weight + dist_to_t[link.to]
+                                    - dist_s[t])
+                                    .abs()
+                                    < EPS;
                             if on_shortest {
                                 let through = count_s[link.from] * count_to_t[link.to];
                                 matrix[(lid, od)] = through / total_paths;
@@ -172,7 +170,10 @@ impl RoutingMatrix {
     }
 
     /// Computes link counts `Y = R x` for a vectorized traffic matrix.
-    pub fn link_counts(&self, tm_vector: &[f64]) -> core::result::Result<Vec<f64>, ic_linalg::LinalgError> {
+    pub fn link_counts(
+        &self,
+        tm_vector: &[f64],
+    ) -> core::result::Result<Vec<f64>, ic_linalg::LinalgError> {
         self.matrix.matvec(tm_vector)
     }
 
@@ -277,10 +278,7 @@ fn dijkstra_impl(topo: &Topology, root: NodeId, reverse: bool) -> (Vec<f64>, Vec
             if nd + EPS < dist[to] {
                 dist[to] = nd;
                 count[to] = count[u];
-                heap.push(HeapEntry {
-                    dist: nd,
-                    node: to,
-                });
+                heap.push(HeapEntry { dist: nd, node: to });
             } else if (nd - dist[to]).abs() < EPS {
                 count[to] += count[u];
             }
@@ -344,10 +342,7 @@ mod tests {
                 assert!(r.check_conservation(&topo, s, t), "pair {s}->{t}");
                 if s != t {
                     // 0/1 entries under single path.
-                    assert!(r
-                        .od_fractions(s, t)
-                        .iter()
-                        .all(|&f| f == 0.0 || f == 1.0));
+                    assert!(r.od_fractions(s, t).iter().all(|&f| f == 0.0 || f == 1.0));
                 }
             }
         }

@@ -8,8 +8,11 @@ use proptest::prelude::*;
 /// Strategy: a random strongly connected topology of `n` nodes — a ring
 /// (guaranteeing connectivity) plus random chords with random weights.
 fn topo_strategy() -> impl Strategy<Value = Topology> {
-    (3usize..8, proptest::collection::vec((0usize..8, 0usize..8, 1u32..20), 0..10)).prop_map(
-        |(n, chords)| {
+    (
+        3usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8, 1u32..20), 0..10),
+    )
+        .prop_map(|(n, chords)| {
             let mut t = Topology::new("random");
             let ids: Vec<usize> = (0..n)
                 .map(|k| t.add_node(format!("n{k}")).unwrap())
@@ -23,12 +26,12 @@ fn topo_strategy() -> impl Strategy<Value = Topology> {
                 if a != b {
                     // Duplicate links are fine (parallel links exist in
                     // real networks).
-                    t.add_symmetric_link(ids[a], ids[b], w as f64, 1e12).unwrap();
+                    t.add_symmetric_link(ids[a], ids[b], w as f64, 1e12)
+                        .unwrap();
                 }
             }
             t
-        },
-    )
+        })
 }
 
 proptest! {

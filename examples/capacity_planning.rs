@@ -47,11 +47,7 @@ fn peak_link_loads(
         .map(|(l, &v)| {
             let link = topo.link(l);
             (
-                format!(
-                    "{}->{}",
-                    topo.node_name(link.from),
-                    topo.node_name(link.to)
-                ),
+                format!("{}->{}", topo.node_name(link.from), topo.node_name(link.to)),
                 v,
             )
         })
@@ -77,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut p2p_cfg = base_cfg.clone();
     p2p_cfg.f = 0.40;
     let p2p = generate_synthetic(&p2p_cfg)?;
-    println!("\n## P2P boom (f = {:.2}): traffic becomes more symmetric", p2p_cfg.f);
+    println!(
+        "\n## P2P boom (f = {:.2}): traffic becomes more symmetric",
+        p2p_cfg.f
+    );
     for (link, load) in peak_link_loads(&topo, &routing, &p2p.series, 5) {
         println!("  {link:<10} {load:.3e} bytes/bin");
     }
@@ -104,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         tm_ic::core::stable_fp_series(&params, 300.0)?
     };
-    println!("\n## User growth at node '{}' (activity x2)", topo.node_name(3));
+    println!(
+        "\n## User growth at node '{}' (activity x2)",
+        topo.node_name(3)
+    );
     for (link, load) in peak_link_loads(&topo, &routing, &growth, 5) {
         println!("  {link:<10} {load:.3e} bytes/bin");
     }

@@ -13,9 +13,7 @@
 use tm_ic::core::{
     fit_stable_fp, generate_synthetic, gravity_predict, mean_rel_l2, FitOptions, SynthConfig,
 };
-use tm_ic::estimation::{
-    compare_priors, EstimationPipeline, MeasuredIcPrior, ObservationModel,
-};
+use tm_ic::estimation::{compare_priors, EstimationPipeline, MeasuredIcPrior, ObservationModel};
 use tm_ic::flowsim::{sample_netflow, NetflowConfig};
 use tm_ic::topology::{geant22, RoutingScheme};
 
@@ -38,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fit = fit_stable_fp(&measured, FitOptions::default())?;
     println!(
         "fitted f = {:.3} (generator used {:.3}); fit error = {:.3}",
-        fit.params.f, cfg.f,
+        fit.params.f,
+        cfg.f,
         fit.final_objective()
     );
 

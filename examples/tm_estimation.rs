@@ -30,13 +30,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weeks = ds.measured_weeks()?;
     let (calibration, target) = (&weeks[0], &weeks[1]);
 
-    println!("calibrating IC parameters on week 1 ({} bins)...", calibration.bins());
+    println!(
+        "calibrating IC parameters on week 1 ({} bins)...",
+        calibration.bins()
+    );
     let cal_fit = fit_stable_fp(calibration, FitOptions::default())?;
-    println!("  f = {:.3}, preference spread = {:.3}x median", cal_fit.params.f, {
-        let mut p = cal_fit.params.preference.clone();
-        p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        p[p.len() - 1] / p[p.len() / 2].max(1e-12)
-    });
+    println!(
+        "  f = {:.3}, preference spread = {:.3}x median",
+        cal_fit.params.f,
+        {
+            let mut p = cal_fit.params.preference.clone();
+            p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            p[p.len() - 1] / p[p.len() / 2].max(1e-12)
+        }
+    );
 
     let om = ObservationModel::new(&geant22(), RoutingScheme::Ecmp)?;
     println!(
@@ -59,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f: cal_fit.params.f,
             preference: cal_fit.params.preference.clone(),
         }),
-        Box::new(StableFPrior { f: cal_fit.params.f }),
+        Box::new(StableFPrior {
+            f: cal_fit.params.f,
+        }),
     ];
 
     println!("\nprior           raw RelL2   estimated RelL2");

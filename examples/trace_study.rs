@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mix.aggregate_f()
     );
 
-    for (name, trace) in [("IPLS<->CLEV", &ds.ipls_clev), ("IPLS<->KSCY", &ds.ipls_kscy)] {
+    for (name, trace) in [
+        ("IPLS<->CLEV", &ds.ipls_clev),
+        ("IPLS<->KSCY", &ds.ipls_kscy),
+    ] {
         let analysis = analyze_trace(trace, ds.duration, 300.0)?;
         println!("\n## {name}");
         println!(

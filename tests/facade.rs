@@ -1,0 +1,75 @@
+//! Facade smoke test: every re-exported module is reachable through
+//! `tm_ic::…` and exposes its headline type or function. Compilation is most
+//! of the assertion; the bodies exercise one representative call per module
+//! so a silently broken re-export (e.g. a module renamed upstream) fails
+//! loudly here rather than in user code.
+
+use tm_ic::{core, datasets, estimation, flowsim, linalg, stats, topology};
+
+#[test]
+fn linalg_exposes_matrix() {
+    let m = linalg::Matrix::identity(3);
+    assert_eq!(m[(0, 0)], 1.0);
+    assert_eq!(m[(0, 1)], 0.0);
+}
+
+#[test]
+fn stats_exposes_seeded_rng_and_distributions() {
+    use stats::Sample;
+    let mut rng = stats::seeded_rng(1);
+    let d = stats::LogNormal::new(0.0, 1.0).unwrap();
+    assert!(d.sample(&mut rng) > 0.0);
+}
+
+#[test]
+fn topology_exposes_geant22_and_routing() {
+    let topo = topology::geant22();
+    assert_eq!(topo.node_count(), 22);
+    let routing = topology::RoutingMatrix::build(&topo, topology::RoutingScheme::Ecmp).unwrap();
+    assert!(routing.link_count() > 0);
+}
+
+#[test]
+fn flowsim_exposes_app_mix() {
+    let mix = flowsim::AppMix::research_network_2004();
+    let f = mix.aggregate_f();
+    assert!((0.0..=1.0).contains(&f));
+}
+
+#[test]
+fn datasets_exposes_builders_and_csv() {
+    let ds = datasets::build_d1(&datasets::GeantConfig {
+        weeks: 1,
+        bins_per_week: 4,
+        seed: 3,
+        sampling: None,
+    })
+    .unwrap();
+    let mut buf = Vec::new();
+    datasets::write_tm_csv(&ds.truth, &mut buf).unwrap();
+    let back = datasets::read_tm_csv(buf.as_slice()).unwrap();
+    assert_eq!(back, ds.truth);
+}
+
+#[test]
+fn core_exposes_model_and_fit() {
+    let r = core::figure2_example();
+    assert!(r.p_e_a > 0.0);
+    let cfg = core::SynthConfig::geant_like(5);
+    let out = core::generate_synthetic(&cfg).unwrap();
+    let fit = core::fit_stable_fp(&out.series, core::FitOptions::default()).unwrap();
+    assert!((0.0..=1.0).contains(&fit.params.f));
+}
+
+#[test]
+fn estimation_exposes_pipeline() {
+    let topo = topology::geant22();
+    let om = estimation::ObservationModel::new(&topo, topology::RoutingScheme::Ecmp).unwrap();
+    let cfg = core::SynthConfig::geant_like(5);
+    let out = core::generate_synthetic(&cfg).unwrap();
+    let obs = om.observe(&out.series).unwrap();
+    let pipeline = estimation::EstimationPipeline::new(om);
+    let est = pipeline.estimate(&estimation::GravityPrior, &obs).unwrap();
+    assert_eq!(est.nodes(), out.series.nodes());
+    assert_eq!(est.bins(), out.series.bins());
+}

@@ -51,7 +51,10 @@ fn lognormal_beats_exponential_on_preference_tails() {
     // 22 nodes, as in the Géant dataset.
     let sample: Vec<f64> = truth.sample_n(&mut rng, 22);
     let ln = fit_lognormal_mle(&sample).unwrap().distribution().unwrap();
-    let ex = fit_exponential_mle(&sample).unwrap().distribution().unwrap();
+    let ex = fit_exponential_mle(&sample)
+        .unwrap()
+        .distribution()
+        .unwrap();
     let ks_ln = ks_distance(&sample, |x| ln.ccdf(x)).unwrap();
     let ks_ex = ks_distance(&sample, |x| ex.ccdf(x)).unwrap();
     assert!(ks_ln < ks_ex, "lognormal {ks_ln} vs exponential {ks_ex}");

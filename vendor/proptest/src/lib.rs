@@ -1,0 +1,97 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the API subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` and
+//!   `arg in strategy` test signatures,
+//! * range strategies (`0.1f64..1e3`, `1usize..7`, `1u32..20`, …),
+//! * [`any::<T>()`](prelude::any), [`collection::vec`], tuple strategies, and
+//!   [`Strategy::prop_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`test_runner::ProptestConfig::with_cases`] with a `PROPTEST_CASES`
+//!   environment override.
+//!
+//! Unlike real proptest this runner does **not shrink** failing inputs — it
+//! panics with the generated inputs' debug description left to the assertion
+//! message. Generation is fully deterministic per test (fixed base seed +
+//! case index), so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Bounds on a generated collection's size: a fixed size, `lo..hi`, or
+    /// `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose elements are drawn from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner.usize_in(self.size.lo, self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for writing property tests.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

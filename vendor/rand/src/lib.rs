@@ -1,0 +1,443 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so this vendored crate re-implements exactly the API subset the
+//! workspace uses: [`RngCore`], [`Rng`] (`gen`, `gen_range`, `fill`),
+//! [`SeedableRng`] and [`rngs::StdRng`].
+//!
+//! The reproducibility contract documented in `ic_stats::seeded_rng` is
+//! honoured: a given seed yields the same stream on every platform and in
+//! every build, forever — pinned by this vendored source rather than by a
+//! crates.io version number. Fidelity to upstream rand 0.8 is exact where it
+//! is cheap to be exact and approximate where upstream's machinery is heavy:
+//!
+//! * **bit-exact:** the ChaCha12 keystream ([`rngs::StdRng`]), the PCG32
+//!   seed expansion in [`SeedableRng::seed_from_u64`], `next_u32`/`next_u64`
+//!   word pairing (including the block-straddling case), and
+//!   [`Rng::gen`]'s `Standard` mappings for ints and floats;
+//! * **distribution-equivalent but not bit-identical:** the
+//!   [`Rng::gen_range`] adapters (upstream uses rejection-sampled
+//!   `UniformInt` and a `[1, 2)`-mantissa `UniformFloat`; this crate uses a
+//!   widening multiply-shift and a direct linear map).
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness: the object-safe core trait.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be produced uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches rand's
+    /// `Standard` distribution for `f64`).
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded draw; bias is < 2^-64 per draw and
+                // irrelevant for the simulation workloads in this workspace.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = ((end - start) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return <$t as Standard>::from_rng(rng);
+                }
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::from_rng(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u = <$t as Standard>::from_rng(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// User-facing random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a value drawn from the standard distribution of `T`
+    /// (uniform over the full domain for integers, `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Returns a value uniformly distributed over `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// PRNGs constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the PRNG from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the PRNG from a 64-bit seed, expanded to a full seed with the
+    /// same PCG32 (XSH-RR) generator rand_core 0.6's default
+    /// `seed_from_u64` uses, so `seed_from_u64(s)` keys the PRNG with the
+    /// exact bytes crates.io rand 0.8 would.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // Advance first, so low-Hamming-weight inputs diffuse before any
+            // output is taken (mirrors rand_core's comment and behaviour).
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete PRNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic PRNG: ChaCha with 12 rounds,
+    /// exactly as in `rand` 0.8's `StdRng` (`rand_chacha::ChaCha12Rng` with
+    /// the seed as key, zero stream id and zero block counter).
+    ///
+    /// Matching the upstream keystream word-for-word means code seeded with
+    /// `StdRng::seed_from_u64(s)` draws the *same* raw stream it would have
+    /// drawn against crates.io `rand 0.8`, and — because this copy is
+    /// vendored — that stream can never drift underneath the simulations
+    /// that depend on it.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        /// Initial block state: constants, key, 64-bit counter, 64-bit stream.
+        state: [u32; 16],
+        /// Current keystream block.
+        buf: [u32; 16],
+        /// Next unread word in `buf` (16 ⇒ exhausted).
+        idx: usize,
+    }
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut w = self.state;
+            for _ in 0..6 {
+                // One double round = column round + diagonal round.
+                quarter_round(&mut w, 0, 4, 8, 12);
+                quarter_round(&mut w, 1, 5, 9, 13);
+                quarter_round(&mut w, 2, 6, 10, 14);
+                quarter_round(&mut w, 3, 7, 11, 15);
+                quarter_round(&mut w, 0, 5, 10, 15);
+                quarter_round(&mut w, 1, 6, 11, 12);
+                quarter_round(&mut w, 2, 7, 8, 13);
+                quarter_round(&mut w, 3, 4, 9, 14);
+            }
+            for ((out, &mixed), &init) in self.buf.iter_mut().zip(w.iter()).zip(self.state.iter()) {
+                *out = mixed.wrapping_add(init);
+            }
+            // 64-bit block counter in words 12..14.
+            let (lo, carry) = self.state[12].overflowing_add(1);
+            self.state[12] = lo;
+            if carry {
+                self.state[13] = self.state[13].wrapping_add(1);
+            }
+            self.idx = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.idx >= 16 {
+                self.refill();
+            }
+            let w = self.buf[self.idx];
+            self.idx += 1;
+            w
+        }
+
+        /// Two sequential keystream words, low half first.
+        ///
+        /// This matches rand_core 0.6's `BlockRng::next_u64` in every case,
+        /// including the straddling one: with a single word left in the
+        /// block, upstream pairs it (as the low half) with word 0 of the
+        /// freshly generated next block — exactly what two sequential
+        /// `next_u32` calls produce here.
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = [0u32; 16];
+            // "expand 32-byte k"
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            // Words 12..16 (block counter and stream id) stay zero.
+            StdRng {
+                state,
+                buf: [0; 16],
+                idx: 16,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod chacha_tests {
+        use super::*;
+
+        /// Validates the ChaCha core (constants, quarter-round, round order,
+        /// feed-forward add) against the canonical all-zero-key ChaCha20
+        /// keystream `76 b8 e0 ad a0 f1 3d 90 …`. The 12-round variant used
+        /// by [`StdRng`] differs only in the double-round count.
+        #[test]
+        fn chacha_core_matches_published_zero_key_vector() {
+            let init = StdRng::from_seed([0u8; 32]).state;
+            let mut w = init;
+            for _ in 0..10 {
+                quarter_round(&mut w, 0, 4, 8, 12);
+                quarter_round(&mut w, 1, 5, 9, 13);
+                quarter_round(&mut w, 2, 6, 10, 14);
+                quarter_round(&mut w, 3, 7, 11, 15);
+                quarter_round(&mut w, 0, 5, 10, 15);
+                quarter_round(&mut w, 1, 6, 11, 12);
+                quarter_round(&mut w, 2, 7, 8, 13);
+                quarter_round(&mut w, 3, 4, 9, 14);
+            }
+            let mut bytes = Vec::new();
+            for i in 0..4 {
+                bytes.extend_from_slice(&w[i].wrapping_add(init[i]).to_le_bytes());
+            }
+            assert_eq!(
+                &bytes[..16],
+                &[
+                    0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53,
+                    0x86, 0xbd, 0x28,
+                ]
+            );
+        }
+
+        /// The block counter advances across blocks (words 12/13 carry).
+        #[test]
+        fn counter_advances_between_blocks() {
+            let mut rng = StdRng::from_seed([7u8; 32]);
+            let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+            let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+            assert_ne!(first_block, second_block);
+            assert_eq!(rng.state[12], 2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let k = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&k));
+            let k = rng.gen_range(1usize..=5);
+            assert!((1..=5).contains(&k));
+            let x = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
