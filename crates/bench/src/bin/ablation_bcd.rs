@@ -9,7 +9,7 @@
 //! paper's literal ΣRelL2 via IRLS).
 
 use ic_bench::paper_fit_options;
-use ic_core::{fit_stable_fp, generate_synthetic, FitOptions, Objective, SynthConfig};
+use ic_core::{fit_stable_fp, generate_synthetic, Objective, SynthConfig};
 use ic_datasets::{build_d1, GeantConfig};
 
 fn main() {
@@ -20,11 +20,7 @@ fn main() {
     cfg.bins = 96;
     cfg.noise_cv = 0.0;
     let clean = generate_synthetic(&cfg).expect("generate").series;
-    let opts = FitOptions {
-        max_sweeps: 15,
-        tolerance: 0.0,
-        ..paper_fit_options()
-    };
+    let opts = paper_fit_options().with_max_sweeps(15).with_tolerance(0.0);
     let fit = fit_stable_fp(&clean, opts).expect("fit");
     println!("\n## exact IC data (22 nodes, 96 bins)");
     println!("# sweep\tmean_rel_l2");
@@ -43,12 +39,10 @@ fn main() {
     let week = &ds.measured_weeks().expect("weeks")[0];
     println!("\n## measured D1 week (1/1000 sampling, process noise)");
     for objective in [Objective::WeightedSse, Objective::SumRelL2] {
-        let opts = FitOptions {
-            max_sweeps: 12,
-            tolerance: 0.0,
-            objective,
-            ..paper_fit_options()
-        };
+        let opts = paper_fit_options()
+            .with_max_sweeps(12)
+            .with_tolerance(0.0)
+            .with_objective(objective);
         let fit = fit_stable_fp(week, opts).expect("fit");
         println!("# objective = {objective:?}");
         println!("# sweep\tmean_rel_l2\tf");

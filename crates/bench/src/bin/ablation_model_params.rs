@@ -14,31 +14,53 @@
 //! * **preference-tail sweep** — lognormal σ controls how concentrated
 //!   service popularity is; heavier tails concentrate reverse traffic and
 //!   widen the gap.
+//!
+//! Thin wrapper over `ic-experiment`: every sweep point is a gravity-gap
+//! scenario and the whole grid runs in parallel (equivalence with the
+//! historical wiring is locked by `tests/equivalence.rs`).
 
-use ic_core::{generate_synthetic, gravity_predict, mean_rel_l2, SynthConfig};
+use ic_core::SynthConfig;
+use ic_experiment::{Runner, Scenario, Task};
 
-fn gravity_error(f: f64, sigma: f64, seed: u64) -> f64 {
-    let mut cfg = SynthConfig::geant_like(seed);
-    cfg.bins = 96;
-    cfg.f = f;
-    cfg.preference_sigma = sigma;
-    cfg.noise_cv = 0.0; // isolate the structural effect
-    let out = generate_synthetic(&cfg).expect("generate");
-    let grav = gravity_predict(&out.series).expect("gravity");
-    mean_rel_l2(&out.series, &grav).expect("error")
+const F_SWEEP: [f64; 10] = [0.05, 0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.75, 0.95];
+const SIGMA_SWEEP: [f64; 6] = [0.3, 0.8, 1.2, 1.7, 2.2, 2.8];
+
+fn gap_scenario(name: String, f: f64, sigma: f64) -> Scenario {
+    Scenario::builder(name)
+        .synth(
+            SynthConfig::geant_like(42)
+                .with_bins(96)
+                .with_f(f)
+                .with_preference_sigma(sigma)
+                .with_noise_cv(0.0), // isolate the structural effect
+        )
+        .task(Task::GravityGap)
+        .build()
+        .expect("valid scenario")
 }
 
 fn main() {
     println!("# Ablation: gravity error on exact IC data (22 nodes, 96 bins, noise-free)");
     println!("# the IC fit error is ~0 on this data, so gravity error = the whole gap");
+    let mut scenarios: Vec<Scenario> = F_SWEEP
+        .into_iter()
+        .map(|f| gap_scenario(format!("{f}"), f, 1.7))
+        .collect();
+    scenarios.extend(
+        SIGMA_SWEEP
+            .into_iter()
+            .map(|sigma| gap_scenario(format!("{sigma}"), 0.25, sigma)),
+    );
+    let report = Runner::new().run(&scenarios).expect("scenarios run");
+
     println!("\n# f sweep (preference sigma = 1.7)");
     println!("# f\tgravity_rel_l2");
-    for f in [0.05, 0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.75, 0.95] {
-        println!("{f}\t{:.4}", gravity_error(f, 1.7, 42));
+    for s in &report.scenarios[..F_SWEEP.len()] {
+        println!("{}\t{:.4}", s.name, s.mean_gravity_error());
     }
     println!("\n# preference-tail sweep (f = 0.25)");
     println!("# sigma\tgravity_rel_l2");
-    for sigma in [0.3, 0.8, 1.2, 1.7, 2.2, 2.8] {
-        println!("{sigma}\t{:.4}", gravity_error(0.25, sigma, 42));
+    for s in &report.scenarios[F_SWEEP.len()..] {
+        println!("{}\t{:.4}", s.name, s.mean_gravity_error());
     }
 }

@@ -4,46 +4,54 @@
 //! Figure 3 comparison would have looked at other rates (1/100 … 1/10000):
 //! how much of the measured IC-vs-gravity gap is real structure, and how
 //! much is eaten by measurement noise as sampling coarsens.
+//!
+//! Thin wrapper over `ic-experiment`: each rate is a fit-improvement
+//! scenario and the whole sweep runs in parallel (equivalence with the
+//! historical wiring is locked by `tests/equivalence.rs`).
 
-use ic_bench::{fit_improvement_series, paper_fit_options, summarize};
-use ic_core::fit_stable_fp;
-use ic_datasets::{build_d1, GeantConfig};
+use ic_bench::paper_fit_options;
+use ic_datasets::GeantConfig;
+use ic_experiment::{Runner, Scenario, Task};
 use ic_flowsim::NetflowConfig;
 
 fn main() {
     println!("# Ablation: sampling rate vs fit improvement (22 nodes, 288-bin week)");
     println!("# rate\tmean_improvement_%\tfitted_f\tfit_err\tgravity_err");
-    for denom in [1.0, 100.0, 1000.0, 3000.0, 10000.0] {
-        let cfg = GeantConfig {
-            weeks: 1,
-            bins_per_week: 288,
-            seed: 1,
-            sampling: if denom <= 1.0 {
-                None
-            } else {
-                Some(NetflowConfig {
+    let scenarios: Vec<Scenario> = [1.0, 100.0, 1000.0, 3000.0, 10000.0]
+        .into_iter()
+        .map(|denom| {
+            let cfg = GeantConfig {
+                weeks: 1,
+                bins_per_week: 288,
+                seed: 1,
+                sampling: (denom > 1.0).then(|| NetflowConfig {
                     sampling_rate: 1.0 / denom,
                     ..NetflowConfig::default()
-                })
-            },
-        };
-        let ds = build_d1(&cfg).expect("build");
-        let week = &ds.measured_weeks().expect("weeks")[0];
-        let fit = fit_stable_fp(week, paper_fit_options()).expect("fit");
-        let imp = fit_improvement_series(week, &fit);
-        let grav = ic_core::gravity_predict(week).expect("gravity");
-        let g_err = ic_core::mean_rel_l2(week, &grav).expect("err");
-        let label = if denom <= 1.0 {
-            "unsampled".to_string()
-        } else {
-            format!("1/{denom:.0}")
-        };
+                }),
+            };
+            let label = if denom <= 1.0 {
+                "unsampled".to_string()
+            } else {
+                format!("1/{denom:.0}")
+            };
+            Scenario::builder(label)
+                .dataset_d1(cfg)
+                .task(Task::FitImprovement)
+                .fit_options(paper_fit_options())
+                .build()
+                .expect("valid scenario")
+        })
+        .collect();
+    let report = Runner::new().run(&scenarios).expect("scenarios run");
+    for s in &report.scenarios {
         println!(
-            "{label}\t{:.1}\t{:.3}\t{:.3}\t{:.3}",
-            summarize(&imp).mean,
-            fit.params.f,
-            fit.final_objective(),
-            g_err
+            "{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}",
+            s.name,
+            s.mean_improvement,
+            s.fitted_f.expect("fit-improvement reports f"),
+            s.fit_objective
+                .expect("fit-improvement reports the objective"),
+            s.mean_gravity_error()
         );
     }
 }

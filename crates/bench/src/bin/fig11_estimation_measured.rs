@@ -4,28 +4,39 @@
 //! The "thought experiment" scenario: `f`, `{P_i}`, `{A_i(t)}` come from a
 //! Section 5.1 fit of the same week; both priors are refined by the same
 //! tomogravity + IPF steps. Paper shape: Géant 10–20%, Totem 20–30%.
+//!
+//! Thin wrapper over `ic-experiment`: both panels are declared as
+//! scenarios and run in parallel (equivalence with the historical wiring
+//! is locked by `tests/equivalence.rs`).
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
+    d1_config, d2_config, paper_fit_options, print_series, print_summary, summarize, Scale,
 };
-use ic_estimation::MeasuredIcPrior;
+use ic_experiment::{PriorStrategy, Runner, Scenario};
 
 fn main() {
     let scale = Scale::from_args();
     println!("# Figure 11: estimation improvement over gravity, all params measured ({scale:?})");
-    for (panel, name) in [("a", "geant-d1"), ("b", "totem-d2")] {
-        let ds = match name {
-            "geant-d1" => d1_at(scale, 1, 1),
-            _ => d2_at(scale, 1, 20041114),
-        };
-        let weeks = ds.measured_weeks().expect("weeks");
-        let fit = &fit_weeks(&weeks)[0];
-        let prior = MeasuredIcPrior {
-            params: fit.params.clone(),
-        };
-        let cmp = estimation_comparison(name, &weeks[0], &prior);
-        println!("\n## Figure 11({panel}): {name}");
-        print_summary("improvement", &summarize(&cmp.improvement));
-        print_series("improvement", &cmp.improvement, 24);
+    let scenarios = vec![
+        Scenario::builder("Figure 11(a): geant-d1")
+            .dataset_d1(d1_config(scale, 1, 1))
+            .geant22()
+            .prior(PriorStrategy::MeasuredIc)
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+        Scenario::builder("Figure 11(b): totem-d2")
+            .dataset_d2(d2_config(scale, 1, 20041114))
+            .totem23()
+            .prior(PriorStrategy::MeasuredIc)
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+    ];
+    let report = Runner::new().run(&scenarios).expect("scenarios run");
+    for s in &report.scenarios {
+        println!("\n## {}", s.name);
+        print_summary("improvement", &summarize(&s.improvement));
+        print_series("improvement", &s.improvement, 24);
     }
 }

@@ -5,37 +5,43 @@
 //! Géant calibrates on the week immediately before; Totem on the week two
 //! weeks back (matching the paper's setup). Paper shape: 10–20%
 //! improvement for both.
+//!
+//! Thin wrapper over `ic-experiment` (see `tests/equivalence.rs`).
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
+    d1_config, d2_config, paper_fit_options, print_series, print_summary, summarize, Scale,
 };
-use ic_estimation::StableFpPrior;
+use ic_experiment::{PriorStrategy, Runner, Scenario};
 
 fn main() {
     let scale = Scale::from_args();
     println!("# Figure 12: estimation improvement, f and P from a previous week ({scale:?})");
-    // (panel, dataset, weeks to build, calibration week index, target week index)
-    for (panel, name, weeks_n, cal, target) in [
-        ("a", "geant-d1", 2usize, 0usize, 1usize),
-        ("b", "totem-d2", 3, 0, 2),
-    ] {
-        let ds = match name {
-            "geant-d1" => d1_at(scale, weeks_n, 1),
-            _ => d2_at(scale, weeks_n, 20041114),
-        };
-        let weeks = ds.measured_weeks().expect("weeks");
-        let fits = fit_weeks(&weeks[cal..=cal]);
-        let prior = StableFpPrior {
-            f: fits[0].params.f,
-            preference: fits[0].params.preference.clone(),
-        };
-        let cmp = estimation_comparison(name, &weeks[target], &prior);
-        println!(
-            "\n## Figure 12({panel}): {name} (calibrated on week {}, estimated week {})",
-            cal + 1,
-            target + 1
-        );
-        print_summary("improvement", &summarize(&cmp.improvement));
-        print_series("improvement", &cmp.improvement, 24);
+    let scenarios = vec![
+        Scenario::builder("Figure 12(a): geant-d1 (calibrated on week 1, estimated week 2)")
+            .dataset_d1(d1_config(scale, 2, 1))
+            .geant22()
+            .target_week(1)
+            .prior(PriorStrategy::StableFpFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+        Scenario::builder("Figure 12(b): totem-d2 (calibrated on week 1, estimated week 3)")
+            .dataset_d2(d2_config(scale, 3, 20041114))
+            .totem23()
+            .target_week(2)
+            .prior(PriorStrategy::StableFpFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+    ];
+    let report = Runner::new().run(&scenarios).expect("scenarios run");
+    for s in &report.scenarios {
+        println!("\n## {}", s.name);
+        print_summary("improvement", &summarize(&s.improvement));
+        print_series("improvement", &s.improvement, 24);
     }
 }

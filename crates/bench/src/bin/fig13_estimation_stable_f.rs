@@ -4,36 +4,43 @@
 //!
 //! Paper shape: Géant ≈ 8%, Totem 1–2% — still an improvement, with much
 //! less side information than Figure 12.
+//!
+//! Thin wrapper over `ic-experiment` (see `tests/equivalence.rs`).
 
 use ic_bench::{
-    d1_at, d2_at, estimation_comparison, fit_weeks, print_series, print_summary, summarize, Scale,
+    d1_config, d2_config, paper_fit_options, print_series, print_summary, summarize, Scale,
 };
-use ic_estimation::StableFPrior;
+use ic_experiment::{PriorStrategy, Runner, Scenario};
 
 fn main() {
     let scale = Scale::from_args();
     println!("# Figure 13: estimation improvement, only f known ({scale:?})");
-    for (panel, name, weeks_n, cal, target) in [
-        ("a", "geant-d1", 2usize, 0usize, 1usize),
-        ("b", "totem-d2", 3, 0, 2),
-    ] {
-        let ds = match name {
-            "geant-d1" => d1_at(scale, weeks_n, 1),
-            _ => d2_at(scale, weeks_n, 20041114),
-        };
-        let weeks = ds.measured_weeks().expect("weeks");
-        // Only f is carried over from the calibration week.
-        let fits = fit_weeks(&weeks[cal..=cal]);
-        let prior = StableFPrior {
-            f: fits[0].params.f,
-        };
-        let cmp = estimation_comparison(name, &weeks[target], &prior);
-        println!(
-            "\n## Figure 13({panel}): {name} (f from week {}, estimated week {})",
-            cal + 1,
-            target + 1
-        );
-        print_summary("improvement", &summarize(&cmp.improvement));
-        print_series("improvement", &cmp.improvement, 24);
+    let scenarios = vec![
+        Scenario::builder("Figure 13(a): geant-d1 (f from week 1, estimated week 2)")
+            .dataset_d1(d1_config(scale, 2, 1))
+            .geant22()
+            .target_week(1)
+            .prior(PriorStrategy::StableFFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+        Scenario::builder("Figure 13(b): totem-d2 (f from week 1, estimated week 3)")
+            .dataset_d2(d2_config(scale, 3, 20041114))
+            .totem23()
+            .target_week(2)
+            .prior(PriorStrategy::StableFFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .expect("valid scenario"),
+    ];
+    let report = Runner::new().run(&scenarios).expect("scenarios run");
+    for s in &report.scenarios {
+        println!("\n## {}", s.name);
+        print_summary("improvement", &summarize(&s.improvement));
+        print_series("improvement", &s.improvement, 24);
     }
 }

@@ -42,46 +42,45 @@ impl Scale {
     }
 }
 
+/// The D1 config at the requested scale with `weeks` weeks (shared by the
+/// direct builders below and the `ic-experiment` scenario wrappers).
+pub fn d1_config(scale: Scale, weeks: usize, seed: u64) -> GeantConfig {
+    let mut cfg = match scale {
+        Scale::Full => GeantConfig::default(),
+        Scale::Smoke => GeantConfig::smoke(seed),
+    };
+    cfg.weeks = weeks;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The D2 config at the requested scale with `weeks` weeks.
+pub fn d2_config(scale: Scale, weeks: usize, seed: u64) -> TotemConfig {
+    let mut cfg = match scale {
+        Scale::Full => TotemConfig::default(),
+        Scale::Smoke => TotemConfig::smoke(seed),
+    };
+    cfg.weeks = weeks;
+    cfg.seed = seed;
+    cfg
+}
+
 /// Builds the D1 dataset at the requested scale with `weeks` weeks.
 pub fn d1_at(scale: Scale, weeks: usize, seed: u64) -> Dataset {
-    let cfg = match scale {
-        Scale::Full => GeantConfig {
-            weeks,
-            seed,
-            ..GeantConfig::default()
-        },
-        Scale::Smoke => GeantConfig {
-            weeks,
-            ..GeantConfig::smoke(seed)
-        },
-    };
-    build_d1(&cfg).expect("D1 build is infallible for valid configs")
+    build_d1(&d1_config(scale, weeks, seed)).expect("D1 build is infallible for valid configs")
 }
 
 /// Builds the D2 dataset at the requested scale with `weeks` weeks.
 pub fn d2_at(scale: Scale, weeks: usize, seed: u64) -> Dataset {
-    let cfg = match scale {
-        Scale::Full => TotemConfig {
-            weeks,
-            seed,
-            ..TotemConfig::default()
-        },
-        Scale::Smoke => TotemConfig {
-            weeks,
-            ..TotemConfig::smoke(seed)
-        },
-    };
-    build_d2(&cfg).expect("D2 build is infallible for valid configs")
+    build_d2(&d2_config(scale, weeks, seed)).expect("D2 build is infallible for valid configs")
 }
 
 /// Fit options used across figure binaries (paper Section 5.1 settings).
 pub fn paper_fit_options() -> FitOptions {
-    FitOptions {
-        max_sweeps: 40,
-        tolerance: 1e-6,
-        initial_f: 0.3,
-        ..FitOptions::default()
-    }
+    FitOptions::default()
+        .with_max_sweeps(40)
+        .with_tolerance(1e-6)
+        .with_initial_f(0.3)
 }
 
 /// Fits the stable-fP model to every week of a measured series.

@@ -1,0 +1,205 @@
+//! Equivalence locks for the `ic-experiment` port of the figure and
+//! ablation binaries.
+//!
+//! Each ported binary used to hand-wire its experiment out of the
+//! `ic-bench` helpers (`fit_weeks`, `estimation_comparison`,
+//! `fit_improvement_series`, ...). These tests replicate that historical
+//! wiring at smoke scale and assert the numbers coming out of the new
+//! declarative `Scenario` API are **bit-identical** — same datasets, same
+//! fits, same pipelines, same floating-point operation order.
+
+use ic_bench::{
+    d1_config, d2_config, estimation_comparison, fit_improvement_series, fit_weeks,
+    paper_fit_options, Scale,
+};
+use ic_core::{fit_stable_fp, generate_synthetic, gravity_predict, mean_rel_l2, SynthConfig};
+use ic_datasets::{build_d1, build_d2, GeantConfig};
+use ic_estimation::{MeasuredIcPrior, StableFPrior, StableFpPrior};
+use ic_experiment::{PriorStrategy, Runner, Scenario, ScenarioReport, Task};
+use ic_flowsim::NetflowConfig;
+
+/// Runs one scenario through the parallel runner (2 workers, so the
+/// equivalence also covers the threaded path).
+fn run_one(scenario: Scenario) -> ScenarioReport {
+    Runner::new()
+        .with_threads(2)
+        .run(&[scenario])
+        .expect("scenario runs")
+        .scenarios
+        .remove(0)
+}
+
+#[test]
+fn fig11_totem_panel_is_bit_identical() {
+    // Historical wiring (fig11 binary before the port), totem panel at
+    // smoke scale: fit the target week itself, MeasuredIcPrior.
+    let ds = build_d2(&d2_config(Scale::Smoke, 1, 20041114)).unwrap();
+    let weeks = ds.measured_weeks().unwrap();
+    let fit = &fit_weeks(&weeks)[0];
+    let prior = MeasuredIcPrior {
+        params: fit.params.clone(),
+    };
+    let cmp = estimation_comparison("totem-d2", &weeks[0], &prior);
+
+    let report = run_one(
+        Scenario::builder("fig11b")
+            .dataset_d2(d2_config(Scale::Smoke, 1, 20041114))
+            .totem23()
+            .prior(PriorStrategy::MeasuredIc)
+            .fit_options(paper_fit_options())
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(report.improvement, cmp.improvement);
+    assert_eq!(report.errors_candidate, cmp.errors_candidate);
+    assert_eq!(report.errors_gravity, cmp.errors_gravity);
+    assert_eq!(report.mean_improvement, cmp.mean_improvement);
+    assert_eq!(report.fitted_f, Some(fit.params.f));
+}
+
+#[test]
+fn fig11_geant_panel_is_bit_identical() {
+    // The D1 source path, at a reduced week length to keep the suite fast
+    // (the binary's --scale smoke uses the same code with 288 bins).
+    let mut cfg = d1_config(Scale::Smoke, 1, 1);
+    cfg.bins_per_week = 48;
+    let ds = build_d1(&cfg).unwrap();
+    let weeks = ds.measured_weeks().unwrap();
+    let fit = &fit_weeks(&weeks)[0];
+    let prior = MeasuredIcPrior {
+        params: fit.params.clone(),
+    };
+    let cmp = estimation_comparison("geant-d1", &weeks[0], &prior);
+
+    let report = run_one(
+        Scenario::builder("fig11a")
+            .dataset_d1(cfg)
+            .geant22()
+            .prior(PriorStrategy::MeasuredIc)
+            .fit_options(paper_fit_options())
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(report.improvement, cmp.improvement);
+    assert_eq!(report.errors_candidate, cmp.errors_candidate);
+    assert_eq!(report.errors_gravity, cmp.errors_gravity);
+}
+
+#[test]
+fn fig12_totem_panel_is_bit_identical() {
+    // Historical wiring: calibrate f and P on week 1, estimate week 3.
+    let ds = build_d2(&d2_config(Scale::Smoke, 3, 20041114)).unwrap();
+    let weeks = ds.measured_weeks().unwrap();
+    let fits = fit_weeks(&weeks[0..=0]);
+    let prior = StableFpPrior {
+        f: fits[0].params.f,
+        preference: fits[0].params.preference.clone(),
+    };
+    let cmp = estimation_comparison("totem-d2", &weeks[2], &prior);
+
+    let report = run_one(
+        Scenario::builder("fig12b")
+            .dataset_d2(d2_config(Scale::Smoke, 3, 20041114))
+            .totem23()
+            .target_week(2)
+            .prior(PriorStrategy::StableFpFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(report.improvement, cmp.improvement);
+    assert_eq!(report.errors_candidate, cmp.errors_candidate);
+    assert_eq!(report.errors_gravity, cmp.errors_gravity);
+    assert_eq!(report.fitted_f, Some(fits[0].params.f));
+}
+
+#[test]
+fn fig13_totem_panel_is_bit_identical() {
+    // Historical wiring: only f carries over from the calibration week.
+    let ds = build_d2(&d2_config(Scale::Smoke, 3, 20041114)).unwrap();
+    let weeks = ds.measured_weeks().unwrap();
+    let fits = fit_weeks(&weeks[0..=0]);
+    let prior = StableFPrior {
+        f: fits[0].params.f,
+    };
+    let cmp = estimation_comparison("totem-d2", &weeks[2], &prior);
+
+    let report = run_one(
+        Scenario::builder("fig13b")
+            .dataset_d2(d2_config(Scale::Smoke, 3, 20041114))
+            .totem23()
+            .target_week(2)
+            .prior(PriorStrategy::StableFFromWeek {
+                calibration_week: 0,
+            })
+            .fit_options(paper_fit_options())
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(report.improvement, cmp.improvement);
+    assert_eq!(report.errors_candidate, cmp.errors_candidate);
+    assert_eq!(report.errors_gravity, cmp.errors_gravity);
+}
+
+#[test]
+fn ablation_sampling_point_is_bit_identical() {
+    // Historical wiring of the sampling ablation at the paper's 1/1000
+    // rate, reduced to a 96-bin week to keep the suite fast (the binary
+    // uses 288 bins with identical code).
+    let cfg = GeantConfig {
+        weeks: 1,
+        bins_per_week: 96,
+        seed: 1,
+        sampling: Some(NetflowConfig {
+            sampling_rate: 1.0 / 1000.0,
+            ..NetflowConfig::default()
+        }),
+    };
+    let ds = build_d1(&cfg).unwrap();
+    let week = &ds.measured_weeks().unwrap()[0];
+    let fit = fit_stable_fp(week, paper_fit_options()).unwrap();
+    let imp = fit_improvement_series(week, &fit);
+    let grav = gravity_predict(week).unwrap();
+    let g_err = mean_rel_l2(week, &grav).unwrap();
+
+    let report = run_one(
+        Scenario::builder("1/1000")
+            .dataset_d1(cfg)
+            .task(Task::FitImprovement)
+            .fit_options(paper_fit_options())
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(report.improvement, imp);
+    assert_eq!(report.fitted_f, Some(fit.params.f));
+    assert_eq!(report.fit_objective, Some(fit.final_objective()));
+    assert_eq!(report.mean_gravity_error(), g_err);
+}
+
+#[test]
+fn ablation_model_params_points_are_bit_identical() {
+    // Historical wiring of the model-parameter ablation at two grid
+    // points (interior f and the rank-two worst case f = 0.5).
+    for (f, sigma) in [(0.25, 1.7), (0.5, 1.7), (0.25, 0.3)] {
+        let cfg = SynthConfig::geant_like(42)
+            .with_bins(96)
+            .with_f(f)
+            .with_preference_sigma(sigma)
+            .with_noise_cv(0.0);
+        let out = generate_synthetic(&cfg).unwrap();
+        let grav = gravity_predict(&out.series).unwrap();
+        let err = mean_rel_l2(&out.series, &grav).unwrap();
+
+        let report = run_one(
+            Scenario::builder(format!("f={f} sigma={sigma}"))
+                .synth(cfg)
+                .task(Task::GravityGap)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(report.mean_gravity_error(), err, "f={f} sigma={sigma}");
+        assert_eq!(report.errors_gravity.len(), 96);
+    }
+}

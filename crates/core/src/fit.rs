@@ -56,7 +56,11 @@ pub enum Objective {
 }
 
 /// Options controlling the block-coordinate descent.
+///
+/// Marked `#[non_exhaustive]`: construct via [`FitOptions::default`] and
+/// the `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct FitOptions {
     /// Maximum BCD sweeps (default 40).
     pub max_sweeps: usize,
@@ -85,11 +89,46 @@ impl Default for FitOptions {
     }
 }
 
-/// Result of a stable-fP fit (Eq. 5 parameters).
+impl FitOptions {
+    /// Sets the maximum number of BCD sweeps.
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Sets the relative objective-improvement convergence threshold.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the initial forward ratio.
+    pub fn with_initial_f(mut self, initial_f: f64) -> Self {
+        self.initial_f = initial_f;
+        self
+    }
+
+    /// Sets the objective scalarization.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Holds `f` fixed at `initial_f` (or releases it) during the fit.
+    pub fn with_fix_f(mut self, fix_f: bool) -> Self {
+        self.fix_f = fix_f;
+        self
+    }
+}
+
+/// Result of fitting a family member `M`: the fitted parameterization plus
+/// the optimization trace. The uniform report type behind
+/// [`crate::ic_model::Fit`] — generic code can fit any variant and consume
+/// the result identically.
 #[derive(Debug, Clone)]
-pub struct FitResult {
+pub struct FitReport<M> {
     /// Fitted parameters.
-    pub params: StableFpParams,
+    pub params: M,
     /// Mean `RelL2T` after each sweep (monotone non-increasing up to
     /// re-weighting effects).
     pub objective_history: Vec<f64>,
@@ -97,53 +136,28 @@ pub struct FitResult {
     pub converged: bool,
 }
 
-impl FitResult {
+impl<M: crate::ic_model::IcModel> FitReport<M> {
     /// Evaluates the fitted model as a prediction series.
     pub fn predict(&self, bin_seconds: f64) -> Result<TmSeries> {
-        stable_fp_series(&self.params, bin_seconds)
+        self.params.evaluate(bin_seconds)
     }
+}
 
+impl<M> FitReport<M> {
     /// Final objective value (mean RelL2 over bins).
     pub fn final_objective(&self) -> f64 {
         self.objective_history.last().copied().unwrap_or(f64::NAN)
     }
 }
 
-/// Result of a stable-f fit (Eq. 4 parameters).
-#[derive(Debug, Clone)]
-pub struct StableFFitResult {
-    /// Fitted parameters (per-bin preference).
-    pub params: StableFParams,
-    /// Mean `RelL2T` after each sweep.
-    pub objective_history: Vec<f64>,
-    /// Whether the tolerance was reached before the sweep budget.
-    pub converged: bool,
-}
+/// Result of a stable-fP fit (Eq. 5 parameters).
+pub type FitResult = FitReport<StableFpParams>;
 
-impl StableFFitResult {
-    /// Evaluates the fitted model as a prediction series.
-    pub fn predict(&self, bin_seconds: f64) -> Result<TmSeries> {
-        stable_f_series(&self.params, bin_seconds)
-    }
-}
+/// Result of a stable-f fit (Eq. 4 parameters).
+pub type StableFFitResult = FitReport<StableFParams>;
 
 /// Result of a time-varying fit (Eq. 3 parameters).
-#[derive(Debug, Clone)]
-pub struct TimeVaryingFitResult {
-    /// Fitted parameters (per-bin `f`, preference, activity).
-    pub params: TimeVaryingParams,
-    /// Mean `RelL2T` after each sweep.
-    pub objective_history: Vec<f64>,
-    /// Whether the tolerance was reached before the sweep budget.
-    pub converged: bool,
-}
-
-impl TimeVaryingFitResult {
-    /// Evaluates the fitted model as a prediction series.
-    pub fn predict(&self, bin_seconds: f64) -> Result<TmSeries> {
-        time_varying_series(&self.params, bin_seconds)
-    }
-}
+pub type TimeVaryingFitResult = FitReport<TimeVaryingParams>;
 
 /// Shared solver for the activity/preference subproblems, whose normal
 /// equations have the form `(c1·s2)·I + c2·v·vᵀ` with

@@ -27,6 +27,8 @@
 //!   container used everywhere,
 //! * [`model`] — evaluators for the general (Eq. 1), simplified (Eq. 2),
 //!   time-varying (Eq. 3), stable-f (Eq. 4) and stable-fP (Eq. 5) variants,
+//! * [`ic_model`] — the [`IcModel`]/[`Fit`] traits unifying the family
+//!   behind one evaluate/fit surface,
 //! * [`gravity`] — the gravity model baseline,
 //! * [`error`] — the relative ℓ² temporal error metric (Eq. 6),
 //! * [`fit`] — the Section 5.1 nonlinear program (block-coordinate descent
@@ -41,6 +43,7 @@ pub mod error;
 pub mod example;
 pub mod fit;
 pub mod gravity;
+pub mod ic_model;
 pub mod model;
 pub mod stability;
 pub mod synth;
@@ -48,8 +51,12 @@ pub mod tm;
 
 pub use error::{improvement_percent, mean_rel_l2, rel_l2_series, rel_l2_temporal};
 pub use example::{figure2_example, Figure2Result};
-pub use fit::{fit_stable_f, fit_stable_fp, fit_time_varying, FitOptions, FitResult, Objective};
+pub use fit::{
+    fit_stable_f, fit_stable_fp, fit_time_varying, FitOptions, FitReport, FitResult, Objective,
+    StableFFitResult, TimeVaryingFitResult,
+};
 pub use gravity::{gravity_from_marginals, gravity_predict};
+pub use ic_model::{Fit, IcModel};
 pub use model::{
     general_ic, simplified_ic, stable_f_series, stable_fp_series, time_varying_series,
     StableFParams, StableFpParams, TimeVaryingParams,

@@ -23,7 +23,12 @@ use ic_stats::rng::derive_seed;
 use ic_stats::{seeded_rng, DiurnalModel, DiurnalProfile, LogNormal, Pareto};
 
 /// Configuration for synthetic stable-fP TM generation.
+///
+/// Marked `#[non_exhaustive]`: start from [`SynthConfig::geant_like`] and
+/// adjust via the `with_*` setters (or direct field mutation) so future
+/// knobs are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SynthConfig {
     /// Number of access points.
     pub nodes: usize,
@@ -67,6 +72,72 @@ impl SynthConfig {
             noise_cv: 0.25,
             seed,
         }
+    }
+
+    /// Sets the number of access points.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the number of time bins.
+    pub fn with_bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Sets the seconds-per-bin metadata.
+    pub fn with_bin_seconds(mut self, bin_seconds: f64) -> Self {
+        self.bin_seconds = bin_seconds;
+        self
+    }
+
+    /// Sets the forward ratio.
+    pub fn with_f(mut self, f: f64) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Sets the lognormal location parameter for preference sampling.
+    pub fn with_preference_mu(mut self, mu: f64) -> Self {
+        self.preference_mu = mu;
+        self
+    }
+
+    /// Sets the lognormal scale parameter for preference sampling.
+    pub fn with_preference_sigma(mut self, sigma: f64) -> Self {
+        self.preference_sigma = sigma;
+        self
+    }
+
+    /// Sets the Pareto scale (minimum) for node mean activity levels.
+    pub fn with_activity_min(mut self, min: f64) -> Self {
+        self.activity_min = min;
+        self
+    }
+
+    /// Sets the Pareto shape for node mean activity levels.
+    pub fn with_activity_alpha(mut self, alpha: f64) -> Self {
+        self.activity_alpha = alpha;
+        self
+    }
+
+    /// Sets the diurnal profile shared by all nodes.
+    pub fn with_profile(mut self, profile: DiurnalProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the reference noise coefficient of variation.
+    pub fn with_noise_cv(mut self, noise_cv: f64) -> Self {
+        self.noise_cv = noise_cv;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     fn validate(&self) -> Result<()> {

@@ -12,7 +12,11 @@ use crate::{EstimationError, Result};
 use ic_linalg::Matrix;
 
 /// Options controlling the IPF iteration.
+///
+/// Marked `#[non_exhaustive]`: construct via [`IpfOptions::default`] and
+/// the `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct IpfOptions {
     /// Maximum row/column sweep pairs.
     pub max_iterations: usize,
@@ -26,6 +30,20 @@ impl Default for IpfOptions {
             max_iterations: 100,
             tolerance: 1e-9,
         }
+    }
+}
+
+impl IpfOptions {
+    /// Sets the maximum number of row/column sweep pairs.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence threshold on the relative marginal mismatch.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
     }
 }
 

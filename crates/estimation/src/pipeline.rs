@@ -270,15 +270,17 @@ mod tests {
         let topo = ring_topology(4);
         let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
         let pipeline = EstimationPipeline::new(om)
-            .with_tomogravity(TomogravityOptions {
-                ridge: 1e-8,
-                weight_floor: 1e-3,
-                clamp_negative: true,
-            })
-            .with_ipf(IpfOptions {
-                max_iterations: 50,
-                tolerance: 1e-8,
-            });
+            .with_tomogravity(
+                TomogravityOptions::default()
+                    .with_ridge(1e-8)
+                    .with_weight_floor(1e-3)
+                    .with_clamp_negative(true),
+            )
+            .with_ipf(
+                IpfOptions::default()
+                    .with_max_iterations(50)
+                    .with_tolerance(1e-8),
+            );
         assert_eq!(pipeline.model().nodes(), 4);
         let (truth, _) = truth_series(4, 1, 0.25);
         let obs = pipeline.model().observe(&truth).unwrap();

@@ -13,9 +13,13 @@ use ic_core::{gravity_from_marginals, stable_fp_series, TmSeries};
 use ic_linalg::{pseudo_inverse, Matrix};
 
 /// A prior construction strategy.
-pub trait TmPrior {
+///
+/// `Send + Sync` so priors can be constructed dynamically (boxed, possibly
+/// holding owned data) and shared across the threads of a parallel
+/// experiment runner.
+pub trait TmPrior: Send + Sync {
     /// Short name used in experiment reports (e.g. `"gravity"`).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// Builds the prior series from per-bin observations.
     fn prior_series(&self, obs: &Observations) -> Result<TmSeries>;
@@ -26,7 +30,7 @@ pub trait TmPrior {
 pub struct GravityPrior;
 
 impl TmPrior for GravityPrior {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "gravity"
     }
 
@@ -58,7 +62,7 @@ pub struct MeasuredIcPrior {
 }
 
 impl TmPrior for MeasuredIcPrior {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ic-measured"
     }
 
@@ -114,7 +118,7 @@ impl StableFpPrior {
 }
 
 impl TmPrior for StableFpPrior {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ic-stable-fp"
     }
 
@@ -188,7 +192,7 @@ pub struct StableFPrior {
 }
 
 impl TmPrior for StableFPrior {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ic-stable-f"
     }
 

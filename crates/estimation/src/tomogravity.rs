@@ -25,7 +25,12 @@ use ic_core::TmSeries;
 use ic_linalg::{pseudo_inverse, Cholesky, Matrix};
 
 /// Options for the tomogravity refinement.
+///
+/// Marked `#[non_exhaustive]`: construct via
+/// [`TomogravityOptions::default`] and the `with_*` setters so future
+/// knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct TomogravityOptions {
     /// Relative ridge added to `A W Aᵀ` (scaled by its max diagonal).
     pub ridge: f64,
@@ -44,6 +49,26 @@ impl Default for TomogravityOptions {
             weight_floor: 1e-4,
             clamp_negative: true,
         }
+    }
+}
+
+impl TomogravityOptions {
+    /// Sets the relative ridge added to `A W Aᵀ`.
+    pub fn with_ridge(mut self, ridge: f64) -> Self {
+        self.ridge = ridge;
+        self
+    }
+
+    /// Sets the weight floor as a fraction of the bin's mean prior entry.
+    pub fn with_weight_floor(mut self, weight_floor: f64) -> Self {
+        self.weight_floor = weight_floor;
+        self
+    }
+
+    /// Enables or disables clamping of negative refined entries.
+    pub fn with_clamp_negative(mut self, clamp_negative: bool) -> Self {
+        self.clamp_negative = clamp_negative;
+        self
     }
 }
 

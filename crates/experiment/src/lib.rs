@@ -1,0 +1,132 @@
+//! # ic-experiment — declarative scenarios, a parallel runner, reports
+//!
+//! The paper's evaluation is a *matrix* of experiments: model variants
+//! (Eqs. 3–5) × data sources (synthetic, D1, D2) × measurement scenarios
+//! (Sections 6.1–6.3) × pipeline options. Historically each cell was a
+//! hand-wired binary; this crate turns a cell into a few builder lines:
+//!
+//! ```
+//! use ic_experiment::{PriorStrategy, Runner, Scenario};
+//! use ic_core::SynthConfig;
+//!
+//! let scenario = Scenario::builder("synth-measured")
+//!     .synth(SynthConfig::geant_like(7).with_nodes(22).with_bins(12))
+//!     .geant22()
+//!     .prior(PriorStrategy::MeasuredIc)
+//!     .build()
+//!     .unwrap();
+//! let report = Runner::new().with_threads(2).run(&[scenario]).unwrap();
+//! assert_eq!(report.scenarios.len(), 1);
+//! assert!(report.scenarios[0].mean_improvement.is_finite());
+//! ```
+//!
+//! Three pieces:
+//!
+//! * [`Scenario`] / [`Scenario::builder`] — a declarative description of
+//!   one experiment: topology × synth/dataset source × routing (the
+//!   observation model) × prior strategy × fit/tomogravity/IPF options ×
+//!   task kind ([`Task`]).
+//! * [`Runner`] — executes a batch of scenarios in parallel with
+//!   `std::thread::scope`. Results are **bit-identical regardless of the
+//!   worker-thread count**: every scenario is self-contained, per-scenario
+//!   seeds are derived deterministically from the batch seed
+//!   ([`Runner::with_base_seed`]), and reports are collected in scenario
+//!   order.
+//! * [`Report`] — structured per-scenario results (error series,
+//!   improvement %, fitted parameters) with CSV and JSON emitters.
+
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use report::{Report, ScenarioReport};
+pub use runner::Runner;
+pub use scenario::{PriorStrategy, Scenario, ScenarioBuilder, Source, Task, TopologySpec};
+
+/// Errors produced while building or running scenarios.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The scenario description itself is inconsistent (missing source,
+    /// out-of-range week index, topology/source node mismatch, ...).
+    BadScenario(String),
+    /// An underlying model call failed.
+    Core(ic_core::IcError),
+    /// An underlying estimation-pipeline call failed.
+    Estimation(ic_estimation::EstimationError),
+    /// An underlying dataset build failed.
+    Dataset(ic_datasets::DatasetError),
+    /// An underlying topology/routing call failed.
+    Topology(ic_topology::TopologyError),
+}
+
+impl core::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExperimentError::BadScenario(msg) => write!(f, "bad scenario: {msg}"),
+            ExperimentError::Core(e) => write!(f, "core model failure: {e}"),
+            ExperimentError::Estimation(e) => write!(f, "estimation failure: {e}"),
+            ExperimentError::Dataset(e) => write!(f, "dataset failure: {e}"),
+            ExperimentError::Topology(e) => write!(f, "topology failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::BadScenario(_) => None,
+            ExperimentError::Core(e) => Some(e),
+            ExperimentError::Estimation(e) => Some(e),
+            ExperimentError::Dataset(e) => Some(e),
+            ExperimentError::Topology(e) => Some(e),
+        }
+    }
+}
+
+impl From<ic_core::IcError> for ExperimentError {
+    fn from(e: ic_core::IcError) -> Self {
+        ExperimentError::Core(e)
+    }
+}
+
+impl From<ic_estimation::EstimationError> for ExperimentError {
+    fn from(e: ic_estimation::EstimationError) -> Self {
+        ExperimentError::Estimation(e)
+    }
+}
+
+impl From<ic_datasets::DatasetError> for ExperimentError {
+    fn from(e: ic_datasets::DatasetError) -> Self {
+        ExperimentError::Dataset(e)
+    }
+}
+
+impl From<ic_topology::TopologyError> for ExperimentError {
+    fn from(e: ic_topology::TopologyError) -> Self {
+        ExperimentError::Topology(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, ExperimentError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        let e = ExperimentError::BadScenario("no source".into());
+        assert!(e.to_string().contains("no source"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: ExperimentError = ic_core::IcError::BadData("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = ic_estimation::EstimationError::BadData("y").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = ic_topology::TopologyError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = ic_datasets::DatasetError::Format("z".into()).into();
+        assert!(e.to_string().contains("z"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,8 +1,9 @@
 //! 60-second tour of the independent-connection traffic-matrix toolkit.
 //!
 //! Generates a synthetic traffic-matrix week with the Section 5.5 recipe,
-//! fits the stable-fP model back with the Section 5.1 program, compares it
-//! against the gravity baseline, and runs one round of TM estimation.
+//! fits the stable-fP model back through the unified `Fit` trait, compares
+//! it against the gravity baseline, and runs one round of TM estimation
+//! through the declarative `Scenario` API — all from `tm_ic::prelude`.
 //!
 //! Run with:
 //!
@@ -10,19 +11,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tm_ic::core::{
-    fit_stable_fp, generate_synthetic, gravity_predict, mean_rel_l2, FitOptions, SynthConfig,
-};
-use tm_ic::estimation::{compare_priors, EstimationPipeline, MeasuredIcPrior, ObservationModel};
 use tm_ic::flowsim::{sample_netflow, NetflowConfig};
-use tm_ic::topology::{geant22, RoutingScheme};
+use tm_ic::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // 1. Generate a synthetic TM series (22 nodes, one day of 5-min bins),
     //    then degrade it with 1/1000 NetFlow packet sampling — the same
     //    measurement noise the paper's datasets carry.
-    let mut cfg = SynthConfig::geant_like(7);
-    cfg.bins = 288;
+    let cfg = SynthConfig::geant_like(7).with_bins(288);
     let synth = generate_synthetic(&cfg)?;
     let measured = sample_netflow(&synth.series, NetflowConfig::default())?;
     println!(
@@ -32,10 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measured.total(0)
     );
 
-    // 2. Fit the stable-fP IC model (Section 5.1 nonlinear program).
-    let fit = fit_stable_fp(&measured, FitOptions::default())?;
+    // 2. Fit the stable-fP IC model (Section 5.1 nonlinear program) via
+    //    the unified Fit trait — swap the type parameter to fit any other
+    //    family member (StableFParams, TimeVaryingParams) the same way.
+    let fit: FitReport<StableFpParams> = StableFpParams::fit(&measured, FitOptions::default())?;
     println!(
-        "fitted f = {:.3} (generator used {:.3}); fit error = {:.3}",
+        "fitted {} model: f = {:.3} (generator used {:.3}); fit error = {:.3}",
+        fit.params.name(),
         fit.params.f,
         cfg.f,
         fit.final_objective()
@@ -51,17 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. TM estimation on the Géant topology: SNMP-style link counts in,
-    //    traffic matrix out, IC prior vs gravity prior.
-    let om = ObservationModel::new(&geant22(), RoutingScheme::Ecmp)?;
-    let obs = om.observe(&measured)?;
-    let pipeline = EstimationPipeline::new(om);
-    let prior = MeasuredIcPrior {
-        params: fit.params.clone(),
-    };
-    let cmp = compare_priors(&pipeline, &prior, &measured, &obs)?;
+    //    traffic matrix out, IC prior vs gravity prior — declared as a
+    //    scenario and executed by the parallel runner.
+    let scenario = Scenario::builder("quickstart: measured-IC vs gravity")
+        .series(measured)
+        .geant22()
+        .prior(PriorStrategy::MeasuredIc)
+        .build()?;
+    let report = Runner::new().run(&[scenario])?;
     println!(
         "estimation with IC prior beats gravity prior by {:.1}% on average",
-        cmp.mean_improvement
+        report.scenarios[0].mean_improvement
     );
     Ok(())
 }

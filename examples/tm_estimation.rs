@@ -4,9 +4,11 @@
 //! counters (SNMP) and you know the routing, but you cannot afford
 //! continuous NetFlow. Estimate the traffic matrix.
 //!
-//! This example builds a synthetic Géant day, derives the observables
-//! (link counts + node marginals), and runs the three-step estimation
-//! pipeline with all four priors, reporting the accuracy of each.
+//! This example declares the paper's three measurement scenarios
+//! (Sections 6.1–6.3) — plus the gravity baseline — against the same
+//! synthetic Géant data through the `Scenario` builder, runs them in
+//! parallel, and prints the structured report (including its CSV form,
+//! ready for a plotting pipeline).
 //!
 //! Run with:
 //!
@@ -14,81 +16,61 @@
 //! cargo run --release --example tm_estimation
 //! ```
 
-use tm_ic::core::{fit_stable_fp, mean_rel_l2, FitOptions};
-use tm_ic::datasets::{build_d1, GeantConfig};
-use tm_ic::estimation::{
-    EstimationPipeline, GravityPrior, MeasuredIcPrior, ObservationModel, StableFPrior,
-    StableFpPrior, TmPrior,
-};
-use tm_ic::topology::{geant22, RoutingScheme};
+use tm_ic::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // Two synthetic weeks: week 1 calibrates parameters ("a few weeks of
     // direct measurement", per the hybrid scenario of Soule et al.),
     // week 2 is estimated from link counts alone.
-    let ds = build_d1(&GeantConfig::smoke(1))?;
-    let weeks = ds.measured_weeks()?;
-    let (calibration, target) = (&weeks[0], &weeks[1]);
-
+    let data = GeantConfig::smoke(1);
     println!(
-        "calibrating IC parameters on week 1 ({} bins)...",
-        calibration.bins()
-    );
-    let cal_fit = fit_stable_fp(calibration, FitOptions::default())?;
-    println!(
-        "  f = {:.3}, preference spread = {:.3}x median",
-        cal_fit.params.f,
-        {
-            let mut p = cal_fit.params.preference.clone();
-            p.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            p[p.len() - 1] / p[p.len() / 2].max(1e-12)
-        }
+        "estimating a {}-bin Géant week from link counts + marginals\n",
+        data.bins_per_week
     );
 
-    let om = ObservationModel::new(&geant22(), RoutingScheme::Ecmp)?;
-    println!(
-        "observing week 2: {} backbone link counters + {} node marginals per bin",
-        om.links(),
-        2 * om.nodes()
-    );
-    let obs = om.observe(target)?;
-    let pipeline = EstimationPipeline::new(om);
-
-    // The same-week fit stands in for "all parameters measured" (§6.1).
-    let same_week_fit = fit_stable_fp(target, FitOptions::default())?;
-
-    let priors: Vec<Box<dyn TmPrior>> = vec![
-        Box::new(GravityPrior),
-        Box::new(MeasuredIcPrior {
-            params: same_week_fit.params.clone(),
-        }),
-        Box::new(StableFpPrior {
-            f: cal_fit.params.f,
-            preference: cal_fit.params.preference.clone(),
-        }),
-        Box::new(StableFPrior {
-            f: cal_fit.params.f,
-        }),
+    // One builder line per measurement scenario; the runner executes the
+    // batch in parallel and reports in input order.
+    let base = |name: &str| {
+        Scenario::builder(name)
+            .dataset_d1(data.clone())
+            .geant22()
+            .target_week(1)
+    };
+    let scenarios = vec![
+        // §6.1 — all IC parameters measured (same-week fit): the upper
+        // bound on what the IC prior can deliver.
+        base("6.1 all measured")
+            .prior(PriorStrategy::MeasuredIc)
+            .build()?,
+        // §6.2 — f and P from last week, activities from marginals.
+        base("6.2 f,P from week 1")
+            .prior(PriorStrategy::StableFpFromWeek {
+                calibration_week: 0,
+            })
+            .build()?,
+        // §6.3 — only f from last week.
+        base("6.3 f from week 1")
+            .prior(PriorStrategy::StableFFromWeek {
+                calibration_week: 0,
+            })
+            .build()?,
     ];
+    let report = Runner::new().run(&scenarios)?;
 
-    println!("\nprior           raw RelL2   estimated RelL2");
-    let mut gravity_err = None;
-    for prior in &priors {
-        let raw = prior.prior_series(&obs)?;
-        let est = pipeline.estimate_from_series(&raw, &obs)?;
-        let raw_err = mean_rel_l2(target, &raw)?;
-        let est_err = mean_rel_l2(target, &est)?;
-        if prior.name() == "gravity" {
-            gravity_err = Some(est_err);
-        }
-        let vs_gravity = gravity_err
-            .map(|g| format!(" ({:+.1}% vs gravity)", 100.0 * (g - est_err) / g))
-            .unwrap_or_default();
+    println!("prior           mean RelL2   vs gravity");
+    for s in &report.scenarios {
         println!(
-            "{:<15} {raw_err:>9.4} {est_err:>14.4}{vs_gravity}",
-            prior.name()
+            "{:<15} {:>10.4} {:>+9.1}%",
+            s.prior.as_deref().unwrap_or("?"),
+            s.mean_candidate_error(),
+            s.mean_improvement
         );
     }
-    println!("\n(IC priors consume less measurement than the TM itself: stable-fP\n needs last week's f and P; stable-f needs only f)");
+    println!(
+        "\n(gravity-prior baseline error: {:.4})",
+        report.scenarios[0].mean_gravity_error()
+    );
+    println!("\nCSV report:\n{}", report.to_csv());
+    println!("(IC priors consume less measurement than the TM itself: stable-fP\n needs last week's f and P; stable-f needs only f)");
     Ok(())
 }

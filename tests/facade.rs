@@ -4,7 +4,7 @@
 //! so a silently broken re-export (e.g. a module renamed upstream) fails
 //! loudly here rather than in user code.
 
-use tm_ic::{core, datasets, estimation, flowsim, linalg, stats, topology};
+use tm_ic::{core, datasets, estimation, experiment, flowsim, linalg, stats, topology};
 
 #[test]
 fn linalg_exposes_matrix() {
@@ -59,6 +59,39 @@ fn core_exposes_model_and_fit() {
     let out = core::generate_synthetic(&cfg).unwrap();
     let fit = core::fit_stable_fp(&out.series, core::FitOptions::default()).unwrap();
     assert!((0.0..=1.0).contains(&fit.params.f));
+}
+
+#[test]
+fn experiment_exposes_scenario_runner_report() {
+    let scenario = experiment::Scenario::builder("facade-smoke")
+        .synth(core::SynthConfig::geant_like(5).with_nodes(4).with_bins(6))
+        .task(experiment::Task::FitImprovement)
+        .build()
+        .unwrap();
+    let report = experiment::Runner::new()
+        .with_threads(2)
+        .run(&[scenario])
+        .unwrap();
+    assert_eq!(report.scenarios.len(), 1);
+    assert!(report.to_csv().starts_with("name,task"));
+    assert!(report.to_json().contains("facade-smoke"));
+}
+
+#[test]
+fn prelude_covers_the_working_set() {
+    use tm_ic::prelude::*;
+    // Model family behind the unified traits.
+    let cfg = SynthConfig::geant_like(5).with_nodes(4).with_bins(6);
+    let out = generate_synthetic(&cfg).unwrap();
+    let report: FitReport<StableFpParams> =
+        StableFpParams::fit(&out.series, FitOptions::default()).unwrap();
+    assert_eq!(report.params.name(), "stable-fp");
+    // Cross-layer `?` through TmIcError.
+    let run = || -> Result<f64> {
+        let grav = gravity_predict(&out.series)?;
+        Ok(mean_rel_l2(&out.series, &grav)?)
+    };
+    assert!(run().unwrap() >= 0.0);
 }
 
 #[test]

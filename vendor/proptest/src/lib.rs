@@ -5,7 +5,7 @@
 //!   `arg in strategy` test signatures,
 //! * range strategies (`0.1f64..1e3`, `1usize..7`, `1u32..20`, …),
 //! * [`any::<T>()`](prelude::any), [`collection::vec`], tuple strategies, and
-//!   [`Strategy::prop_map`],
+//!   [`strategy::Strategy::prop_map`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * [`test_runner::ProptestConfig::with_cases`] with a `PROPTEST_CASES`
 //!   environment override.
@@ -62,7 +62,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
