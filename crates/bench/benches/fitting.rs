@@ -42,7 +42,7 @@ fn bench_sweep_budget(c: &mut Criterion) {
     let tm = series(22, 96);
     let opts = FitOptions::default().with_max_sweeps(5).with_tolerance(0.0);
     c.bench_function("fit_stable_fp_5_sweeps_22n_96t", |b| {
-        b.iter(|| black_box(fit_stable_fp(&tm, opts).unwrap()))
+        b.iter(|| black_box(fit_stable_fp(&tm, opts.clone()).unwrap()))
     });
 }
 

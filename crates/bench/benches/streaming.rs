@@ -1,0 +1,69 @@
+#![allow(missing_docs)]
+//! Criterion benches for the streaming subsystem: warm vs cold window
+//! refits (the core `ic-stream` speedup) and windowed ingestion
+//! throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_core::{fit_stable_fp, FitOptions, SynthConfig};
+use ic_stream::{replay_fit, ReplayOptions, SyntheticStream, Windower};
+
+fn synth(nodes: usize, bins: usize) -> SynthConfig {
+    SynthConfig::geant_like(4242)
+        .with_nodes(nodes)
+        .with_bins(bins)
+}
+
+fn bench_warm_vs_cold_refit(c: &mut Criterion) {
+    let mut stream = SyntheticStream::new(synth(12, 96)).unwrap();
+    let windows = Windower::tumbling(48)
+        .unwrap()
+        .take_windows(&mut stream, None)
+        .unwrap();
+    let previous = fit_stable_fp(&windows[0].series, FitOptions::default()).unwrap();
+    let target = &windows[1].series;
+    let mut group = c.benchmark_group("window_refit_12n_48t");
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(fit_stable_fp(target, FitOptions::default()).unwrap()))
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            black_box(fit_stable_fp(target, FitOptions::default().with_initial(&previous)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_windowed_ingestion(c: &mut Criterion) {
+    // Generation + windowing only — the ingestion-side cost floor.
+    c.bench_function("ingest_576_bins_12n_24t_windows", |b| {
+        b.iter(|| {
+            let mut stream = SyntheticStream::new(synth(12, 576)).unwrap();
+            let windows = Windower::tumbling(24)
+                .unwrap()
+                .take_windows(&mut stream, None)
+                .unwrap();
+            black_box(windows.len())
+        })
+    });
+}
+
+fn bench_full_replay(c: &mut Criterion) {
+    // The whole online loop: ingest, window, fit warm, gravity baseline,
+    // forecast, drift-detect.
+    c.bench_function("replay_fit_6n_8x24t", |b| {
+        b.iter(|| {
+            let mut stream = SyntheticStream::new(synth(6, 192)).unwrap();
+            let report =
+                replay_fit(&mut stream, &ReplayOptions::default().with_window_bins(24)).unwrap();
+            black_box(report.mean_improvement())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_warm_vs_cold_refit,
+    bench_windowed_ingestion,
+    bench_full_replay
+);
+criterion_main!(benches);

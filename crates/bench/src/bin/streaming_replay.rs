@@ -1,0 +1,167 @@
+//! Streaming replay benchmark — the perf baseline of the `ic-stream`
+//! subsystem.
+//!
+//! Replays a synthetic diurnal stream through the warm-started online
+//! estimator, then times warm vs cold per-window refits head-to-head, and
+//! emits a machine-readable `BENCH_streaming.json` (throughput in
+//! bins/sec, warm vs cold fit time and sweep counts) so the perf
+//! trajectory is tracked across commits.
+//!
+//! Usage: `streaming_replay [--scale smoke|full] [--out PATH]`.
+
+use ic_bench::Scale;
+use ic_core::{fit_stable_fp, FitOptions, SynthConfig};
+use ic_stream::{replay_fit, ReplayOptions, SyntheticStream, Windower};
+use std::time::Instant;
+
+struct BenchConfig {
+    nodes: usize,
+    window_bins: usize,
+    windows: usize,
+}
+
+fn bench_config(scale: Scale) -> BenchConfig {
+    match scale {
+        // One Géant-sized week of 5-minute bins in day windows.
+        Scale::Full => BenchConfig {
+            nodes: 22,
+            window_bins: 288,
+            windows: 7,
+        },
+        Scale::Smoke => BenchConfig {
+            nodes: 6,
+            window_bins: 24,
+            windows: 8,
+        },
+    }
+}
+
+fn out_path() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--out" {
+            return w[1].clone();
+        }
+    }
+    "BENCH_streaming.json".to_string()
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = bench_config(scale);
+    let bins = cfg.window_bins * cfg.windows;
+    println!(
+        "# streaming_replay ({scale:?}): {} nodes, {} windows x {} bins",
+        cfg.nodes, cfg.windows, cfg.window_bins
+    );
+    let synth = SynthConfig::geant_like(20060419)
+        .with_nodes(cfg.nodes)
+        .with_bins(bins);
+
+    // End-to-end warm replay: ingestion + windowing + fits + gravity
+    // baseline + forecasting + drift detection.
+    let mut stream = SyntheticStream::new(synth.clone()).expect("valid synth config");
+    let options = ReplayOptions::default().with_window_bins(cfg.window_bins);
+    let start = Instant::now();
+    let report = replay_fit(&mut stream, &options).expect("replay");
+    let replay_secs = start.elapsed().as_secs_f64();
+    let throughput = report.total_bins() as f64 / replay_secs;
+    println!("# replay: {replay_secs:.3}s, {throughput:.0} bins/sec");
+
+    // Head-to-head per-window refits: cold (Eq. 11-12 init) vs warm
+    // (previous window's optimum). Window 0 is cold either way and is
+    // excluded from the means.
+    let mut source = SyntheticStream::new(synth).expect("valid synth config");
+    let windows = Windower::tumbling(cfg.window_bins)
+        .expect("valid window")
+        .take_windows(&mut source, None)
+        .expect("windows");
+    assert_eq!(windows.len(), cfg.windows);
+    let mut previous = None;
+    let mut cold_secs = 0.0;
+    let mut warm_secs = 0.0;
+    let mut cold_sweeps = 0usize;
+    let mut warm_sweeps = 0usize;
+    let mut measured = 0usize;
+    println!("# window\tcold_s\twarm_s\tcold_sweeps\twarm_sweeps\tf");
+    for w in &windows {
+        let t0 = Instant::now();
+        let cold = fit_stable_fp(&w.series, FitOptions::default()).expect("cold fit");
+        let cold_t = t0.elapsed().as_secs_f64();
+        if let Some(prev) = &previous {
+            let t1 = Instant::now();
+            let warm = fit_stable_fp(&w.series, FitOptions::default().with_initial(prev))
+                .expect("warm fit");
+            let warm_t = t1.elapsed().as_secs_f64();
+            println!(
+                "{}\t{:.4}\t{:.4}\t{}\t{}\t{:.4}",
+                w.index,
+                cold_t,
+                warm_t,
+                cold.objective_history.len(),
+                warm.objective_history.len(),
+                warm.params.f
+            );
+            cold_secs += cold_t;
+            warm_secs += warm_t;
+            cold_sweeps += cold.objective_history.len();
+            warm_sweeps += warm.objective_history.len();
+            measured += 1;
+            previous = Some(warm);
+        } else {
+            println!(
+                "{}\t{:.4}\t-\t{}\t-\t{:.4}",
+                w.index,
+                cold_t,
+                cold.objective_history.len(),
+                cold.params.f
+            );
+            previous = Some(cold);
+        }
+    }
+    let cold_mean = cold_secs / measured.max(1) as f64;
+    let warm_mean = warm_secs / measured.max(1) as f64;
+    let speedup = cold_mean / warm_mean;
+    println!(
+        "# warm refit {warm_mean:.4}s vs cold {cold_mean:.4}s per window (speedup {speedup:.2}x)"
+    );
+
+    let drift: Vec<String> = report
+        .drift_windows()
+        .iter()
+        .map(|w| w.to_string())
+        .collect();
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"nodes\":{},\"window_bins\":{},\"windows\":{},\
+         \"bins_total\":{},\"replay_secs\":{},\"throughput_bins_per_sec\":{},\
+         \"cold_fit_secs_mean\":{},\"warm_fit_secs_mean\":{},\"warm_speedup\":{},\
+         \"cold_sweeps_mean\":{},\"warm_sweeps_mean\":{},\"mean_improvement_pct\":{},\
+         \"mean_forecast_f_error\":{},\"drift_windows\":[{}]}}\n",
+        cfg.nodes,
+        cfg.window_bins,
+        cfg.windows,
+        report.total_bins(),
+        json_f(replay_secs),
+        json_f(throughput),
+        json_f(cold_mean),
+        json_f(warm_mean),
+        json_f(speedup),
+        json_f(cold_sweeps as f64 / measured.max(1) as f64),
+        json_f(warm_sweeps as f64 / measured.max(1) as f64),
+        json_f(report.mean_improvement()),
+        json_f(report.mean_forecast_f_error()),
+        drift.join(",")
+    );
+    let path = out_path();
+    std::fs::write(&path, &json).expect("write BENCH_streaming.json");
+    println!("# wrote {path}");
+    print!("{json}");
+}

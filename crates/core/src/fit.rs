@@ -55,11 +55,38 @@ pub enum Objective {
     SumRelL2,
 }
 
+/// A warm-start initial point for the BCD fits, typically carried over
+/// from the previous window's fit in streaming/online settings.
+///
+/// The paper's stability findings (Section 5.2–5.3) are what make this
+/// work: `f` and `{P_i}` barely move between adjacent windows, so starting
+/// the descent at the previous optimum lands the first sweep next to the
+/// new optimum. Activities need no carrying — every fit's first activity
+/// step recomputes them in closed form from `(f, P)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Initial forward ratio (clamped to `[0, 1]` at use).
+    pub f: f64,
+    /// Initial preference vector (renormalized to the simplex at use;
+    /// length must match the fitted series' node count).
+    pub preference: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Extracts the warm-start point from a completed stable-fP fit.
+    pub fn from_fit(previous: &FitResult) -> Self {
+        WarmStart {
+            f: previous.params.f,
+            preference: previous.params.preference.clone(),
+        }
+    }
+}
+
 /// Options controlling the block-coordinate descent.
 ///
 /// Marked `#[non_exhaustive]`: construct via [`FitOptions::default`] and
 /// the `with_*` setters so future knobs are not breaking changes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct FitOptions {
     /// Maximum BCD sweeps (default 40).
@@ -68,13 +95,17 @@ pub struct FitOptions {
     /// (default 1e-6).
     pub tolerance: f64,
     /// Initial forward ratio (default 0.3, inside the paper's observed
-    /// 0.2–0.3 range).
+    /// 0.2–0.3 range). Ignored when a warm start is supplied.
     pub initial_f: f64,
     /// Objective scalarization.
     pub objective: Objective,
-    /// When true, `f` is held fixed at `initial_f` instead of being
-    /// optimized (used by estimation scenarios where `f` was measured).
+    /// When true, `f` is held fixed at the initial forward ratio instead
+    /// of being optimized (used by estimation scenarios where `f` was
+    /// measured).
     pub fix_f: bool,
+    /// Optional warm-start point replacing the Eq. 11–12 cold
+    /// initialization (default `None`).
+    pub initial: Option<WarmStart>,
 }
 
 impl Default for FitOptions {
@@ -85,6 +116,7 @@ impl Default for FitOptions {
             initial_f: 0.3,
             objective: Objective::WeightedSse,
             fix_f: false,
+            initial: None,
         }
     }
 }
@@ -117,6 +149,21 @@ impl FitOptions {
     /// Holds `f` fixed at `initial_f` (or releases it) during the fit.
     pub fn with_fix_f(mut self, fix_f: bool) -> Self {
         self.fix_f = fix_f;
+        self
+    }
+
+    /// Warm-starts the descent from a previous stable-fP fit: the previous
+    /// optimum's `(f, P)` replace the Eq. 11–12 cold initialization. All
+    /// three family fits honor the warm start.
+    pub fn with_initial(mut self, previous: &FitResult) -> Self {
+        self.initial = Some(WarmStart::from_fit(previous));
+        self
+    }
+
+    /// Warm-starts the descent from an explicit `(f, P)` point (e.g. a
+    /// forecast of the next window's parameters).
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.initial = Some(warm);
         self
     }
 }
@@ -319,6 +366,51 @@ fn validate_input(x: &TmSeries) -> Result<()> {
     Ok(())
 }
 
+/// Resolves the initial `(f, P, A)` of a fit: the validated warm start
+/// when [`FitOptions::initial`] is set, the Eq. 11–12 cold initialization
+/// otherwise. Warm starts carry only `(f, P)` — activities are recomputed
+/// by every fit's first activity step, so the activity seed always comes
+/// from the marginal inversion at the chosen `f`.
+fn initial_point(x: &TmSeries, options: &FitOptions) -> Result<(f64, Vec<f64>, Matrix)> {
+    let Some(warm) = &options.initial else {
+        let f = options.initial_f.clamp(0.0, 1.0);
+        let (p, a) = initialize(x, f);
+        return Ok((f, p, a));
+    };
+    if warm.preference.len() != x.nodes() {
+        return Err(IcError::DimensionMismatch {
+            context: "warm-start preference",
+            expected: x.nodes(),
+            actual: warm.preference.len(),
+        });
+    }
+    if !warm.f.is_finite() {
+        return Err(IcError::InvalidParameter {
+            name: "warm_start.f",
+            constraint: "must be finite",
+        });
+    }
+    let mass: f64 = warm.preference.iter().sum();
+    if warm
+        .preference
+        .iter()
+        .any(|&v| !(v >= 0.0) || !v.is_finite())
+        || !(mass > 0.0)
+    {
+        return Err(IcError::BadData(
+            "warm-start preference must be finite, non-negative, with positive mass",
+        ));
+    }
+    let f = warm.f.clamp(0.0, 1.0);
+    let p = warm
+        .preference
+        .iter()
+        .map(|&v| (v / mass).max(1e-12))
+        .collect();
+    let (_, a) = initialize(x, f);
+    Ok((f, p, a))
+}
+
 /// Initial parameters from the paper's own marginal inversion (Eq. 11–12).
 ///
 /// The model's marginals satisfy
@@ -402,8 +494,7 @@ fn initialize(x: &TmSeries, f0: f64) -> (Vec<f64>, Matrix) {
 pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
     validate_input(x)?;
     let bins = x.bins();
-    let mut f = options.initial_f.clamp(0.0, 1.0);
-    let (mut p, mut activity) = initialize(x, f);
+    let (mut f, mut p, mut activity) = initial_point(x, &options)?;
     let mut history = Vec::with_capacity(options.max_sweeps);
     let mut converged = false;
     let mut residual_norms: Option<Vec<f64>> = None;
@@ -509,8 +600,7 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
     validate_input(x)?;
     let n = x.nodes();
     let bins = x.bins();
-    let mut f = options.initial_f.clamp(0.0, 1.0);
-    let (p_init, mut activity) = initialize(x, f);
+    let (mut f, p_init, mut activity) = initial_point(x, &options)?;
     let mut preference = Matrix::zeros(n, bins);
     for t in 0..bins {
         for i in 0..n {
@@ -630,8 +720,8 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
     validate_input(x)?;
     let n = x.nodes();
     let bins = x.bins();
-    let mut fs = vec![options.initial_f.clamp(0.0, 1.0); bins];
-    let (p_init, mut activity) = initialize(x, options.initial_f);
+    let (f0, p_init, mut activity) = initial_point(x, &options)?;
+    let mut fs = vec![f0; bins];
     let mut preference = Matrix::zeros(n, bins);
     for t in 0..bins {
         for i in 0..n {
@@ -933,6 +1023,93 @@ mod tests {
             .final_objective();
         assert!(o_tv <= o_sf + 1e-6, "tv {o_tv} vs sf {o_sf}");
         assert!(o_sf <= o_sfp + 1e-6, "sf {o_sf} vs sfp {o_sfp}");
+    }
+
+    #[test]
+    fn warm_start_reaches_same_optimum_in_fewer_sweeps() {
+        let p = [0.5, 0.3, 0.15, 0.05];
+        let acts = varied_activities(4, 10);
+        let tm = exact_series(0.25, &p, &acts);
+        let cold = fit_stable_fp(&tm, FitOptions::default()).unwrap();
+        // Warm-start a second fit of (slightly shifted) data from the
+        // first optimum: same objective, fewer sweeps.
+        let shifted = {
+            let mut s = tm.clone();
+            for t in 0..s.bins() {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let v = s.get(i, j, t).unwrap();
+                        s.set(i, j, t, v * 1.05).unwrap();
+                    }
+                }
+            }
+            s
+        };
+        let warm = fit_stable_fp(&shifted, FitOptions::default().with_initial(&cold)).unwrap();
+        let cold2 = fit_stable_fp(&shifted, FitOptions::default()).unwrap();
+        assert!(
+            (warm.final_objective() - cold2.final_objective()).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.final_objective(),
+            cold2.final_objective()
+        );
+        assert!(
+            warm.objective_history.len() <= cold2.objective_history.len(),
+            "warm {} sweeps vs cold {}",
+            warm.objective_history.len(),
+            cold2.objective_history.len()
+        );
+        assert!((warm.params.f - cold2.params.f).abs() < 1e-3);
+    }
+
+    #[test]
+    fn warm_start_honored_by_all_three_fits() {
+        let p = [0.5, 0.3, 0.2];
+        let acts = varied_activities(3, 6);
+        let tm = exact_series(0.25, &p, &acts);
+        let warm = WarmStart {
+            f: 0.25,
+            preference: p.to_vec(),
+        };
+        let opts = FitOptions::default().with_warm_start(warm);
+        // Starting at the exact optimum, every variant must stay there.
+        let sfp = fit_stable_fp(&tm, opts.clone()).unwrap();
+        assert!(sfp.final_objective() < 1e-6, "{}", sfp.final_objective());
+        let sf = fit_stable_f(&tm, opts.clone()).unwrap();
+        assert!(sf.final_objective() < 1e-6, "{}", sf.final_objective());
+        let tv = fit_time_varying(&tm, opts).unwrap();
+        assert!(tv.final_objective() < 1e-6, "{}", tv.final_objective());
+    }
+
+    #[test]
+    fn warm_start_validates_inputs() {
+        let p = [0.6, 0.4];
+        let acts = varied_activities(2, 4);
+        let tm = exact_series(0.3, &p, &acts);
+        // Wrong preference length.
+        let bad = FitOptions::default().with_warm_start(WarmStart {
+            f: 0.3,
+            preference: vec![0.5; 3],
+        });
+        assert!(fit_stable_fp(&tm, bad).is_err());
+        // Non-finite f.
+        let bad = FitOptions::default().with_warm_start(WarmStart {
+            f: f64::NAN,
+            preference: vec![0.5, 0.5],
+        });
+        assert!(fit_stable_fp(&tm, bad).is_err());
+        // Zero-mass preference.
+        let bad = FitOptions::default().with_warm_start(WarmStart {
+            f: 0.3,
+            preference: vec![0.0, 0.0],
+        });
+        assert!(fit_stable_f(&tm, bad).is_err());
+        // Negative preference entries.
+        let bad = FitOptions::default().with_warm_start(WarmStart {
+            f: 0.3,
+            preference: vec![1.0, -0.5],
+        });
+        assert!(fit_time_varying(&tm, bad).is_err());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use error::{improvement_percent, mean_rel_l2, rel_l2_series, rel_l2_temporal
 pub use example::{figure2_example, Figure2Result};
 pub use fit::{
     fit_stable_f, fit_stable_fp, fit_time_varying, FitOptions, FitReport, FitResult, Objective,
-    StableFFitResult, TimeVaryingFitResult,
+    StableFFitResult, TimeVaryingFitResult, WarmStart,
 };
 pub use gravity::{gravity_from_marginals, gravity_predict};
 pub use ic_model::{Fit, IcModel};
@@ -61,8 +61,8 @@ pub use model::{
     general_ic, simplified_ic, stable_f_series, stable_fp_series, time_varying_series,
     StableFParams, StableFpParams, TimeVaryingParams,
 };
-pub use synth::{generate_synthetic, SynthConfig, SynthOutput};
-pub use tm::TmSeries;
+pub use synth::{generate_synthetic, synth_process, SynthConfig, SynthOutput, SynthProcess};
+pub use tm::{TmSeries, TmWindowIter};
 
 /// Errors produced by the IC model library.
 #[derive(Debug, Clone, PartialEq)]

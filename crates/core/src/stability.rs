@@ -29,7 +29,7 @@ impl WeeklyFits {
         let weeks = series.split_weeks(bins_per_week)?;
         let fits = weeks
             .iter()
-            .map(|w| fit_stable_fp(w, options))
+            .map(|w| fit_stable_fp(w, options.clone()))
             .collect::<Result<Vec<_>>>()?;
         Ok(WeeklyFits { fits })
     }

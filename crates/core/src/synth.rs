@@ -164,6 +164,72 @@ pub struct SynthOutput {
     pub params: StableFpParams,
 }
 
+/// The deterministic sampling process behind a [`SynthConfig`]: the drawn
+/// preference vector plus each node's diurnal model and private RNG.
+///
+/// This is the shared preamble of the batch generator
+/// ([`generate_synthetic`]) and the streaming generator
+/// (`ic-stream::SyntheticStream`). Both consume each node's RNG exactly
+/// once per bin, so a stream built from this process emits bins
+/// bit-identical to the batch series of the same config — keeping the
+/// seed-derivation labels and sampling order in one place is what makes
+/// that equivalence robust to future changes.
+#[derive(Debug, Clone)]
+pub struct SynthProcess {
+    /// Ground-truth preference vector (sums to 1).
+    pub preference: Vec<f64>,
+    /// Per-node diurnal activity models.
+    pub models: Vec<DiurnalModel>,
+    /// Per-node RNGs (advance one sample per bin, in node order).
+    pub rngs: Vec<ic_stats::rng::StdRng>,
+}
+
+/// Draws the Section 5.5 process (steps 2–3 of the recipe) for a config:
+/// lognormal preference, Pareto base levels, per-node diurnal models with
+/// aggregation-dependent noise, and the per-node derived-seed RNGs.
+pub fn synth_process(config: &SynthConfig) -> Result<SynthProcess> {
+    if config.nodes == 0 {
+        return Err(IcError::BadData("synth requires nodes > 0"));
+    }
+    if !(0.0..=1.0).contains(&config.f) {
+        return Err(IcError::InvalidParameter {
+            name: "f",
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    let n = config.nodes;
+
+    // Step 2: long-tailed preference values.
+    let mut rng_p = seeded_rng(derive_seed(config.seed, 1));
+    let lognormal = LogNormal::new(config.preference_mu, config.preference_sigma)?;
+    let raw: Vec<f64> = lognormal.sample_n(&mut rng_p, n);
+    let mass: f64 = raw.iter().sum();
+    let preference: Vec<f64> = raw.iter().map(|&v| v / mass).collect();
+
+    // Step 3: heavy-tailed base levels (a few big PoPs, many small ones)
+    // with diurnal structure; higher aggregation means less noise.
+    let mut rng_base = seeded_rng(derive_seed(config.seed, 2));
+    let pareto = Pareto::new(config.activity_min, config.activity_alpha)?;
+    let bases: Vec<f64> = pareto.sample_n(&mut rng_base, n);
+    let base_ref = bases.iter().copied().fold(f64::MIN, f64::max);
+    let mut models = Vec::with_capacity(n);
+    let mut rngs = Vec::with_capacity(n);
+    for (i, &base) in bases.iter().enumerate() {
+        models.push(DiurnalModel::with_aggregation_noise(
+            config.profile,
+            base,
+            config.noise_cv,
+            base_ref,
+        )?);
+        rngs.push(seeded_rng(derive_seed(config.seed, 1000 + i as u64)));
+    }
+    Ok(SynthProcess {
+        preference,
+        models,
+        rngs,
+    })
+}
+
 /// Generates a synthetic TM series per the Section 5.5 recipe.
 ///
 /// # Examples
@@ -182,27 +248,16 @@ pub struct SynthOutput {
 pub fn generate_synthetic(config: &SynthConfig) -> Result<SynthOutput> {
     config.validate()?;
     let n = config.nodes;
+    let SynthProcess {
+        preference,
+        models,
+        mut rngs,
+    } = synth_process(config)?;
 
-    // Step 2: long-tailed preference values.
-    let mut rng_p = seeded_rng(derive_seed(config.seed, 1));
-    let lognormal = LogNormal::new(config.preference_mu, config.preference_sigma)?;
-    let raw: Vec<f64> = lognormal.sample_n(&mut rng_p, n);
-    let mass: f64 = raw.iter().sum();
-    let preference: Vec<f64> = raw.iter().map(|&v| v / mass).collect();
-
-    // Step 3: activity series with diurnal structure; base levels are
-    // heavy-tailed across nodes (a few big PoPs, many small ones).
-    let mut rng_base = seeded_rng(derive_seed(config.seed, 2));
-    let pareto = Pareto::new(config.activity_min, config.activity_alpha)?;
-    let bases: Vec<f64> = pareto.sample_n(&mut rng_base, n);
-    let base_ref = bases.iter().copied().fold(f64::MIN, f64::max);
     let mut activity = Matrix::zeros(n, config.bins);
-    for (i, &base) in bases.iter().enumerate() {
-        let model =
-            DiurnalModel::with_aggregation_noise(config.profile, base, config.noise_cv, base_ref)?;
-        let mut rng_node = seeded_rng(derive_seed(config.seed, 1000 + i as u64));
+    for (i, (model, rng)) in models.iter().zip(rngs.iter_mut()).enumerate() {
         for t in 0..config.bins {
-            activity[(i, t)] = model.sample_at(t, &mut rng_node);
+            activity[(i, t)] = model.sample_at(t, rng);
         }
     }
 

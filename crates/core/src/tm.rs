@@ -301,15 +301,66 @@ impl TmSeries {
                 constraint: "must be positive",
             });
         }
-        let weeks = self.bins / bins_per_week;
-        if weeks == 0 {
+        if self.bins / bins_per_week == 0 {
             return Err(IcError::BadData(
                 "series shorter than one week; nothing to split",
             ));
         }
-        (0..weeks)
-            .map(|w| self.slice_bins(w * bins_per_week, bins_per_week))
-            .collect()
+        self.windows(bins_per_week)
+    }
+
+    /// Splits the series into consecutive tumbling windows of `bins` bins
+    /// (a trailing partial window is dropped). A week split is the special
+    /// case `bins = bins_per_week`; streaming estimators use shorter
+    /// windows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ic_core::TmSeries;
+    ///
+    /// let tm = TmSeries::zeros(2, 7, 300.0).unwrap();
+    /// let windows = tm.windows(3).unwrap();
+    /// assert_eq!(windows.len(), 2); // bin 6 is a dropped partial window
+    /// assert!(windows.iter().all(|w| w.bins() == 3));
+    /// ```
+    pub fn windows(&self, bins: usize) -> Result<Vec<TmSeries>> {
+        Ok(self.iter_windows(bins, bins)?.collect())
+    }
+
+    /// Iterates sliding windows of `bins` bins advancing by `stride` bins
+    /// per step (`stride == bins` gives tumbling windows). Windows are
+    /// produced lazily; a trailing partial window is dropped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ic_core::TmSeries;
+    ///
+    /// let tm = TmSeries::zeros(2, 5, 300.0).unwrap();
+    /// let windows: Vec<_> = tm.iter_windows(3, 1).unwrap().collect();
+    /// assert_eq!(windows.len(), 3); // bins 0..3, 1..4, 2..5
+    /// assert!(windows.iter().all(|w| w.bins() == 3));
+    /// ```
+    pub fn iter_windows(&self, bins: usize, stride: usize) -> Result<TmWindowIter<'_>> {
+        if bins == 0 {
+            return Err(IcError::InvalidParameter {
+                name: "bins",
+                constraint: "window length must be positive",
+            });
+        }
+        if stride == 0 {
+            return Err(IcError::InvalidParameter {
+                name: "stride",
+                constraint: "window stride must be positive",
+            });
+        }
+        Ok(TmWindowIter {
+            series: self,
+            bins,
+            stride,
+            next_start: 0,
+        })
     }
 
     /// True when every entry is finite and non-negative.
@@ -318,6 +369,49 @@ impl TmSeries {
             .as_slice()
             .iter()
             .all(|&v| v.is_finite() && v >= 0.0)
+    }
+}
+
+/// Lazy sliding-window iterator over a [`TmSeries`] — see
+/// [`TmSeries::iter_windows`].
+#[derive(Debug, Clone)]
+pub struct TmWindowIter<'a> {
+    series: &'a TmSeries,
+    bins: usize,
+    stride: usize,
+    next_start: usize,
+}
+
+impl TmWindowIter<'_> {
+    /// Start bin of the window the next `next()` call will produce.
+    pub fn next_start(&self) -> usize {
+        self.next_start
+    }
+}
+
+impl Iterator for TmWindowIter<'_> {
+    type Item = TmSeries;
+
+    fn next(&mut self) -> Option<TmSeries> {
+        let start = self.next_start;
+        if start + self.bins > self.series.bins {
+            return None;
+        }
+        self.next_start = start + self.stride;
+        Some(
+            self.series
+                .slice_bins(start, self.bins)
+                .expect("window bounds checked above"),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.next_start + self.bins > self.series.bins {
+            0
+        } else {
+            (self.series.bins - self.next_start - self.bins) / self.stride + 1
+        };
+        (remaining, Some(remaining))
     }
 }
 
@@ -420,6 +514,44 @@ mod tests {
         assert_eq!(weeks.len(), 3);
         assert!(tm.split_weeks(0).is_err());
         assert!(tm.split_weeks(5).is_err());
+    }
+
+    #[test]
+    fn tumbling_windows_match_manual_slices() {
+        let tm = tiny();
+        let windows = tm.windows(1).unwrap();
+        assert_eq!(windows.len(), 3);
+        for (w, window) in windows.iter().enumerate() {
+            assert_eq!(window, &tm.slice_bins(w, 1).unwrap());
+        }
+        // Partial trailing window is dropped.
+        assert_eq!(tm.windows(2).unwrap().len(), 1);
+        assert!(tm.windows(0).is_err());
+        // A window longer than the series yields no windows.
+        assert!(tm.windows(5).unwrap().is_empty());
+        // split_weeks keeps its stricter "at least one week" contract.
+        assert!(tm.split_weeks(5).is_err());
+        assert_eq!(tm.split_weeks(1).unwrap(), tm.windows(1).unwrap());
+    }
+
+    #[test]
+    fn sliding_windows_advance_by_stride() {
+        let mut tm = TmSeries::zeros(1, 6, 300.0).unwrap();
+        for t in 0..6 {
+            tm.set(0, 0, t, t as f64).unwrap();
+        }
+        let windows: Vec<TmSeries> = tm.iter_windows(3, 2).unwrap().collect();
+        assert_eq!(windows.len(), 2); // bins 0..3 and 2..5; 4..7 overruns
+        assert_eq!(windows[0].get(0, 0, 0).unwrap(), 0.0);
+        assert_eq!(windows[1].get(0, 0, 0).unwrap(), 2.0);
+        assert!(tm.iter_windows(3, 0).is_err());
+        assert!(tm.iter_windows(0, 1).is_err());
+        let mut iter = tm.iter_windows(2, 2).unwrap();
+        assert_eq!(iter.size_hint(), (3, Some(3)));
+        assert_eq!(iter.next_start(), 0);
+        iter.next();
+        assert_eq!(iter.next_start(), 2);
+        assert_eq!(iter.size_hint(), (2, Some(2)));
     }
 
     #[test]

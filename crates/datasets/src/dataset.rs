@@ -82,6 +82,23 @@ impl Dataset {
     pub fn truth_weeks(&self) -> crate::Result<Vec<TmSeries>> {
         Ok(self.truth.split_weeks(self.descriptor.bins_per_week)?)
     }
+
+    /// Tumbling windows of `bins` bins over the measured series (streaming
+    /// replay granularity; a trailing partial window is dropped).
+    pub fn measured_windows(&self, bins: usize) -> crate::Result<Vec<TmSeries>> {
+        Ok(self.measured.windows(bins)?)
+    }
+
+    /// Tumbling windows of `bins` bins over the truth series.
+    pub fn truth_windows(&self, bins: usize) -> crate::Result<Vec<TmSeries>> {
+        Ok(self.truth.windows(bins)?)
+    }
+
+    /// Bins per day at the dataset's resolution (86400 / `bin_seconds`,
+    /// rounded) — the natural streaming window for diurnal data.
+    pub fn bins_per_day(&self) -> usize {
+        (86_400.0 / self.descriptor.bin_seconds).round() as usize
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +148,10 @@ mod tests {
         };
         assert_eq!(ds.measured_weeks().unwrap().len(), 2);
         assert_eq!(ds.truth_weeks().unwrap().len(), 2);
+        // Sub-week windows for streaming replay: 6 bins → three 2-bin
+        // windows; a 4-bin window drops the trailing partial.
+        assert_eq!(ds.measured_windows(2).unwrap().len(), 3);
+        assert_eq!(ds.truth_windows(4).unwrap().len(), 1);
+        assert_eq!(ds.bins_per_day(), 288);
     }
 }

@@ -101,6 +101,18 @@ pub struct StableFpPrior {
 }
 
 impl StableFpPrior {
+    /// The prior-from-previous-fit strategy of streaming estimation:
+    /// carries `(f, {P_i})` from the most recent fitted window into the
+    /// next window's prior, where Eq. 7–9 recover the activities from
+    /// that window's own marginals. The paper's Section 6.2 calibration
+    /// week, rolled forward continuously.
+    pub fn from_fit(fit: &ic_core::FitResult) -> Self {
+        StableFpPrior {
+            f: fit.params.f,
+            preference: fit.params.preference.clone(),
+        }
+    }
+
     /// Builds `Φ` (`n² x n`) for the stored `f` and `P`.
     fn phi(&self, p: &[f64]) -> Matrix {
         let n = p.len();

@@ -57,6 +57,8 @@ pub enum ExperimentError {
     Dataset(ic_datasets::DatasetError),
     /// An underlying topology/routing call failed.
     Topology(ic_topology::TopologyError),
+    /// An underlying streaming-replay call failed.
+    Stream(ic_stream::StreamError),
 }
 
 impl core::fmt::Display for ExperimentError {
@@ -67,6 +69,7 @@ impl core::fmt::Display for ExperimentError {
             ExperimentError::Estimation(e) => write!(f, "estimation failure: {e}"),
             ExperimentError::Dataset(e) => write!(f, "dataset failure: {e}"),
             ExperimentError::Topology(e) => write!(f, "topology failure: {e}"),
+            ExperimentError::Stream(e) => write!(f, "streaming failure: {e}"),
         }
     }
 }
@@ -79,6 +82,7 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Estimation(e) => Some(e),
             ExperimentError::Dataset(e) => Some(e),
             ExperimentError::Topology(e) => Some(e),
+            ExperimentError::Stream(e) => Some(e),
         }
     }
 }
@@ -107,6 +111,12 @@ impl From<ic_topology::TopologyError> for ExperimentError {
     }
 }
 
+impl From<ic_stream::StreamError> for ExperimentError {
+    fn from(e: ic_stream::StreamError) -> Self {
+        ExperimentError::Stream(e)
+    }
+}
+
 /// Convenience result alias for this crate.
 pub type Result<T> = core::result::Result<T, ExperimentError>;
 
@@ -127,6 +137,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: ExperimentError = ic_datasets::DatasetError::Format("z".into()).into();
         assert!(e.to_string().contains("z"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = ic_stream::StreamError::BadConfig("w").into();
+        assert!(e.to_string().contains("w"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

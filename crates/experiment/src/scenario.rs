@@ -19,6 +19,7 @@ use ic_estimation::{
     compare_priors, EstimationPipeline, GravityPrior, IpfOptions, MeasuredIcPrior,
     ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
 };
+use ic_stream::{replay_estimation, replay_fit, ReplayOptions, ReplayReport, ReplayStream};
 use ic_topology::{geant22, totem23, RoutingScheme, Topology};
 use std::sync::Arc;
 
@@ -169,6 +170,14 @@ pub enum Task {
     /// Gravity structural error alone on the source data (the
     /// model-parameter ablation quantity; no fit is run).
     GravityGap,
+    /// Online replay of the target week through `ic-stream`: tumbling or
+    /// sliding windows, warm-started incremental IC fits, parameter
+    /// forecasting, and drift detection. With a topology configured the
+    /// windows run through the streaming tomogravity/IPF pipeline with a
+    /// rolling IC prior; without one they run the direct fit-vs-gravity
+    /// comparison. Per-window results land in the report's error series
+    /// (one entry per window instead of per bin).
+    Streaming,
 }
 
 impl Task {
@@ -178,6 +187,7 @@ impl Task {
             Task::Estimation => "estimation",
             Task::FitImprovement => "fit-improvement",
             Task::GravityGap => "gravity-gap",
+            Task::Streaming => "streaming",
         }
     }
 }
@@ -199,6 +209,7 @@ pub struct Scenario {
     fit: FitOptions,
     tomogravity: TomogravityOptions,
     ipf: IpfOptions,
+    stream: ReplayOptions,
 }
 
 impl Scenario {
@@ -215,6 +226,7 @@ impl Scenario {
             fit: FitOptions::default(),
             tomogravity: TomogravityOptions::default(),
             ipf: IpfOptions::default(),
+            stream: ReplayOptions::default(),
         }
     }
 
@@ -250,11 +262,12 @@ impl Scenario {
             Task::Estimation => self.run_estimation(&weeks, target),
             Task::FitImprovement => self.run_fit_improvement(target),
             Task::GravityGap => self.run_gravity_gap(target),
+            Task::Streaming => self.run_streaming(target),
         }
     }
 
     fn fit_week(&self, week: &TmSeries) -> Result<FitResult> {
-        Ok(fit_stable_fp(week, self.fit)?)
+        Ok(fit_stable_fp(week, self.fit.clone())?)
     }
 
     fn run_estimation(&self, weeks: &[TmSeries], target: &TmSeries) -> Result<ScenarioReport> {
@@ -341,6 +354,40 @@ impl Scenario {
         })
     }
 
+    fn run_streaming(&self, target: &TmSeries) -> Result<ScenarioReport> {
+        // The scenario-level fit options drive the per-window refits, the
+        // same single source of truth the other tasks use.
+        let options = self.stream.clone().with_fit_options(self.fit.clone());
+        let mut stream = ReplayStream::new(target.clone());
+        let (replay, prior): (ReplayReport, Option<String>) = match &self.topology {
+            Some(spec) => {
+                let om = ObservationModel::new(&spec.build(), self.routing)?;
+                let pipeline = EstimationPipeline::new(om)
+                    .with_tomogravity(self.tomogravity)
+                    .with_ipf(self.ipf);
+                let replay = replay_estimation(&mut stream, pipeline, &options)?;
+                (replay, Some("ic-rolling-fit".to_string()))
+            }
+            None => (replay_fit(&mut stream, &options)?, None),
+        };
+        let improvement: Vec<f64> = replay.windows.iter().map(|w| w.improvement).collect();
+        let errors_candidate: Vec<f64> = replay.windows.iter().map(|w| w.error_candidate).collect();
+        let errors_gravity: Vec<f64> = replay.windows.iter().map(|w| w.error_gravity).collect();
+        let last = replay.windows.last().expect("replay yields >= 1 window");
+        Ok(ScenarioReport {
+            name: self.name.clone(),
+            task: self.task.name().to_string(),
+            prior,
+            bins: replay.total_bins(),
+            improvement,
+            mean_improvement: replay.mean_improvement(),
+            errors_candidate,
+            errors_gravity,
+            fitted_f: Some(last.fitted_f),
+            fit_objective: Some(last.fit_objective),
+        })
+    }
+
     fn run_gravity_gap(&self, target: &TmSeries) -> Result<ScenarioReport> {
         let grav = gravity_predict(target)?;
         let errors_gravity = rel_l2_series(target, &grav)?;
@@ -386,6 +433,7 @@ pub struct ScenarioBuilder {
     fit: FitOptions,
     tomogravity: TomogravityOptions,
     ipf: IpfOptions,
+    stream: ReplayOptions,
 }
 
 impl ScenarioBuilder {
@@ -460,6 +508,17 @@ impl ScenarioBuilder {
         self.task(Task::GravityGap)
     }
 
+    /// Shorthand for [`Task::Streaming`] with the given replay options
+    /// (window size/stride, warm start, forecast and drift settings). The
+    /// per-window fit uses the scenario's [`fit_options`]
+    /// (the replay options' own `fit` field is overridden).
+    ///
+    /// [`fit_options`]: ScenarioBuilder::fit_options
+    pub fn streaming(mut self, options: ReplayOptions) -> Self {
+        self.stream = options;
+        self.task(Task::Streaming)
+    }
+
     /// Selects which week of the source is the estimation/fit target
     /// (default 0).
     pub fn target_week(mut self, week: usize) -> Self {
@@ -525,6 +584,26 @@ impl ScenarioBuilder {
                 ));
             }
         }
+        if task == Task::Streaming {
+            if self.stream.window_bins == 0 {
+                return bad(format!(
+                    "scenario '{}': streaming window must be positive",
+                    self.name
+                ));
+            }
+            // A topology is optional for streaming (it selects the
+            // pipeline flavor), but when present it must match the source.
+            if let Some(topology) = &self.topology {
+                let n = source.nodes();
+                if n != topology.nodes() {
+                    return bad(format!(
+                        "scenario '{}': source has {n} nodes but topology has {}",
+                        self.name,
+                        topology.nodes()
+                    ));
+                }
+            }
+        }
         Ok(Scenario {
             name: self.name,
             source,
@@ -536,6 +615,7 @@ impl ScenarioBuilder {
             fit: self.fit,
             tomogravity: self.tomogravity,
             ipf: self.ipf,
+            stream: self.stream,
         })
     }
 }
@@ -669,6 +749,65 @@ mod tests {
         assert_eq!(report.prior.as_deref(), Some("ic-stable-f"));
         assert_eq!(report.improvement.len(), 8);
         assert!(format!("{:?}", PriorStrategy::Custom(Arc::new(GravityPrior))).contains("gravity"));
+    }
+
+    #[test]
+    fn streaming_fit_scenario_reports_per_window() {
+        let sc = Scenario::builder("stream-fit")
+            .synth(tiny_synth().with_nodes(4).with_bins(12))
+            .streaming(ReplayOptions::default().with_window_bins(4))
+            .build()
+            .unwrap();
+        assert_eq!(sc.task(), Task::Streaming);
+        let report = sc.run().unwrap();
+        assert_eq!(report.task, "streaming");
+        assert_eq!(report.prior, None);
+        assert_eq!(report.bins, 12);
+        assert_eq!(report.improvement.len(), 3); // one entry per window
+        assert!(report.fitted_f.is_some());
+        // Synthetic data is exactly IC: every window's fit beats gravity.
+        assert!(report.mean_improvement > 0.0);
+    }
+
+    #[test]
+    fn streaming_estimation_scenario_uses_rolling_prior() {
+        let sc = Scenario::builder("stream-est")
+            .synth(tiny_synth())
+            .geant22()
+            .streaming(ReplayOptions::default().with_window_bins(4))
+            .build()
+            .unwrap();
+        let report = sc.run().unwrap();
+        assert_eq!(report.prior.as_deref(), Some("ic-rolling-fit"));
+        assert_eq!(report.improvement.len(), 2);
+        assert_eq!(report.errors_candidate.len(), 2);
+        // Window 1 estimates from observations with window 0's fit as
+        // its prior; on IC data that beats the gravity prior.
+        assert!(report.improvement[1] > 0.0, "{:?}", report.improvement);
+    }
+
+    #[test]
+    fn streaming_builder_validation() {
+        let err = Scenario::builder("s")
+            .synth(tiny_synth().with_nodes(5))
+            .geant22()
+            .streaming(ReplayOptions::default().with_window_bins(4))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("nodes"), "{err}");
+        let err = Scenario::builder("s")
+            .synth(tiny_synth())
+            .streaming(ReplayOptions::default().with_window_bins(0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("window"), "{err}");
+        // A stream shorter than one window fails at run time.
+        let sc = Scenario::builder("s")
+            .synth(tiny_synth().with_nodes(4))
+            .streaming(ReplayOptions::default().with_window_bins(99))
+            .build()
+            .unwrap();
+        assert!(sc.run().is_err());
     }
 
     #[test]

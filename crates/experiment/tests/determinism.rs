@@ -4,10 +4,14 @@
 
 use ic_core::SynthConfig;
 use ic_experiment::{PriorStrategy, Runner, Scenario, Task};
+use ic_stream::ReplayOptions;
 use proptest::prelude::*;
 
 /// A small mixed-task batch parameterized by seed so the property is
-/// exercised across many generated workloads, not one fixture.
+/// exercised across many generated workloads, not one fixture. Includes
+/// streaming-replay scenarios: their per-window online state (warm
+/// starts, rolling priors, forecaster history) must not leak across the
+/// runner's worker threads.
 fn mixed_batch(seed: u64, scenarios: usize) -> Vec<Scenario> {
     (0..scenarios)
         .map(|i| {
@@ -15,13 +19,16 @@ fn mixed_batch(seed: u64, scenarios: usize) -> Vec<Scenario> {
                 .with_nodes(22)
                 .with_bins(4 + (i % 3));
             let b = Scenario::builder(format!("prop-{i}"));
-            match i % 3 {
+            match i % 4 {
                 0 => b
                     .synth(cfg)
                     .geant22()
                     .prior(PriorStrategy::MeasuredIc)
                     .task(Task::Estimation),
                 1 => b.synth(cfg.with_nodes(5)).task(Task::FitImprovement),
+                2 => b
+                    .synth(cfg.with_nodes(5).with_bins(9))
+                    .streaming(ReplayOptions::default().with_window_bins(3)),
                 _ => b.synth(cfg.with_nodes(5)).task(Task::GravityGap),
             }
             .build()

@@ -4,8 +4,10 @@
 //! explicit 64-bit seed so that figures, tests, and benchmarks are
 //! reproducible bit-for-bit across runs and machines.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+// Re-exported so downstream crates can name the type `seeded_rng`
+// returns without depending on `rand` directly.
+pub use rand::rngs::StdRng;
 
 /// Creates a [`StdRng`] from a 64-bit seed.
 ///

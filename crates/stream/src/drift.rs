@@ -1,0 +1,313 @@
+//! Change detection on the fitted parameter stream.
+//!
+//! The operational value of the IC model rests on its parameters staying
+//! inside a *stability envelope*: the paper's fitted `f` moved by at most
+//! a few hundredths week-over-week (Figure 5,
+//! [`ic_core::stability::WeeklyFits::f_max_week_delta`] measures exactly
+//! this) and the weekly preference vectors stayed almost perfectly
+//! correlated (Figure 6). When a window's fit breaks that envelope —
+//! application-mix shift, flash crowd, measurement fault — yesterday's
+//! parameters stop being a valid prior and downstream consumers must
+//! recalibrate. [`DriftDetector`] watches the per-window `(f, {P_i})`
+//! series with a **CUSUM** on the `f` deltas (small persistent drifts),
+//! an immediate **jump** test against the envelope (abrupt shifts), and a
+//! **decorrelation** test on consecutive preference vectors.
+
+use crate::{Result, StreamError};
+use ic_stats::pearson;
+
+/// Options for [`DriftDetector`].
+///
+/// Marked `#[non_exhaustive]`: construct via [`DriftOptions::default`]
+/// and the `with_*` setters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct DriftOptions {
+    /// Per-window `|Δf|` slack absorbed by the CUSUM before accumulating
+    /// (the classical `k` allowance; default 0.01, inside the paper's
+    /// observed week-over-week movement).
+    pub cusum_slack: f64,
+    /// CUSUM alarm threshold (the classical `h`; default 0.05).
+    pub cusum_threshold: f64,
+    /// Single-window `|Δf|` that fires immediately, the
+    /// `f_max_week_delta`-style envelope (default 0.05).
+    pub max_f_jump: f64,
+    /// Minimum Pearson correlation between consecutive preference
+    /// vectors; below it a decorrelation event fires (default 0.95,
+    /// matching the near-perfect Figure 6 overlays).
+    pub min_preference_corr: f64,
+}
+
+impl Default for DriftOptions {
+    fn default() -> Self {
+        DriftOptions {
+            cusum_slack: 0.01,
+            cusum_threshold: 0.05,
+            max_f_jump: 0.05,
+            min_preference_corr: 0.95,
+        }
+    }
+}
+
+impl DriftOptions {
+    /// Sets the per-window `|Δf|` slack of the CUSUM.
+    pub fn with_cusum_slack(mut self, slack: f64) -> Self {
+        self.cusum_slack = slack;
+        self
+    }
+
+    /// Sets the CUSUM alarm threshold.
+    pub fn with_cusum_threshold(mut self, threshold: f64) -> Self {
+        self.cusum_threshold = threshold;
+        self
+    }
+
+    /// Sets the immediate single-window `|Δf|` envelope.
+    pub fn with_max_f_jump(mut self, jump: f64) -> Self {
+        self.max_f_jump = jump;
+        self
+    }
+
+    /// Sets the minimum consecutive preference correlation.
+    pub fn with_min_preference_corr(mut self, corr: f64) -> Self {
+        self.min_preference_corr = corr;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.cusum_slack >= 0.0) || !(self.cusum_threshold > 0.0) {
+            return Err(StreamError::BadConfig(
+                "cusum_slack must be >= 0 and cusum_threshold > 0",
+            ));
+        }
+        if !(self.max_f_jump > 0.0) {
+            return Err(StreamError::BadConfig("max_f_jump must be positive"));
+        }
+        if !(-1.0..=1.0).contains(&self.min_preference_corr) {
+            return Err(StreamError::BadConfig(
+                "min_preference_corr must lie in [-1, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What kind of instability a [`DriftEvent`] flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The one-sided CUSUM over `Δf` crossed its threshold: a small but
+    /// persistent forward-ratio trend.
+    ForwardRatioTrend,
+    /// A single window's `|Δf|` broke the stability envelope outright.
+    ForwardRatioJump,
+    /// Consecutive preference vectors decorrelated below the floor.
+    PreferenceDecorrelation,
+}
+
+/// One fired change-detection event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEvent {
+    /// Window at which the event fired.
+    pub window: usize,
+    /// The violated test.
+    pub kind: DriftKind,
+    /// The statistic that crossed (CUSUM value, `|Δf|`, or correlation).
+    pub statistic: f64,
+}
+
+/// CUSUM + envelope change detector over per-window fitted parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stream::{DriftDetector, DriftOptions};
+///
+/// let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+/// let p = vec![0.5, 0.3, 0.2];
+/// assert!(det.observe(0, 0.25, &p).unwrap().is_empty());
+/// assert!(det.observe(1, 0.253, &p).unwrap().is_empty()); // inside envelope
+/// let events = det.observe(2, 0.40, &p).unwrap(); // application-mix shift
+/// assert!(!events.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    options: DriftOptions,
+    previous: Option<(f64, Vec<f64>)>,
+    cusum_up: f64,
+    cusum_down: f64,
+}
+
+impl DriftDetector {
+    /// Creates a detector with validated options.
+    pub fn new(options: DriftOptions) -> Result<Self> {
+        options.validate()?;
+        Ok(DriftDetector {
+            options,
+            previous: None,
+            cusum_up: 0.0,
+            cusum_down: 0.0,
+        })
+    }
+
+    /// Current one-sided CUSUM statistics `(upward, downward)`.
+    pub fn cusum(&self) -> (f64, f64) {
+        (self.cusum_up, self.cusum_down)
+    }
+
+    /// Feeds one window's fitted parameters; returns the events that
+    /// fired at this window (empty while stable). A fired CUSUM resets
+    /// its accumulator so each trend alarms once.
+    pub fn observe(
+        &mut self,
+        window: usize,
+        f: f64,
+        preference: &[f64],
+    ) -> Result<Vec<DriftEvent>> {
+        if !f.is_finite() || preference.iter().any(|v| !v.is_finite()) {
+            return Err(StreamError::BadConfig("observed parameters must be finite"));
+        }
+        let mut events = Vec::new();
+        if let Some((prev_f, prev_p)) = &self.previous {
+            if prev_p.len() != preference.len() {
+                return Err(StreamError::ShapeMismatch {
+                    context: "DriftDetector::observe preference",
+                    expected: prev_p.len(),
+                    actual: preference.len(),
+                });
+            }
+            let delta = f - prev_f;
+            if delta.abs() > self.options.max_f_jump {
+                events.push(DriftEvent {
+                    window,
+                    kind: DriftKind::ForwardRatioJump,
+                    statistic: delta.abs(),
+                });
+            }
+            // Two one-sided CUSUMs catch slow drifts in either direction.
+            self.cusum_up = (self.cusum_up + delta - self.options.cusum_slack).max(0.0);
+            self.cusum_down = (self.cusum_down - delta - self.options.cusum_slack).max(0.0);
+            if self.cusum_up > self.options.cusum_threshold {
+                events.push(DriftEvent {
+                    window,
+                    kind: DriftKind::ForwardRatioTrend,
+                    statistic: self.cusum_up,
+                });
+                self.cusum_up = 0.0;
+            }
+            if self.cusum_down > self.options.cusum_threshold {
+                events.push(DriftEvent {
+                    window,
+                    kind: DriftKind::ForwardRatioTrend,
+                    statistic: self.cusum_down,
+                });
+                self.cusum_down = 0.0;
+            }
+            // Preference decorrelation (constant vectors have undefined
+            // correlation; treat them as stable).
+            if let Ok(r) = pearson(prev_p, preference) {
+                if r < self.options.min_preference_corr {
+                    events.push(DriftEvent {
+                        window,
+                        kind: DriftKind::PreferenceDecorrelation,
+                        statistic: r,
+                    });
+                }
+            }
+        }
+        self.previous = Some((f, preference.to_vec()));
+        Ok(events)
+    }
+
+    /// Clears all carried state.
+    pub fn reset(&mut self) {
+        self.previous = None;
+        self.cusum_up = 0.0;
+        self.cusum_down = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable_p() -> Vec<f64> {
+        vec![0.5, 0.3, 0.2]
+    }
+
+    #[test]
+    fn stable_stream_stays_silent() {
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        for k in 0..20 {
+            let f = 0.25 + 0.004 * ((k % 2) as f64 - 0.5); // ±0.002 wiggle
+            let events = det.observe(k, f, &stable_p()).unwrap();
+            assert!(events.is_empty(), "window {k}: {events:?}");
+        }
+        let (up, down) = det.cusum();
+        assert!(up < 0.05 && down < 0.05);
+    }
+
+    #[test]
+    fn abrupt_jump_fires_immediately() {
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        det.observe(0, 0.25, &stable_p()).unwrap();
+        let events = det.observe(1, 0.35, &stable_p()).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == DriftKind::ForwardRatioJump && e.window == 1));
+    }
+
+    #[test]
+    fn slow_trend_fires_cusum_but_not_jump() {
+        // +0.02 per window: under the 0.05 jump envelope, but the CUSUM
+        // accumulates (0.02 - 0.01) per window and crosses 0.05.
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        let mut fired = Vec::new();
+        for k in 0..10 {
+            let f = 0.20 + 0.02 * k as f64;
+            fired.extend(det.observe(k, f, &stable_p()).unwrap());
+        }
+        assert!(fired.iter().all(|e| e.kind != DriftKind::ForwardRatioJump));
+        assert!(
+            fired.iter().any(|e| e.kind == DriftKind::ForwardRatioTrend),
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn downward_trend_also_detected() {
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        let mut fired = Vec::new();
+        for k in 0..10 {
+            let f = 0.40 - 0.02 * k as f64;
+            fired.extend(det.observe(k, f, &stable_p()).unwrap());
+        }
+        assert!(fired.iter().any(|e| e.kind == DriftKind::ForwardRatioTrend));
+    }
+
+    #[test]
+    fn preference_decorrelation_detected() {
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        det.observe(0, 0.25, &[0.6, 0.3, 0.1]).unwrap();
+        // A hot-spot flip reorders the preference mass.
+        let events = det.observe(1, 0.25, &[0.1, 0.3, 0.6]).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == DriftKind::PreferenceDecorrelation));
+    }
+
+    #[test]
+    fn reset_and_validation() {
+        let mut det = DriftDetector::new(DriftOptions::default()).unwrap();
+        det.observe(0, 0.25, &stable_p()).unwrap();
+        det.observe(1, 0.45, &stable_p()).unwrap();
+        det.reset();
+        assert_eq!(det.cusum(), (0.0, 0.0));
+        // After reset the first observation is a fresh baseline.
+        assert!(det.observe(2, 0.45, &stable_p()).unwrap().is_empty());
+        assert!(det.observe(3, f64::NAN, &stable_p()).is_err());
+        assert!(det.observe(3, 0.3, &[0.5, 0.5]).is_err()); // length change
+        assert!(DriftDetector::new(DriftOptions::default().with_max_f_jump(0.0)).is_err());
+        assert!(DriftDetector::new(DriftOptions::default().with_cusum_threshold(-1.0)).is_err());
+        assert!(DriftDetector::new(DriftOptions::default().with_min_preference_corr(2.0)).is_err());
+    }
+}

@@ -1,0 +1,512 @@
+//! Online estimators: one traffic-matrix estimate per window.
+//!
+//! An [`OnlineEstimator`] consumes [`Window`]s in stream order, carrying
+//! whatever state makes the next window cheaper or better:
+//!
+//! * [`OnlineGravity`] — the gravity baseline, optionally with EWMA-
+//!   smoothed marginals (at `alpha = 1` it is bit-identical to the batch
+//!   [`ic_core::gravity_predict`] of each window);
+//! * [`WarmStartIcFit`] — the Section 5.1 stable-fP fit, warm-started
+//!   from the previous window's optimum ([`FitOptions::with_initial`]),
+//!   exploiting the paper's parameter-stability findings to converge in
+//!   fewer BCD sweeps than a cold fit;
+//! * [`StreamingTomogravity`] — the Section 6 estimation pipeline run
+//!   per window with the *rolling* IC fit as its prior: window `k` is
+//!   estimated from link loads alone using the `(f, P)` fitted on window
+//!   `k − 1`, after which window `k`'s directly-measured TM refreshes the
+//!   fit (the streaming form of the paper's "previous week calibrates the
+//!   next" scenario, Section 6.2).
+
+use crate::window::Window;
+use crate::{Result, StreamError};
+use ic_core::{
+    fit_stable_fp, gravity_from_marginals, mean_rel_l2, FitOptions, FitResult, TmSeries,
+};
+use ic_estimation::{EstimationPipeline, GravityPrior, StableFpPrior, TmPrior};
+
+/// One window's estimation outcome.
+#[derive(Debug, Clone)]
+pub struct WindowEstimate {
+    /// Window sequence number.
+    pub window: usize,
+    /// Global stream index of the window's first bin.
+    pub start_bin: usize,
+    /// The estimated traffic-matrix series for the window.
+    pub estimate: TmSeries,
+    /// Mean relative ℓ² error of the estimate against the window's own
+    /// series (Eq. 6 averaged over the window's bins).
+    pub error: f64,
+    /// Forward ratio fitted on this window, when the estimator fits.
+    pub fitted_f: Option<f64>,
+    /// Preference vector fitted on this window, when the estimator fits.
+    pub fitted_preference: Option<Vec<f64>>,
+    /// Final fit objective on this window, when the estimator fits.
+    pub fit_objective: Option<f64>,
+    /// BCD sweeps the window's fit used, when the estimator fits.
+    pub sweeps: Option<usize>,
+    /// Whether this window's fit was warm-started from a previous window.
+    pub warm: bool,
+}
+
+/// A stateful estimator advancing one window at a time.
+///
+/// Implementations are deterministic: feeding the same window sequence to
+/// a freshly constructed estimator reproduces the same estimates
+/// bit-for-bit (the property the experiment runner's 1-vs-N determinism
+/// rests on).
+pub trait OnlineEstimator {
+    /// Short stable identifier used in reports.
+    fn name(&self) -> &str;
+
+    /// Consumes the next window and produces its estimate, updating any
+    /// carried state (previous fit, smoothed marginals, ...).
+    fn process(&mut self, window: &Window) -> Result<WindowEstimate>;
+
+    /// Clears carried state, returning the estimator to its cold-start
+    /// condition.
+    fn reset(&mut self);
+}
+
+/// The gravity baseline as an online estimator.
+///
+/// With `alpha = 1` (default) each bin is estimated from its own
+/// marginals — exactly the batch gravity model. `alpha < 1` blends an
+/// exponentially weighted moving average of the marginals across bins
+/// *and* windows, trading bias for variance on noisy measurement streams.
+#[derive(Debug, Clone)]
+pub struct OnlineGravity {
+    alpha: f64,
+    smoothed: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl Default for OnlineGravity {
+    fn default() -> Self {
+        OnlineGravity::new()
+    }
+}
+
+impl OnlineGravity {
+    /// Plain per-bin gravity (no smoothing).
+    pub fn new() -> Self {
+        OnlineGravity {
+            alpha: 1.0,
+            smoothed: None,
+        }
+    }
+
+    /// Sets the EWMA weight on the newest bin's marginals; must lie in
+    /// `(0, 1]`, where `1` disables smoothing.
+    pub fn with_smoothing(mut self, alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(StreamError::BadConfig(
+                "gravity smoothing alpha must lie in (0, 1]",
+            ));
+        }
+        self.alpha = alpha;
+        Ok(self)
+    }
+}
+
+impl OnlineEstimator for OnlineGravity {
+    fn name(&self) -> &str {
+        "online-gravity"
+    }
+
+    fn process(&mut self, window: &Window) -> Result<WindowEstimate> {
+        let x = &window.series;
+        let n = x.nodes();
+        let mut estimate =
+            TmSeries::zeros(n, x.bins(), x.bin_seconds()).map_err(StreamError::from)?;
+        for t in 0..x.bins() {
+            let (ing, eg) = if self.alpha >= 1.0 {
+                (x.ingress(t), x.egress(t))
+            } else {
+                let (si, se) = match self.smoothed.take() {
+                    Some((mut si, mut se)) => {
+                        for (s, v) in si.iter_mut().zip(x.ingress(t)) {
+                            *s = self.alpha * v + (1.0 - self.alpha) * *s;
+                        }
+                        for (s, v) in se.iter_mut().zip(x.egress(t)) {
+                            *s = self.alpha * v + (1.0 - self.alpha) * *s;
+                        }
+                        (si, se)
+                    }
+                    None => (x.ingress(t), x.egress(t)),
+                };
+                self.smoothed = Some((si.clone(), se.clone()));
+                (si, se)
+            };
+            let g = gravity_from_marginals(&ing, &eg).map_err(StreamError::from)?;
+            for i in 0..n {
+                for j in 0..n {
+                    estimate
+                        .set(i, j, t, g[(i, j)])
+                        .map_err(StreamError::from)?;
+                }
+            }
+        }
+        let error = mean_rel_l2(x, &estimate).map_err(StreamError::from)?;
+        Ok(WindowEstimate {
+            window: window.index,
+            start_bin: window.start_bin,
+            estimate,
+            error,
+            fitted_f: None,
+            fitted_preference: None,
+            fit_objective: None,
+            sweeps: None,
+            warm: false,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.smoothed = None;
+    }
+}
+
+/// Warm-started incremental stable-fP fit.
+///
+/// The first window is fitted cold; every subsequent window starts the
+/// BCD at the previous window's optimum. Construct with
+/// [`WarmStartIcFit::cold`] to disable the carrying (the online/batch
+/// equivalence reference).
+#[derive(Debug, Clone)]
+pub struct WarmStartIcFit {
+    options: FitOptions,
+    warm: bool,
+    previous: Option<FitResult>,
+}
+
+impl WarmStartIcFit {
+    /// A warm-starting fitter with the given per-window fit options.
+    pub fn new(options: FitOptions) -> Self {
+        WarmStartIcFit {
+            options,
+            warm: true,
+            previous: None,
+        }
+    }
+
+    /// A fitter that refits every window from the cold Eq. 11–12
+    /// initialization — per window bit-identical to the batch
+    /// [`fit_stable_fp`].
+    pub fn cold(options: FitOptions) -> Self {
+        WarmStartIcFit {
+            options,
+            warm: false,
+            previous: None,
+        }
+    }
+
+    /// The most recent window's fit, once a window has been processed.
+    pub fn last_fit(&self) -> Option<&FitResult> {
+        self.previous.as_ref()
+    }
+
+    fn window_options(&self) -> FitOptions {
+        match (&self.previous, self.warm) {
+            (Some(prev), true) => self.options.clone().with_initial(prev),
+            _ => self.options.clone(),
+        }
+    }
+}
+
+impl OnlineEstimator for WarmStartIcFit {
+    fn name(&self) -> &str {
+        if self.warm {
+            "ic-fit-warm"
+        } else {
+            "ic-fit-cold"
+        }
+    }
+
+    fn process(&mut self, window: &Window) -> Result<WindowEstimate> {
+        let warm = self.warm && self.previous.is_some();
+        let fit =
+            fit_stable_fp(&window.series, self.window_options()).map_err(StreamError::from)?;
+        let estimate = fit
+            .predict(window.series.bin_seconds())
+            .map_err(StreamError::from)?;
+        let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
+        let out = WindowEstimate {
+            window: window.index,
+            start_bin: window.start_bin,
+            estimate,
+            error,
+            fitted_f: Some(fit.params.f),
+            fitted_preference: Some(fit.params.preference.clone()),
+            fit_objective: Some(fit.final_objective()),
+            sweeps: Some(fit.objective_history.len()),
+            warm,
+        };
+        self.previous = Some(fit);
+        Ok(out)
+    }
+
+    fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+/// Streaming tomogravity/IPF with a rolling IC prior.
+///
+/// Window `k` is estimated from its *observations only* (link counts and
+/// marginals through the pipeline's [`ObservationModel`]) using the
+/// stable-fP parameters fitted on window `k − 1` as the prior
+/// ([`StableFpPrior::from_fit`]); the first window falls back to the
+/// gravity prior. After estimating, the window's series refreshes the
+/// rolling fit (warm-started), playing the role of the paper's
+/// directly-measured calibration week arriving one window late.
+///
+/// [`ObservationModel`]: ic_estimation::ObservationModel
+#[derive(Debug, Clone)]
+pub struct StreamingTomogravity {
+    pipeline: EstimationPipeline,
+    fit_options: FitOptions,
+    previous: Option<FitResult>,
+}
+
+impl StreamingTomogravity {
+    /// Wraps an estimation pipeline (observation model + tomogravity +
+    /// IPF options) for streaming use.
+    pub fn new(pipeline: EstimationPipeline) -> Self {
+        StreamingTomogravity {
+            pipeline,
+            fit_options: FitOptions::default(),
+            previous: None,
+        }
+    }
+
+    /// Sets the options of the rolling per-window fit.
+    pub fn with_fit_options(mut self, options: FitOptions) -> Self {
+        self.fit_options = options;
+        self
+    }
+
+    /// The most recent window's rolling fit.
+    pub fn last_fit(&self) -> Option<&FitResult> {
+        self.previous.as_ref()
+    }
+}
+
+impl OnlineEstimator for StreamingTomogravity {
+    fn name(&self) -> &str {
+        "streaming-tomogravity"
+    }
+
+    fn process(&mut self, window: &Window) -> Result<WindowEstimate> {
+        let obs = self
+            .pipeline
+            .model()
+            .observe(&window.series)
+            .map_err(StreamError::from)?;
+        let warm = self.previous.is_some();
+        let prior: Box<dyn TmPrior> = match &self.previous {
+            Some(fit) => Box::new(StableFpPrior::from_fit(fit)),
+            None => Box::new(GravityPrior),
+        };
+        let estimate = self
+            .pipeline
+            .estimate(prior.as_ref(), &obs)
+            .map_err(StreamError::from)?;
+        let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
+        // The window's TM has now "been measured": refresh the rolling
+        // fit for the next window, warm-starting from the current one.
+        let options = match &self.previous {
+            Some(prev) => self.fit_options.clone().with_initial(prev),
+            None => self.fit_options.clone(),
+        };
+        let fit = fit_stable_fp(&window.series, options).map_err(StreamError::from)?;
+        let out = WindowEstimate {
+            window: window.index,
+            start_bin: window.start_bin,
+            estimate,
+            error,
+            fitted_f: Some(fit.params.f),
+            fitted_preference: Some(fit.params.preference.clone()),
+            fit_objective: Some(fit.final_objective()),
+            sweeps: Some(fit.objective_history.len()),
+            warm,
+        };
+        self.previous = Some(fit);
+        Ok(out)
+    }
+
+    fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{LinkLoadStream, ReplayStream, SyntheticStream};
+    use crate::window::Windower;
+    use ic_core::{gravity_predict, SynthConfig};
+    use ic_estimation::ObservationModel;
+    use ic_topology::{RoutingScheme, Topology};
+
+    fn windows(nodes: usize, bins: usize, window: usize, seed: u64) -> Vec<Window> {
+        let mut stream = SyntheticStream::new(
+            SynthConfig::geant_like(seed)
+                .with_nodes(nodes)
+                .with_bins(bins),
+        )
+        .unwrap();
+        Windower::tumbling(window)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap()
+    }
+
+    fn ring_topology(n: usize) -> Topology {
+        let mut t = Topology::new("ring");
+        let ids: Vec<usize> = (0..n)
+            .map(|k| t.add_node(format!("n{k}")).unwrap())
+            .collect();
+        for k in 0..n {
+            t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn online_gravity_matches_batch_gravity_per_window() {
+        for w in windows(4, 12, 4, 5) {
+            let est = OnlineGravity::new().process(&w).unwrap();
+            let batch = gravity_predict(&w.series).unwrap();
+            assert_eq!(est.estimate, batch, "window {}", w.index);
+            assert!(est.error > 0.0);
+            assert!(est.fitted_f.is_none());
+        }
+    }
+
+    #[test]
+    fn smoothed_gravity_carries_state_across_windows() {
+        let ws = windows(4, 12, 4, 6);
+        let mut smooth = OnlineGravity::new().with_smoothing(0.5).unwrap();
+        let first = smooth.process(&ws[0]).unwrap();
+        let second = smooth.process(&ws[1]).unwrap();
+        // A fresh smoother sees different history for the second window.
+        let mut fresh = OnlineGravity::new().with_smoothing(0.5).unwrap();
+        let second_fresh = fresh.process(&ws[1]).unwrap();
+        assert_ne!(second.estimate, second_fresh.estimate);
+        assert!(first.error.is_finite());
+        smooth.reset();
+        let replay = smooth.process(&ws[1]).unwrap();
+        assert_eq!(replay.estimate, second_fresh.estimate);
+        assert!(OnlineGravity::new().with_smoothing(0.0).is_err());
+        assert!(OnlineGravity::new().with_smoothing(1.5).is_err());
+    }
+
+    #[test]
+    fn cold_fitter_equals_batch_fit_bit_for_bit() {
+        let ws = windows(4, 16, 4, 7);
+        let mut cold = WarmStartIcFit::cold(FitOptions::default());
+        assert_eq!(cold.name(), "ic-fit-cold");
+        for w in &ws {
+            let est = cold.process(w).unwrap();
+            let batch = fit_stable_fp(&w.series, FitOptions::default()).unwrap();
+            assert_eq!(est.fitted_f, Some(batch.params.f));
+            assert_eq!(est.fit_objective, Some(batch.final_objective()));
+            assert_eq!(est.estimate, batch.predict(300.0).unwrap());
+            assert!(!est.warm);
+        }
+    }
+
+    #[test]
+    fn warm_fitter_converges_like_cold_with_fewer_sweeps() {
+        let ws = windows(5, 24, 6, 8);
+        let mut warm = WarmStartIcFit::new(FitOptions::default());
+        let mut cold = WarmStartIcFit::cold(FitOptions::default());
+        assert_eq!(warm.name(), "ic-fit-warm");
+        let mut warm_sweeps = 0;
+        let mut cold_sweeps = 0;
+        for (k, w) in ws.iter().enumerate() {
+            let ew = warm.process(w).unwrap();
+            let ec = cold.process(w).unwrap();
+            assert_eq!(ew.warm, k > 0);
+            // Same optimum within tolerance (one-sided: the warm start
+            // may descend below the cold stopping point).
+            assert!(
+                ew.fit_objective.unwrap() <= ec.fit_objective.unwrap() + 1e-4,
+                "window {k}: warm {} vs cold {}",
+                ew.fit_objective.unwrap(),
+                ec.fit_objective.unwrap()
+            );
+            if k > 0 {
+                warm_sweeps += ew.sweeps.unwrap();
+                cold_sweeps += ec.sweeps.unwrap();
+            }
+        }
+        assert!(
+            warm_sweeps <= cold_sweeps,
+            "warm {warm_sweeps} sweeps vs cold {cold_sweeps}"
+        );
+        assert!(warm.last_fit().is_some());
+        warm.reset();
+        assert!(warm.last_fit().is_none());
+    }
+
+    #[test]
+    fn streaming_tomogravity_improves_once_the_prior_rolls_in() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(11).with_nodes(5).with_bins(18)).unwrap();
+        let ws = Windower::tumbling(6)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        let mut est = StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
+            .with_fit_options(FitOptions::default());
+        assert_eq!(est.name(), "streaming-tomogravity");
+        let mut errors = Vec::new();
+        for w in &ws {
+            let e = est.process(w).unwrap();
+            assert_eq!(e.warm, w.index > 0);
+            errors.push(e.error);
+        }
+        assert!(est.last_fit().is_some());
+        // Window 0 used the gravity prior; later windows use the rolling
+        // IC prior, which on IC-structured traffic must do better on
+        // average.
+        let mut gravity_only = StreamingTomogravity::new(EstimationPipeline::new(om));
+        let mut rolling = 0.0;
+        let mut gravity = 0.0;
+        for (k, w) in ws.iter().enumerate().skip(1) {
+            gravity_only.reset(); // forces the gravity-prior path every window
+            let g = gravity_only.process(w).unwrap();
+            rolling += errors[k];
+            gravity += g.error;
+        }
+        assert!(
+            rolling < gravity,
+            "rolling IC prior {rolling} should beat gravity prior {gravity}"
+        );
+    }
+
+    #[test]
+    fn estimators_replay_deterministically() {
+        let series =
+            SyntheticStream::new(SynthConfig::geant_like(13).with_nodes(4).with_bins(12)).unwrap();
+        let collect = |mut s: SyntheticStream| {
+            let mut tm = Vec::new();
+            while let Some(c) = s.next_column() {
+                tm.push(c);
+            }
+            tm
+        };
+        assert_eq!(collect(series.clone()), collect(series));
+        let ws = windows(4, 12, 4, 13);
+        let run = || {
+            let mut fitter = WarmStartIcFit::new(FitOptions::default());
+            ws.iter()
+                .map(|w| fitter.process(w).unwrap().error)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
+        let _ = ReplayStream::new(ws[0].series.clone());
+    }
+}

@@ -1,0 +1,281 @@
+//! Forecasting the next window's IC parameters.
+//!
+//! The paper's stability findings make the `(f, {P_i})` series highly
+//! predictable: `f` barely moves week-over-week (Figure 5) and the
+//! preference vectors overlay across weeks (Figure 6), while activity
+//! carries a strong daily/weekly cycle (Figure 9). [`ParamForecaster`]
+//! exploits both structures with the two classical baselines of the
+//! network-prediction literature (Stoev et al., Vaughan et al.): an
+//! **EWMA** level tracker blended with a **seasonal-naive** component
+//! (the value one season of windows ago). The forecast can seed the next
+//! window's warm start ([`ic_core::FitOptions::with_warm_start`]) or an
+//! estimation prior before the window's data even arrives.
+
+use crate::{Result, StreamError};
+use ic_core::WarmStart;
+use std::collections::VecDeque;
+
+/// Options for [`ParamForecaster`].
+///
+/// Marked `#[non_exhaustive]`: construct via
+/// [`ForecastOptions::default`] and the `with_*` setters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ForecastOptions {
+    /// EWMA weight on the newest observation, in `(0, 1]` (default 0.3).
+    pub ewma_alpha: f64,
+    /// Windows per season for the seasonal-naive component; `0` disables
+    /// seasonality (default 0 — pure EWMA).
+    pub season_length: usize,
+    /// Blend weight of the seasonal-naive component once a full season of
+    /// history exists, in `[0, 1]` (default 0.5).
+    pub seasonal_weight: f64,
+}
+
+impl Default for ForecastOptions {
+    fn default() -> Self {
+        ForecastOptions {
+            ewma_alpha: 0.3,
+            season_length: 0,
+            seasonal_weight: 0.5,
+        }
+    }
+}
+
+impl ForecastOptions {
+    /// Sets the EWMA weight on the newest observation.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Sets the seasonal period in windows (`0` disables seasonality).
+    pub fn with_season_length(mut self, windows: usize) -> Self {
+        self.season_length = windows;
+        self
+    }
+
+    /// Sets the blend weight of the seasonal-naive component.
+    pub fn with_seasonal_weight(mut self, weight: f64) -> Self {
+        self.seasonal_weight = weight;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(StreamError::BadConfig("ewma_alpha must lie in (0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.seasonal_weight) {
+            return Err(StreamError::BadConfig("seasonal_weight must lie in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// A forecast of the next window's `(f, {P_i})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamForecast {
+    /// Predicted forward ratio.
+    pub f: f64,
+    /// Predicted preference vector (sums to 1).
+    pub preference: Vec<f64>,
+}
+
+impl ParamForecast {
+    /// Converts the forecast into a fit warm-start point.
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart {
+            f: self.f,
+            preference: self.preference.clone(),
+        }
+    }
+
+    /// Absolute error of the `f` component against a realized value.
+    pub fn f_error(&self, actual_f: f64) -> f64 {
+        (self.f - actual_f).abs()
+    }
+}
+
+/// EWMA + seasonal-naive forecaster over the fitted parameter series.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stream::{ForecastOptions, ParamForecaster};
+///
+/// let mut fc = ParamForecaster::new(ForecastOptions::default()).unwrap();
+/// assert!(fc.forecast().is_none()); // no history yet
+/// fc.observe(0.25, &[0.6, 0.4]).unwrap();
+/// fc.observe(0.27, &[0.58, 0.42]).unwrap();
+/// let next = fc.forecast().unwrap();
+/// assert!(next.f > 0.25 && next.f < 0.27);
+/// assert!((next.preference.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamForecaster {
+    options: ForecastOptions,
+    /// The last `season_length` realized `(f, P)` observations (empty
+    /// when seasonality is disabled) — a bounded ring, so endless
+    /// streams don't accumulate history they will never read.
+    season_ring: VecDeque<(f64, Vec<f64>)>,
+    observed: usize,
+    ewma_f: Option<f64>,
+    ewma_p: Option<Vec<f64>>,
+}
+
+impl ParamForecaster {
+    /// Creates a forecaster with validated options.
+    pub fn new(options: ForecastOptions) -> Result<Self> {
+        options.validate()?;
+        Ok(ParamForecaster {
+            options,
+            season_ring: VecDeque::new(),
+            observed: 0,
+            ewma_f: None,
+            ewma_p: None,
+        })
+    }
+
+    /// Number of windows observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Feeds one window's fitted parameters.
+    pub fn observe(&mut self, f: f64, preference: &[f64]) -> Result<()> {
+        if !f.is_finite() || preference.iter().any(|v| !v.is_finite()) {
+            return Err(StreamError::BadConfig("observed parameters must be finite"));
+        }
+        if let Some(p) = &self.ewma_p {
+            if p.len() != preference.len() {
+                return Err(StreamError::ShapeMismatch {
+                    context: "ParamForecaster::observe preference",
+                    expected: p.len(),
+                    actual: preference.len(),
+                });
+            }
+        }
+        let a = self.options.ewma_alpha;
+        self.ewma_f = Some(match self.ewma_f {
+            Some(prev) => a * f + (1.0 - a) * prev,
+            None => f,
+        });
+        self.ewma_p = Some(match self.ewma_p.take() {
+            Some(mut prev) => {
+                for (s, &v) in prev.iter_mut().zip(preference) {
+                    *s = a * v + (1.0 - a) * *s;
+                }
+                prev
+            }
+            None => preference.to_vec(),
+        });
+        let season = self.options.season_length;
+        if season > 0 {
+            self.season_ring.push_back((f, preference.to_vec()));
+            if self.season_ring.len() > season {
+                self.season_ring.pop_front();
+            }
+        }
+        self.observed += 1;
+        Ok(())
+    }
+
+    /// Predicts the next window's parameters, or `None` before any
+    /// observation. The preference forecast is renormalized to the
+    /// simplex.
+    pub fn forecast(&self) -> Option<ParamForecast> {
+        let ewma_f = self.ewma_f?;
+        let ewma_p = self.ewma_p.as_ref()?;
+        let season = self.options.season_length;
+        let (f, mut p) = if season > 0 && self.season_ring.len() == season {
+            // Seasonal-naive component: the realized value one season ago
+            // (the ring's oldest entry — the observation that played this
+            // phase last season).
+            let (sf, sp) = self.season_ring.front().expect("ring is full");
+            let w = self.options.seasonal_weight;
+            let f = (1.0 - w) * ewma_f + w * sf;
+            let p: Vec<f64> = ewma_p
+                .iter()
+                .zip(sp.iter())
+                .map(|(&e, &s)| (1.0 - w) * e + w * s)
+                .collect();
+            (f, p)
+        } else {
+            (ewma_f, ewma_p.clone())
+        };
+        let mass: f64 = p.iter().sum();
+        if mass > 0.0 {
+            p.iter_mut().for_each(|v| *v /= mass);
+        }
+        Some(ParamForecast {
+            f: f.clamp(0.0, 1.0),
+            preference: p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_a_stable_series_closely() {
+        let mut fc = ParamForecaster::new(ForecastOptions::default()).unwrap();
+        for k in 0..20 {
+            let f = 0.25 + 0.005 * ((k % 3) as f64 - 1.0);
+            fc.observe(f, &[0.5, 0.3, 0.2]).unwrap();
+        }
+        let next = fc.forecast().unwrap();
+        assert!((next.f - 0.25).abs() < 0.01, "f forecast {}", next.f);
+        for (got, want) in next.preference.iter().zip([0.5, 0.3, 0.2]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        assert_eq!(fc.observed(), 20);
+        assert!(next.f_error(0.25) < 0.01);
+    }
+
+    #[test]
+    fn seasonal_component_recovers_a_periodic_signal() {
+        // f alternates 0.2 / 0.3 with period 2; pure EWMA averages to
+        // ~0.25, the seasonal blend pulls toward the right phase.
+        let opts_plain = ForecastOptions::default().with_ewma_alpha(0.2);
+        let opts_seasonal = opts_plain
+            .clone()
+            .with_season_length(2)
+            .with_seasonal_weight(1.0);
+        let mut plain = ParamForecaster::new(opts_plain).unwrap();
+        let mut seasonal = ParamForecaster::new(opts_seasonal).unwrap();
+        for k in 0..12 {
+            let f = if k % 2 == 0 { 0.2 } else { 0.3 };
+            plain.observe(f, &[1.0]).unwrap();
+            seasonal.observe(f, &[1.0]).unwrap();
+        }
+        // Next window is phase 0 (f = 0.2).
+        let p = plain.forecast().unwrap().f_error(0.2);
+        let s = seasonal.forecast().unwrap().f_error(0.2);
+        assert!(s < p, "seasonal {s} should beat plain EWMA {p}");
+        assert!(s < 1e-9, "pure seasonal-naive is exact here: {s}");
+    }
+
+    #[test]
+    fn forecast_feeds_a_warm_start() {
+        let mut fc = ParamForecaster::new(ForecastOptions::default()).unwrap();
+        fc.observe(0.24, &[0.7, 0.3]).unwrap();
+        let warm = fc.forecast().unwrap().warm_start();
+        assert_eq!(warm.f, 0.24);
+        assert_eq!(warm.preference, vec![0.7, 0.3]);
+    }
+
+    #[test]
+    fn validates_options_and_observations() {
+        assert!(ParamForecaster::new(ForecastOptions::default().with_ewma_alpha(0.0)).is_err());
+        assert!(ParamForecaster::new(ForecastOptions::default().with_ewma_alpha(1.1)).is_err());
+        assert!(
+            ParamForecaster::new(ForecastOptions::default().with_seasonal_weight(-0.1)).is_err()
+        );
+        let mut fc = ParamForecaster::new(ForecastOptions::default()).unwrap();
+        assert!(fc.observe(f64::NAN, &[1.0]).is_err());
+        fc.observe(0.25, &[0.5, 0.5]).unwrap();
+        assert!(fc.observe(0.25, &[1.0]).is_err()); // length change
+    }
+}

@@ -1,0 +1,462 @@
+//! End-to-end streaming replay: stream → windows → estimator →
+//! forecaster → drift detector, with a gravity baseline alongside.
+//!
+//! [`replay_fit`] drives the warm-started incremental IC fit against the
+//! online gravity baseline on a raw stream (the Section 5 comparison,
+//! continuously); [`replay_estimation`] drives the full streaming
+//! tomogravity/IPF pipeline against the gravity-prior pipeline on the
+//! same observations (the Section 6 comparison, continuously). Both
+//! produce a [`ReplayReport`] with one [`WindowReport`] per window —
+//! the structure the experiment runner's `Task::Streaming` and the
+//! `streaming_replay` bench binary consume.
+
+use crate::drift::{DriftDetector, DriftEvent, DriftOptions};
+use crate::estimator::{OnlineEstimator, OnlineGravity, StreamingTomogravity, WarmStartIcFit};
+use crate::forecast::{ForecastOptions, ParamForecaster};
+use crate::source::LinkLoadStream;
+use crate::window::Windower;
+use crate::{Result, StreamError};
+use ic_core::{improvement_percent, mean_rel_l2, FitOptions, TmSeries};
+use ic_estimation::{EstimationPipeline, GravityPrior};
+
+/// Options for a streaming replay run.
+///
+/// Marked `#[non_exhaustive]`: construct via [`ReplayOptions::default`]
+/// and the `with_*` setters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ReplayOptions {
+    /// Bins per window (default 288 — one day of 5-minute bins).
+    pub window_bins: usize,
+    /// Window stride; `None` means tumbling (`stride == window_bins`).
+    pub stride: Option<usize>,
+    /// Warm-start each window's fit from the previous optimum (default
+    /// true; false refits cold, the batch-equivalent reference).
+    pub warm_start: bool,
+    /// Per-window fit options.
+    pub fit: FitOptions,
+    /// Parameter-forecasting options.
+    pub forecast: ForecastOptions,
+    /// Change-detection options.
+    pub drift: DriftOptions,
+    /// Stop after this many windows (`None` drains the stream).
+    pub max_windows: Option<usize>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            window_bins: 288,
+            stride: None,
+            warm_start: true,
+            fit: FitOptions::default(),
+            forecast: ForecastOptions::default(),
+            drift: DriftOptions::default(),
+            max_windows: None,
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Sets the bins per window.
+    pub fn with_window_bins(mut self, bins: usize) -> Self {
+        self.window_bins = bins;
+        self
+    }
+
+    /// Sets a sliding stride (tumbling when unset).
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = Some(stride);
+        self
+    }
+
+    /// Enables or disables warm-started refits.
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Sets the per-window fit options.
+    pub fn with_fit_options(mut self, fit: FitOptions) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Sets the forecasting options.
+    pub fn with_forecast(mut self, forecast: ForecastOptions) -> Self {
+        self.forecast = forecast;
+        self
+    }
+
+    /// Sets the change-detection options.
+    pub fn with_drift(mut self, drift: DriftOptions) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Bounds the number of windows replayed.
+    pub fn with_max_windows(mut self, max: usize) -> Self {
+        self.max_windows = Some(max);
+        self
+    }
+
+    fn windower(&self) -> Result<Windower> {
+        match self.stride {
+            None => Windower::tumbling(self.window_bins),
+            Some(stride) => Windower::sliding(self.window_bins, stride),
+        }
+    }
+}
+
+/// One replayed window's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window sequence number.
+    pub window: usize,
+    /// Global stream index of the window's first bin.
+    pub start_bin: usize,
+    /// Bins in the window.
+    pub bins: usize,
+    /// Forward ratio fitted on the window.
+    pub fitted_f: f64,
+    /// Final fit objective on the window.
+    pub fit_objective: f64,
+    /// BCD sweeps the window's fit used.
+    pub sweeps: usize,
+    /// Whether the fit was warm-started.
+    pub warm: bool,
+    /// Candidate (IC) estimator error on the window.
+    pub error_candidate: f64,
+    /// Gravity baseline error on the window.
+    pub error_gravity: f64,
+    /// Percentage improvement of the candidate over gravity.
+    pub improvement: f64,
+    /// `|forecast f − fitted f|` when a forecast existed before the
+    /// window arrived.
+    pub forecast_f_error: Option<f64>,
+    /// Change-detection events fired at this window.
+    pub drift_events: Vec<DriftEvent>,
+}
+
+/// Results of a streaming replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Name of the candidate estimator that produced the windows.
+    pub estimator: String,
+    /// Per-window results, in stream order.
+    pub windows: Vec<WindowReport>,
+}
+
+impl ReplayReport {
+    /// Number of replayed windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window completed.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total bins covered by the replayed windows.
+    pub fn total_bins(&self) -> usize {
+        self.windows.iter().map(|w| w.bins).sum()
+    }
+
+    /// Mean improvement over the gravity baseline across windows.
+    pub fn mean_improvement(&self) -> f64 {
+        mean(self.windows.iter().map(|w| w.improvement))
+    }
+
+    /// Mean candidate error across windows.
+    pub fn mean_error_candidate(&self) -> f64 {
+        mean(self.windows.iter().map(|w| w.error_candidate))
+    }
+
+    /// Mean gravity error across windows.
+    pub fn mean_error_gravity(&self) -> f64 {
+        mean(self.windows.iter().map(|w| w.error_gravity))
+    }
+
+    /// Mean BCD sweeps per window.
+    pub fn mean_sweeps(&self) -> f64 {
+        mean(self.windows.iter().map(|w| w.sweeps as f64))
+    }
+
+    /// Mean absolute `f` forecast error over the windows that had a
+    /// forecast (NaN when none did).
+    pub fn mean_forecast_f_error(&self) -> f64 {
+        mean(self.windows.iter().filter_map(|w| w.forecast_f_error))
+    }
+
+    /// Windows at which at least one drift event fired.
+    pub fn drift_windows(&self) -> Vec<usize> {
+        self.windows
+            .iter()
+            .filter(|w| !w.drift_events.is_empty())
+            .map(|w| w.window)
+            .collect()
+    }
+
+    /// The per-window fitted `f` series (forecasting/drift input).
+    pub fn f_series(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.fitted_f).collect()
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for x in xs {
+        sum += x;
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Replays a stream through the warm-started incremental IC fit with the
+/// online gravity baseline (direct-fit comparison, no topology).
+pub fn replay_fit(
+    stream: &mut dyn LinkLoadStream,
+    options: &ReplayOptions,
+) -> Result<ReplayReport> {
+    let mut candidate = if options.warm_start {
+        WarmStartIcFit::new(options.fit.clone())
+    } else {
+        WarmStartIcFit::cold(options.fit.clone())
+    };
+    let name = candidate.name().to_string();
+    let mut baseline = OnlineGravity::new();
+    run_replay(stream, options, name, &mut candidate, &mut baseline)
+}
+
+/// Replays a stream through the streaming tomogravity/IPF pipeline with a
+/// rolling IC prior, against the gravity-prior pipeline on the same
+/// observations.
+pub fn replay_estimation(
+    stream: &mut dyn LinkLoadStream,
+    pipeline: EstimationPipeline,
+    options: &ReplayOptions,
+) -> Result<ReplayReport> {
+    if pipeline.model().nodes() != stream.nodes() {
+        return Err(StreamError::ShapeMismatch {
+            context: "replay_estimation topology nodes",
+            expected: stream.nodes(),
+            actual: pipeline.model().nodes(),
+        });
+    }
+    let mut candidate =
+        StreamingTomogravity::new(pipeline.clone()).with_fit_options(options.fit.clone());
+    let name = candidate.name().to_string();
+    let mut baseline = PipelineGravity { pipeline };
+    run_replay(stream, options, name, &mut candidate, &mut baseline)
+}
+
+/// The gravity-prior pipeline as a (stateless) baseline estimator.
+struct PipelineGravity {
+    pipeline: EstimationPipeline,
+}
+
+impl OnlineEstimator for PipelineGravity {
+    fn name(&self) -> &str {
+        "pipeline-gravity"
+    }
+
+    fn process(&mut self, window: &crate::Window) -> Result<crate::WindowEstimate> {
+        let obs = self
+            .pipeline
+            .model()
+            .observe(&window.series)
+            .map_err(StreamError::from)?;
+        let estimate: TmSeries = self
+            .pipeline
+            .estimate(&GravityPrior, &obs)
+            .map_err(StreamError::from)?;
+        let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
+        Ok(crate::WindowEstimate {
+            window: window.index,
+            start_bin: window.start_bin,
+            estimate,
+            error,
+            fitted_f: None,
+            fitted_preference: None,
+            fit_objective: None,
+            sweeps: None,
+            warm: false,
+        })
+    }
+
+    fn reset(&mut self) {}
+}
+
+fn run_replay(
+    stream: &mut dyn LinkLoadStream,
+    options: &ReplayOptions,
+    estimator_name: String,
+    candidate: &mut dyn OnlineEstimator,
+    baseline: &mut dyn OnlineEstimator,
+) -> Result<ReplayReport> {
+    let nodes = stream.nodes();
+    let bin_seconds = stream.bin_seconds();
+    let mut windower = options.windower()?;
+    let mut forecaster = ParamForecaster::new(options.forecast.clone())?;
+    let mut detector = DriftDetector::new(options.drift.clone())?;
+    let mut windows = Vec::new();
+    'ingest: while options
+        .max_windows
+        .map(|m| windows.len() < m)
+        .unwrap_or(true)
+    {
+        let Some(column) = stream.next_column() else {
+            break 'ingest;
+        };
+        let Some(window) = windower.push(nodes, bin_seconds, column)? else {
+            continue 'ingest;
+        };
+        let cand = candidate.process(&window)?;
+        let base = baseline.process(&window)?;
+        let improvement = improvement_percent(base.error, cand.error);
+        let (forecast_f_error, drift_events) = match (cand.fitted_f, &cand.fitted_preference) {
+            (Some(f), Some(p)) => {
+                // The forecast is judged against the parameters it could
+                // not yet have seen, then the realized values extend the
+                // history.
+                let fe = forecaster.forecast().map(|fc| fc.f_error(f));
+                forecaster.observe(f, p)?;
+                let events = detector.observe(window.index, f, p)?;
+                (fe, events)
+            }
+            _ => (None, Vec::new()),
+        };
+        windows.push(WindowReport {
+            window: window.index,
+            start_bin: window.start_bin,
+            bins: window.bins(),
+            fitted_f: cand.fitted_f.unwrap_or(f64::NAN),
+            fit_objective: cand.fit_objective.unwrap_or(f64::NAN),
+            sweeps: cand.sweeps.unwrap_or(0),
+            warm: cand.warm,
+            error_candidate: cand.error,
+            error_gravity: base.error,
+            improvement,
+            forecast_f_error,
+            drift_events,
+        });
+    }
+    if windows.is_empty() {
+        return Err(StreamError::BadConfig(
+            "stream ended before a single window filled",
+        ));
+    }
+    Ok(ReplayReport {
+        estimator: estimator_name,
+        windows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ReplayStream, SyntheticStream};
+    use ic_core::{fit_stable_fp, SynthConfig};
+    use ic_estimation::ObservationModel;
+    use ic_topology::{RoutingScheme, Topology};
+
+    fn cfg(seed: u64) -> SynthConfig {
+        SynthConfig::geant_like(seed).with_nodes(5).with_bins(30)
+    }
+
+    fn opts() -> ReplayOptions {
+        ReplayOptions::default().with_window_bins(6)
+    }
+
+    #[test]
+    fn replay_fit_covers_every_full_window() {
+        let mut stream = SyntheticStream::new(cfg(21)).unwrap();
+        let report = replay_fit(&mut stream, &opts()).unwrap();
+        assert_eq!(report.len(), 5);
+        assert!(!report.is_empty());
+        assert_eq!(report.total_bins(), 30);
+        assert_eq!(report.estimator, "ic-fit-warm");
+        // Exactly-IC traffic: the fit dominates gravity on every window.
+        assert!(report.mean_improvement() > 0.0);
+        assert!(report.mean_error_candidate() < report.mean_error_gravity());
+        assert_eq!(report.f_series().len(), 5);
+        // Windows 1.. are warm and have forecasts to score.
+        assert!(report.windows[0].forecast_f_error.is_none());
+        assert!(!report.windows[0].warm);
+        assert!(report.windows[1..].iter().all(|w| w.warm));
+        assert!(report.windows[1..]
+            .iter()
+            .all(|w| w.forecast_f_error.is_some()));
+        assert!(report.mean_forecast_f_error() < 0.1);
+        // Stationary synthetic process: no drift.
+        assert!(report.drift_windows().is_empty());
+        assert!(report.mean_sweeps() >= 1.0);
+    }
+
+    #[test]
+    fn cold_replay_matches_batch_window_fits() {
+        let series = ic_core::generate_synthetic(&cfg(22)).unwrap().series;
+        let mut stream = ReplayStream::new(series.clone());
+        let report = replay_fit(&mut stream, &opts().with_warm_start(false)).unwrap();
+        assert_eq!(report.estimator, "ic-fit-cold");
+        for (k, w) in report.windows.iter().enumerate() {
+            let batch = fit_stable_fp(&series.slice_bins(6 * k, 6).unwrap(), FitOptions::default())
+                .unwrap();
+            assert_eq!(w.fitted_f, batch.params.f, "window {k}");
+            assert_eq!(w.fit_objective, batch.final_objective());
+            assert!(!w.warm);
+        }
+    }
+
+    #[test]
+    fn replay_estimation_runs_the_pipeline_per_window() {
+        let mut topo = Topology::new("ring5");
+        let ids: Vec<usize> = (0..5)
+            .map(|k| topo.add_node(format!("n{k}")).unwrap())
+            .collect();
+        for k in 0..5 {
+            topo.add_symmetric_link(ids[k], ids[(k + 1) % 5], 1.0, 1e12)
+                .unwrap();
+        }
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream = SyntheticStream::new(cfg(23)).unwrap();
+        let report =
+            replay_estimation(&mut stream, EstimationPipeline::new(om.clone()), &opts()).unwrap();
+        assert_eq!(report.estimator, "streaming-tomogravity");
+        assert_eq!(report.len(), 5);
+        // Once the rolling prior exists, the IC windows beat gravity.
+        let later = &report.windows[1..];
+        let rolling: f64 = later.iter().map(|w| w.error_candidate).sum();
+        let gravity: f64 = later.iter().map(|w| w.error_gravity).sum();
+        assert!(rolling < gravity, "rolling {rolling} vs gravity {gravity}");
+        // Node-count mismatch is rejected up front.
+        let mut other = SyntheticStream::new(cfg(23).with_nodes(4)).unwrap();
+        assert!(replay_estimation(&mut other, EstimationPipeline::new(om), &opts()).is_err());
+    }
+
+    #[test]
+    fn max_windows_and_empty_stream_handling() {
+        let mut stream = SyntheticStream::new(cfg(24)).unwrap();
+        let report = replay_fit(&mut stream, &opts().with_max_windows(2)).unwrap();
+        assert_eq!(report.len(), 2);
+        // A stream shorter than one window is an error, not a silent
+        // empty report.
+        let mut short = SyntheticStream::new(cfg(25).with_bins(3)).unwrap();
+        assert!(replay_fit(&mut short, &opts()).is_err());
+    }
+
+    #[test]
+    fn sliding_replay_overlaps_windows() {
+        let mut stream = SyntheticStream::new(cfg(26)).unwrap();
+        let report = replay_fit(&mut stream, &opts().with_stride(3)).unwrap();
+        assert_eq!(report.windows[0].start_bin, 0);
+        assert_eq!(report.windows[1].start_bin, 3);
+        assert_eq!(report.len(), 9); // starts 0, 3, ..., 24
+    }
+}

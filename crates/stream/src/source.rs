@@ -1,0 +1,272 @@
+//! Stream ingestion: sources of per-bin traffic-matrix link loads.
+//!
+//! A [`LinkLoadStream`] produces one vectorized traffic matrix per time
+//! bin — the continuous-measurement analogue of the batch [`TmSeries`]
+//! the rest of the workspace consumes. Two sources are provided:
+//!
+//! * [`ReplayStream`] — replays an existing series (a dataset week, a CSV
+//!   load, a synthetic batch) bin by bin, which is how recorded history is
+//!   pushed through the online estimators;
+//! * [`SyntheticStream`] — a seeded generator producing the Section 5.5
+//!   stable-fP process *lazily*, bin by bin, with the same per-node RNG
+//!   discipline as [`ic_core::generate_synthetic`] — its first `bins`
+//!   outputs are **bit-identical** to the batch generator's series, and it
+//!   can also run unbounded for soak-style scenarios.
+
+use crate::{Result, StreamError};
+use ic_core::{synth_process, SynthConfig, SynthProcess, TmSeries};
+
+/// A source of per-bin vectorized traffic matrices.
+///
+/// Each call to [`next_column`](LinkLoadStream::next_column) yields the
+/// `n²`-element row-major vectorization of the next bin's traffic matrix
+/// (the [`TmSeries`] column layout), or `None` when the stream is
+/// exhausted. Implementations are deterministic: a freshly constructed
+/// stream always produces the same sequence.
+pub trait LinkLoadStream {
+    /// Short stable identifier used in reports.
+    fn name(&self) -> &str;
+
+    /// Number of access points `n` (columns have `n²` entries).
+    fn nodes(&self) -> usize;
+
+    /// Seconds per bin.
+    fn bin_seconds(&self) -> f64;
+
+    /// Index of the bin the next [`next_column`](Self::next_column) call
+    /// will produce (starts at 0).
+    fn position(&self) -> usize;
+
+    /// Produces the next bin, or `None` when the stream is exhausted.
+    fn next_column(&mut self) -> Option<Vec<f64>>;
+}
+
+/// Replays a [`TmSeries`] bin by bin.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stream::{LinkLoadStream, ReplayStream};
+/// use ic_core::TmSeries;
+///
+/// let mut tm = TmSeries::zeros(2, 3, 300.0).unwrap();
+/// tm.set(0, 1, 2, 42.0).unwrap();
+/// let mut stream = ReplayStream::new(tm);
+/// assert_eq!(stream.nodes(), 2);
+/// stream.next_column();
+/// stream.next_column();
+/// assert_eq!(stream.next_column().unwrap()[1], 42.0);
+/// assert!(stream.next_column().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    series: TmSeries,
+    cursor: usize,
+}
+
+impl ReplayStream {
+    /// Wraps a series for replay.
+    pub fn new(series: TmSeries) -> Self {
+        ReplayStream { series, cursor: 0 }
+    }
+
+    /// The wrapped series.
+    pub fn series(&self) -> &TmSeries {
+        &self.series
+    }
+
+    /// Bins remaining before exhaustion.
+    pub fn remaining(&self) -> usize {
+        self.series.bins() - self.cursor
+    }
+}
+
+impl LinkLoadStream for ReplayStream {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn nodes(&self) -> usize {
+        self.series.nodes()
+    }
+
+    fn bin_seconds(&self) -> f64 {
+        self.series.bin_seconds()
+    }
+
+    fn position(&self) -> usize {
+        self.cursor
+    }
+
+    fn next_column(&mut self) -> Option<Vec<f64>> {
+        if self.cursor >= self.series.bins() {
+            return None;
+        }
+        let col = self.series.column(self.cursor);
+        self.cursor += 1;
+        Some(col)
+    }
+}
+
+/// Streams the Section 5.5 synthetic stable-fP process lazily.
+///
+/// Construction draws the preference vector and per-node activity base
+/// levels exactly as [`ic_core::generate_synthetic`] does (same derived
+/// seeds); each bin then advances every node's private activity RNG by one
+/// sample. Because the batch generator also consumes each node's RNG once
+/// per bin, the streamed prefix is bit-identical to the batch series of
+/// the same config — property-tested in this crate.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    config: SynthConfig,
+    /// The drawn process ([`ic_core::synth_process`]) — the same preamble
+    /// the batch generator consumes, so the two stay bit-identical.
+    process: SynthProcess,
+    /// The process preference renormalized exactly as the batch evaluator
+    /// does it (`stable_fp_series` divides by the stored vector's own
+    /// sum, whose floating-point value is ~1 but not exactly 1) — keeping
+    /// the streamed bins bit-identical to the batch series.
+    preference_eval: Vec<f64>,
+    limit: Option<usize>,
+    cursor: usize,
+}
+
+impl SyntheticStream {
+    /// A stream bounded at `config.bins` bins (the batch-equivalent form).
+    pub fn new(config: SynthConfig) -> Result<Self> {
+        let limit = Some(config.bins);
+        Self::build(config, limit)
+    }
+
+    /// An unbounded stream (ignores `config.bins`); bound it with
+    /// [`Windower::take_windows`](crate::Windower) or a window budget.
+    pub fn endless(config: SynthConfig) -> Result<Self> {
+        Self::build(config, None)
+    }
+
+    fn build(config: SynthConfig, limit: Option<usize>) -> Result<Self> {
+        let process = synth_process(&config).map_err(StreamError::from)?;
+        let eval_mass: f64 = process.preference.iter().sum();
+        let preference_eval: Vec<f64> = process.preference.iter().map(|&v| v / eval_mass).collect();
+        Ok(SyntheticStream {
+            config,
+            process,
+            preference_eval,
+            limit,
+            cursor: 0,
+        })
+    }
+
+    /// The generating preference vector (ground truth).
+    pub fn preference(&self) -> &[f64] {
+        &self.process.preference
+    }
+
+    /// The generating forward ratio (ground truth).
+    pub fn f(&self) -> f64 {
+        self.config.f
+    }
+}
+
+impl LinkLoadStream for SyntheticStream {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    fn bin_seconds(&self) -> f64 {
+        self.config.bin_seconds
+    }
+
+    fn position(&self) -> usize {
+        self.cursor
+    }
+
+    fn next_column(&mut self) -> Option<Vec<f64>> {
+        if let Some(limit) = self.limit {
+            if self.cursor >= limit {
+                return None;
+            }
+        }
+        let n = self.config.nodes;
+        let t = self.cursor;
+        let activity: Vec<f64> = self
+            .process
+            .models
+            .iter()
+            .zip(self.process.rngs.iter_mut())
+            .map(|(model, rng)| model.sample_at(t, rng))
+            .collect();
+        // Step 4: assemble the bin with Eq. 5, using the same
+        // renormalized preference as the batch evaluator.
+        let f = self.config.f;
+        let p = &self.preference_eval;
+        let mut col = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                col[i * n + j] = f * activity[i] * p[j] + (1.0 - f) * activity[j] * p[i];
+            }
+        }
+        self.cursor += 1;
+        Some(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::generate_synthetic;
+
+    fn cfg(seed: u64) -> SynthConfig {
+        SynthConfig::geant_like(seed).with_nodes(5).with_bins(24)
+    }
+
+    #[test]
+    fn replay_round_trips_series() {
+        let series = generate_synthetic(&cfg(3)).unwrap().series;
+        let mut stream = ReplayStream::new(series.clone());
+        assert_eq!(stream.name(), "replay");
+        assert_eq!(stream.bin_seconds(), 300.0);
+        assert_eq!(stream.remaining(), 24);
+        for t in 0..24 {
+            assert_eq!(stream.position(), t);
+            assert_eq!(stream.next_column().unwrap(), series.column(t));
+        }
+        assert!(stream.next_column().is_none());
+        assert_eq!(stream.remaining(), 0);
+        assert_eq!(stream.series().bins(), 24);
+    }
+
+    #[test]
+    fn synthetic_stream_matches_batch_generator_bit_for_bit() {
+        let out = generate_synthetic(&cfg(17)).unwrap();
+        let mut stream = SyntheticStream::new(cfg(17)).unwrap();
+        assert_eq!(stream.name(), "synthetic");
+        assert_eq!(stream.nodes(), 5);
+        assert_eq!(stream.preference(), &out.params.preference[..]);
+        assert_eq!(stream.f(), out.params.f);
+        for t in 0..24 {
+            let col = stream.next_column().unwrap();
+            assert_eq!(col, out.series.column(t), "bin {t}");
+        }
+        assert!(stream.next_column().is_none());
+    }
+
+    #[test]
+    fn endless_stream_continues_past_config_bins() {
+        let mut stream = SyntheticStream::endless(cfg(9)).unwrap();
+        for _ in 0..30 {
+            assert!(stream.next_column().is_some());
+        }
+        assert_eq!(stream.position(), 30);
+    }
+
+    #[test]
+    fn synthetic_stream_validates_config() {
+        assert!(SyntheticStream::new(cfg(1).with_nodes(0)).is_err());
+        assert!(SyntheticStream::new(cfg(1).with_f(1.5)).is_err());
+    }
+}

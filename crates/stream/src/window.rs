@@ -1,0 +1,261 @@
+//! Tumbling and sliding windows over a link-load stream.
+//!
+//! A [`Windower`] buffers the bins a [`LinkLoadStream`] emits and
+//! materializes [`Window`]s — contiguous [`TmSeries`] chunks tagged with
+//! their global position — once enough bins have arrived. Tumbling
+//! windows (`stride == len`) partition the stream exactly like
+//! [`TmSeries::windows`] partitions a batch series, which is what makes
+//! online/batch equivalence testable bit-for-bit.
+
+use crate::source::LinkLoadStream;
+use crate::{Result, StreamError};
+use ic_core::TmSeries;
+use ic_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// A materialized window of consecutive stream bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Window sequence number (0-based).
+    pub index: usize,
+    /// Global stream index of the window's first bin.
+    pub start_bin: usize,
+    /// The window's bins as a regular series (length = window size).
+    pub series: TmSeries,
+}
+
+impl Window {
+    /// Number of bins in the window.
+    pub fn bins(&self) -> usize {
+        self.series.bins()
+    }
+}
+
+/// Groups stream bins into tumbling or sliding windows.
+///
+/// # Examples
+///
+/// ```
+/// use ic_stream::{ReplayStream, Windower};
+/// use ic_core::TmSeries;
+///
+/// let tm = TmSeries::zeros(2, 7, 300.0).unwrap();
+/// let mut windower = Windower::tumbling(3).unwrap();
+/// let windows = windower.take_windows(&mut ReplayStream::new(tm), None).unwrap();
+/// assert_eq!(windows.len(), 2); // bin 6 never fills a third window
+/// assert_eq!(windows[1].start_bin, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Windower {
+    len: usize,
+    stride: usize,
+    buffer: VecDeque<Vec<f64>>,
+    /// Bins still to be discarded before buffering resumes (only non-zero
+    /// when `stride > len`: sampled windows with gaps between them).
+    pending_skip: usize,
+    next_start: usize,
+    produced: usize,
+}
+
+impl Windower {
+    /// Tumbling windows of `len` bins (each bin belongs to exactly one
+    /// window).
+    pub fn tumbling(len: usize) -> Result<Self> {
+        Windower::sliding(len, len)
+    }
+
+    /// Sliding windows of `len` bins advancing `stride` bins per window.
+    pub fn sliding(len: usize, stride: usize) -> Result<Self> {
+        if len == 0 {
+            return Err(StreamError::BadConfig("window length must be positive"));
+        }
+        if stride == 0 {
+            return Err(StreamError::BadConfig("window stride must be positive"));
+        }
+        Ok(Windower {
+            len,
+            stride,
+            buffer: VecDeque::new(),
+            pending_skip: 0,
+            next_start: 0,
+            produced: 0,
+        })
+    }
+
+    /// Window length in bins.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no window has been produced yet.
+    pub fn is_empty(&self) -> bool {
+        self.produced == 0
+    }
+
+    /// Stride in bins (`== len` for tumbling windows).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of windows produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Feeds one bin; returns the completed window when this bin fills
+    /// one.
+    ///
+    /// Columns must have `nodes² ` entries; `bin_seconds` is carried into
+    /// the produced series.
+    pub fn push(
+        &mut self,
+        nodes: usize,
+        bin_seconds: f64,
+        column: Vec<f64>,
+    ) -> Result<Option<Window>> {
+        if column.len() != nodes * nodes {
+            return Err(StreamError::ShapeMismatch {
+                context: "Windower::push column",
+                expected: nodes * nodes,
+                actual: column.len(),
+            });
+        }
+        if self.pending_skip > 0 {
+            self.pending_skip -= 1;
+            return Ok(None);
+        }
+        self.buffer.push_back(column);
+        if self.buffer.len() < self.len {
+            return Ok(None);
+        }
+        // Materialize the filled window.
+        let mut data = Matrix::zeros(nodes * nodes, self.len);
+        for (c, col) in self.buffer.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                data[(r, c)] = v;
+            }
+        }
+        let series = TmSeries::from_matrix(nodes, bin_seconds, data).map_err(StreamError::from)?;
+        let window = Window {
+            index: self.produced,
+            start_bin: self.next_start,
+            series,
+        };
+        self.produced += 1;
+        self.next_start += self.stride;
+        // Retire the bins the stride moves past: all buffered bins plus a
+        // gap of skipped bins when `stride > len`, a prefix otherwise.
+        for _ in 0..self.stride.min(self.buffer.len()) {
+            self.buffer.pop_front();
+        }
+        self.pending_skip = self.stride.saturating_sub(self.len);
+        Ok(Some(window))
+    }
+
+    /// Drains a stream into windows until it is exhausted or `max_windows`
+    /// windows have been produced.
+    pub fn take_windows(
+        &mut self,
+        stream: &mut dyn LinkLoadStream,
+        max_windows: Option<usize>,
+    ) -> Result<Vec<Window>> {
+        let nodes = stream.nodes();
+        let bin_seconds = stream.bin_seconds();
+        let mut windows = Vec::new();
+        while max_windows.map(|m| windows.len() < m).unwrap_or(true) {
+            let Some(column) = stream.next_column() else {
+                break;
+            };
+            if let Some(window) = self.push(nodes, bin_seconds, column)? {
+                windows.push(window);
+            }
+        }
+        Ok(windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ReplayStream;
+
+    fn numbered_series(bins: usize) -> TmSeries {
+        let mut tm = TmSeries::zeros(2, bins, 300.0).unwrap();
+        for t in 0..bins {
+            tm.set(0, 1, t, t as f64).unwrap();
+        }
+        tm
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let tm = numbered_series(9);
+        let mut windower = Windower::tumbling(3).unwrap();
+        let windows = windower
+            .take_windows(&mut ReplayStream::new(tm.clone()), None)
+            .unwrap();
+        assert_eq!(windows.len(), 3);
+        for (k, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, k);
+            assert_eq!(w.start_bin, 3 * k);
+            assert_eq!(w.bins(), 3);
+            // Bit-identical to the batch split.
+            assert_eq!(w.series, tm.slice_bins(3 * k, 3).unwrap());
+        }
+        assert_eq!(windower.produced(), 3);
+        assert!(!windower.is_empty());
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let tm = numbered_series(5);
+        let mut windower = Windower::sliding(3, 1).unwrap();
+        let windows = windower
+            .take_windows(&mut ReplayStream::new(tm.clone()), None)
+            .unwrap();
+        assert_eq!(windows.len(), 3);
+        for (k, w) in windows.iter().enumerate() {
+            assert_eq!(w.start_bin, k);
+            assert_eq!(w.series, tm.slice_bins(k, 3).unwrap());
+        }
+        assert_eq!(windower.len(), 3);
+        assert_eq!(windower.stride(), 1);
+    }
+
+    #[test]
+    fn max_windows_bounds_the_drain() {
+        let tm = numbered_series(20);
+        let mut windower = Windower::tumbling(2).unwrap();
+        let mut stream = ReplayStream::new(tm);
+        let windows = windower.take_windows(&mut stream, Some(4)).unwrap();
+        assert_eq!(windows.len(), 4);
+        // The stream can keep feeding the same windower.
+        let more = windower.take_windows(&mut stream, Some(2)).unwrap();
+        assert_eq!(more.len(), 2);
+        assert_eq!(more[0].index, 4);
+        assert_eq!(more[0].start_bin, 8);
+    }
+
+    #[test]
+    fn gapped_windows_skip_between_samples() {
+        // stride > len samples every third bin-pair: windows at 0..2, 3..5.
+        let tm = numbered_series(7);
+        let mut windower = Windower::sliding(2, 3).unwrap();
+        let windows = windower
+            .take_windows(&mut ReplayStream::new(tm.clone()), None)
+            .unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].start_bin, 0);
+        assert_eq!(windows[1].start_bin, 3);
+        assert_eq!(windows[1].series, tm.slice_bins(3, 2).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_config_and_columns() {
+        assert!(Windower::tumbling(0).is_err());
+        assert!(Windower::sliding(3, 0).is_err());
+        let mut windower = Windower::tumbling(2).unwrap();
+        assert!(windower.push(2, 300.0, vec![0.0; 3]).is_err());
+        assert!(windower.is_empty());
+    }
+}

@@ -13,6 +13,9 @@
 //!   [`core::Fit`] traits, gravity model, and the Section 5.1 fitting
 //!   program (the paper's contribution),
 //! * [`estimation`] — traffic-matrix estimation with IC and gravity priors,
+//! * [`stream`] — online/streaming estimation: windowed ingestion,
+//!   warm-started incremental fits, parameter forecasting, and drift
+//!   detection ([`stream::OnlineEstimator`] and friends),
 //! * [`experiment`] — declarative [`experiment::Scenario`]s, the parallel
 //!   [`experiment::Runner`], and structured reports.
 //!
@@ -29,6 +32,7 @@ pub use ic_experiment as experiment;
 pub use ic_flowsim as flowsim;
 pub use ic_linalg as linalg;
 pub use ic_stats as stats;
+pub use ic_stream as stream;
 pub use ic_topology as topology;
 
 /// The one-stop error type of the facade: every workspace layer's error
@@ -50,6 +54,8 @@ pub enum TmIcError {
     Core(ic_core::IcError),
     /// Estimation-pipeline failure.
     Estimation(ic_estimation::EstimationError),
+    /// Streaming-estimation failure.
+    Stream(ic_stream::StreamError),
     /// Scenario / runner failure.
     Experiment(ic_experiment::ExperimentError),
 }
@@ -64,6 +70,7 @@ impl std::fmt::Display for TmIcError {
             TmIcError::Dataset(e) => write!(f, "dataset: {e}"),
             TmIcError::Core(e) => write!(f, "core: {e}"),
             TmIcError::Estimation(e) => write!(f, "estimation: {e}"),
+            TmIcError::Stream(e) => write!(f, "stream: {e}"),
             TmIcError::Experiment(e) => write!(f, "experiment: {e}"),
         }
     }
@@ -79,6 +86,7 @@ impl std::error::Error for TmIcError {
             TmIcError::Dataset(e) => Some(e),
             TmIcError::Core(e) => Some(e),
             TmIcError::Estimation(e) => Some(e),
+            TmIcError::Stream(e) => Some(e),
             TmIcError::Experiment(e) => Some(e),
         }
     }
@@ -101,6 +109,7 @@ from_layer!(FlowSim, ic_flowsim::FlowSimError);
 from_layer!(Dataset, ic_datasets::DatasetError);
 from_layer!(Core, ic_core::IcError);
 from_layer!(Estimation, ic_estimation::EstimationError);
+from_layer!(Stream, ic_stream::StreamError);
 from_layer!(Experiment, ic_experiment::ExperimentError);
 
 /// Convenience result alias over [`TmIcError`].
@@ -118,7 +127,7 @@ pub mod prelude {
         fit_stable_f, fit_stable_fp, fit_time_varying, generate_synthetic, gravity_predict,
         improvement_percent, mean_rel_l2, rel_l2_series, simplified_ic, Fit, FitOptions, FitReport,
         IcModel, Objective, StableFParams, StableFpParams, SynthConfig, TimeVaryingParams,
-        TmSeries,
+        TmSeries, WarmStart,
     };
     pub use ic_datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
     pub use ic_estimation::{
@@ -129,6 +138,12 @@ pub mod prelude {
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
     pub use ic_linalg::Matrix;
+    pub use ic_stream::{
+        replay_estimation, replay_fit, DriftDetector, DriftOptions, ForecastOptions,
+        LinkLoadStream, OnlineEstimator, OnlineGravity, ParamForecaster, ReplayOptions,
+        ReplayReport, ReplayStream, StreamingTomogravity, SyntheticStream, WarmStartIcFit, Window,
+        Windower,
+    };
     pub use ic_topology::{geant22, totem23, RoutingScheme, Topology};
 }
 
@@ -145,6 +160,7 @@ mod tests {
             ic_core::IcError::BadData("y").into(),
             ic_estimation::EstimationError::BadData("z").into(),
             ic_experiment::ExperimentError::BadScenario("w".into()).into(),
+            ic_stream::StreamError::BadConfig("s").into(),
             ic_datasets::DatasetError::Format("v".into()).into(),
         ];
         for e in errs {
