@@ -1,12 +1,15 @@
 #![allow(missing_docs)]
 //! Criterion benches for the estimation pipeline: prior construction,
-//! tomogravity refinement, and IPF on the Géant topology.
+//! tomogravity refinement (sparse vs dense), and IPF on the Géant
+//! topology. The scale sweep lives in the `estimation_perf` bin; these
+//! benches track the PoP-scale kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ic_core::{generate_synthetic, SynthConfig};
 use ic_estimation::{
-    ipf_fit, EstimationPipeline, GravityPrior, IpfOptions, ObservationModel, StableFPrior,
-    StableFpPrior, TmPrior, Tomogravity, TomogravityOptions,
+    ipf_fit, ipf_fit_with, EstimationPipeline, GravityPrior, IpfOptions, IpfWorkspace,
+    ObservationModel, StableFPrior, StableFpPrior, TmPrior, Tomogravity, TomogravityOptions,
+    TomogravityWorkspace,
 };
 use ic_topology::{geant22, RoutingScheme};
 
@@ -58,6 +61,23 @@ fn bench_refinement(c: &mut Criterion) {
     c.bench_function("tomogravity_refine_geant_12bins", |b| {
         b.iter(|| black_box(tomo.refine(&om, &obs, &prior).unwrap()))
     });
+    // Sparse vs dense single-bin refinement on the same inputs.
+    let xp = prior.column(0);
+    let bvec = obs.stacked_at(0);
+    let a_dense = om.stacked().unwrap();
+    let a = om.stacked_sparse();
+    let at = om.stacked_transpose();
+    let mut ws = TomogravityWorkspace::new();
+    c.bench_function("tomogravity_bin_sparse_geant", |b| {
+        b.iter(|| {
+            tomo.refine_bin_sparse_with(a, at, &xp, &bvec, &mut ws)
+                .unwrap();
+            black_box(ws.solution()[0])
+        })
+    });
+    c.bench_function("tomogravity_bin_dense_geant", |b| {
+        b.iter(|| black_box(tomo.refine_bin(&a_dense, &xp, &bvec).unwrap()))
+    });
     let pipeline = EstimationPipeline::new(om);
     c.bench_function("full_pipeline_geant_12bins", |b| {
         b.iter(|| black_box(pipeline.estimate(&GravityPrior, &obs).unwrap()))
@@ -71,6 +91,13 @@ fn bench_ipf(c: &mut Criterion) {
     let cols = tm.egress(0);
     c.bench_function("ipf_22x22", |b| {
         b.iter(|| black_box(ipf_fit(&snap, &rows, &cols, IpfOptions::default()).unwrap()))
+    });
+    let mut ws = IpfWorkspace::new();
+    c.bench_function("ipf_22x22_workspace", |b| {
+        b.iter(|| {
+            ipf_fit_with(&snap, &rows, &cols, IpfOptions::default(), &mut ws).unwrap();
+            black_box(ws.fitted()[(0, 0)])
+        })
     });
 }
 

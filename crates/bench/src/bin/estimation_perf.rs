@@ -1,0 +1,309 @@
+//! Unified estimation performance benchmark — the sparse-vs-dense
+//! headline numbers of the scaled-topology overhaul.
+//!
+//! Sweeps seeded hierarchical backbone/PoP topologies across sizes,
+//! generates synthetic IC traffic on each, and times the tomogravity
+//! refinement through both linear-algebra paths:
+//!
+//! * **sparse** — the production path: CSR `A W Aᵀ` with reusable
+//!   [`TomogravityWorkspace`] buffers (allocation-free per bin once warm;
+//!   the allocation counter below proves it);
+//! * **dense** — the dense reference `refine_bin` on the materialized
+//!   stacked operator (skipped above `--dense-max` nodes, where dense
+//!   memory/time costs stop being measurable in CI).
+//!
+//! Also times the full prior → tomogravity → IPF pipeline on the sparse
+//! path and emits a machine-readable `BENCH_estimation.json` in the same
+//! style as `BENCH_streaming.json`, consumed by the CI perf-regression
+//! gate (`perf_gate`).
+//!
+//! Usage: `estimation_perf [--scale smoke|full] [--sizes 50,100,200]
+//! [--bins N] [--dense-max N] [--out PATH]`.
+
+use ic_bench::{arg_value, json_f, out_path, Scale};
+use ic_core::{generate_synthetic, SynthConfig};
+use ic_estimation::{
+    EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace, TmPrior, Tomogravity,
+    TomogravityOptions, TomogravityWorkspace,
+};
+use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations so the bench can report that the sparse
+/// workspace path really is allocation-free per bin after warm-up.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System` verbatim; the counter is a relaxed atomic
+// with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` repeatedly until `target_secs` of wall clock accumulates (or
+/// `max_reps` is hit) and returns the **minimum** single-run time — the
+/// standard robust estimator for short benchmarks, which is what keeps the
+/// smoke-scale numbers stable enough for a 25% CI regression gate.
+fn time_min(mut f: impl FnMut(), target_secs: f64, max_reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    for _ in 0..max_reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        if start.elapsed().as_secs_f64() >= target_secs {
+            break;
+        }
+    }
+    best
+}
+
+struct SizeResult {
+    nodes: usize,
+    links: usize,
+    nnz: usize,
+    density: f64,
+    bins: usize,
+    sparse_secs_per_bin: f64,
+    dense_secs_per_bin: Option<f64>,
+    speedup_vs_dense: Option<f64>,
+    pipeline_secs_per_bin: f64,
+    allocs_per_bin_warm: u64,
+    max_rel_diff_vs_dense: Option<f64>,
+}
+
+fn default_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![20, 50],
+        Scale::Full => vec![50, 100, 200],
+    }
+}
+
+fn parse_sizes(spec: &str) -> Vec<usize> {
+    let sizes: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 10)
+        .collect();
+    assert!(
+        !sizes.is_empty(),
+        "--sizes {spec:?} contains no valid size (comma-separated integers >= 10); \
+         refusing to run an empty sweep"
+    );
+    sizes
+}
+
+fn bench_size(nodes: usize, bins: usize, dense_max: usize) -> SizeResult {
+    // Hierarchical topology: nodes/10 backbones with 9 PoPs each, so the
+    // node count lands exactly on the requested size for multiples of 10.
+    let cfg = HierarchicalConfig::new((nodes / 10).max(1), 9, 20060419);
+    let topo = hierarchical(&cfg).expect("generator config is valid");
+    let n = topo.node_count();
+    let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).expect("strongly connected");
+    let synth = SynthConfig::geant_like(7 + n as u64)
+        .with_nodes(n)
+        .with_bins(bins);
+    let truth = generate_synthetic(&synth)
+        .expect("valid synth config")
+        .series;
+    let obs = om.observe(&truth).expect("observe");
+    let prior = GravityPrior.prior_series(&obs).expect("gravity prior");
+    let tomo = Tomogravity::new(TomogravityOptions::default());
+
+    // Sparse path: series refine through the reusable workspace, with a
+    // one-bin warm-up so the timed region measures steady state.
+    let a = om.stacked_sparse();
+    let at = om.stacked_transpose();
+    let mut ws = TomogravityWorkspace::new();
+    let xp0 = prior.column(0);
+    let b0 = obs.stacked_at(0);
+    tomo.refine_bin_sparse_with(a, at, &xp0, &b0, &mut ws)
+        .expect("warm-up refine");
+    let mut xp = vec![0.0; n * n];
+    let mut b = vec![0.0; obs.stacked_len()];
+    // Allocation count of one warm pass (measured outside the timing reps
+    // so the input fills don't blur it).
+    let allocs_before = allocations();
+    for t in 0..bins {
+        for (row, slot) in xp.iter_mut().enumerate() {
+            *slot = prior.as_matrix()[(row, t)];
+        }
+        obs.stacked_at_into(t, &mut b).expect("stacked obs");
+        tomo.refine_bin_sparse_with(a, at, &xp, &b, &mut ws)
+            .expect("sparse refine");
+    }
+    let allocs_per_bin_warm = (allocations() - allocs_before) / bins as u64;
+    let sparse_last: Vec<f64> = ws.solution().to_vec();
+
+    // Sparse timing: min over repetitions of the whole bin sweep.
+    let sparse_secs = time_min(
+        || {
+            for t in 0..bins {
+                for (row, slot) in xp.iter_mut().enumerate() {
+                    *slot = prior.as_matrix()[(row, t)];
+                }
+                obs.stacked_at_into(t, &mut b).expect("stacked obs");
+                tomo.refine_bin_sparse_with(a, at, &xp, &b, &mut ws)
+                    .expect("sparse refine");
+            }
+        },
+        0.5,
+        200,
+    );
+    let sparse_secs_per_bin = sparse_secs / bins as f64;
+
+    // Dense reference path, where tractable.
+    let (dense_secs_per_bin, max_rel_diff_vs_dense) = if n <= dense_max {
+        let a_dense = om.stacked().expect("dense stacked");
+        let mut dense_last = Vec::new();
+        let dense_secs = time_min(
+            || {
+                for t in 0..bins {
+                    for (row, slot) in xp.iter_mut().enumerate() {
+                        *slot = prior.as_matrix()[(row, t)];
+                    }
+                    obs.stacked_at_into(t, &mut b).expect("stacked obs");
+                    dense_last = tomo.refine_bin(&a_dense, &xp, &b).expect("dense refine");
+                }
+            },
+            0.5,
+            50,
+        );
+        // Cross-check: both paths refined the same last bin.
+        let scale: f64 = dense_last.iter().fold(1.0_f64, |m, &v| m.max(v.abs()));
+        let diff = sparse_last
+            .iter()
+            .zip(dense_last.iter())
+            .fold(0.0_f64, |m, (&s, &d)| m.max((s - d).abs()));
+        (Some(dense_secs / bins as f64), Some(diff / scale))
+    } else {
+        (None, None)
+    };
+
+    // Full sparse pipeline (prior + tomogravity + IPF) for context.
+    let pipeline = EstimationPipeline::new(om);
+    let mut pws = PipelineWorkspace::new();
+    pipeline
+        .estimate_with(&GravityPrior, &obs, &mut pws)
+        .expect("pipeline warm-up");
+    let pipeline_secs = time_min(
+        || {
+            pipeline
+                .estimate_with(&GravityPrior, &obs, &mut pws)
+                .expect("pipeline estimate");
+        },
+        0.5,
+        200,
+    );
+    let pipeline_secs_per_bin = pipeline_secs / bins as f64;
+
+    let sparse = pipeline.model().stacked_sparse();
+    SizeResult {
+        nodes: n,
+        links: pipeline.model().links(),
+        nnz: sparse.nnz(),
+        density: sparse.density(),
+        bins,
+        sparse_secs_per_bin,
+        dense_secs_per_bin,
+        speedup_vs_dense: dense_secs_per_bin.map(|d| d / sparse_secs_per_bin),
+        pipeline_secs_per_bin,
+        allocs_per_bin_warm,
+        max_rel_diff_vs_dense,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes = arg_value("--sizes")
+        .map(|s| parse_sizes(&s))
+        .unwrap_or_else(|| default_sizes(scale));
+    let bins: usize = arg_value("--bins")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Smoke => 4,
+            Scale::Full => 3,
+        });
+    let dense_max: usize = arg_value("--dense-max")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}");
+    println!("# nodes\tlinks\tnnz\tdensity\tsparse_s/bin\tdense_s/bin\tspeedup\tallocs/bin");
+    let mut results = Vec::new();
+    for &size in &sizes {
+        let r = bench_size(size, bins, dense_max);
+        println!(
+            "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{}",
+            r.nodes,
+            r.links,
+            r.nnz,
+            r.density,
+            r.sparse_secs_per_bin,
+            r.dense_secs_per_bin
+                .map(|v| format!("{v:.5}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.speedup_vs_dense
+                .map(|v| format!("{v:.1}x"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.allocs_per_bin_warm,
+        );
+        if let Some(diff) = r.max_rel_diff_vs_dense {
+            assert!(
+                diff < 1e-9,
+                "sparse and dense refinements disagree at {} nodes: {diff}",
+                r.nodes
+            );
+        }
+        results.push(r);
+    }
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"nodes\":{},\"links\":{},\"nnz\":{},\"density\":{},\"bins\":{},\
+                 \"sparse_refine_secs_per_bin\":{},\"dense_refine_secs_per_bin\":{},\
+                 \"speedup_vs_dense\":{},\"pipeline_secs_per_bin\":{},\
+                 \"allocs_per_bin_warm\":{}}}",
+                r.nodes,
+                r.links,
+                r.nnz,
+                json_f(r.density),
+                r.bins,
+                json_f(r.sparse_secs_per_bin),
+                r.dense_secs_per_bin
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+                r.speedup_vs_dense
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+                json_f(r.pipeline_secs_per_bin),
+                r.allocs_per_bin_warm,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"bins\":{bins},\"dense_max\":{dense_max},\"results\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = out_path("BENCH_estimation.json");
+    std::fs::write(&path, &json).expect("write BENCH_estimation.json");
+    println!("# wrote {path}");
+    print!("{json}");
+}

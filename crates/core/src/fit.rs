@@ -42,7 +42,7 @@ use crate::model::{
 use crate::tm::TmSeries;
 use crate::{IcError, Result};
 use ic_linalg::nnls::nnls_from_normal_equations;
-use ic_linalg::{Cholesky, Matrix, NnlsOptions};
+use ic_linalg::{CholeskyWorkspace, Matrix, NnlsOptions};
 
 /// Which scalarization of the Section 5.1 objective to optimize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -206,118 +206,134 @@ pub type StableFFitResult = FitReport<StableFParams>;
 /// Result of a time-varying fit (Eq. 3 parameters).
 pub type TimeVaryingFitResult = FitReport<TimeVaryingParams>;
 
-/// Shared solver for the activity/preference subproblems, whose normal
-/// equations have the form `(c1·s2)·I + c2·v·vᵀ` with
+/// Builds the two-term Gram matrix `(c1·s2)·I + c2·v·vᵀ` of the
+/// activity/preference subproblems into a reusable buffer, with
 /// `c1 = f² + (1−f)²`, `c2 = 2f(1−f)`, `s2 = ‖v‖²`.
+fn two_term_gram_into(f: f64, v: &[f64], g: &mut Matrix) {
+    let n = v.len();
+    if g.shape() != (n, n) {
+        *g = Matrix::zeros(n, n);
+    }
+    let c1 = f * f + (1.0 - f) * (1.0 - f);
+    let c2 = 2.0 * f * (1.0 - f);
+    let s2: f64 = v.iter().map(|&x| x * x).sum();
+    for k in 0..n {
+        for l in 0..n {
+            g[(k, l)] = c2 * v[k] * v[l];
+        }
+        g[(k, k)] += c1 * s2;
+    }
+}
+
+/// Scale-aware ridge guarding bins where `v` is (nearly) zero.
+fn two_term_ridge(f: f64, v: &[f64]) -> f64 {
+    let c1 = f * f + (1.0 - f) * (1.0 - f);
+    let s2: f64 = v.iter().map(|&x| x * x).sum();
+    (c1 * s2).max(f64::MIN_POSITIVE) * 1e-12
+}
+
+/// Shared solver for the activity/preference subproblems, holding its Gram
+/// matrix and Cholesky factor in reusable buffers so refactoring per sweep
+/// (stable-fP) or per bin (stable-f, time-varying) allocates nothing once
+/// warm.
 struct TwoTermGram {
-    chol: Cholesky,
+    g: Matrix,
+    chol: CholeskyWorkspace,
 }
 
 impl TwoTermGram {
-    fn factor(f: f64, v: &[f64]) -> Result<Self> {
-        let n = v.len();
-        let c1 = f * f + (1.0 - f) * (1.0 - f);
-        let c2 = 2.0 * f * (1.0 - f);
-        let s2: f64 = v.iter().map(|&x| x * x).sum();
-        let mut g = Matrix::zeros(n, n);
-        for k in 0..n {
-            for l in 0..n {
-                g[(k, l)] = c2 * v[k] * v[l];
-            }
-            g[(k, k)] += c1 * s2;
+    fn new() -> Self {
+        TwoTermGram {
+            g: Matrix::zeros(0, 0),
+            chol: CholeskyWorkspace::new(),
         }
-        // Tiny scale-aware ridge guards bins where v is (nearly) zero.
-        let ridge = (c1 * s2).max(f64::MIN_POSITIVE) * 1e-12;
-        let chol = Cholesky::factor_regularized(&g, ridge).map_err(IcError::from)?;
-        Ok(TwoTermGram { chol })
     }
 
-    fn solve(&self, rhs: &[f64]) -> Result<Vec<f64>> {
-        self.chol.solve(rhs).map_err(IcError::from)
+    fn factor(&mut self, f: f64, v: &[f64]) -> Result<()> {
+        two_term_gram_into(f, v, &mut self.g);
+        self.chol
+            .factor_regularized(&self.g, two_term_ridge(f, v))
+            .map_err(IcError::from)
     }
 
-    /// Materializes the Gram matrix again for the NNLS fallback path.
-    fn gram(f: f64, v: &[f64]) -> Matrix {
-        let n = v.len();
-        let c1 = f * f + (1.0 - f) * (1.0 - f);
-        let c2 = 2.0 * f * (1.0 - f);
-        let s2: f64 = v.iter().map(|&x| x * x).sum();
-        let mut g = Matrix::zeros(n, n);
-        for k in 0..n {
-            for l in 0..n {
-                g[(k, l)] = c2 * v[k] * v[l];
-            }
-            g[(k, k)] += c1 * s2;
-        }
-        g
+    fn solve_into(&self, rhs: &[f64], out: &mut [f64]) -> Result<()> {
+        self.chol.solve_into(rhs, out).map_err(IcError::from)
+    }
+
+    /// The materialized Gram matrix (for the NNLS fallback path).
+    fn gram(&self) -> &Matrix {
+        &self.g
     }
 }
 
 /// Right-hand side of the activity subproblem at one bin:
-/// `rhs_k = f·Σ_j X_kj·P_j + (1−f)·Σ_i X_ik·P_i`.
-fn activity_rhs(x: &TmSeries, bin: usize, f: f64, p: &[f64]) -> Vec<f64> {
+/// `rhs_k = f·Σ_j X_kj·P_j + (1−f)·Σ_i X_ik·P_i`, into a reused buffer.
+fn activity_rhs_into(x: &TmSeries, bin: usize, f: f64, p: &[f64], rhs: &mut [f64]) {
     let n = x.nodes();
     let m = x.as_matrix();
-    let mut rhs = vec![0.0; n];
-    for k in 0..n {
+    for (k, slot) in rhs.iter_mut().enumerate() {
         let mut fwd = 0.0;
         let mut rev = 0.0;
         for idx in 0..n {
             fwd += m[(k * n + idx, bin)] * p[idx]; // X_{k,idx}
             rev += m[(idx * n + k, bin)] * p[idx]; // X_{idx,k}
         }
-        rhs[k] = f * fwd + (1.0 - f) * rev;
+        *slot = f * fwd + (1.0 - f) * rev;
     }
-    rhs
 }
 
 /// Right-hand side of the preference subproblem at one bin:
-/// `rhs_l = f·Σ_i A_i·X_il + (1−f)·Σ_j A_j·X_lj`.
-fn preference_rhs(x: &TmSeries, bin: usize, f: f64, a: &[f64]) -> Vec<f64> {
+/// `rhs_l = f·Σ_i A_i·X_il + (1−f)·Σ_j A_j·X_lj`, into a reused buffer.
+fn preference_rhs_into(x: &TmSeries, bin: usize, f: f64, a: &[f64], rhs: &mut [f64]) {
     let n = x.nodes();
     let m = x.as_matrix();
-    let mut rhs = vec![0.0; n];
-    for l in 0..n {
+    for (l, slot) in rhs.iter_mut().enumerate() {
         let mut into_l = 0.0;
         let mut out_of_l = 0.0;
         for idx in 0..n {
             into_l += a[idx] * m[(idx * n + l, bin)]; // X_{idx,l}
             out_of_l += a[idx] * m[(l * n + idx, bin)]; // X_{l,idx}
         }
-        rhs[l] = f * into_l + (1.0 - f) * out_of_l;
+        *slot = f * into_l + (1.0 - f) * out_of_l;
     }
-    rhs
 }
 
-/// Solves one bin's activity with the shared factorization, falling back to
-/// NNLS when the unconstrained solution leaves the feasible orthant.
-fn solve_activity_bin(gram: &TwoTermGram, f: f64, p: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
-    let a = gram.solve(rhs)?;
-    if a.iter().all(|&v| v >= 0.0) {
-        return Ok(a);
+/// Solves one bin's activity with the shared factorization into `out`,
+/// falling back to NNLS when the unconstrained solution leaves the
+/// feasible orthant (rare; the only allocating path of the loop).
+fn solve_activity_bin_into(gram: &TwoTermGram, rhs: &[f64], out: &mut [f64]) -> Result<()> {
+    gram.solve_into(rhs, out)?;
+    if out.iter().all(|&v| v >= 0.0) {
+        return Ok(());
     }
-    let g = TwoTermGram::gram(f, p);
-    nnls_from_normal_equations(&g, rhs, NnlsOptions::default()).map_err(IcError::from)
+    let a = nnls_from_normal_equations(gram.gram(), rhs, NnlsOptions::default())
+        .map_err(IcError::from)?;
+    out.copy_from_slice(&a);
+    Ok(())
 }
 
-/// Per-bin objective weights.
+/// Per-bin objective weights, into a reused buffer.
 ///
 /// * `WeightedSse`: `w_t = 1/‖X(t)‖²` (zero-traffic bins get weight 0).
 /// * `SumRelL2` (IRLS): `w_t = 1/(‖X(t)‖·max(‖r(t)‖, ε‖X(t)‖))`.
-fn bin_weights(x: &TmSeries, objective: Objective, residual_norms: Option<&[f64]>) -> Vec<f64> {
+fn bin_weights_into(
+    x: &TmSeries,
+    objective: Objective,
+    residual_norms: Option<&[f64]>,
+    weights: &mut [f64],
+) {
     let eps = 1e-6;
-    (0..x.bins())
-        .map(|t| {
-            let norm = x.norm(t);
-            if norm == 0.0 {
-                return 0.0;
-            }
+    for (t, slot) in weights.iter_mut().enumerate() {
+        let norm = x.norm(t);
+        *slot = if norm == 0.0 {
+            0.0
+        } else {
             match (objective, residual_norms) {
                 (Objective::WeightedSse, _) | (Objective::SumRelL2, None) => 1.0 / (norm * norm),
                 (Objective::SumRelL2, Some(r)) => 1.0 / (norm * r[t].max(eps * norm)),
             }
-        })
-        .collect()
+        };
+    }
 }
 
 /// Closed-form `f` step over all bins: `X̂ = f·D + E` with
@@ -494,36 +510,54 @@ fn initialize(x: &TmSeries, f0: f64) -> (Vec<f64>, Matrix) {
 pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
     validate_input(x)?;
     let bins = x.bins();
+    let n = x.nodes();
     let (mut f, mut p, mut activity) = initial_point(x, &options)?;
     let mut history = Vec::with_capacity(options.max_sweeps);
     let mut converged = false;
     let mut residual_norms: Option<Vec<f64>> = None;
 
+    // Per-fit workspace: every per-bin buffer of the BCD inner loops lives
+    // here, so the sweeps below are allocation-free after warm-up (the
+    // NNLS fallback and the per-sweep objective evaluation excepted).
+    let mut weights = vec![0.0; bins];
+    let mut rhs = vec![0.0; n];
+    let mut a_buf = vec![0.0; n];
+    let mut gram = TwoTermGram::new();
+    let mut g = Matrix::zeros(n, n);
+    let mut h = vec![0.0; n];
+
     for _sweep in 0..options.max_sweeps {
-        let weights = bin_weights(x, options.objective, residual_norms.as_deref());
+        bin_weights_into(
+            x,
+            options.objective,
+            residual_norms.as_deref(),
+            &mut weights,
+        );
 
         // Activity step: shared factorization across bins.
-        let gram = TwoTermGram::factor(f, &p)?;
+        gram.factor(f, &p)?;
         for t in 0..bins {
-            let rhs = activity_rhs(x, t, f, &p);
-            let a_t = solve_activity_bin(&gram, f, &p, &rhs)?;
-            for (i, &v) in a_t.iter().enumerate() {
+            activity_rhs_into(x, t, f, &p, &mut rhs);
+            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
+            for (i, &v) in a_buf.iter().enumerate() {
                 activity[(i, t)] = v;
             }
         }
 
         // Preference step: accumulate weighted normal equations.
-        let n = x.nodes();
         let c1 = f * f + (1.0 - f) * (1.0 - f);
         let c2 = 2.0 * f * (1.0 - f);
-        let mut g = Matrix::zeros(n, n);
-        let mut h = vec![0.0; n];
+        g.as_mut_slice().fill(0.0);
+        h.fill(0.0);
         for t in 0..bins {
             let w = weights[t];
             if w == 0.0 {
                 continue;
             }
-            let a_t: Vec<f64> = (0..n).map(|i| activity[(i, t)]).collect();
+            for (i, slot) in a_buf.iter_mut().enumerate() {
+                *slot = activity[(i, t)];
+            }
+            let a_t = &a_buf;
             let s2: f64 = a_t.iter().map(|&v| v * v).sum();
             for k in 0..n {
                 for l in 0..n {
@@ -531,7 +565,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
                 }
                 g[(k, k)] += w * c1 * s2;
             }
-            let rhs = preference_rhs(x, t, f, &a_t);
+            preference_rhs_into(x, t, f, a_t, &mut rhs);
             for (hk, &r) in h.iter_mut().zip(rhs.iter()) {
                 *hk += w * r;
             }
@@ -610,34 +644,44 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
     let mut history = Vec::with_capacity(options.max_sweeps);
     let mut converged = false;
 
+    // Reused per-bin buffers (see fit_stable_fp).
+    let mut weights = vec![0.0; bins];
+    let mut p_buf = vec![0.0; n];
+    let mut a_buf = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut gram = TwoTermGram::new();
+    let mut g2 = Matrix::zeros(n, n);
+
     for _sweep in 0..options.max_sweeps {
-        let weights = bin_weights(x, Objective::WeightedSse, None);
+        bin_weights_into(x, Objective::WeightedSse, None, &mut weights);
         for t in 0..bins {
             if weights[t] == 0.0 {
                 continue;
             }
             // Per-bin activity step.
-            let p_t: Vec<f64> = (0..n).map(|i| preference[(i, t)]).collect();
-            let gram = TwoTermGram::factor(f, &p_t)?;
-            let rhs = activity_rhs(x, t, f, &p_t);
-            let a_t = solve_activity_bin(&gram, f, &p_t, &rhs)?;
+            for (i, slot) in p_buf.iter_mut().enumerate() {
+                *slot = preference[(i, t)];
+            }
+            gram.factor(f, &p_buf)?;
+            activity_rhs_into(x, t, f, &p_buf, &mut rhs);
+            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
             // Per-bin preference step.
-            let g = TwoTermGram::gram(f, &a_t);
-            let h = preference_rhs(x, t, f, &a_t);
-            let p_new = nnls_from_normal_equations(&g, &h, NnlsOptions::default())
+            two_term_gram_into(f, &a_buf, &mut g2);
+            preference_rhs_into(x, t, f, &a_buf, &mut rhs);
+            let p_new = nnls_from_normal_equations(&g2, &rhs, NnlsOptions::default())
                 .map_err(IcError::from)?;
             let mass: f64 = p_new.iter().sum();
-            let (p_t, a_t): (Vec<f64>, Vec<f64>) = if mass > 0.0 {
-                (
-                    p_new.iter().map(|&v| v / mass).collect(),
-                    a_t.iter().map(|&v| v * mass).collect(),
-                )
-            } else {
-                (p_t, a_t)
-            };
+            if mass > 0.0 {
+                for (slot, &v) in p_buf.iter_mut().zip(p_new.iter()) {
+                    *slot = v / mass;
+                }
+                for v in a_buf.iter_mut() {
+                    *v *= mass;
+                }
+            }
             for i in 0..n {
-                preference[(i, t)] = p_t[i];
-                activity[(i, t)] = a_t[i];
+                preference[(i, t)] = p_buf[i];
+                activity[(i, t)] = a_buf[i];
             }
         }
         // Global f step.
@@ -731,26 +775,37 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
     let mut history = Vec::with_capacity(options.max_sweeps);
     let mut converged = false;
 
+    // Reused per-bin buffers (see fit_stable_fp).
+    let mut p_buf = vec![0.0; n];
+    let mut a_buf = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut gram = TwoTermGram::new();
+    let mut g2 = Matrix::zeros(n, n);
+
     for _sweep in 0..options.max_sweeps {
         for t in 0..bins {
             if x.norm(t) == 0.0 {
                 continue;
             }
-            let mut p_t: Vec<f64> = (0..n).map(|i| preference[(i, t)]).collect();
+            for (i, slot) in p_buf.iter_mut().enumerate() {
+                *slot = preference[(i, t)];
+            }
             let mut f_t = fs[t];
             // Activity.
-            let gram = TwoTermGram::factor(f_t, &p_t)?;
-            let rhs = activity_rhs(x, t, f_t, &p_t);
-            let mut a_t = solve_activity_bin(&gram, f_t, &p_t, &rhs)?;
+            gram.factor(f_t, &p_buf)?;
+            activity_rhs_into(x, t, f_t, &p_buf, &mut rhs);
+            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
             // Preference.
-            let g = TwoTermGram::gram(f_t, &a_t);
-            let h = preference_rhs(x, t, f_t, &a_t);
-            let p_new = nnls_from_normal_equations(&g, &h, NnlsOptions::default())
+            two_term_gram_into(f_t, &a_buf, &mut g2);
+            preference_rhs_into(x, t, f_t, &a_buf, &mut rhs);
+            let p_new = nnls_from_normal_equations(&g2, &rhs, NnlsOptions::default())
                 .map_err(IcError::from)?;
             let mass: f64 = p_new.iter().sum();
             if mass > 0.0 {
-                p_t = p_new.iter().map(|&v| v / mass).collect();
-                a_t.iter_mut().for_each(|v| *v *= mass);
+                for (slot, &v) in p_buf.iter_mut().zip(p_new.iter()) {
+                    *slot = v / mass;
+                }
+                a_buf.iter_mut().for_each(|v| *v *= mass);
             }
             // Per-bin f.
             if !options.fix_f {
@@ -759,11 +814,11 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
                 let m = x.as_matrix();
                 for i in 0..n {
                     for j in 0..n {
-                        let d = a_t[i] * p_t[j] - a_t[j] * p_t[i];
+                        let d = a_buf[i] * p_buf[j] - a_buf[j] * p_buf[i];
                         if d == 0.0 {
                             continue;
                         }
-                        let e = a_t[j] * p_t[i];
+                        let e = a_buf[j] * p_buf[i];
                         num += (m[(i * n + j, t)] - e) * d;
                         den += d * d;
                     }
@@ -773,8 +828,8 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
                 }
             }
             for i in 0..n {
-                preference[(i, t)] = p_t[i];
-                activity[(i, t)] = a_t[i];
+                preference[(i, t)] = p_buf[i];
+                activity[(i, t)] = a_buf[i];
             }
             fs[t] = f_t;
         }

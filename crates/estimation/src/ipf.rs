@@ -47,6 +47,41 @@ impl IpfOptions {
     }
 }
 
+/// Reusable buffers for per-bin IPF calls.
+///
+/// The estimation pipeline runs one IPF per time bin; with a workspace the
+/// working matrix and the column-sum scratch are allocated once and reused
+/// for every bin of every window, making the inner loop allocation-free
+/// after warm-up.
+#[derive(Debug, Clone)]
+pub struct IpfWorkspace {
+    w: Matrix,
+    cols: Vec<f64>,
+    col_sums: Vec<f64>,
+}
+
+impl Default for IpfWorkspace {
+    fn default() -> Self {
+        IpfWorkspace::new()
+    }
+}
+
+impl IpfWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        IpfWorkspace {
+            w: Matrix::zeros(0, 0),
+            cols: Vec::new(),
+            col_sums: Vec::new(),
+        }
+    }
+
+    /// The fitted matrix produced by the latest [`ipf_fit_with`] call.
+    pub fn fitted(&self) -> &Matrix {
+        &self.w
+    }
+}
+
 /// Fits matrix `x` to the target row and column sums by IPF.
 ///
 /// Requirements: `x` non-negative, targets non-negative, and the two
@@ -70,6 +105,20 @@ pub fn ipf_fit(
     col_targets: &[f64],
     options: IpfOptions,
 ) -> Result<Matrix> {
+    let mut ws = IpfWorkspace::new();
+    ipf_fit_with(x, row_targets, col_targets, options, &mut ws)?;
+    Ok(core::mem::replace(&mut ws.w, Matrix::zeros(0, 0)))
+}
+
+/// Workspace-reusing form of [`ipf_fit`]; the result lands in
+/// [`IpfWorkspace::fitted`]. Bit-identical to [`ipf_fit`].
+pub fn ipf_fit_with(
+    x: &Matrix,
+    row_targets: &[f64],
+    col_targets: &[f64],
+    options: IpfOptions,
+    ws: &mut IpfWorkspace,
+) -> Result<()> {
     let (n, m) = x.shape();
     if row_targets.len() != n || col_targets.len() != m {
         return Err(EstimationError::DimensionMismatch {
@@ -90,17 +139,28 @@ pub fn ipf_fit(
             "ipf requires non-negative finite targets",
         ));
     }
+    // Size the workspace (allocates only when the shape changes).
+    if ws.w.shape() != (n, m) {
+        ws.w = Matrix::zeros(n, m);
+    }
+    ws.cols.resize(m, 0.0);
+    ws.col_sums.resize(m, 0.0);
+
     let row_total: f64 = row_targets.iter().sum();
     let col_total: f64 = col_targets.iter().sum();
     if row_total == 0.0 || col_total == 0.0 {
-        return Ok(Matrix::zeros(n, m));
+        ws.w.as_mut_slice().fill(0.0);
+        return Ok(());
     }
+    let IpfWorkspace { w, cols, col_sums } = ws;
     // Rescale the column targets so totals agree exactly (measurement
     // noise makes them differ slightly in practice).
     let scale = row_total / col_total;
-    let cols: Vec<f64> = col_targets.iter().map(|&v| v * scale).collect();
+    for (slot, &v) in cols.iter_mut().zip(col_targets.iter()) {
+        *slot = v * scale;
+    }
 
-    let mut w = x.clone();
+    w.as_mut_slice().copy_from_slice(x.as_slice());
     // Seed zero rows/columns whose target is positive: IPF cannot create
     // mass where the support is empty, so give such cells a tiny uniform
     // mass (this mirrors the standard practice for structurally missing
@@ -136,7 +196,12 @@ pub fn ipf_fit(
             }
         }
         // Column scaling.
-        let col_sums = w.col_sums();
+        col_sums.fill(0.0);
+        for i in 0..n {
+            for (s, &v) in col_sums.iter_mut().zip(w.row(i).iter()) {
+                *s += v;
+            }
+        }
         for j in 0..m {
             if col_sums[j] > 0.0 {
                 let s = cols[j] / col_sums[j];
@@ -165,7 +230,7 @@ pub fn ipf_fit(
             break;
         }
     }
-    Ok(w)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -32,11 +32,11 @@ pub mod prior;
 pub mod tomogravity;
 
 pub use evaluate::{rel_l2_spatial, spatial_error_by_volume, top_flow_error};
-pub use ipf::{ipf_fit, IpfOptions};
+pub use ipf::{ipf_fit, ipf_fit_with, IpfOptions, IpfWorkspace};
 pub use observe::{ObservationModel, Observations};
-pub use pipeline::{compare_priors, ComparisonResult, EstimationPipeline};
+pub use pipeline::{compare_priors, ComparisonResult, EstimationPipeline, PipelineWorkspace};
 pub use prior::{GravityPrior, MeasuredIcPrior, StableFPrior, StableFpPrior, TmPrior};
-pub use tomogravity::{Tomogravity, TomogravityOptions};
+pub use tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
 
 /// Errors produced by the estimation pipeline.
 #[derive(Debug, Clone, PartialEq)]

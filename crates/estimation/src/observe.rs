@@ -10,15 +10,28 @@
 
 use crate::{EstimationError, Result};
 use ic_core::TmSeries;
-use ic_linalg::Matrix;
-use ic_topology::{egress_incidence, ingress_incidence, RoutingMatrix, RoutingScheme, Topology};
+use ic_linalg::{Matrix, SparseMatrix};
+use ic_topology::{
+    egress_incidence_sparse, ingress_incidence_sparse, RoutingMatrix, RoutingScheme, Topology,
+};
+use std::sync::OnceLock;
 
 /// The static observation operators of a network.
+///
+/// All operators are held **sparse** (the representation the estimation
+/// hot path consumes): the stacked `[R; H; G]` and its transpose are
+/// precomputed once here so per-bin tomogravity solves touch only `nnz`
+/// entries. Dense views of `H` and `G` are materialized lazily for legacy
+/// consumers and small-topology diagnostics.
 #[derive(Debug, Clone)]
 pub struct ObservationModel {
     routing: RoutingMatrix,
-    h: Matrix,
-    g: Matrix,
+    h_sparse: SparseMatrix,
+    g_sparse: SparseMatrix,
+    stacked_sparse: SparseMatrix,
+    stacked_t: SparseMatrix,
+    h: OnceLock<Matrix>,
+    g: OnceLock<Matrix>,
     nodes: usize,
 }
 
@@ -27,10 +40,22 @@ impl ObservationModel {
     pub fn new(topo: &Topology, scheme: RoutingScheme) -> Result<Self> {
         let routing = RoutingMatrix::build(topo, scheme)?;
         let n = topo.node_count();
+        let h_sparse = ingress_incidence_sparse(n);
+        let g_sparse = egress_incidence_sparse(n);
+        let stacked_sparse = routing
+            .as_sparse()
+            .vstack(&h_sparse)
+            .and_then(|rh| rh.vstack(&g_sparse))
+            .map_err(EstimationError::from)?;
+        let stacked_t = stacked_sparse.transpose();
         Ok(ObservationModel {
             routing,
-            h: ingress_incidence(n),
-            g: egress_incidence(n),
+            h_sparse,
+            g_sparse,
+            stacked_sparse,
+            stacked_t,
+            h: OnceLock::new(),
+            g: OnceLock::new(),
             nodes: n,
         })
     }
@@ -50,26 +75,45 @@ impl ObservationModel {
         &self.routing
     }
 
-    /// The ingress incidence operator `H`.
+    /// The ingress incidence operator `H` (dense view, materialized
+    /// lazily; prefer [`ObservationModel::h_sparse`] in hot paths).
     pub fn h(&self) -> &Matrix {
-        &self.h
+        self.h.get_or_init(|| self.h_sparse.to_dense())
     }
 
-    /// The egress incidence operator `G`.
+    /// The egress incidence operator `G` (dense view, materialized
+    /// lazily).
     pub fn g(&self) -> &Matrix {
-        &self.g
+        self.g.get_or_init(|| self.g_sparse.to_dense())
+    }
+
+    /// The ingress incidence operator `H` in sparse form.
+    pub fn h_sparse(&self) -> &SparseMatrix {
+        &self.h_sparse
+    }
+
+    /// The egress incidence operator `G` in sparse form.
+    pub fn g_sparse(&self) -> &SparseMatrix {
+        &self.g_sparse
     }
 
     /// The stacked observation operator `[R; H; G]` used by the
-    /// least-squares refinement: backbone link counts plus access-link
-    /// (marginal) counts.
+    /// least-squares refinement, as a dense matrix (materialized on every
+    /// call; prefer [`ObservationModel::stacked_sparse`]).
     pub fn stacked(&self) -> Result<Matrix> {
-        let rh = self
-            .routing
-            .as_matrix()
-            .vstack(&self.h)
-            .map_err(EstimationError::from)?;
-        rh.vstack(&self.g).map_err(EstimationError::from)
+        Ok(self.stacked_sparse.to_dense())
+    }
+
+    /// The stacked observation operator `[R; H; G]` in its primary sparse
+    /// form.
+    pub fn stacked_sparse(&self) -> &SparseMatrix {
+        &self.stacked_sparse
+    }
+
+    /// The precomputed transpose of the stacked operator (amortizes the
+    /// per-bin `A W Aᵀ` assembly).
+    pub fn stacked_transpose(&self) -> &SparseMatrix {
+        &self.stacked_t
     }
 
     /// Derives per-bin observations from a series (the experiment's stand-in
@@ -87,11 +131,14 @@ impl ObservationModel {
         let mut y = Matrix::zeros(links, bins);
         let mut ingress = Matrix::zeros(self.nodes, bins);
         let mut egress = Matrix::zeros(self.nodes, bins);
+        let mut x = vec![0.0; self.nodes * self.nodes];
+        let mut yt = vec![0.0; links];
         for t in 0..bins {
-            let x = tm.column(t);
-            let yt = self
-                .routing
-                .link_counts(&x)
+            for (row, slot) in x.iter_mut().enumerate() {
+                *slot = tm.as_matrix()[(row, t)];
+            }
+            self.routing
+                .link_counts_into(&x, &mut yt)
                 .map_err(EstimationError::from)?;
             for (l, &v) in yt.iter().enumerate() {
                 y[(l, t)] = v;
@@ -157,6 +204,33 @@ impl Observations {
         v.extend(self.ingress.col(bin));
         v.extend(self.egress.col(bin));
         v
+    }
+
+    /// Length of the stacked observation vector (`links + 2n`).
+    pub fn stacked_len(&self) -> usize {
+        self.y.rows() + 2 * self.nodes()
+    }
+
+    /// Fills `out` with the stacked observation vector at one bin
+    /// (allocation-free counterpart of [`Observations::stacked_at`]).
+    pub fn stacked_at_into(&self, bin: usize, out: &mut [f64]) -> Result<()> {
+        if out.len() != self.stacked_len() {
+            return Err(EstimationError::DimensionMismatch {
+                context: "stacked_at_into",
+                expected: self.stacked_len(),
+                actual: out.len(),
+            });
+        }
+        let links = self.y.rows();
+        let n = self.nodes();
+        for l in 0..links {
+            out[l] = self.y[(l, bin)];
+        }
+        for i in 0..n {
+            out[links + i] = self.ingress[(i, bin)];
+            out[links + n + i] = self.egress[(i, bin)];
+        }
+        Ok(())
     }
 }
 

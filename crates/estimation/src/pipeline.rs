@@ -4,12 +4,47 @@
 //! and computes the per-bin percentage improvement of an IC prior over the
 //! gravity prior — the quantity Figures 11, 12 and 13 plot.
 
-use crate::ipf::{ipf_fit, IpfOptions};
+use crate::ipf::{ipf_fit_with, IpfOptions, IpfWorkspace};
 use crate::observe::{ObservationModel, Observations};
 use crate::prior::{GravityPrior, TmPrior};
-use crate::tomogravity::{Tomogravity, TomogravityOptions};
+use crate::tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
 use crate::Result;
 use ic_core::{improvement_percent, rel_l2_series, TmSeries};
+use ic_linalg::Matrix;
+
+/// Reusable buffers for the full prior → tomogravity → IPF pipeline.
+///
+/// One workspace serves any number of bins, windows and
+/// [`EstimationPipeline::estimate_with`] calls; after the first bin the
+/// per-bin loop is allocation-free. Streaming estimators carry one across
+/// their whole replay.
+#[derive(Debug, Clone)]
+pub struct PipelineWorkspace {
+    tomo: TomogravityWorkspace,
+    ipf: IpfWorkspace,
+    snapshot: Matrix,
+    ingress: Vec<f64>,
+    egress: Vec<f64>,
+}
+
+impl Default for PipelineWorkspace {
+    fn default() -> Self {
+        PipelineWorkspace::new()
+    }
+}
+
+impl PipelineWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        PipelineWorkspace {
+            tomo: TomogravityWorkspace::new(),
+            ipf: IpfWorkspace::new(),
+            snapshot: Matrix::zeros(0, 0),
+            ingress: Vec::new(),
+            egress: Vec::new(),
+        }
+    }
+}
 
 /// The three-step estimation pipeline.
 #[derive(Debug, Clone)]
@@ -49,8 +84,20 @@ impl EstimationPipeline {
 
     /// Runs the full three-step pipeline with the given prior strategy.
     pub fn estimate(&self, prior: &dyn TmPrior, obs: &Observations) -> Result<TmSeries> {
+        let mut ws = PipelineWorkspace::new();
+        self.estimate_with(prior, obs, &mut ws)
+    }
+
+    /// Runs the full pipeline reusing the given workspace (allocation-free
+    /// per bin once warm). Bit-identical to [`EstimationPipeline::estimate`].
+    pub fn estimate_with(
+        &self,
+        prior: &dyn TmPrior,
+        obs: &Observations,
+        ws: &mut PipelineWorkspace,
+    ) -> Result<TmSeries> {
         let prior_series = prior.prior_series(obs)?;
-        self.estimate_from_series(&prior_series, obs)
+        self.estimate_from_series_with(&prior_series, obs, ws)
     }
 
     /// Runs steps 2 and 3 from an explicit prior series.
@@ -59,13 +106,41 @@ impl EstimationPipeline {
         prior_series: &TmSeries,
         obs: &Observations,
     ) -> Result<TmSeries> {
-        let refined = self.tomo.refine(&self.model, obs, prior_series)?;
+        let mut ws = PipelineWorkspace::new();
+        self.estimate_from_series_with(prior_series, obs, &mut ws)
+    }
+
+    /// Runs steps 2 and 3 from an explicit prior series, reusing the given
+    /// workspace.
+    pub fn estimate_from_series_with(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+        ws: &mut PipelineWorkspace,
+    ) -> Result<TmSeries> {
+        let refined = self
+            .tomo
+            .refine_with(&self.model, obs, prior_series, &mut ws.tomo)?;
         // Step 3: per-bin IPF to the observed marginals.
         let n = refined.nodes();
+        if ws.snapshot.shape() != (n, n) {
+            ws.snapshot = Matrix::zeros(n, n);
+        }
+        ws.ingress.resize(n, 0.0);
+        ws.egress.resize(n, 0.0);
         let mut out = TmSeries::zeros(n, refined.bins(), refined.bin_seconds())?;
         for t in 0..refined.bins() {
-            let snapshot = refined.snapshot(t)?;
-            let fitted = ipf_fit(&snapshot, &obs.ingress_at(t), &obs.egress_at(t), self.ipf)?;
+            for i in 0..n {
+                for j in 0..n {
+                    ws.snapshot[(i, j)] = refined.as_matrix()[(i * n + j, t)];
+                }
+            }
+            for i in 0..n {
+                ws.ingress[i] = obs.ingress[(i, t)];
+                ws.egress[i] = obs.egress[(i, t)];
+            }
+            ipf_fit_with(&ws.snapshot, &ws.ingress, &ws.egress, self.ipf, &mut ws.ipf)?;
+            let fitted = ws.ipf.fitted();
             for i in 0..n {
                 for j in 0..n {
                     out.set(i, j, t, fitted[(i, j)])?;

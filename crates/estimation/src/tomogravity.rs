@@ -22,7 +22,7 @@
 use crate::observe::{ObservationModel, Observations};
 use crate::{EstimationError, Result};
 use ic_core::TmSeries;
-use ic_linalg::{pseudo_inverse, Cholesky, Matrix};
+use ic_linalg::{pseudo_inverse, Cholesky, CholeskyWorkspace, Matrix, SparseMatrix};
 
 /// Options for the tomogravity refinement.
 ///
@@ -72,6 +72,62 @@ impl TomogravityOptions {
     }
 }
 
+/// Reusable per-call buffers for the tomogravity refinement.
+///
+/// One workspace serves any number of bins (and any number of `refine`
+/// calls): the `O(rows²)` normal-equations matrix, the Cholesky factor,
+/// and all vector scratch are sized on first use and reused afterwards, so
+/// the per-bin inner loop performs no allocation once warm. Streaming
+/// estimators hold one workspace across windows for the same reason.
+#[derive(Debug, Clone)]
+pub struct TomogravityWorkspace {
+    w: Vec<f64>,
+    resid: Vec<f64>,
+    lambda: Vec<f64>,
+    at_lambda: Vec<f64>,
+    x: Vec<f64>,
+    awat: Matrix,
+    chol: CholeskyWorkspace,
+}
+
+impl Default for TomogravityWorkspace {
+    fn default() -> Self {
+        TomogravityWorkspace::new()
+    }
+}
+
+impl TomogravityWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        TomogravityWorkspace {
+            w: Vec::new(),
+            resid: Vec::new(),
+            lambda: Vec::new(),
+            at_lambda: Vec::new(),
+            x: Vec::new(),
+            awat: Matrix::zeros(0, 0),
+            chol: CholeskyWorkspace::new(),
+        }
+    }
+
+    fn ensure(&mut self, rows: usize, cols: usize) {
+        self.w.resize(cols, 0.0);
+        self.at_lambda.resize(cols, 0.0);
+        self.x.resize(cols, 0.0);
+        self.resid.resize(rows, 0.0);
+        self.lambda.resize(rows, 0.0);
+        if self.awat.shape() != (rows, rows) {
+            self.awat = Matrix::zeros(rows, rows);
+        }
+    }
+
+    /// The refined bin produced by the latest
+    /// [`Tomogravity::refine_bin_sparse_with`] call.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+}
+
 /// The tomogravity estimator.
 #[derive(Debug, Clone)]
 pub struct Tomogravity {
@@ -85,11 +141,27 @@ impl Tomogravity {
     }
 
     /// Refines a prior series against per-bin observations.
+    ///
+    /// Runs on the sparse observation operator; equivalent to calling
+    /// [`Tomogravity::refine_with`] with a fresh workspace.
     pub fn refine(
         &self,
         model: &ObservationModel,
         obs: &Observations,
         prior: &TmSeries,
+    ) -> Result<TmSeries> {
+        let mut ws = TomogravityWorkspace::new();
+        self.refine_with(model, obs, prior, &mut ws)
+    }
+
+    /// Refines a prior series against per-bin observations, reusing the
+    /// given workspace (allocation-free per bin once warm).
+    pub fn refine_with(
+        &self,
+        model: &ObservationModel,
+        obs: &Observations,
+        prior: &TmSeries,
+        ws: &mut TomogravityWorkspace,
     ) -> Result<TmSeries> {
         let n = model.nodes();
         if prior.nodes() != n {
@@ -106,20 +178,107 @@ impl Tomogravity {
                 actual: prior.bins(),
             });
         }
-        let a = model.stacked()?;
+        let a = model.stacked_sparse();
+        let at = model.stacked_transpose();
         let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        let mut xp = vec![0.0; n * n];
+        let mut b = vec![0.0; obs.stacked_len()];
         for t in 0..obs.bins() {
-            let xp = prior.column(t);
-            let b = obs.stacked_at(t);
-            let x = self.refine_bin(&a, &xp, &b)?;
-            for (row, &v) in x.iter().enumerate() {
+            for (row, slot) in xp.iter_mut().enumerate() {
+                *slot = prior.as_matrix()[(row, t)];
+            }
+            obs.stacked_at_into(t, &mut b)?;
+            self.refine_bin_sparse_with(a, at, &xp, &b, ws)?;
+            for (row, &v) in ws.solution().iter().enumerate() {
                 out.set(row / n, row % n, t, v)?;
             }
         }
         Ok(out)
     }
 
-    /// Refines a single bin: `x = x_p + W Aᵀ (A W Aᵀ)⁺ (b − A x_p)`.
+    /// Refines a single bin on the **sparse** operator:
+    /// `x = x_p + W Aᵀ (A W Aᵀ)⁺ (b − A x_p)`, with `A W Aᵀ` assembled in
+    /// `O(nnz)` and all scratch living in `ws` (result in
+    /// [`TomogravityWorkspace::solution`]).
+    ///
+    /// `at` must be the precomputed transpose of `a`
+    /// ([`ObservationModel::stacked_transpose`]). Numerically identical to
+    /// the dense [`Tomogravity::refine_bin`].
+    pub fn refine_bin_sparse_with(
+        &self,
+        a: &SparseMatrix,
+        at: &SparseMatrix,
+        x_prior: &[f64],
+        b: &[f64],
+        ws: &mut TomogravityWorkspace,
+    ) -> Result<()> {
+        let (rows, cols) = a.shape();
+        if x_prior.len() != cols || b.len() != rows {
+            return Err(EstimationError::DimensionMismatch {
+                context: "tomogravity refine_bin",
+                expected: cols,
+                actual: x_prior.len(),
+            });
+        }
+        ws.ensure(rows, cols);
+        // Weights proportional to the prior, floored.
+        let floor = weight_floor(x_prior, self.options.weight_floor);
+        for (wi, &xp) in ws.w.iter_mut().zip(x_prior.iter()) {
+            *wi = xp.max(floor);
+        }
+
+        // Residual of the constraints at the prior: resid = b − A x_p.
+        a.matvec_into(x_prior, &mut ws.resid)
+            .map_err(EstimationError::from)?;
+        for (r, &bi) in ws.resid.iter_mut().zip(b.iter()) {
+            *r = bi - *r;
+        }
+
+        // A W Aᵀ in O(nnz) via the precomputed transpose.
+        a.awat_into(&ws.w, at, &mut ws.awat)
+            .map_err(EstimationError::from)?;
+        let scale = ws.awat.max_abs().max(f64::MIN_POSITIVE);
+        match ws
+            .chol
+            .factor_regularized(&ws.awat, scale * self.options.ridge)
+        {
+            Ok(()) => ws
+                .chol
+                .solve_into(&ws.resid, &mut ws.lambda)
+                .map_err(EstimationError::from)?,
+            Err(_) => {
+                // Rank-deficient beyond what the ridge absorbs: SVD route.
+                let pinv = pseudo_inverse(&ws.awat, None).map_err(EstimationError::from)?;
+                let l = pinv.matvec(&ws.resid).map_err(EstimationError::from)?;
+                ws.lambda.copy_from_slice(&l);
+            }
+        }
+        // x = x_p + W Aᵀ λ.
+        a.matvec_transposed_into(&ws.lambda, &mut ws.at_lambda)
+            .map_err(EstimationError::from)?;
+        for (slot, ((&xp, &atl), &wi)) in
+            ws.x.iter_mut()
+                .zip(x_prior.iter().zip(ws.at_lambda.iter()).zip(ws.w.iter()))
+        {
+            *slot = xp + wi * atl;
+        }
+        if self.options.clamp_negative {
+            for v in &mut ws.x {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Refines a single bin on a **dense** operator:
+    /// `x = x_p + W Aᵀ (A W Aᵀ)⁺ (b − A x_p)`.
+    ///
+    /// Kept as the dense reference path (and benchmark baseline); the
+    /// series-level [`Tomogravity::refine`] runs sparse. `A W Aᵀ` is
+    /// assembled with the zero-skipping `matmul` kernel, which is what
+    /// keeps the dense baseline tractable on mid-size topologies.
     pub fn refine_bin(&self, a: &Matrix, x_prior: &[f64], b: &[f64]) -> Result<Vec<f64>> {
         let (rows, cols) = a.shape();
         if x_prior.len() != cols || b.len() != rows {
@@ -130,8 +289,7 @@ impl Tomogravity {
             });
         }
         // Weights proportional to the prior, floored.
-        let mean_prior = x_prior.iter().sum::<f64>() / cols as f64;
-        let floor = (mean_prior * self.options.weight_floor).max(f64::MIN_POSITIVE);
+        let floor = weight_floor(x_prior, self.options.weight_floor);
         let w: Vec<f64> = x_prior.iter().map(|&v| v.max(floor)).collect();
 
         // Residual of the constraints at the prior.
@@ -142,9 +300,7 @@ impl Tomogravity {
             .map(|(&bi, &axi)| bi - axi)
             .collect();
 
-        // Build A W Aᵀ (rows x rows).
-        let mut awat = Matrix::zeros(rows, rows);
-        // aw[r][c] = A[r][c] * w[c], used twice; materialize once.
+        // Build A W Aᵀ (rows x rows) as (A·diag(w)) · Aᵀ.
         let mut aw = a.clone();
         for r in 0..rows {
             let row = aw.row_mut(r);
@@ -152,19 +308,7 @@ impl Tomogravity {
                 *v *= w[c];
             }
         }
-        for r1 in 0..rows {
-            for r2 in r1..rows {
-                let mut s = 0.0;
-                let a_row = a.row(r2);
-                for (c, &awv) in aw.row(r1).iter().enumerate() {
-                    if awv != 0.0 {
-                        s += awv * a_row[c];
-                    }
-                }
-                awat[(r1, r2)] = s;
-                awat[(r2, r1)] = s;
-            }
-        }
+        let awat = aw.matmul(&a.transpose()).map_err(EstimationError::from)?;
         let scale = awat.max_abs().max(f64::MIN_POSITIVE);
         let lambda = match Cholesky::factor_regularized(&awat, scale * self.options.ridge) {
             Ok(chol) => chol.solve(&resid).map_err(EstimationError::from)?,
@@ -192,6 +336,12 @@ impl Tomogravity {
         }
         Ok(x)
     }
+}
+
+/// Weight floor shared by the dense and sparse bin refinements.
+fn weight_floor(x_prior: &[f64], weight_floor: f64) -> f64 {
+    let mean_prior = x_prior.iter().sum::<f64>() / x_prior.len() as f64;
+    (mean_prior * weight_floor).max(f64::MIN_POSITIVE)
 }
 
 #[cfg(test)]

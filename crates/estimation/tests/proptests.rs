@@ -1,12 +1,44 @@
-//! Property-based tests for the estimation pipeline components.
+//! Property-based tests for the estimation pipeline components, including
+//! the sparse/dense equivalence of the whole hot path: on random
+//! topologies the sparse tomogravity refinement, the workspace-reusing
+//! IPF, and the full pipeline agree with their dense / allocating
+//! references bit-for-bit (or within 1e-12 where an ordering difference is
+//! fundamental).
 
-use ic_estimation::{ipf_fit, IpfOptions};
+use ic_core::TmSeries;
+use ic_estimation::{
+    ipf_fit, ipf_fit_with, EstimationPipeline, GravityPrior, IpfOptions, IpfWorkspace,
+    ObservationModel, PipelineWorkspace, TmPrior, Tomogravity, TomogravityOptions,
+    TomogravityWorkspace,
+};
 use ic_linalg::Matrix;
+use ic_topology::{waxman, RoutingScheme, WaxmanConfig};
 use proptest::prelude::*;
 
 fn nonneg_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(0.1f64..100.0, n * n)
         .prop_map(move |v| Matrix::from_vec(n, n, v).unwrap())
+}
+
+/// A random small topology (via the seeded Waxman generator) together
+/// with a deterministic positive traffic series on it.
+fn topo_and_series() -> impl Strategy<Value = (ObservationModel, TmSeries)> {
+    (4usize..9, any::<u64>(), 1usize..4).prop_map(|(n, seed, bins)| {
+        let topo = waxman(&WaxmanConfig::new(n, seed)).unwrap();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut tm = TmSeries::zeros(n, bins, 300.0).unwrap();
+        for t in 0..bins {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let v = 1e5 * (1.0 + ((i * 31 + j * 17 + t * 7) % 13) as f64);
+                        tm.set(i, j, t, v).unwrap();
+                    }
+                }
+            }
+        }
+        (om, tm)
+    })
 }
 
 proptest! {
@@ -43,6 +75,80 @@ proptest! {
         prop_assert!(w.as_slice().iter().all(|&v| v >= 0.0));
         // Consistent input is a fixed point.
         prop_assert!(w.approx_eq(&x, 1e-6 * (1.0 + x.max_abs())));
+    }
+
+    /// The workspace-reusing IPF is bit-identical to the allocating one,
+    /// including when one workspace is reused across differently-shaped
+    /// problems.
+    #[test]
+    fn ipf_workspace_matches_allocating_path(
+        x3 in nonneg_matrix(3),
+        x4 in nonneg_matrix(4),
+    ) {
+        let mut ws = IpfWorkspace::new();
+        for x in [&x4, &x3, &x4] {
+            let rows = x.row_sums();
+            let mut cols = rows.clone();
+            cols.rotate_left(1);
+            let plain = ipf_fit(x, &rows, &cols, IpfOptions::default()).unwrap();
+            ipf_fit_with(x, &rows, &cols, IpfOptions::default(), &mut ws).unwrap();
+            prop_assert_eq!(ws.fitted(), &plain);
+        }
+    }
+
+    /// On random topologies, the sparse per-bin tomogravity refinement
+    /// (CSR `A W Aᵀ`, workspace buffers) agrees with the dense reference
+    /// `refine_bin` to 1e-12 relative, and the series-level sparse refine
+    /// matches a hand-run dense per-bin loop.
+    #[test]
+    fn sparse_tomogravity_matches_dense((om, tm) in topo_and_series()) {
+        let obs = om.observe(&tm).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        let tomo = Tomogravity::new(TomogravityOptions::default());
+        let a_dense = om.stacked().unwrap();
+        let a = om.stacked_sparse();
+        let at = om.stacked_transpose();
+        prop_assert_eq!(&a.to_dense(), &a_dense);
+        let mut ws = TomogravityWorkspace::new();
+        let refined = tomo.refine(&om, &obs, &prior).unwrap();
+        for t in 0..tm.bins() {
+            let xp = prior.column(t);
+            let b = obs.stacked_at(t);
+            let dense = tomo.refine_bin(&a_dense, &xp, &b).unwrap();
+            tomo.refine_bin_sparse_with(a, at, &xp, &b, &mut ws).unwrap();
+            let scale = 1.0 + dense.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+            for (s, d) in ws.solution().iter().zip(dense.iter()) {
+                prop_assert!((s - d).abs() <= 1e-12 * scale, "sparse {s} vs dense {d}");
+            }
+            // The series-level refine took the same sparse path.
+            for (row, s) in ws.solution().iter().enumerate() {
+                let n = tm.nodes();
+                prop_assert_eq!(*s, refined.get(row / n, row % n, t).unwrap());
+            }
+        }
+    }
+
+    /// The full pipeline gives bit-identical estimates whether run with a
+    /// fresh workspace per call or one reused across calls, and the
+    /// estimates respect the observed marginals.
+    #[test]
+    fn pipeline_workspace_reuse_is_bit_identical((om, tm) in topo_and_series()) {
+        let obs = om.observe(&tm).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let fresh = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        let mut ws = PipelineWorkspace::new();
+        // Run twice through the same workspace: warm-up, then warm.
+        let first = pipeline.estimate_with(&GravityPrior, &obs, &mut ws).unwrap();
+        let warm = pipeline.estimate_with(&GravityPrior, &obs, &mut ws).unwrap();
+        prop_assert_eq!(&first, &fresh);
+        prop_assert_eq!(&warm, &fresh);
+        for t in 0..tm.bins() {
+            let est_in = fresh.ingress(t);
+            let true_in = tm.ingress(t);
+            for (g, w) in est_in.iter().zip(true_in.iter()) {
+                prop_assert!((g - w).abs() <= 1e-6 * w.max(1.0));
+            }
+        }
     }
 
     /// IPF preserves zero cells of the seed (it only rescales), keeping

@@ -20,7 +20,10 @@ use ic_estimation::{
     ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
 };
 use ic_stream::{replay_estimation, replay_fit, ReplayOptions, ReplayReport, ReplayStream};
-use ic_topology::{geant22, totem23, RoutingScheme, Topology};
+use ic_topology::{
+    geant22, hierarchical, totem23, waxman, HierarchicalConfig, RoutingScheme, Topology,
+    WaxmanConfig,
+};
 use std::sync::Arc;
 
 /// Which network topology observes the traffic.
@@ -30,6 +33,11 @@ pub enum TopologySpec {
     Geant22,
     /// The paper's 23-PoP Totem network (`de` split into `de1`/`de2`).
     Totem23,
+    /// A seeded Waxman-style random topology (scale sweeps; see
+    /// [`ic_topology::generators`]).
+    Waxman(WaxmanConfig),
+    /// A seeded hierarchical backbone/PoP topology (scale sweeps).
+    Hierarchical(HierarchicalConfig),
     /// Any custom topology.
     Custom(Topology),
 }
@@ -40,16 +48,20 @@ impl TopologySpec {
         match self {
             TopologySpec::Geant22 => 22,
             TopologySpec::Totem23 => 23,
+            TopologySpec::Waxman(cfg) => cfg.nodes,
+            TopologySpec::Hierarchical(cfg) => cfg.node_count(),
             TopologySpec::Custom(t) => t.node_count(),
         }
     }
 
-    fn build(&self) -> Topology {
-        match self {
+    fn build(&self) -> Result<Topology> {
+        Ok(match self {
             TopologySpec::Geant22 => geant22(),
             TopologySpec::Totem23 => totem23(),
+            TopologySpec::Waxman(cfg) => waxman(cfg)?,
+            TopologySpec::Hierarchical(cfg) => hierarchical(cfg)?,
             TopologySpec::Custom(t) => t.clone(),
-        }
+        })
     }
 }
 
@@ -306,7 +318,7 @@ impl Scenario {
             .topology
             .as_ref()
             .expect("builder enforces a topology for estimation scenarios")
-            .build();
+            .build()?;
         let om = ObservationModel::new(&topo, self.routing)?;
         let obs = om.observe(target)?;
         let pipeline = EstimationPipeline::new(om)
@@ -361,7 +373,7 @@ impl Scenario {
         let mut stream = ReplayStream::new(target.clone());
         let (replay, prior): (ReplayReport, Option<String>) = match &self.topology {
             Some(spec) => {
-                let om = ObservationModel::new(&spec.build(), self.routing)?;
+                let om = ObservationModel::new(&spec.build()?, self.routing)?;
                 let pipeline = EstimationPipeline::new(om)
                     .with_tomogravity(self.tomogravity)
                     .with_ipf(self.ipf);
@@ -477,6 +489,21 @@ impl ScenarioBuilder {
     /// Shorthand for the 23-PoP Totem topology.
     pub fn totem23(self) -> Self {
         self.topology(TopologySpec::Totem23)
+    }
+
+    /// Shorthand for a seeded Waxman random topology of `nodes` nodes —
+    /// the scale-sweep workhorse.
+    pub fn waxman(self, nodes: usize, seed: u64) -> Self {
+        self.topology(TopologySpec::Waxman(WaxmanConfig::new(nodes, seed)))
+    }
+
+    /// Shorthand for a seeded hierarchical backbone/PoP topology.
+    pub fn hierarchical(self, backbones: usize, pops_per_backbone: usize, seed: u64) -> Self {
+        self.topology(TopologySpec::Hierarchical(HierarchicalConfig::new(
+            backbones,
+            pops_per_backbone,
+            seed,
+        )))
     }
 
     /// Sets the routing scheme of the observation model (default ECMP).
@@ -808,6 +835,33 @@ mod tests {
             .build()
             .unwrap();
         assert!(sc.run().is_err());
+    }
+
+    #[test]
+    fn scaled_topology_scenarios_run() {
+        // Waxman topology at a size beyond any hand-built network.
+        let sc = Scenario::builder("wax")
+            .synth(SynthConfig::geant_like(5).with_nodes(30).with_bins(2))
+            .waxman(30, 11)
+            .build()
+            .unwrap();
+        let report = sc.run().unwrap();
+        assert_eq!(report.bins, 2);
+        assert_eq!(sc.run().unwrap(), report, "scenario must be deterministic");
+        // Hierarchical backbone/PoP topology.
+        let sc = Scenario::builder("hier")
+            .synth(SynthConfig::geant_like(6).with_nodes(12).with_bins(2))
+            .hierarchical(3, 3, 9)
+            .build()
+            .unwrap();
+        assert!(sc.run().is_ok());
+        // Node-count mismatch is still caught at build time.
+        let err = Scenario::builder("bad")
+            .synth(tiny_synth())
+            .waxman(9, 1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("nodes"), "{err}");
     }
 
     #[test]

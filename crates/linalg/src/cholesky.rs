@@ -35,30 +35,9 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
     /// encountered.
     pub fn factor(a: &Matrix) -> Result<Self> {
-        let (m, n) = a.shape();
-        if m != n {
-            return Err(LinalgError::InvalidArgument("cholesky: matrix not square"));
-        }
-        if n == 0 {
-            return Err(LinalgError::InvalidArgument("cholesky: empty matrix"));
-        }
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if s <= 0.0 || !s.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite);
-                    }
-                    l[(i, i)] = s.sqrt();
-                } else {
-                    l[(i, j)] = s / l[(j, j)];
-                }
-            }
-        }
+        validate_square(a)?;
+        let mut l = a.clone();
+        factor_in_place(&mut l)?;
         Ok(Cholesky { l })
     }
 
@@ -82,33 +61,15 @@ impl Cholesky {
 
     /// Solves `A x = b` via forward + back substitution.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let n = self.l.rows();
-        if b.len() != n {
-            return Err(LinalgError::ShapeMismatch {
-                op: "cholesky_solve",
-                lhs: (n, n),
-                rhs: (b.len(), 1),
-            });
-        }
-        // Forward: L y = b.
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
-            }
-            y[i] = s / self.l[(i, i)];
-        }
-        // Back: Lᵀ x = y.
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
-            }
-            x[i] = s / self.l[(i, i)];
-        }
+        let mut x = vec![0.0; self.l.rows()];
+        self.solve_into(b, &mut x)?;
         Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (allocation-free;
+    /// `x` may not alias `b`). Bit-identical to [`Cholesky::solve`].
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        solve_with_factor(&self.l, b, x)
     }
 
     /// Solves `A X = B` column by column.
@@ -149,6 +110,156 @@ impl Cholesky {
     /// Log-determinant of `A` (numerically safer than `det().ln()`).
     pub fn log_det(&self) -> f64 {
         (0..self.l.rows()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
+    }
+}
+
+fn validate_square(a: &Matrix) -> Result<()> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::InvalidArgument("cholesky: matrix not square"));
+    }
+    if n == 0 {
+        return Err(LinalgError::InvalidArgument("cholesky: empty matrix"));
+    }
+    Ok(())
+}
+
+/// In-place lower-triangular factorization: on entry `l` holds `A` (only
+/// the lower triangle is read), on success it holds `L` with a zeroed
+/// upper triangle.
+fn factor_in_place(l: &mut Matrix) -> Result<()> {
+    let n = l.rows();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = l[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, i)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+        // Zero the stale upper-triangle entries of this row so `L` is a
+        // proper lower-triangular matrix for consumers of [`Cholesky::l`].
+        for j in (i + 1)..n {
+            l[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Forward + back substitution with a given factor, into `x`.
+///
+/// Uses `x` as the intermediate buffer: the forward pass writes `y` into
+/// `x`, and the backward pass overwrites each slot only after its original
+/// `y` value has been consumed.
+fn solve_with_factor(l: &Matrix, b: &[f64], x: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    if b.len() != n || x.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky_solve",
+            lhs: (n, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    // Forward: L y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * x[j];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    // Back: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(())
+}
+
+/// Reusable Cholesky storage for per-bin solves in hot loops.
+///
+/// [`Cholesky::factor`] allocates a fresh factor every call; estimation
+/// pipelines factor one `A W Aᵀ` per time bin, so a week-long series would
+/// allocate thousands of `rows²` buffers. `CholeskyWorkspace` keeps one
+/// buffer alive and re-factors into it — allocation-free once warm.
+///
+/// # Examples
+///
+/// ```
+/// use ic_linalg::{CholeskyWorkspace, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let mut ws = CholeskyWorkspace::new();
+/// ws.factor_regularized(&a, 0.0).unwrap();
+/// let mut x = [0.0; 2];
+/// ws.solve_into(&[8.0, 7.0], &mut x).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyWorkspace {
+    l: Matrix,
+    factored: bool,
+}
+
+impl Default for CholeskyWorkspace {
+    fn default() -> Self {
+        CholeskyWorkspace::new()
+    }
+}
+
+impl CholeskyWorkspace {
+    /// An empty workspace; buffers are sized on first factorization.
+    pub fn new() -> Self {
+        CholeskyWorkspace {
+            l: Matrix::zeros(0, 0),
+            factored: false,
+        }
+    }
+
+    /// Factors `a + ridge·I` into the reusable buffer.
+    ///
+    /// Numerically identical to [`Cholesky::factor_regularized`]. On
+    /// failure the workspace is left unfactored and subsequent solves
+    /// error until the next successful factorization.
+    pub fn factor_regularized(&mut self, a: &Matrix, ridge: f64) -> Result<()> {
+        if ridge < 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky: ridge must be non-negative",
+            ));
+        }
+        validate_square(a)?;
+        self.factored = false;
+        let n = a.rows();
+        if self.l.shape() != (n, n) {
+            self.l = Matrix::zeros(n, n);
+        }
+        self.l.as_mut_slice().copy_from_slice(a.as_slice());
+        for i in 0..n {
+            self.l[(i, i)] += ridge;
+        }
+        factor_in_place(&mut self.l)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves with the most recent factorization, into `x`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if !self.factored {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky workspace: no valid factorization",
+            ));
+        }
+        solve_with_factor(&self.l, b, x)
     }
 }
 
@@ -216,6 +327,48 @@ mod tests {
     fn rejects_negative_definite() {
         let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap();
         assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn workspace_matches_one_shot_factorization() {
+        let a = spd3();
+        let ch = Cholesky::factor_regularized(&a, 1e-6).unwrap();
+        let mut ws = CholeskyWorkspace::new();
+        ws.factor_regularized(&a, 1e-6).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let mut x = [0.0; 3];
+        ws.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), ch.solve(&b).unwrap());
+        // Refactoring with a different matrix reuses the buffer.
+        let a2 = Matrix::identity(3);
+        ws.factor_regularized(&a2, 0.0).unwrap();
+        ws.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn workspace_guards_misuse() {
+        let mut ws = CholeskyWorkspace::default();
+        let mut x = [0.0; 2];
+        assert!(ws.solve_into(&[1.0, 1.0], &mut x).is_err());
+        assert!(ws.factor_regularized(&Matrix::zeros(2, 3), 0.0).is_err());
+        assert!(ws.factor_regularized(&Matrix::identity(2), -1.0).is_err());
+        // A failed factorization invalidates the workspace.
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        ws.factor_regularized(&Matrix::identity(2), 0.0).unwrap();
+        assert!(ws.factor_regularized(&indef, 0.0).is_err());
+        assert!(ws.solve_into(&[1.0, 1.0], &mut x).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [0.5, -1.0, 2.0];
+        let mut x = [0.0; 3];
+        ch.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), ch.solve(&b).unwrap());
+        assert!(ch.solve_into(&b, &mut [0.0; 2]).is_err());
     }
 
     #[test]

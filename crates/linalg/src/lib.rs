@@ -26,11 +26,13 @@
 //!
 //! ## What is implemented / omitted
 //!
-//! Implemented: everything the traffic-matrix pipelines need (see above).
-//! Omitted: complex scalars, sparse storage (the paper's matrices are at
-//! most a few thousand columns; routing matrices are small enough dense),
-//! LU with pivoting (Cholesky + QR cover all solves we perform), and
-//! eigendecomposition (not needed).
+//! Implemented: everything the traffic-matrix pipelines need (see above),
+//! plus a CSR [`SparseMatrix`] ([`sparse`]) — routing matrices of
+//! production-scale topologies are overwhelmingly sparse, and the
+//! estimation hot path (tomogravity's `A W Aᵀ`, link-count matvecs) runs
+//! on the sparse representation.
+//! Omitted: complex scalars, LU with pivoting (Cholesky + QR cover all
+//! solves we perform), and eigendecomposition (not needed).
 
 pub mod cholesky;
 pub mod matrix;
@@ -38,14 +40,16 @@ pub mod nnls;
 pub mod pinv;
 pub mod qr;
 pub mod simplex;
+pub mod sparse;
 pub mod svd;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, CholeskyWorkspace};
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsOptions};
 pub use pinv::pseudo_inverse;
 pub use qr::Qr;
 pub use simplex::project_to_simplex;
+pub use sparse::SparseMatrix;
 pub use svd::Svd;
 
 /// Errors produced by linear-algebra routines.

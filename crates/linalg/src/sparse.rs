@@ -1,0 +1,610 @@
+//! Compressed sparse row (CSR) matrices for the estimation hot path.
+//!
+//! Routing matrices are overwhelmingly sparse: a column of `R` holds one
+//! entry per hop of one OD pair's path, so the density of a realistic
+//! `links x n²` routing matrix falls like `1/links`. The dense kernels in
+//! [`crate::matrix`] make every tomogravity/IPF/fit iteration
+//! `O(links · n²)` regardless; [`SparseMatrix`] restores the
+//! `O(nnz)` cost that lets the pipelines reach hundreds-of-nodes
+//! topologies.
+//!
+//! The format is classic CSR: `row_ptr` (length `rows + 1`) delimits each
+//! row's slice of `col_idx`/`values`, with column indices strictly
+//! increasing inside a row. All operations are deterministic and
+//! allocation-free in their `_into` variants, which is what the per-bin
+//! estimation workspaces build on.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// A sparse, row-major (CSR) matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use ic_linalg::{Matrix, SparseMatrix};
+///
+/// let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 3.0]]).unwrap();
+/// let s = SparseMatrix::from_dense(&d);
+/// assert_eq!(s.nnz(), 3);
+/// assert_eq!(s.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 3.0]);
+/// assert_eq!(s.to_dense(), d);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Creates an empty `rows x cols` matrix (no stored entries).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping exact zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed and entries
+    /// that cancel to exactly zero are dropped. Returns
+    /// [`LinalgError::InvalidArgument`] when an index is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+        for (r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidArgument(
+                    "from_triplets: index out of bounds",
+                ));
+            }
+            if v != 0.0 {
+                entries.push((r, c, v));
+            }
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates, then drop anything that cancelled to exactly
+        // zero so nnz/density/equality reflect the stored values.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|e| e.1).collect();
+        let values = merged.iter().map(|e| e.2).collect();
+        Ok(SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Materializes the dense equivalent.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let row = out.row_mut(i);
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                row[c] += v;
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored: `nnz / (rows * cols)` (0 for an empty
+    /// shape).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Row `i` as parallel `(column indices, values)` slices.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` (consistent with slice indexing).
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Copies column `j` into a dense vector (an `O(nnz)` scan; use the
+    /// transpose for repeated column access).
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            if let Ok(k) = cols.binary_search(&j) {
+                out[i] = vals[k];
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product into a caller-provided buffer
+    /// (allocation-free).
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if v.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut s = 0.0;
+            for (&c, &a) in cols.iter().zip(vals.iter()) {
+                s += a * v[c];
+            }
+            *o = s;
+        }
+        Ok(())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * v`, computed by row
+    /// scatter (no transpose materialized).
+    pub fn matvec_transposed(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols];
+        self.matvec_transposed_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product into a caller-provided buffer.
+    pub fn matvec_transposed_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if v.len() != self.rows || out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_matvec_transposed",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&c, &a) in cols.iter().zip(vals.iter()) {
+                out[c] += vi * a;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose as a new CSR matrix (counting sort; `O(nnz +
+    /// rows + cols)`).
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let pos = next[c];
+                next[c] += 1;
+                col_idx[pos] = i;
+                values[pos] = v;
+            }
+        }
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Computes `self · diag(weights) · selfᵀ` as a dense `rows x rows`
+    /// matrix (the tomogravity normal-equations operator `A W Aᵀ`).
+    ///
+    /// The result is small and dense even when `self` is huge and sparse,
+    /// so dense output is the right container. `transpose` must be the
+    /// precomputed [`SparseMatrix::transpose`] of `self`; passing it in
+    /// lets per-bin callers amortize the transposition.
+    pub fn awat_into(
+        &self,
+        weights: &[f64],
+        transpose: &SparseMatrix,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if weights.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_awat",
+                lhs: self.shape(),
+                rhs: (weights.len(), 1),
+            });
+        }
+        if transpose.shape() != (self.cols, self.rows) || out.shape() != (self.rows, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_awat",
+                lhs: transpose.shape(),
+                rhs: out.shape(),
+            });
+        }
+        out.as_mut_slice().fill(0.0);
+        for r1 in 0..self.rows {
+            let (cols, vals) = self.row(r1);
+            let out_row = out.row_mut(r1);
+            for (&c, &v1) in cols.iter().zip(vals.iter()) {
+                let coeff = v1 * weights[c];
+                if coeff == 0.0 {
+                    continue;
+                }
+                let (r2s, v2s) = transpose.row(c);
+                for (&r2, &v2) in r2s.iter().zip(v2s.iter()) {
+                    out_row[r2] += coeff * v2;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience allocating form of [`SparseMatrix::awat_into`].
+    pub fn awat(&self, weights: &[f64]) -> Result<Matrix> {
+        let t = self.transpose();
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        self.awat_into(weights, &t, &mut out)?;
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self ; rhs]`; column counts must match.
+    pub fn vstack(&self, rhs: &SparseMatrix) -> Result<SparseMatrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_vstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + rhs.rows + 1);
+        row_ptr.extend_from_slice(&self.row_ptr);
+        let base = self.nnz();
+        row_ptr.extend(rhs.row_ptr.iter().skip(1).map(|&p| p + base));
+        let mut col_idx = Vec::with_capacity(self.nnz() + rhs.nnz());
+        col_idx.extend_from_slice(&self.col_idx);
+        col_idx.extend_from_slice(&rhs.col_idx);
+        let mut values = Vec::with_capacity(self.nnz() + rhs.nnz());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&rhs.values);
+        Ok(SparseMatrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Selects rows by index (in the given order) into a new matrix.
+    ///
+    /// Used to slice routing matrices down to an instrumented subset of
+    /// links. Indices may repeat.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<SparseMatrix> {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in rows {
+            if r >= self.rows {
+                return Err(LinalgError::InvalidArgument(
+                    "select_rows: row index out of bounds",
+                ));
+            }
+            let (cols, vals) = self.row(r);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SparseMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Selects columns by index (in the given order) into a new matrix.
+    ///
+    /// Used to slice a routing matrix down to a subset of OD pairs.
+    /// Duplicate column indices are rejected.
+    pub fn select_cols(&self, cols: &[usize]) -> Result<SparseMatrix> {
+        let mut map = vec![usize::MAX; self.cols];
+        for (new, &old) in cols.iter().enumerate() {
+            if old >= self.cols {
+                return Err(LinalgError::InvalidArgument(
+                    "select_cols: column index out of bounds",
+                ));
+            }
+            if map[old] != usize::MAX {
+                return Err(LinalgError::InvalidArgument(
+                    "select_cols: duplicate column index",
+                ));
+            }
+            map[old] = new;
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..self.rows {
+            scratch.clear();
+            let (rcols, rvals) = self.row(i);
+            for (&c, &v) in rcols.iter().zip(rvals.iter()) {
+                if map[c] != usize::MAX {
+                    scratch.push((map[c], v));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SparseMatrix {
+            rows: self.rows,
+            cols: cols.len(),
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// True when every stored value is finite.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[3.0, 4.0, 0.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.shape(), (3, 4));
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.to_dense(), d);
+        assert!((s.density() - 5.0 / 12.0).abs() < 1e-15);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn triplets_match_dense_build() {
+        let d = sample_dense();
+        let mut trips = Vec::new();
+        for i in 0..3 {
+            for j in 0..4 {
+                if d[(i, j)] != 0.0 {
+                    trips.push((i, j, d[(i, j)]));
+                }
+            }
+        }
+        // Out-of-order with a duplicate split in two halves.
+        trips.reverse();
+        trips.push((2, 1, 2.0));
+        trips.push((2, 1, 2.0));
+        let s = SparseMatrix::from_triplets(3, 4, trips).unwrap();
+        let mut expect = d.clone();
+        expect[(2, 1)] += 4.0;
+        assert_eq!(s.to_dense(), expect);
+        assert!(SparseMatrix::from_triplets(2, 2, [(2, 0, 1.0)]).is_err());
+        assert!(SparseMatrix::from_triplets(2, 2, [(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn cancelled_duplicates_are_dropped() {
+        let s =
+            SparseMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, -1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s, SparseMatrix::from_triplets(2, 2, [(1, 1, 2.0)]).unwrap());
+        assert_eq!(s.to_dense()[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn empty_rows_and_zeros() {
+        let s = SparseMatrix::zeros(3, 5);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.to_dense(), Matrix::zeros(3, 5));
+        let s = SparseMatrix::from_triplets(3, 5, [(1, 1, 0.0)]).unwrap();
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(SparseMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let v = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(s.matvec(&v).unwrap(), d.matvec(&v).unwrap());
+        assert!(s.matvec(&[1.0]).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(s.matvec_into(&v, &mut out).is_err());
+    }
+
+    #[test]
+    fn matvec_transposed_matches_dense() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let v = [2.0, -1.0, 0.25];
+        assert_eq!(
+            s.matvec_transposed(&v).unwrap(),
+            d.matvec_transposed(&v).unwrap()
+        );
+        assert!(s.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.transpose().to_dense(), d.transpose());
+        assert_eq!(s.transpose().transpose().to_dense(), d);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        for j in 0..4 {
+            assert_eq!(s.col(j), d.col(j));
+        }
+    }
+
+    #[test]
+    fn awat_matches_dense_computation() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let w = [0.5, 2.0, 1.0, 3.0];
+        // Dense reference: A · diag(w) · Aᵀ.
+        let aw = {
+            let mut m = d.clone();
+            for i in 0..m.rows() {
+                for (j, v) in m.row_mut(i).iter_mut().enumerate() {
+                    *v *= w[j];
+                }
+            }
+            m
+        };
+        let expect = aw.matmul(&d.transpose()).unwrap();
+        let got = s.awat(&w).unwrap();
+        assert!(got.approx_eq(&expect, 1e-12));
+        // The _into variant with a stale transpose shape errors.
+        let mut out = Matrix::zeros(3, 3);
+        assert!(s.awat_into(&w, &s, &mut out).is_err());
+        assert!(s.awat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn vstack_matches_dense() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let stacked = s.vstack(&s).unwrap();
+        assert_eq!(stacked.to_dense(), d.vstack(&d).unwrap());
+        let other = SparseMatrix::zeros(1, 3);
+        assert!(s.vstack(&other).is_err());
+    }
+
+    #[test]
+    fn row_and_col_selection() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let top = s.select_rows(&[2, 0]).unwrap();
+        assert_eq!(top.to_dense().row(0), d.row(2));
+        assert_eq!(top.to_dense().row(1), d.row(0));
+        assert!(s.select_rows(&[9]).is_err());
+        let sub = s.select_cols(&[3, 0]).unwrap();
+        assert_eq!(sub.shape(), (3, 2));
+        assert_eq!(sub.to_dense().col(0), d.col(3));
+        assert_eq!(sub.to_dense().col(1), d.col(0));
+        assert!(s.select_cols(&[9]).is_err());
+        assert!(s.select_cols(&[0, 0]).is_err());
+    }
+}

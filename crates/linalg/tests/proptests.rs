@@ -7,7 +7,9 @@
 
 use ic_linalg::pinv::satisfies_moore_penrose;
 use ic_linalg::qr::solve;
-use ic_linalg::{nnls, project_to_simplex, pseudo_inverse, Matrix, NnlsOptions, Qr, Svd};
+use ic_linalg::{
+    nnls, project_to_simplex, pseudo_inverse, Matrix, NnlsOptions, Qr, SparseMatrix, Svd,
+};
 use proptest::prelude::*;
 
 fn small_shape() -> impl Strategy<Value = (usize, usize)> {
@@ -123,6 +125,80 @@ proptest! {
     }
 
     #[test]
+    fn sparse_round_trips_dense(rows in 1usize..9, cols in 1usize..9, seed in any::<u64>()) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        prop_assert_eq!(s.to_dense(), d.clone());
+        prop_assert_eq!(s.transpose().to_dense(), d.transpose());
+        prop_assert_eq!(s.transpose().transpose().to_dense(), d);
+    }
+
+    #[test]
+    fn sparse_matvec_agrees_with_dense(rows in 1usize..9, cols in 1usize..9, seed in any::<u64>()) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        let v: Vec<f64> = deterministic_matrix(cols, 1, seed ^ 0x5151).into_vec();
+        let sparse = s.matvec(&v).unwrap();
+        let dense = d.matvec(&v).unwrap();
+        // Bit-for-bit: both kernels accumulate left-to-right over columns.
+        prop_assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn sparse_matvec_transposed_agrees_with_dense(
+        rows in 1usize..9, cols in 1usize..9, seed in any::<u64>()
+    ) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        let v: Vec<f64> = deterministic_matrix(rows, 1, seed ^ 0xabcd).into_vec();
+        // Bit-for-bit: both scatter row-by-row in the same order.
+        prop_assert_eq!(s.matvec_transposed(&v).unwrap(), d.matvec_transposed(&v).unwrap());
+    }
+
+    #[test]
+    fn sparse_awat_agrees_with_dense(rows in 1usize..7, cols in 1usize..9, seed in any::<u64>()) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        let w: Vec<f64> = deterministic_matrix(cols, 1, seed ^ 0x77)
+            .into_vec()
+            .iter()
+            .map(|v| v.abs())
+            .collect();
+        // Dense reference: (A · diag(w)) · Aᵀ.
+        let mut aw = d.clone();
+        for i in 0..rows {
+            for (j, v) in aw.row_mut(i).iter_mut().enumerate() {
+                *v *= w[j];
+            }
+        }
+        let expect = aw.matmul(&d.transpose()).unwrap();
+        let got = s.awat(&w).unwrap();
+        prop_assert!(
+            got.approx_eq(&expect, 1e-12 * (1.0 + expect.max_abs())),
+            "awat mismatch: {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn sparse_stacking_and_slicing_agree_with_dense(
+        rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()
+    ) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        prop_assert_eq!(s.vstack(&s).unwrap().to_dense(), d.vstack(&d).unwrap());
+        let keep: Vec<usize> = (0..rows).rev().collect();
+        let sel = s.select_rows(&keep).unwrap().to_dense();
+        for (new, &old) in keep.iter().enumerate() {
+            prop_assert_eq!(sel.row(new), d.row(old));
+        }
+        let keep_cols: Vec<usize> = (0..cols).step_by(2).collect();
+        let sel = s.select_cols(&keep_cols).unwrap().to_dense();
+        for (new, &old) in keep_cols.iter().enumerate() {
+            prop_assert_eq!(sel.col(new), d.col(old));
+        }
+    }
+
+    #[test]
     fn transpose_reverses_matmul(seed in any::<u64>()) {
         let a = deterministic_matrix(3, 4, seed);
         let b = deterministic_matrix(4, 2, seed ^ 7);
@@ -147,4 +223,18 @@ fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     };
     let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
     Matrix::from_vec(rows, cols, data).expect("sized data")
+}
+
+/// Like [`deterministic_matrix`] but ~70% of the entries are exact zeros,
+/// mimicking routing-matrix sparsity.
+fn deterministic_sparse_dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = deterministic_matrix(rows, cols, seed);
+    let gate = deterministic_matrix(rows, cols, seed ^ 0x0f0f_f0f0);
+    for (v, g) in m.as_mut_slice().iter_mut().zip(gate.as_slice().iter()) {
+        if *g < 4.0 {
+            // gate is uniform on [-10, 10): ~70% of entries zeroed.
+            *v = 0.0;
+        }
+    }
+    m
 }

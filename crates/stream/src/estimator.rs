@@ -22,7 +22,7 @@ use crate::{Result, StreamError};
 use ic_core::{
     fit_stable_fp, gravity_from_marginals, mean_rel_l2, FitOptions, FitResult, TmSeries,
 };
-use ic_estimation::{EstimationPipeline, GravityPrior, StableFpPrior, TmPrior};
+use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace, StableFpPrior, TmPrior};
 
 /// One window's estimation outcome.
 #[derive(Debug, Clone)]
@@ -264,6 +264,10 @@ pub struct StreamingTomogravity {
     pipeline: EstimationPipeline,
     fit_options: FitOptions,
     previous: Option<FitResult>,
+    /// Reused across windows: per-bin tomogravity/IPF scratch, so the
+    /// steady-state estimation loop is allocation-free (results are
+    /// bit-identical to fresh-workspace runs).
+    workspace: PipelineWorkspace,
 }
 
 impl StreamingTomogravity {
@@ -274,6 +278,7 @@ impl StreamingTomogravity {
             pipeline,
             fit_options: FitOptions::default(),
             previous: None,
+            workspace: PipelineWorkspace::new(),
         }
     }
 
@@ -307,7 +312,7 @@ impl OnlineEstimator for StreamingTomogravity {
         };
         let estimate = self
             .pipeline
-            .estimate(prior.as_ref(), &obs)
+            .estimate_with(prior.as_ref(), &obs, &mut self.workspace)
             .map_err(StreamError::from)?;
         let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
         // The window's TM has now "been measured": refresh the rolling

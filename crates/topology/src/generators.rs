@@ -1,0 +1,388 @@
+//! Seeded synthetic topology generators for scale sweeps.
+//!
+//! The paper's estimation experiments run on 6–23-node PoP topologies; the
+//! production goal is networks far beyond that, where the routing matrix
+//! is overwhelmingly sparse. These generators produce *realistic-shaped*
+//! networks at any size so experiments and benches can sweep topology
+//! scale:
+//!
+//! * [`waxman`] — the classic Waxman random geometric graph: nodes placed
+//!   uniformly in the unit square, links drawn with probability
+//!   `β · exp(−d / (α · L))`, plus a random spanning tree so the result is
+//!   always strongly connected;
+//! * [`hierarchical`] — a backbone/PoP design like real ISP networks: a
+//!   ring-plus-chords core of backbone routers, each serving a cluster of
+//!   access PoPs, with optional dual-homing for path diversity.
+//!
+//! Both are **deterministic in their seed**: the same config produces the
+//! same [`Topology`] node-for-node and link-for-link (proptest-locked), so
+//! benchmark numbers and experiment sweeps are reproducible.
+
+use crate::graph::Topology;
+use crate::{Result, TopologyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default link capacity: 10 Gbit/s expressed in bytes per 5-minute bin
+/// (matches the hand-built topologies in [`crate::builders`]).
+const CAP_10G_5MIN: f64 = 10.0e9 / 8.0 * 300.0;
+
+/// Configuration of the [`waxman`] generator.
+///
+/// Marked `#[non_exhaustive]`: construct via [`WaxmanConfig::new`] and the
+/// `with_*` setters so future knobs are not breaking changes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct WaxmanConfig {
+    /// Number of nodes (≥ 1).
+    pub nodes: usize,
+    /// RNG seed; equal seeds give equal topologies.
+    pub seed: u64,
+    /// Distance decay scale `α` in `(0, 1]`: larger values tolerate longer
+    /// links (default 0.25).
+    pub alpha: f64,
+    /// Maximum connection probability `β` in `(0, 1]` (default 0.4).
+    pub beta: f64,
+}
+
+impl WaxmanConfig {
+    /// A Waxman config of `nodes` nodes with the default shape parameters.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        WaxmanConfig {
+            nodes,
+            seed,
+            alpha: 0.25,
+            beta: 0.4,
+        }
+    }
+
+    /// Sets the distance decay scale `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the maximum connection probability `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let in_unit = |v: f64| v > 0.0 && v <= 1.0;
+        if !in_unit(self.alpha) || !in_unit(self.beta) {
+            return Err(TopologyError::InvalidLink {
+                from: "waxman".to_string(),
+                to: "waxman".to_string(),
+                reason: "alpha and beta must lie in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generates a Waxman-style random topology.
+///
+/// Nodes are named `w000`, `w001`, …; every link is symmetric with an IGP
+/// weight proportional to its Euclidean length (so shortest paths follow
+/// geography, like IGP metrics tuned to fiber latency). A uniform random
+/// spanning tree is laid down first, guaranteeing strong connectivity for
+/// every seed.
+///
+/// # Examples
+///
+/// ```
+/// use ic_topology::{waxman, WaxmanConfig};
+///
+/// let topo = waxman(&WaxmanConfig::new(50, 7)).unwrap();
+/// assert_eq!(topo.node_count(), 50);
+/// topo.validate().unwrap();
+/// // Determinism: the same config reproduces the same graph.
+/// assert_eq!(topo, waxman(&WaxmanConfig::new(50, 7)).unwrap());
+/// ```
+pub fn waxman(config: &WaxmanConfig) -> Result<Topology> {
+    config.validate()?;
+    let n = config.nodes;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut topo = Topology::new(format!("waxman{n}-s{}", config.seed));
+    for k in 0..n {
+        topo.add_node(format!("w{k:03}"))?;
+    }
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = positions[a];
+        let (bx, by) = positions[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+    // IGP weight from geometric length: strictly positive, roughly
+    // latency-proportional, quantized to half-integers like hand-tuned
+    // metrics.
+    let weight = |d: f64| 1.0 + (20.0 * d).round() / 2.0;
+    let mut linked = vec![false; n * n];
+    let link = |topo: &mut Topology, linked: &mut Vec<bool>, a: usize, b: usize| -> Result<()> {
+        linked[a * n + b] = true;
+        linked[b * n + a] = true;
+        topo.add_symmetric_link(a, b, weight(dist(a, b)), CAP_10G_5MIN)?;
+        Ok(())
+    };
+    // Random spanning tree: node k attaches to a uniform earlier node.
+    for k in 1..n {
+        let parent = rng.gen_range(0..k);
+        link(&mut topo, &mut linked, k, parent)?;
+    }
+    // Waxman links over the remaining pairs.
+    let l_max = core::f64::consts::SQRT_2;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if linked[a * n + b] {
+                continue;
+            }
+            let p = config.beta * (-dist(a, b) / (config.alpha * l_max)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                link(&mut topo, &mut linked, a, b)?;
+            }
+        }
+    }
+    topo.validate()?;
+    Ok(topo)
+}
+
+/// Configuration of the [`hierarchical`] generator.
+///
+/// Marked `#[non_exhaustive]`: construct via [`HierarchicalConfig::new`]
+/// and the `with_*` setters so future knobs are not breaking changes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct HierarchicalConfig {
+    /// Number of backbone routers (≥ 1).
+    pub backbones: usize,
+    /// Access PoPs attached to each backbone router.
+    pub pops_per_backbone: usize,
+    /// RNG seed; equal seeds give equal topologies.
+    pub seed: u64,
+    /// Extra random chords added across the backbone ring (default
+    /// `backbones / 3`), giving the core path diversity.
+    pub backbone_chords: usize,
+    /// Probability that a PoP is dual-homed to a second backbone router
+    /// (default 0.3).
+    pub dual_homing: f64,
+}
+
+impl HierarchicalConfig {
+    /// A hierarchical config with default chord count and dual-homing.
+    pub fn new(backbones: usize, pops_per_backbone: usize, seed: u64) -> Self {
+        HierarchicalConfig {
+            backbones,
+            pops_per_backbone,
+            seed,
+            backbone_chords: backbones / 3,
+            dual_homing: 0.3,
+        }
+    }
+
+    /// Sets the number of extra backbone chords.
+    pub fn with_backbone_chords(mut self, chords: usize) -> Self {
+        self.backbone_chords = chords;
+        self
+    }
+
+    /// Sets the dual-homing probability (in `[0, 1]`).
+    pub fn with_dual_homing(mut self, p: f64) -> Self {
+        self.dual_homing = p;
+        self
+    }
+
+    /// Total node count of the generated topology.
+    pub fn node_count(&self) -> usize {
+        self.backbones * (1 + self.pops_per_backbone)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.backbones == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if !(0.0..=1.0).contains(&self.dual_homing) {
+            return Err(TopologyError::InvalidLink {
+                from: "hierarchical".to_string(),
+                to: "hierarchical".to_string(),
+                reason: "dual_homing must lie in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generates a hierarchical backbone/PoP topology.
+///
+/// The core is a ring of backbone routers (`b00`, `b01`, …) with
+/// `backbone_chords` extra random chords; each backbone serves
+/// `pops_per_backbone` access PoPs (`p03-1` = PoP 1 of backbone 3) over a
+/// cheap access link, optionally dual-homed to a second backbone. This is
+/// the canonical shape of an ISP network one level below PoP aggregation,
+/// and it scales the estimation problem to hundreds of nodes while keeping
+/// the routing matrix realistically sparse and rank-deficient.
+///
+/// # Examples
+///
+/// ```
+/// use ic_topology::{hierarchical, HierarchicalConfig};
+///
+/// let cfg = HierarchicalConfig::new(10, 9, 42);
+/// let topo = hierarchical(&cfg).unwrap();
+/// assert_eq!(topo.node_count(), cfg.node_count());
+/// topo.validate().unwrap();
+/// ```
+pub fn hierarchical(config: &HierarchicalConfig) -> Result<Topology> {
+    config.validate()?;
+    let b = config.backbones;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut topo = Topology::new(format!(
+        "hier{}x{}-s{}",
+        b, config.pops_per_backbone, config.seed
+    ));
+    let backbone_ids: Vec<usize> = (0..b)
+        .map(|k| topo.add_node(format!("b{k:02}")))
+        .collect::<Result<_>>()?;
+    // Backbone ring with randomized core metrics (5..15, like the
+    // hand-built Géant weights).
+    if b > 1 {
+        for k in 0..b {
+            let next = (k + 1) % b;
+            if b == 2 && k == 1 {
+                break; // avoid doubling the single ring link
+            }
+            let w = rng.gen_range(5.0_f64..15.0).round();
+            topo.add_symmetric_link(backbone_ids[k], backbone_ids[next], w, CAP_10G_5MIN)?;
+        }
+    }
+    // Random chords for core path diversity.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while b > 3 && added < config.backbone_chords && attempts < 20 * config.backbone_chords {
+        attempts += 1;
+        let a = rng.gen_range(0..b);
+        let c = rng.gen_range(0..b);
+        let ring_adjacent = a == c || (a + 1) % b == c || (c + 1) % b == a;
+        if ring_adjacent {
+            continue;
+        }
+        let w = rng.gen_range(8.0_f64..20.0).round();
+        // add_symmetric_link tolerates parallel links; dedup by checking
+        // existing adjacency to keep the graph simple.
+        let exists = topo
+            .out_links(backbone_ids[a])
+            .any(|(_, l)| l.to == backbone_ids[c]);
+        if exists {
+            continue;
+        }
+        topo.add_symmetric_link(backbone_ids[a], backbone_ids[c], w, CAP_10G_5MIN)?;
+        added += 1;
+    }
+    // Access PoPs: cheap primary homing, optional dual homing.
+    for k in 0..b {
+        for p in 0..config.pops_per_backbone {
+            let pop = topo.add_node(format!("p{k:02}-{p}"))?;
+            let w = rng.gen_range(1.0_f64..5.0).round();
+            topo.add_symmetric_link(pop, backbone_ids[k], w, CAP_10G_5MIN)?;
+            if b > 1 && rng.gen_bool(config.dual_homing) {
+                let mut other = rng.gen_range(0..b - 1);
+                if other >= k {
+                    other += 1;
+                }
+                let w2 = rng.gen_range(2.0_f64..8.0).round();
+                topo.add_symmetric_link(pop, backbone_ids[other], w2, CAP_10G_5MIN)?;
+            }
+        }
+    }
+    topo.validate()?;
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{RoutingMatrix, RoutingScheme};
+
+    #[test]
+    fn waxman_shape_and_determinism() {
+        let cfg = WaxmanConfig::new(40, 123).with_alpha(0.3).with_beta(0.5);
+        let a = waxman(&cfg).unwrap();
+        let b = waxman(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.node_count(), 40);
+        assert!(a.validate().is_ok());
+        // Symmetric construction ⇒ even link count, at least a tree.
+        assert_eq!(a.link_count() % 2, 0);
+        assert!(a.link_count() >= 2 * 39);
+        // A different seed yields a different graph.
+        let c = waxman(&WaxmanConfig::new(40, 124)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn waxman_validates_config() {
+        assert!(waxman(&WaxmanConfig::new(0, 1)).is_err());
+        assert!(waxman(&WaxmanConfig::new(5, 1).with_alpha(0.0)).is_err());
+        assert!(waxman(&WaxmanConfig::new(5, 1).with_beta(1.5)).is_err());
+    }
+
+    #[test]
+    fn waxman_single_node_is_valid() {
+        let t = waxman(&WaxmanConfig::new(1, 9)).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn hierarchical_shape_and_determinism() {
+        let cfg = HierarchicalConfig::new(8, 4, 77);
+        let a = hierarchical(&cfg).unwrap();
+        assert_eq!(a.node_count(), cfg.node_count());
+        assert_eq!(a, hierarchical(&cfg).unwrap());
+        assert!(a.validate().is_ok());
+        // Every PoP has at least its primary access link.
+        assert!(a.link_count() >= 2 * (8 + 8 * 4));
+    }
+
+    #[test]
+    fn hierarchical_validates_config() {
+        assert!(hierarchical(&HierarchicalConfig::new(0, 3, 1)).is_err());
+        assert!(hierarchical(&HierarchicalConfig::new(3, 3, 1).with_dual_homing(2.0)).is_err());
+    }
+
+    #[test]
+    fn hierarchical_small_cores_route() {
+        for b in [1usize, 2, 3] {
+            let cfg = HierarchicalConfig::new(b, 2, 5);
+            let t = hierarchical(&cfg).unwrap();
+            assert_eq!(t.node_count(), cfg.node_count());
+            let r = RoutingMatrix::build(&t, RoutingScheme::Ecmp).unwrap();
+            assert_eq!(r.link_count(), t.link_count());
+        }
+    }
+
+    #[test]
+    fn generated_topologies_route_sparsely() {
+        // The whole point of the generators: big topologies with a routing
+        // matrix whose density collapses.
+        let t = waxman(&WaxmanConfig::new(60, 3)).unwrap();
+        let r = RoutingMatrix::build(&t, RoutingScheme::Ecmp).unwrap();
+        assert!(
+            r.as_sparse().density() < 0.1,
+            "density {}",
+            r.as_sparse().density()
+        );
+        let t = hierarchical(&HierarchicalConfig::new(10, 5, 3)).unwrap();
+        let r = RoutingMatrix::build(&t, RoutingScheme::SinglePath).unwrap();
+        assert!(
+            r.as_sparse().density() < 0.1,
+            "density {}",
+            r.as_sparse().density()
+        );
+    }
+}

@@ -16,7 +16,10 @@
 //!   incidence operators `H` and `G` of Section 6.2,
 //! * [`builders`] — ready-made topologies mirroring the paper's networks:
 //!   a 22-PoP Géant, the 23-PoP Totem variant (`de` split into
-//!   `de1`/`de2`), and the 11-node Abilene backbone.
+//!   `de1`/`de2`), and the 11-node Abilene backbone,
+//! * [`generators`] — seeded synthetic topology generators for scale
+//!   sweeps beyond PoP size: Waxman-style random geometric graphs and
+//!   hierarchical backbone/PoP networks from tens to hundreds of nodes.
 //!
 //! ## OD-pair vectorization convention
 //!
@@ -26,12 +29,17 @@
 //! point and crosses no backbone link).
 
 pub mod builders;
+pub mod generators;
 pub mod graph;
 pub mod routing;
 
 pub use builders::{abilene, geant22, totem23};
+pub use generators::{hierarchical, waxman, HierarchicalConfig, WaxmanConfig};
 pub use graph::{LinkId, NodeId, Topology};
-pub use routing::{egress_incidence, ingress_incidence, RoutingMatrix, RoutingScheme};
+pub use routing::{
+    egress_incidence, egress_incidence_sparse, ingress_incidence, ingress_incidence_sparse,
+    RoutingMatrix, RoutingScheme,
+};
 
 /// Errors produced by topology and routing routines.
 #[derive(Debug, Clone, PartialEq)]

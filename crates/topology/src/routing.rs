@@ -14,8 +14,9 @@
 
 use crate::graph::{NodeId, Topology};
 use crate::{Result, TopologyError};
-use ic_linalg::Matrix;
+use ic_linalg::{Matrix, SparseMatrix};
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Routing scheme used to build the routing matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,13 @@ pub enum RoutingScheme {
 /// The routing matrix of a topology: `links x od_pairs`, entry = fraction
 /// of the OD pair's traffic crossing the link.
 ///
+/// The matrix is stored **sparse** (CSR): a column holds one entry per hop
+/// of one OD pair's path, so density falls like `1/links` and a
+/// production-scale `R` is overwhelmingly zero. The sparse view drives the
+/// estimation hot path ([`RoutingMatrix::link_counts`], tomogravity's
+/// `A W Aᵀ`); a dense view is materialized lazily on first
+/// [`RoutingMatrix::as_matrix`] call for code that still wants it.
+///
 /// # Examples
 ///
 /// ```
@@ -41,10 +49,15 @@ pub enum RoutingScheme {
 /// let col = routing.od_fractions(0, 1);
 /// let total: f64 = col.iter().sum();
 /// assert!(total >= 1.0 - 1e-9);
+/// // The sparse view is the primary representation.
+/// assert!(routing.as_sparse().density() < 0.5);
 /// ```
 #[derive(Debug, Clone)]
 pub struct RoutingMatrix {
-    matrix: Matrix,
+    sparse: SparseMatrix,
+    /// Lazily materialized dense view (kept for dense-path consumers and
+    /// benchmarks; never built unless asked for).
+    dense: OnceLock<Matrix>,
     node_count: usize,
 }
 
@@ -60,7 +73,7 @@ impl RoutingMatrix {
         topo.validate()?;
         let n = topo.node_count();
         let l = topo.link_count();
-        let mut matrix = Matrix::zeros(l, n * n);
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
         match scheme {
             RoutingScheme::SinglePath => {
                 // Destination-based: for each destination t, compute
@@ -89,7 +102,7 @@ impl RoutingMatrix {
                                 from: topo.node_name(s).to_string(),
                                 to: topo.node_name(t).to_string(),
                             })?;
-                            matrix[(lid, od)] = 1.0;
+                            triplets.push((lid, od, 1.0));
                             u = v;
                             hops += 1;
                             if hops > n {
@@ -134,22 +147,32 @@ impl RoutingMatrix {
                                     < EPS;
                             if on_shortest {
                                 let through = count_s[link.from] * count_to_t[link.to];
-                                matrix[(lid, od)] = through / total_paths;
+                                triplets.push((lid, od, through / total_paths));
                             }
                         }
                     }
                 }
             }
         }
+        let sparse = SparseMatrix::from_triplets(l, n * n, triplets)
+            .expect("routing triplets are in bounds by construction");
         Ok(RoutingMatrix {
-            matrix,
+            sparse,
+            dense: OnceLock::new(),
             node_count: n,
         })
     }
 
-    /// The underlying `links x n²` matrix.
+    /// The `links x n²` matrix as a dense view (materialized lazily on
+    /// first call and cached; prefer [`RoutingMatrix::as_sparse`] in hot
+    /// paths).
     pub fn as_matrix(&self) -> &Matrix {
-        &self.matrix
+        self.dense.get_or_init(|| self.sparse.to_dense())
+    }
+
+    /// The `links x n²` matrix in its primary sparse (CSR) representation.
+    pub fn as_sparse(&self) -> &SparseMatrix {
+        &self.sparse
     }
 
     /// Number of nodes of the routed topology.
@@ -159,22 +182,33 @@ impl RoutingMatrix {
 
     /// Number of links (rows).
     pub fn link_count(&self) -> usize {
-        self.matrix.rows()
+        self.sparse.rows()
     }
 
     /// Fractions of OD pair `(s, t)`'s traffic on every link (a column of
     /// `R` reshaped per link).
     pub fn od_fractions(&self, s: NodeId, t: NodeId) -> Vec<f64> {
         let od = s * self.node_count + t;
-        self.matrix.col(od)
+        self.sparse.col(od)
     }
 
-    /// Computes link counts `Y = R x` for a vectorized traffic matrix.
+    /// Computes link counts `Y = R x` for a vectorized traffic matrix
+    /// (sparse matvec, `O(nnz)`).
     pub fn link_counts(
         &self,
         tm_vector: &[f64],
     ) -> core::result::Result<Vec<f64>, ic_linalg::LinalgError> {
-        self.matrix.matvec(tm_vector)
+        self.sparse.matvec(tm_vector)
+    }
+
+    /// Computes link counts into a caller-provided buffer
+    /// (allocation-free).
+    pub fn link_counts_into(
+        &self,
+        tm_vector: &[f64],
+        out: &mut [f64],
+    ) -> core::result::Result<(), ic_linalg::LinalgError> {
+        self.sparse.matvec_into(tm_vector, out)
     }
 
     /// Verifies flow conservation for one OD pair: net out-flow of the
@@ -312,6 +346,28 @@ pub fn egress_incidence(n: usize) -> Matrix {
     g
 }
 
+/// Sparse form of [`ingress_incidence`]: `n` rows of `n` unit entries each
+/// (density `1/n`), the representation the large-topology estimation path
+/// stacks into its observation operator.
+pub fn ingress_incidence_sparse(n: usize) -> SparseMatrix {
+    SparseMatrix::from_triplets(
+        n,
+        n * n,
+        (0..n).flat_map(|i| (0..n).map(move |j| (i, i * n + j, 1.0))),
+    )
+    .expect("incidence triplets are in bounds by construction")
+}
+
+/// Sparse form of [`egress_incidence`].
+pub fn egress_incidence_sparse(n: usize) -> SparseMatrix {
+    SparseMatrix::from_triplets(
+        n,
+        n * n,
+        (0..n).flat_map(|i| (0..n).map(move |j| (j, i * n + j, 1.0))),
+    )
+    .expect("incidence triplets are in bounds by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +503,31 @@ mod tests {
         let tx: f64 = x.iter().sum();
         assert!((ti - tx).abs() < 1e-12);
         assert!((te - tx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_views_agree() {
+        for scheme in [RoutingScheme::SinglePath, RoutingScheme::Ecmp] {
+            let r = RoutingMatrix::build(&geant22(), scheme).unwrap();
+            assert_eq!(&r.as_sparse().to_dense(), r.as_matrix());
+            // Link counts through the sparse path equal the dense matvec.
+            let x: Vec<f64> = (0..r.as_sparse().cols()).map(|k| (k % 7) as f64).collect();
+            let sparse = r.link_counts(&x).unwrap();
+            let dense = r.as_matrix().matvec(&x).unwrap();
+            assert_eq!(sparse, dense);
+            let mut buf = vec![0.0; r.link_count()];
+            r.link_counts_into(&x, &mut buf).unwrap();
+            assert_eq!(buf, sparse);
+        }
+    }
+
+    #[test]
+    fn sparse_incidence_matches_dense() {
+        for n in [1, 2, 5, 9] {
+            assert_eq!(ingress_incidence_sparse(n).to_dense(), ingress_incidence(n));
+            assert_eq!(egress_incidence_sparse(n).to_dense(), egress_incidence(n));
+            assert_eq!(ingress_incidence_sparse(n).nnz(), n * n);
+        }
     }
 
     #[test]

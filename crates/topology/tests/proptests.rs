@@ -1,8 +1,11 @@
 //! Property-based tests for routing: on random connected topologies, both
-//! routing schemes satisfy flow conservation for every OD pair, and ECMP
-//! fractions form valid splits.
+//! routing schemes satisfy flow conservation for every OD pair, ECMP
+//! fractions form valid splits, the sparse and dense routing views agree,
+//! and the scaled topology generators are deterministic in their seed.
 
-use ic_topology::{RoutingMatrix, RoutingScheme, Topology};
+use ic_topology::{
+    hierarchical, waxman, HierarchicalConfig, RoutingMatrix, RoutingScheme, Topology, WaxmanConfig,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random strongly connected topology of `n` nodes — a ring
@@ -69,6 +72,49 @@ proptest! {
             .as_slice()
             .iter()
             .all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// The sparse (primary) and lazily materialized dense routing views
+    /// describe the same matrix bit-for-bit, and the sparse matvec equals
+    /// the dense one.
+    #[test]
+    fn sparse_and_dense_routing_agree(topo in topo_strategy()) {
+        for scheme in [RoutingScheme::SinglePath, RoutingScheme::Ecmp] {
+            let r = RoutingMatrix::build(&topo, scheme).unwrap();
+            prop_assert_eq!(&r.as_sparse().to_dense(), r.as_matrix());
+            let n2 = topo.od_pair_count();
+            let x: Vec<f64> = (0..n2).map(|k| ((k * 13) % 11) as f64).collect();
+            prop_assert_eq!(
+                r.link_counts(&x).unwrap(),
+                r.as_matrix().matvec(&x).unwrap()
+            );
+        }
+    }
+
+    /// Same seed ⇒ same graph, for both scaled topology generators; a
+    /// different seed changes the Waxman graph (the spanning tree and the
+    /// chord set both depend on it).
+    #[test]
+    fn generators_deterministic_in_seed(
+        nodes in 2usize..40,
+        backbones in 1usize..8,
+        pops in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let wax_cfg = WaxmanConfig::new(nodes, seed);
+        let a = waxman(&wax_cfg).unwrap();
+        prop_assert_eq!(&a, &waxman(&wax_cfg).unwrap());
+        let hier_cfg = HierarchicalConfig::new(backbones, pops, seed);
+        let h = hierarchical(&hier_cfg).unwrap();
+        prop_assert_eq!(&h, &hierarchical(&hier_cfg).unwrap());
+        prop_assert_eq!(h.node_count(), hier_cfg.node_count());
+        // Generated graphs always validate (strong connectivity).
+        prop_assert!(a.validate().is_ok());
+        prop_assert!(h.validate().is_ok());
+        // Routing them is deterministic too.
+        let r1 = RoutingMatrix::build(&a, RoutingScheme::Ecmp).unwrap();
+        let r2 = RoutingMatrix::build(&a, RoutingScheme::Ecmp).unwrap();
+        prop_assert_eq!(r1.as_sparse(), r2.as_sparse());
     }
 
     /// Link counts scale linearly with traffic: Y(c·x) = c·Y(x).
