@@ -13,15 +13,22 @@
 //!   memory/time costs stop being measurable in CI).
 //!
 //! Also times the full prior → tomogravity → IPF pipeline on the sparse
-//! path and emits a machine-readable `BENCH_estimation.json` in the same
-//! style as `BENCH_streaming.json`, consumed by the CI perf-regression
-//! gate (`perf_gate`).
+//! path — serially and with bins sharded across an `ic-engine` worker
+//! pool (`--threads`) — and emits a machine-readable
+//! `BENCH_estimation.json` in the same style as `BENCH_streaming.json`,
+//! consumed by the CI perf-regression gate (`perf_gate`). The parallel
+//! estimate is asserted bit-identical to the serial one before it is
+//! timed; the recorded `threads`/`shard_bins`/`cpus_available` metadata
+//! makes the parallel numbers interpretable across machines (on a 1-CPU
+//! runner the parallel speedup is necessarily ~1x).
 //!
 //! Usage: `estimation_perf [--scale smoke|full] [--sizes 50,100,200]
-//! [--bins N] [--dense-max N] [--out PATH]`.
+//! [--bins N] [--dense-max N] [--threads N] [--shard-bins N]
+//! [--out PATH]`.
 
 use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{generate_synthetic, SynthConfig};
+use ic_engine::{default_threads, Engine, WorkspacePool};
 use ic_estimation::{
     EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace, TmPrior, Tomogravity,
     TomogravityOptions, TomogravityWorkspace,
@@ -85,6 +92,8 @@ struct SizeResult {
     dense_secs_per_bin: Option<f64>,
     speedup_vs_dense: Option<f64>,
     pipeline_secs_per_bin: f64,
+    parallel_pipeline_secs_per_bin: f64,
+    parallel_speedup: f64,
     allocs_per_bin_warm: u64,
     max_rel_diff_vs_dense: Option<f64>,
 }
@@ -110,7 +119,7 @@ fn parse_sizes(spec: &str) -> Vec<usize> {
     sizes
 }
 
-fn bench_size(nodes: usize, bins: usize, dense_max: usize) -> SizeResult {
+fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> SizeResult {
     // Hierarchical topology: nodes/10 backbones with 9 PoPs each, so the
     // node count lands exactly on the requested size for multiples of 10.
     let cfg = HierarchicalConfig::new((nodes / 10).max(1), 9, 20060419);
@@ -200,7 +209,7 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize) -> SizeResult {
     // Full sparse pipeline (prior + tomogravity + IPF) for context.
     let pipeline = EstimationPipeline::new(om);
     let mut pws = PipelineWorkspace::new();
-    pipeline
+    let serial_est = pipeline
         .estimate_with(&GravityPrior, &obs, &mut pws)
         .expect("pipeline warm-up");
     let pipeline_secs = time_min(
@@ -214,6 +223,28 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize) -> SizeResult {
     );
     let pipeline_secs_per_bin = pipeline_secs / bins as f64;
 
+    // The same pipeline with bins sharded across the engine's worker
+    // pool. Warm up the per-worker workspaces, prove bit-identity to the
+    // serial run, then time the steady state.
+    let pool = WorkspacePool::new();
+    let parallel_est = pipeline
+        .estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool)
+        .expect("parallel warm-up");
+    assert_eq!(
+        parallel_est, serial_est,
+        "parallel estimate must be bit-identical to serial at {n} nodes"
+    );
+    let parallel_secs = time_min(
+        || {
+            pipeline
+                .estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool)
+                .expect("parallel estimate");
+        },
+        0.5,
+        200,
+    );
+    let parallel_pipeline_secs_per_bin = parallel_secs / bins as f64;
+
     let sparse = pipeline.model().stacked_sparse();
     SizeResult {
         nodes: n,
@@ -225,6 +256,8 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize) -> SizeResult {
         dense_secs_per_bin,
         speedup_vs_dense: dense_secs_per_bin.map(|d| d / sparse_secs_per_bin),
         pipeline_secs_per_bin,
+        parallel_pipeline_secs_per_bin,
+        parallel_speedup: pipeline_secs_per_bin / parallel_pipeline_secs_per_bin,
         allocs_per_bin_warm,
         max_rel_diff_vs_dense,
     }
@@ -244,13 +277,33 @@ fn main() {
     let dense_max: usize = arg_value("--dense-max")
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    println!("# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}");
-    println!("# nodes\tlinks\tnnz\tdensity\tsparse_s/bin\tdense_s/bin\tspeedup\tallocs/bin");
+    let threads: usize = arg_value("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_threads);
+    // Per-bin shards by default: a tomogravity bin is coarse enough that
+    // scheduling overhead is invisible, and it maximizes the usable
+    // parallelism of short bin sweeps.
+    let shard_bins: usize = arg_value("--shard-bins")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let engine = Engine::new()
+        .with_threads(threads)
+        .with_shard_bins(shard_bins);
+    println!(
+        "# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}, \
+         {} threads x {}-bin shards ({} cpus available)",
+        engine.threads(),
+        engine.shard_bins(),
+        default_threads(),
+    );
+    println!(
+        "# nodes\tlinks\tnnz\tdensity\tsparse_s/bin\tdense_s/bin\tspeedup\tpar_s/bin\tpar_speedup\tallocs/bin"
+    );
     let mut results = Vec::new();
     for &size in &sizes {
-        let r = bench_size(size, bins, dense_max);
+        let r = bench_size(size, bins, dense_max, engine);
         println!(
-            "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{:.5}\t{:.2}x\t{}",
             r.nodes,
             r.links,
             r.nnz,
@@ -262,6 +315,8 @@ fn main() {
             r.speedup_vs_dense
                 .map(|v| format!("{v:.1}x"))
                 .unwrap_or_else(|| "-".to_string()),
+            r.parallel_pipeline_secs_per_bin,
+            r.parallel_speedup,
             r.allocs_per_bin_warm,
         );
         if let Some(diff) = r.max_rel_diff_vs_dense {
@@ -280,6 +335,7 @@ fn main() {
                 "{{\"nodes\":{},\"links\":{},\"nnz\":{},\"density\":{},\"bins\":{},\
                  \"sparse_refine_secs_per_bin\":{},\"dense_refine_secs_per_bin\":{},\
                  \"speedup_vs_dense\":{},\"pipeline_secs_per_bin\":{},\
+                 \"parallel_pipeline_secs_per_bin\":{},\"parallel_speedup\":{},\
                  \"allocs_per_bin_warm\":{}}}",
                 r.nodes,
                 r.links,
@@ -294,12 +350,18 @@ fn main() {
                     .map(json_f)
                     .unwrap_or_else(|| "null".to_string()),
                 json_f(r.pipeline_secs_per_bin),
+                json_f(r.parallel_pipeline_secs_per_bin),
+                json_f(r.parallel_speedup),
                 r.allocs_per_bin_warm,
             )
         })
         .collect();
     let json = format!(
-        "{{\"scale\":\"{scale:?}\",\"bins\":{bins},\"dense_max\":{dense_max},\"results\":[{}]}}\n",
+        "{{\"scale\":\"{scale:?}\",\"bins\":{bins},\"dense_max\":{dense_max},\
+         \"threads\":{},\"shard_bins\":{},\"cpus_available\":{},\"results\":[{}]}}\n",
+        engine.threads(),
+        engine.shard_bins(),
+        default_threads(),
         entries.join(",")
     );
     let path = out_path("BENCH_estimation.json");

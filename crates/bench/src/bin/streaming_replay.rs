@@ -5,13 +5,17 @@
 //! estimator, then times warm vs cold per-window refits head-to-head, and
 //! emits a machine-readable `BENCH_streaming.json` (throughput in
 //! bins/sec, warm vs cold fit time and sweep counts) so the perf
-//! trajectory is tracked across commits.
+//! trajectory is tracked across commits. The replay runs through the
+//! shared `ic-engine` worker pool (`--threads`, default: machine
+//! parallelism); the thread count and engine shard size are recorded in
+//! the JSON metadata and never change the replayed results.
 //!
-//! Usage: `streaming_replay [--scale smoke|full] [--out PATH]`.
+//! Usage: `streaming_replay [--scale smoke|full] [--threads N] [--out PATH]`.
 
-use ic_bench::{json_f, out_path, Scale};
+use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{fit_stable_fp, FitOptions, SynthConfig};
-use ic_stream::{replay_fit, ReplayOptions, SyntheticStream, Windower};
+use ic_engine::{default_threads, Engine};
+use ic_stream::{replay_fit_with, ReplayOptions, SyntheticStream, Windower};
 use std::time::Instant;
 
 struct BenchConfig {
@@ -40,9 +44,16 @@ fn main() {
     let scale = Scale::from_args();
     let cfg = bench_config(scale);
     let bins = cfg.window_bins * cfg.windows;
+    let threads: usize = arg_value("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_threads);
+    let engine = Engine::new().with_threads(threads);
     println!(
-        "# streaming_replay ({scale:?}): {} nodes, {} windows x {} bins",
-        cfg.nodes, cfg.windows, cfg.window_bins
+        "# streaming_replay ({scale:?}): {} nodes, {} windows x {} bins, {} threads",
+        cfg.nodes,
+        cfg.windows,
+        cfg.window_bins,
+        engine.threads()
     );
     let synth = SynthConfig::geant_like(20060419)
         .with_nodes(cfg.nodes)
@@ -62,7 +73,7 @@ fn main() {
     for _ in 0..reps {
         let mut stream = SyntheticStream::new(synth.clone()).expect("valid synth config");
         let start = Instant::now();
-        report = Some(replay_fit(&mut stream, &options).expect("replay"));
+        report = Some(replay_fit_with(&mut stream, &options, &engine).expect("replay"));
         replay_secs = replay_secs.min(start.elapsed().as_secs_f64());
     }
     let report = report.expect("at least one replay rep");
@@ -145,11 +156,15 @@ fn main() {
         .map(|w| w.to_string())
         .collect();
     let json = format!(
-        "{{\"scale\":\"{scale:?}\",\"nodes\":{},\"window_bins\":{},\"windows\":{},\
+        "{{\"scale\":\"{scale:?}\",\"threads\":{},\"shard_bins\":{},\"cpus_available\":{},\
+         \"nodes\":{},\"window_bins\":{},\"windows\":{},\
          \"bins_total\":{},\"replay_secs\":{},\"throughput_bins_per_sec\":{},\
          \"cold_fit_secs_mean\":{},\"warm_fit_secs_mean\":{},\"warm_speedup\":{},\
          \"cold_sweeps_mean\":{},\"warm_sweeps_mean\":{},\"mean_improvement_pct\":{},\
          \"mean_forecast_f_error\":{},\"drift_windows\":[{}]}}\n",
+        engine.threads(),
+        engine.shard_bins(),
+        default_threads(),
         cfg.nodes,
         cfg.window_bins,
         cfg.windows,

@@ -1,0 +1,109 @@
+//! # ic-engine — deterministic sharded parallel execution
+//!
+//! One execution engine under all three of the toolkit's workloads: the
+//! batch estimation pipeline (bins of a [`TmSeries`]-shaped run), the
+//! streaming replay drivers (candidate/baseline estimators per window,
+//! bins within a window), and the experiment runner (scenarios × bins).
+//! Before this crate each layer hand-rolled its own worker loop; now they
+//! all share the same scheduler, the same workspace pooling, and the same
+//! determinism guarantees.
+//!
+//! ## Determinism by construction
+//!
+//! The engine promises that **1 worker and N workers produce bit-identical
+//! results** — never "close", never "equal in distribution". The rules
+//! that make this hold, and that every caller must preserve:
+//!
+//! 1. **Jobs are pure functions of their index.** A job may read shared
+//!    immutable inputs and its index (or [`Shard`] range), nothing else —
+//!    no shared mutable state, no thread identity, no clocks.
+//! 2. **Workspaces are result-neutral.** A per-worker workspace
+//!    ([`WorkspacePool`]) may carry buffers between jobs for speed, but a
+//!    warm workspace must produce exactly the bits a fresh one would
+//!    (the property the `*Workspace` types of `ic-linalg` and
+//!    `ic-estimation` are proptest-locked to). Which worker — and hence
+//!    which workspace — runs which job is scheduling-dependent; results
+//!    must not be.
+//! 3. **Results assemble by index, not completion order.**
+//!    [`Engine::run`] collects into per-job slots and concatenates in job
+//!    order.
+//! 4. **Errors are deterministic too.** When jobs fail, the *first
+//!    failing job by index* determines the returned error, regardless of
+//!    which worker hit an error first on the wall clock (all jobs still
+//!    run; there is no cross-job cancellation to race on).
+//! 5. **Seeds derive from indices.** Randomized jobs take their seed from
+//!    [`shard_seed`] `(base, index)` — a re-export of
+//!    [`ic_stats::rng::derive_seed`] — never from scheduling order.
+//!
+//! ## Sharding
+//!
+//! [`ShardPlan`] splits a run of `bins` time bins into contiguous,
+//! balanced [`Shard`] ranges capped at the engine's
+//! [`shard_bins`](Engine::shard_bins) knob. Because the estimation hot
+//! path is embarrassingly parallel across bins (each bin's tomogravity
+//! solve and IPF touch only that bin's column), shard boundaries cannot
+//! change results — only wall-clock time. The thread count and the shard
+//! size are *performance knobs only*.
+//!
+//! ```
+//! use ic_engine::{Engine, WorkspacePool};
+//!
+//! let engine = Engine::new().with_threads(4);
+//! let pool: WorkspacePool<Vec<f64>> = WorkspacePool::new();
+//! let squares: Vec<u64> = engine
+//!     .run(8, &pool, |i, _ws| Ok::<u64, ()>((i as u64) * (i as u64)))
+//!     .unwrap();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // The same run with 1 thread is bit-identical:
+//! let serial = Engine::serial().run(8, &pool, |i, _ws| Ok::<u64, ()>((i as u64) * (i as u64)));
+//! assert_eq!(serial.unwrap(), squares);
+//! ```
+//!
+//! [`TmSeries`]: https://docs.rs/ic-core
+
+mod pool;
+mod run;
+mod shard;
+
+pub use pool::WorkspacePool;
+pub use run::Engine;
+pub use shard::{Shard, ShardPlan};
+
+/// The machine's available parallelism (at least 1) — the single source
+/// of truth for default worker-pool sizing across the workspace (the
+/// experiment `Runner`, the bench binaries' `--threads` default, ...).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives a shard/job seed from a base seed and the shard's index — a
+/// re-export of [`ic_stats::rng::derive_seed`], so engine callers and
+/// pre-engine code (the experiment runner's batch seeding) produce
+/// identical seed sequences.
+pub fn shard_seed(base: u64, index: u64) -> u64 {
+    ic_stats::rng::derive_seed(base, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn shard_seed_matches_derive_seed() {
+        for base in [0u64, 7, u64::MAX] {
+            for index in [0u64, 1, 1000] {
+                assert_eq!(
+                    shard_seed(base, index),
+                    ic_stats::rng::derive_seed(base, index)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Reusable per-worker workspace pooling.
+//!
+//! The estimation hot path owes its allocation-free steady state to
+//! workspace structs (`PipelineWorkspace`, `TomogravityWorkspace`,
+//! `IpfWorkspace`, ...) that are sized on first use and reused per bin. A
+//! [`WorkspacePool`] extends that reuse across engine runs: each worker
+//! checks one workspace out for the duration of a run and restores it at
+//! the end, so a long-lived caller (a streaming estimator processing
+//! window after window) stays allocation-free across calls while worker
+//! counts and scheduling stay free to vary.
+//!
+//! Pooling is safe for determinism **only because workspaces are
+//! result-neutral**: a warm workspace must produce exactly the bits a
+//! fresh `Default` one would. Which workspace a worker draws depends on
+//! scheduling; the produced results must not.
+
+use std::sync::Mutex;
+
+/// A lock-guarded free list of reusable workspaces.
+pub struct WorkspacePool<W> {
+    free: Mutex<Vec<W>>,
+}
+
+impl<W> WorkspacePool<W> {
+    /// An empty pool; workspaces are created on first checkout.
+    pub fn new() -> Self {
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of idle workspaces currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Returns a workspace to the pool for later reuse.
+    pub fn restore(&self, workspace: W) {
+        self.free
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(workspace);
+    }
+}
+
+impl<W: Default> WorkspacePool<W> {
+    /// Takes a workspace out of the pool, creating a fresh one when the
+    /// pool is empty.
+    pub fn checkout(&self) -> W {
+        self.free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+}
+
+impl<W> Default for WorkspacePool<W> {
+    fn default() -> Self {
+        WorkspacePool::new()
+    }
+}
+
+impl<W> core::fmt::Debug for WorkspacePool<W> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WorkspacePool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+/// Cloning yields an **empty** pool: pooled buffers are scratch, not
+/// state, so a cloned owner (e.g. a cloned streaming estimator) warms its
+/// own workspaces from scratch and produces identical results.
+impl<W> Clone for WorkspacePool<W> {
+    fn clone(&self) -> Self {
+        WorkspacePool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_creates_then_reuses() {
+        let pool: WorkspacePool<Vec<u8>> = WorkspacePool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut w = pool.checkout();
+        w.push(7);
+        pool.restore(w);
+        assert_eq!(pool.idle(), 1);
+        let w = pool.checkout();
+        assert_eq!(w, vec![7], "warm workspace comes back");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn clone_is_empty_and_debug_prints_idle() {
+        let pool: WorkspacePool<Vec<u8>> = WorkspacePool::default();
+        pool.restore(vec![1]);
+        let cloned = pool.clone();
+        assert_eq!(cloned.idle(), 0);
+        assert!(format!("{pool:?}").contains("idle"));
+    }
+}

@@ -1,0 +1,316 @@
+//! The scoped-thread worker pool.
+
+use crate::pool::WorkspacePool;
+use crate::shard::{Shard, ShardPlan};
+use crate::{default_threads, shard_seed};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Target bins per shard when the caller does not override it.
+///
+/// Small enough that a day-long window (288 bins) spreads over many
+/// workers, large enough that per-shard scheduling overhead stays
+/// negligible next to a tomogravity solve.
+pub const DEFAULT_SHARD_BINS: usize = 16;
+
+/// A deterministic sharded executor.
+///
+/// Plain data — two performance knobs ([`threads`](Engine::with_threads)
+/// and [`shard_bins`](Engine::with_shard_bins)) that change wall-clock
+/// time and **never** results (see the crate docs for the rules that make
+/// this hold). Copyable, so layers thread it through by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+    shard_bins: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized to the machine's available parallelism
+    /// ([`default_threads`]) with the default shard size.
+    pub fn new() -> Self {
+        Engine {
+            threads: default_threads(),
+            shard_bins: DEFAULT_SHARD_BINS,
+        }
+    }
+
+    /// A single-worker engine: jobs run on the calling thread with zero
+    /// spawn overhead — the reference execution every multi-worker run is
+    /// bit-identical to.
+    pub fn serial() -> Self {
+        Engine::new().with_threads(1)
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1). Affects
+    /// wall-clock time only, never results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the target bins per shard (clamped to at least 1). Affects
+    /// load balancing only, never results.
+    pub fn with_shard_bins(mut self, shard_bins: usize) -> Self {
+        self.shard_bins = shard_bins.max(1);
+        self
+    }
+
+    /// Number of worker threads the engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Target bins per shard.
+    pub fn shard_bins(&self) -> usize {
+        self.shard_bins
+    }
+
+    /// The contiguous shard plan this engine uses for a `bins`-bin run.
+    pub fn plan(&self, bins: usize) -> ShardPlan {
+        ShardPlan::new(bins, self.shard_bins)
+    }
+
+    /// Runs `jobs` indexed jobs on the worker pool and returns their
+    /// results **in job order**.
+    ///
+    /// Each worker checks one workspace out of `pool` for the whole run
+    /// (creating it on first use) and restores it afterwards, so repeated
+    /// runs against the same pool reuse warm buffers. Every job executes
+    /// exactly once; when jobs fail, the error of the **first failing job
+    /// by index** is returned — completion order never shows.
+    ///
+    /// Workers are `std::thread::scope` threads spawned per call — the
+    /// scope is what lets jobs borrow non-`'static` inputs (series,
+    /// observation models, shard plans) without `Arc`-wrapping the world.
+    /// What persists across calls is the *workspace* pool, which carries
+    /// the expensive state (sized factor/scratch buffers). Spawn cost is
+    /// tens of microseconds per worker — noise against a tomogravity bin
+    /// solve, and the `workers == 1` path (a serial engine, or a
+    /// one-job run) spawns nothing at all, so callers that want zero
+    /// overhead for tiny workloads pass [`Engine::serial`].
+    pub fn run<T, E, W, F>(&self, jobs: usize, pool: &WorkspacePool<W>, job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        W: Send + Default,
+        F: Fn(usize, &mut W) -> Result<T, E> + Sync,
+    {
+        if jobs == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(jobs);
+        let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let worker = || {
+            let mut ws = pool.checkout();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = job(i, &mut ws);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            }
+            pool.restore(ws);
+        };
+        if workers == 1 {
+            // Serial fast path: no scope, no spawns.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                // The calling thread is worker 0; spawn the rest.
+                for _ in 1..workers {
+                    scope.spawn(worker);
+                }
+                worker();
+            });
+        }
+        let mut out = Vec::with_capacity(jobs);
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index below jobs is executed exactly once");
+            out.push(result?);
+        }
+        Ok(out)
+    }
+
+    /// Shards a `bins`-bin run with [`Engine::plan`] and executes one job
+    /// per [`Shard`], returning per-shard results in bin order.
+    pub fn run_sharded<T, E, W, F>(
+        &self,
+        bins: usize,
+        pool: &WorkspacePool<W>,
+        job: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        W: Send + Default,
+        F: Fn(Shard, &mut W) -> Result<T, E> + Sync,
+    {
+        let plan = self.plan(bins);
+        self.run(plan.len(), pool, |i, ws| job(plan[i], ws))
+    }
+
+    /// Like [`Engine::run`], with a per-job seed derived from
+    /// `(base_seed, index)` via [`shard_seed`] — the deterministic way to
+    /// randomize sharded work.
+    pub fn run_seeded<T, E, W, F>(
+        &self,
+        base_seed: u64,
+        jobs: usize,
+        pool: &WorkspacePool<W>,
+        job: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        W: Send + Default,
+        F: Fn(usize, u64, &mut W) -> Result<T, E> + Sync,
+    {
+        self.run(jobs, pool, |i, ws| {
+            job(i, shard_seed(base_seed, i as u64), ws)
+        })
+    }
+
+    /// Runs two independent closures — in parallel when the engine has
+    /// more than one thread — and returns `(a(), b())`.
+    ///
+    /// The streaming drivers use this for the candidate/baseline pair of
+    /// each window: the two estimators share no state, so evaluation
+    /// order cannot change results, and the tuple order fixes which error
+    /// a caller sees first.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        } else {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(b);
+                let ra = a();
+                let rb = handle.join().expect("joined closure panicked");
+                (ra, rb)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_clamp_and_report() {
+        let e = Engine::new().with_threads(0).with_shard_bins(0);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.shard_bins(), 1);
+        assert_eq!(Engine::serial().threads(), 1);
+        assert_eq!(Engine::default(), Engine::new());
+        assert!(Engine::new().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_run_returns_empty() {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let out: Vec<u32> = Engine::new()
+            .run(0, &pool, |_, _| Ok::<u32, ()>(1))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_assemble_in_job_order() {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        for threads in [1, 2, 5] {
+            let out = Engine::new()
+                .with_threads(threads)
+                .run(17, &pool, |i, _| Ok::<usize, ()>(i * 3))
+                .unwrap();
+            assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn first_failing_job_by_index_wins() {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        for threads in [1, 4] {
+            let err = Engine::new()
+                .with_threads(threads)
+                .run(10, &pool, |i, _| {
+                    if i >= 3 {
+                        Err(format!("job {i} failed"))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, "job 3 failed");
+        }
+    }
+
+    #[test]
+    fn sharded_run_covers_every_bin_once() {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let engine = Engine::new().with_threads(3).with_shard_bins(4);
+        let chunks = engine
+            .run_sharded(11, &pool, |shard, _| {
+                Ok::<Vec<usize>, ()>(shard.bins().collect())
+            })
+            .unwrap();
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_runs_match_shard_seed() {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let seeds = Engine::new()
+            .with_threads(2)
+            .run_seeded(9, 4, &pool, |_, seed, _| Ok::<u64, ()>(seed))
+            .unwrap();
+        let want: Vec<u64> = (0..4).map(|i| shard_seed(9, i)).collect();
+        assert_eq!(seeds, want);
+    }
+
+    #[test]
+    fn workers_restore_workspaces_to_the_pool() {
+        let pool: WorkspacePool<Vec<u64>> = WorkspacePool::new();
+        let engine = Engine::new().with_threads(3);
+        let _ = engine.run(9, &pool, |i, ws| {
+            ws.push(i as u64);
+            Ok::<(), ()>(())
+        });
+        // Every checked-out workspace came back (at most `threads`).
+        assert!(pool.idle() >= 1 && pool.idle() <= 3);
+        // A follow-up run reuses them without affecting results.
+        let out = engine.run(4, &pool, |i, _| Ok::<usize, ()>(i)).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_runs_both_in_either_mode() {
+        for threads in [1, 2] {
+            let engine = Engine::new().with_threads(threads);
+            let (a, b) = engine.join(|| 1 + 1, || "b");
+            assert_eq!((a, b), (2, "b"));
+        }
+    }
+}

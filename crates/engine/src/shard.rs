@@ -1,0 +1,143 @@
+//! Contiguous bin-range sharding.
+//!
+//! A [`ShardPlan`] splits a run of `total` time bins into contiguous,
+//! balanced [`Shard`]s. Shards never overlap, cover every bin exactly
+//! once, appear in bin order, and differ in length by at most one — so a
+//! plan is a pure function of `(total, max_len)` and the work each shard
+//! carries is as even as contiguity allows.
+
+/// One contiguous range of bins, executed as a single engine job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of the shard within its plan (also its job index).
+    pub index: usize,
+    /// First bin of the range (inclusive).
+    pub start: usize,
+    /// Number of bins in the range.
+    pub len: usize,
+}
+
+impl Shard {
+    /// One past the last bin of the range.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// The bins of the shard, in order.
+    pub fn bins(&self) -> core::ops::Range<usize> {
+        self.start..self.end()
+    }
+}
+
+/// A deterministic split of `total` bins into contiguous balanced shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Splits `total` bins into the fewest contiguous shards of at most
+    /// `max_len` bins each, balanced to within one bin of each other.
+    /// `total == 0` yields an empty plan; `max_len` is clamped to at
+    /// least 1.
+    pub fn new(total: usize, max_len: usize) -> Self {
+        if total == 0 {
+            return ShardPlan { shards: Vec::new() };
+        }
+        let max_len = max_len.max(1);
+        let count = total.div_ceil(max_len);
+        let base = total / count;
+        let remainder = total % count;
+        let mut shards = Vec::with_capacity(count);
+        let mut start = 0;
+        for index in 0..count {
+            // The first `remainder` shards carry one extra bin.
+            let len = base + usize::from(index < remainder);
+            shards.push(Shard { index, start, len });
+            start += len;
+        }
+        ShardPlan { shards }
+    }
+
+    /// Number of shards in the plan.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan contains no shards (a zero-bin run).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total bins covered by the plan.
+    pub fn total_bins(&self) -> usize {
+        self.shards.iter().map(|s| s.len).sum()
+    }
+
+    /// The shard at `index`.
+    pub fn get(&self, index: usize) -> Option<Shard> {
+        self.shards.get(index).copied()
+    }
+
+    /// Iterates the shards in bin order.
+    pub fn iter(&self) -> impl Iterator<Item = Shard> + '_ {
+        self.shards.iter().copied()
+    }
+}
+
+impl core::ops::Index<usize> for ShardPlan {
+    type Output = Shard;
+
+    fn index(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_for_zero_bins() {
+        let plan = ShardPlan::new(0, 8);
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.total_bins(), 0);
+        assert!(plan.get(0).is_none());
+    }
+
+    #[test]
+    fn single_shard_when_total_fits() {
+        let plan = ShardPlan::new(5, 8);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan[0],
+            Shard {
+                index: 0,
+                start: 0,
+                len: 5
+            }
+        );
+        assert_eq!(plan[0].end(), 5);
+        assert_eq!(plan[0].bins().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shards_partition_and_balance() {
+        let plan = ShardPlan::new(10, 4); // 3 shards: 4, 3, 3
+        let lens: Vec<usize> = plan.iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        let mut covered = Vec::new();
+        for s in plan.iter() {
+            covered.extend(s.bins());
+        }
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_len_zero_is_clamped() {
+        let plan = ShardPlan::new(3, 0);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|s| s.len == 1));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the engine's determinism-by-construction claims:
+//! shard plans are exact partitions, worker counts never change results
+//! or errors, and pooled workspaces are invisible in outputs.
+
+use ic_engine::{shard_seed, Engine, ShardPlan, WorkspacePool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A shard plan partitions `0..total` exactly: contiguous, in order,
+    /// no gaps, no overlaps, every shard within the size cap and balanced
+    /// to within one bin.
+    #[test]
+    fn shard_plans_partition_exactly(total in 0usize..2000, max_len in 0usize..64) {
+        let plan = ShardPlan::new(total, max_len);
+        prop_assert_eq!(plan.total_bins(), total);
+        let mut next = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_seen = 0usize;
+        for (k, shard) in plan.iter().enumerate() {
+            prop_assert_eq!(shard.index, k);
+            prop_assert_eq!(shard.start, next);
+            prop_assert!(shard.len >= 1);
+            prop_assert!(shard.len <= max_len.max(1));
+            min_len = min_len.min(shard.len);
+            max_seen = max_seen.max(shard.len);
+            next = shard.end();
+        }
+        prop_assert_eq!(next, total);
+        if !plan.is_empty() {
+            prop_assert!(max_seen - min_len <= 1, "balanced to within one bin");
+        }
+    }
+
+    /// 1 worker and N workers produce bit-identical outputs for arbitrary
+    /// job counts, shard sizes, and a nontrivial float job.
+    #[test]
+    fn one_vs_n_workers_bit_identical(
+        jobs in 0usize..40,
+        threads in 2usize..8,
+        shard_bins in 1usize..9,
+        scale in 1.0f64..100.0,
+    ) {
+        let pool: WorkspacePool<Vec<f64>> = WorkspacePool::new();
+        let job = |i: usize, ws: &mut Vec<f64>| {
+            // Workspace-carried scratch that must stay result-neutral.
+            ws.resize(8, 0.0);
+            let mut acc = 0.0f64;
+            for (k, slot) in ws.iter_mut().enumerate() {
+                *slot = (i as f64 + k as f64).sin() * scale;
+                acc += *slot * *slot;
+            }
+            Ok::<f64, String>(acc.sqrt())
+        };
+        let one = Engine::serial().with_shard_bins(shard_bins).run(jobs, &pool, job).unwrap();
+        let many = Engine::new()
+            .with_threads(threads)
+            .with_shard_bins(shard_bins)
+            .run(jobs, &pool, job)
+            .unwrap();
+        prop_assert_eq!(one, many);
+    }
+
+    /// Sharded runs cover every bin exactly once regardless of worker
+    /// count and shard size, and concatenate in bin order.
+    #[test]
+    fn sharded_runs_are_order_preserving(
+        bins in 0usize..300,
+        threads in 1usize..8,
+        shard_bins in 1usize..48,
+    ) {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let chunks = Engine::new()
+            .with_threads(threads)
+            .with_shard_bins(shard_bins)
+            .run_sharded(bins, &pool, |shard, _| {
+                Ok::<Vec<usize>, ()>(shard.bins().collect())
+            })
+            .unwrap();
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        prop_assert_eq!(flat, (0..bins).collect::<Vec<_>>());
+    }
+
+    /// The first failing job **by index** determines the error under any
+    /// worker count, even when later-indexed failures finish earlier.
+    #[test]
+    fn error_determinism_first_index_wins(
+        jobs in 1usize..30,
+        threads in 1usize..8,
+        fail_from in 0usize..30,
+    ) {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let result = Engine::new().with_threads(threads).run(jobs, &pool, |i, _| {
+            if i >= fail_from {
+                Err(format!("fail {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        if fail_from >= jobs {
+            prop_assert_eq!(result.unwrap(), (0..jobs).collect::<Vec<_>>());
+        } else {
+            prop_assert_eq!(result.unwrap_err(), format!("fail {fail_from}"));
+        }
+    }
+
+    /// Seeded runs derive every job's seed from (base, index) — identical
+    /// across worker counts and equal to `shard_seed`.
+    #[test]
+    fn seeded_runs_are_schedule_free(
+        base in any::<u64>(),
+        jobs in 0usize..20,
+        threads in 1usize..6,
+    ) {
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let seeds = Engine::new()
+            .with_threads(threads)
+            .run_seeded(base, jobs, &pool, |_, seed, _| Ok::<u64, ()>(seed))
+            .unwrap();
+        let want: Vec<u64> = (0..jobs as u64).map(|i| shard_seed(base, i)).collect();
+        prop_assert_eq!(seeds, want);
+    }
+
+    /// Warm pools are result-neutral: running against a pool already
+    /// dirtied by a different job mix reproduces the fresh-pool results.
+    #[test]
+    fn warm_pools_do_not_change_results(
+        jobs in 1usize..20,
+        threads in 1usize..6,
+    ) {
+        let job = |i: usize, ws: &mut Vec<f64>| {
+            ws.clear();
+            ws.extend((0..4).map(|k| ((i * 7 + k) as f64).cos()));
+            Ok::<f64, ()>(ws.iter().sum())
+        };
+        let fresh_pool: WorkspacePool<Vec<f64>> = WorkspacePool::new();
+        let fresh = Engine::new().with_threads(threads).run(jobs, &fresh_pool, job).unwrap();
+        let warm_pool: WorkspacePool<Vec<f64>> = WorkspacePool::new();
+        warm_pool.restore(vec![999.0; 1000]);
+        warm_pool.restore(vec![-1.0; 3]);
+        let warm = Engine::new().with_threads(threads).run(jobs, &warm_pool, job).unwrap();
+        prop_assert_eq!(fresh, warm);
+    }
+}

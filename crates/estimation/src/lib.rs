@@ -34,9 +34,26 @@ pub mod tomogravity;
 pub use evaluate::{rel_l2_spatial, spatial_error_by_volume, top_flow_error};
 pub use ipf::{ipf_fit, ipf_fit_with, IpfOptions, IpfWorkspace};
 pub use observe::{ObservationModel, Observations};
-pub use pipeline::{compare_priors, ComparisonResult, EstimationPipeline, PipelineWorkspace};
+pub use pipeline::{
+    compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline, PipelineWorkspace,
+};
 pub use prior::{GravityPrior, MeasuredIcPrior, StableFPrior, StableFpPrior, TmPrior};
 pub use tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
+
+// Send/Sync audit for the parallel execution engine: the pipeline, its
+// inputs, and every reusable workspace cross `ic-engine` worker
+// boundaries. Plain owned data only — a non-`Send` field breaks the
+// build here, next to the type, instead of at a distant call site.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<ObservationModel>();
+    _assert_send_sync::<Observations>();
+    _assert_send_sync::<EstimationPipeline>();
+    _assert_send_sync::<PipelineWorkspace>();
+    _assert_send_sync::<TomogravityWorkspace>();
+    _assert_send_sync::<IpfWorkspace>();
+    _assert_send_sync::<EstimationError>();
+};
 
 /// Errors produced by the estimation pipeline.
 #[derive(Debug, Clone, PartialEq)]

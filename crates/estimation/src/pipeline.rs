@@ -3,13 +3,22 @@
 //! Wires the three blueprint steps together (prior → tomogravity → IPF)
 //! and computes the per-bin percentage improvement of an IC prior over the
 //! gravity prior — the quantity Figures 11, 12 and 13 plot.
+//!
+//! Steps 2 and 3 are independent per time bin, so the pipeline offers two
+//! execution modes over the identical per-bin kernel: the serial
+//! `*_with` loops (one workspace, bins in order) and the `*_parallel`
+//! forms, which shard the bin range across an [`ic_engine::Engine`]
+//! worker pool with one [`PipelineWorkspace`] per worker. The two modes
+//! are **bit-identical** — thread count and shard size are wall-clock
+//! knobs only (proptest-locked in this crate's `tests/proptests.rs`).
 
 use crate::ipf::{ipf_fit_with, IpfOptions, IpfWorkspace};
 use crate::observe::{ObservationModel, Observations};
 use crate::prior::{GravityPrior, TmPrior};
 use crate::tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
-use crate::Result;
+use crate::{EstimationError, Result};
 use ic_core::{improvement_percent, rel_l2_series, TmSeries};
+use ic_engine::{Engine, Shard, WorkspacePool};
 use ic_linalg::Matrix;
 
 /// Reusable buffers for the full prior → tomogravity → IPF pipeline.
@@ -25,6 +34,8 @@ pub struct PipelineWorkspace {
     snapshot: Matrix,
     ingress: Vec<f64>,
     egress: Vec<f64>,
+    xp: Vec<f64>,
+    b: Vec<f64>,
 }
 
 impl Default for PipelineWorkspace {
@@ -42,7 +53,19 @@ impl PipelineWorkspace {
             snapshot: Matrix::zeros(0, 0),
             ingress: Vec::new(),
             egress: Vec::new(),
+            xp: Vec::new(),
+            b: Vec::new(),
         }
+    }
+
+    fn ensure(&mut self, nodes: usize, stacked_len: usize) {
+        self.xp.resize(nodes * nodes, 0.0);
+        self.b.resize(stacked_len, 0.0);
+        if self.snapshot.shape() != (nodes, nodes) {
+            self.snapshot = Matrix::zeros(nodes, nodes);
+        }
+        self.ingress.resize(nodes, 0.0);
+        self.egress.resize(nodes, 0.0);
     }
 }
 
@@ -118,28 +141,11 @@ impl EstimationPipeline {
         obs: &Observations,
         ws: &mut PipelineWorkspace,
     ) -> Result<TmSeries> {
-        let refined = self
-            .tomo
-            .refine_with(&self.model, obs, prior_series, &mut ws.tomo)?;
-        // Step 3: per-bin IPF to the observed marginals.
-        let n = refined.nodes();
-        if ws.snapshot.shape() != (n, n) {
-            ws.snapshot = Matrix::zeros(n, n);
-        }
-        ws.ingress.resize(n, 0.0);
-        ws.egress.resize(n, 0.0);
-        let mut out = TmSeries::zeros(n, refined.bins(), refined.bin_seconds())?;
-        for t in 0..refined.bins() {
-            for i in 0..n {
-                for j in 0..n {
-                    ws.snapshot[(i, j)] = refined.as_matrix()[(i * n + j, t)];
-                }
-            }
-            for i in 0..n {
-                ws.ingress[i] = obs.ingress[(i, t)];
-                ws.egress[i] = obs.egress[(i, t)];
-            }
-            ipf_fit_with(&ws.snapshot, &ws.ingress, &ws.egress, self.ipf, &mut ws.ipf)?;
+        self.validate_prior(prior_series, obs)?;
+        let n = self.model.nodes();
+        let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        for t in 0..obs.bins() {
+            self.estimate_bin_with(prior_series, obs, t, ws)?;
             let fitted = ws.ipf.fitted();
             for i in 0..n {
                 for j in 0..n {
@@ -148,6 +154,171 @@ impl EstimationPipeline {
             }
         }
         Ok(out)
+    }
+
+    /// Runs the full pipeline with bins sharded across an engine's worker
+    /// pool. Bit-identical to [`EstimationPipeline::estimate`] for every
+    /// thread count and shard size.
+    pub fn estimate_parallel(
+        &self,
+        prior: &dyn TmPrior,
+        obs: &Observations,
+        engine: &Engine,
+    ) -> Result<TmSeries> {
+        let pool = WorkspacePool::new();
+        self.estimate_parallel_pooled(prior, obs, engine, &pool)
+    }
+
+    /// [`EstimationPipeline::estimate_parallel`] drawing per-worker
+    /// workspaces from a caller-held pool, so repeated runs (streaming
+    /// windows, scenario batches) reuse warm buffers.
+    pub fn estimate_parallel_pooled(
+        &self,
+        prior: &dyn TmPrior,
+        obs: &Observations,
+        engine: &Engine,
+        pool: &WorkspacePool<PipelineWorkspace>,
+    ) -> Result<TmSeries> {
+        let prior_series = prior.prior_series(obs)?;
+        self.estimate_from_series_parallel_pooled(&prior_series, obs, engine, pool)
+    }
+
+    /// Runs steps 2 and 3 from an explicit prior series with bins sharded
+    /// across an engine's worker pool. Bit-identical to
+    /// [`EstimationPipeline::estimate_from_series`].
+    pub fn estimate_from_series_parallel(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+        engine: &Engine,
+    ) -> Result<TmSeries> {
+        let pool = WorkspacePool::new();
+        self.estimate_from_series_parallel_pooled(prior_series, obs, engine, &pool)
+    }
+
+    /// [`EstimationPipeline::estimate_from_series_parallel`] drawing
+    /// per-worker workspaces from a caller-held pool.
+    pub fn estimate_from_series_parallel_pooled(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+        engine: &Engine,
+        pool: &WorkspacePool<PipelineWorkspace>,
+    ) -> Result<TmSeries> {
+        if engine.threads() == 1 {
+            // Serial fast path: the same per-bin kernel, written directly
+            // into the output — no shard chunks, no result slots, so a
+            // warm pooled caller (streaming windows) stays allocation-free
+            // beyond the output series itself. Bit-identical to the
+            // sharded path below by construction.
+            let mut ws = pool.checkout();
+            let result = self.estimate_from_series_with(prior_series, obs, &mut ws);
+            pool.restore(ws);
+            return result;
+        }
+        self.validate_prior(prior_series, obs)?;
+        let n = self.model.nodes();
+        let chunks =
+            engine.run_sharded(obs.bins(), pool, |shard, ws: &mut PipelineWorkspace| {
+                self.estimate_shard(prior_series, obs, shard, ws)
+            })?;
+        let mut out = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+        assemble_chunks(&mut out, &chunks);
+        Ok(out)
+    }
+
+    /// Shape checks shared by the serial and parallel entry points (the
+    /// error contexts match the historical tomogravity-level validation).
+    fn validate_prior(&self, prior_series: &TmSeries, obs: &Observations) -> Result<()> {
+        let n = self.model.nodes();
+        if prior_series.nodes() != n {
+            return Err(EstimationError::DimensionMismatch {
+                context: "tomogravity prior nodes",
+                expected: n,
+                actual: prior_series.nodes(),
+            });
+        }
+        if prior_series.bins() != obs.bins() {
+            return Err(EstimationError::DimensionMismatch {
+                context: "tomogravity prior bins",
+                expected: obs.bins(),
+                actual: prior_series.bins(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Steps 2 and 3 for one bin; the fitted bin lands in `ws.ipf`. This
+    /// is the single per-bin kernel both execution modes run, which is
+    /// what makes serial/parallel bit-identity structural rather than
+    /// coincidental.
+    fn estimate_bin_with(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+        t: usize,
+        ws: &mut PipelineWorkspace,
+    ) -> Result<()> {
+        let n = self.model.nodes();
+        ws.ensure(n, obs.stacked_len());
+        for (row, slot) in ws.xp.iter_mut().enumerate() {
+            *slot = prior_series.as_matrix()[(row, t)];
+        }
+        obs.stacked_at_into(t, &mut ws.b)?;
+        self.tomo.refine_bin_sparse_with(
+            self.model.stacked_sparse(),
+            self.model.stacked_transpose(),
+            &ws.xp,
+            &ws.b,
+            &mut ws.tomo,
+        )?;
+        for i in 0..n {
+            for j in 0..n {
+                ws.snapshot[(i, j)] = ws.tomo.solution()[i * n + j];
+            }
+            ws.ingress[i] = obs.ingress[(i, t)];
+            ws.egress[i] = obs.egress[(i, t)];
+        }
+        ipf_fit_with(&ws.snapshot, &ws.ingress, &ws.egress, self.ipf, &mut ws.ipf)?;
+        Ok(())
+    }
+
+    /// Runs the per-bin kernel over one contiguous shard, returning the
+    /// shard's fitted bins as a bin-major flat chunk.
+    fn estimate_shard(
+        &self,
+        prior_series: &TmSeries,
+        obs: &Observations,
+        shard: Shard,
+        ws: &mut PipelineWorkspace,
+    ) -> Result<Vec<f64>> {
+        let n = self.model.nodes();
+        let mut chunk = Vec::with_capacity(shard.len * n * n);
+        for t in shard.bins() {
+            self.estimate_bin_with(prior_series, obs, t, ws)?;
+            let fitted = ws.ipf.fitted();
+            for i in 0..n {
+                for j in 0..n {
+                    chunk.push(fitted[(i, j)]);
+                }
+            }
+        }
+        Ok(chunk)
+    }
+}
+
+/// Writes per-shard bin-major chunks back into a series, in bin order.
+fn assemble_chunks(out: &mut TmSeries, chunks: &[Vec<f64>]) {
+    let rows = out.nodes() * out.nodes();
+    let data = out.as_matrix_mut();
+    let mut t = 0usize;
+    for chunk in chunks {
+        for bin in chunk.chunks_exact(rows) {
+            for (row, &v) in bin.iter().enumerate() {
+                data[(row, t)] = v;
+            }
+            t += 1;
+        }
     }
 }
 
@@ -177,6 +348,52 @@ pub fn compare_priors(
 ) -> Result<ComparisonResult> {
     let est_candidate = pipeline.estimate(candidate, obs)?;
     let est_gravity = pipeline.estimate(&GravityPrior, obs)?;
+    let errors_candidate = rel_l2_series(truth, &est_candidate)?;
+    let errors_gravity = rel_l2_series(truth, &est_gravity)?;
+    let improvement: Vec<f64> = errors_gravity
+        .iter()
+        .zip(errors_candidate.iter())
+        .map(|(&g, &c)| improvement_percent(g, c))
+        .collect();
+    let mean_improvement = improvement.iter().sum::<f64>() / improvement.len().max(1) as f64;
+    Ok(ComparisonResult {
+        improvement,
+        mean_improvement,
+        errors_candidate,
+        errors_gravity,
+    })
+}
+
+/// [`compare_priors`] on the engine: the candidate-prior and
+/// gravity-prior refinements are flattened into **one** shard list
+/// (candidate shards first, then gravity, each in bin order), so the two
+/// priors run concurrently on the same worker pool instead of
+/// back-to-back. Bit-identical to [`compare_priors`] for every thread
+/// count (proptest-locked).
+pub fn compare_priors_with(
+    pipeline: &EstimationPipeline,
+    candidate: &dyn TmPrior,
+    truth: &TmSeries,
+    obs: &Observations,
+    engine: &Engine,
+) -> Result<ComparisonResult> {
+    // Step 1 for both priors up front (cheap next to steps 2-3).
+    let prior_candidate = candidate.prior_series(obs)?;
+    let prior_gravity = GravityPrior.prior_series(obs)?;
+    pipeline.validate_prior(&prior_candidate, obs)?;
+    pipeline.validate_prior(&prior_gravity, obs)?;
+    let priors = [&prior_candidate, &prior_gravity];
+    let plan = engine.plan(obs.bins());
+    let per_prior = plan.len();
+    let pool: WorkspacePool<PipelineWorkspace> = WorkspacePool::new();
+    let chunks = engine.run(per_prior * priors.len(), &pool, |k, ws| {
+        pipeline.estimate_shard(priors[k / per_prior], obs, plan[k % per_prior], ws)
+    })?;
+    let n = pipeline.model.nodes();
+    let mut est_candidate = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+    let mut est_gravity = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
+    assemble_chunks(&mut est_candidate, &chunks[..per_prior]);
+    assemble_chunks(&mut est_gravity, &chunks[per_prior..]);
     let errors_candidate = rel_l2_series(truth, &est_candidate)?;
     let errors_gravity = rel_l2_series(truth, &est_gravity)?;
     let improvement: Vec<f64> = errors_gravity

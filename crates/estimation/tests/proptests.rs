@@ -6,10 +6,11 @@
 //! fundamental).
 
 use ic_core::TmSeries;
+use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{
-    ipf_fit, ipf_fit_with, EstimationPipeline, GravityPrior, IpfOptions, IpfWorkspace,
-    ObservationModel, PipelineWorkspace, TmPrior, Tomogravity, TomogravityOptions,
-    TomogravityWorkspace,
+    compare_priors, compare_priors_with, ipf_fit, ipf_fit_with, EstimationPipeline, GravityPrior,
+    IpfOptions, IpfWorkspace, ObservationModel, PipelineWorkspace, StableFPrior, TmPrior,
+    Tomogravity, TomogravityOptions, TomogravityWorkspace,
 };
 use ic_linalg::Matrix;
 use ic_topology::{waxman, RoutingScheme, WaxmanConfig};
@@ -168,5 +169,93 @@ proptest! {
         let cols = seeded.col_sums();
         let w = ipf_fit(&seeded, &rows, &cols, IpfOptions::default()).unwrap();
         prop_assert_eq!(w[(zero_row, zero_col)], 0.0);
+    }
+}
+
+/// Like `topo_and_series` but with enough bins that the engine's shard
+/// plan actually splits the run.
+fn topo_and_long_series() -> impl Strategy<Value = (ObservationModel, TmSeries)> {
+    (4usize..8, any::<u64>(), 4usize..12).prop_map(|(n, seed, bins)| {
+        let topo = waxman(&WaxmanConfig::new(n, seed)).unwrap();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut tm = TmSeries::zeros(n, bins, 300.0).unwrap();
+        for t in 0..bins {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let v = 1e5 * (1.0 + ((i * 31 + j * 17 + t * 7) % 13) as f64);
+                        tm.set(i, j, t, v).unwrap();
+                    }
+                }
+            }
+        }
+        (om, tm)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine-sharded batch estimation with 1 worker and with N workers is
+    /// bit-identical to the serial pipeline, for arbitrary shard sizes,
+    /// from both the prior-strategy and explicit-prior-series entry
+    /// points.
+    #[test]
+    fn parallel_estimation_is_bit_identical(
+        (om, tm) in topo_and_long_series(),
+        threads in 2usize..8,
+        shard_bins in 1usize..6,
+    ) {
+        let obs = om.observe(&tm).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let serial = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        let one = Engine::serial().with_shard_bins(shard_bins);
+        let many = Engine::new().with_threads(threads).with_shard_bins(shard_bins);
+        prop_assert_eq!(&pipeline.estimate_parallel(&GravityPrior, &obs, &one).unwrap(), &serial);
+        prop_assert_eq!(&pipeline.estimate_parallel(&GravityPrior, &obs, &many).unwrap(), &serial);
+        let prior_series = GravityPrior.prior_series(&obs).unwrap();
+        let from_series = pipeline.estimate_from_series(&prior_series, &obs).unwrap();
+        prop_assert_eq!(
+            &pipeline.estimate_from_series_parallel(&prior_series, &obs, &many).unwrap(),
+            &from_series
+        );
+    }
+
+    /// A warm caller-held pool is invisible in the results: repeated
+    /// pooled runs equal the fresh-pool run bit-for-bit.
+    #[test]
+    fn pooled_parallel_runs_are_bit_identical(
+        (om, tm) in topo_and_long_series(),
+        threads in 1usize..6,
+    ) {
+        let obs = om.observe(&tm).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let serial = pipeline.estimate(&GravityPrior, &obs).unwrap();
+        let engine = Engine::new().with_threads(threads).with_shard_bins(2);
+        let pool: WorkspacePool<PipelineWorkspace> = WorkspacePool::new();
+        let first = pipeline.estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool).unwrap();
+        let warm = pipeline.estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool).unwrap();
+        prop_assert_eq!(&first, &serial);
+        prop_assert_eq!(&warm, &serial);
+    }
+
+    /// The engine-backed multi-prior comparison equals the serial
+    /// `compare_priors` exactly — errors, improvements, and means.
+    #[test]
+    fn compare_priors_with_matches_serial(
+        (om, tm) in topo_and_long_series(),
+        threads in 1usize..8,
+        shard_bins in 1usize..6,
+    ) {
+        let obs = om.observe(&tm).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let candidate = StableFPrior { f: 0.25 };
+        let serial = compare_priors(&pipeline, &candidate, &tm, &obs).unwrap();
+        let engine = Engine::new().with_threads(threads).with_shard_bins(shard_bins);
+        let parallel = compare_priors_with(&pipeline, &candidate, &tm, &obs, &engine).unwrap();
+        prop_assert_eq!(serial.improvement, parallel.improvement);
+        prop_assert_eq!(serial.errors_candidate, parallel.errors_candidate);
+        prop_assert_eq!(serial.errors_gravity, parallel.errors_gravity);
+        prop_assert_eq!(serial.mean_improvement, parallel.mean_improvement);
     }
 }

@@ -26,12 +26,14 @@
 //!   one experiment: topology × synth/dataset source × routing (the
 //!   observation model) × prior strategy × fit/tomogravity/IPF options ×
 //!   task kind ([`Task`]).
-//! * [`Runner`] — executes a batch of scenarios in parallel with
-//!   `std::thread::scope`. Results are **bit-identical regardless of the
-//!   worker-thread count**: every scenario is self-contained, per-scenario
-//!   seeds are derived deterministically from the batch seed
-//!   ([`Runner::with_base_seed`]), and reports are collected in scenario
-//!   order.
+//! * [`Runner`] — a thin adapter over the shared [`ic_engine::Engine`],
+//!   scheduling at two levels: scenarios across the outer worker pool and
+//!   each scenario's bins across an inner engine, so a single large
+//!   scenario no longer serializes a batch. Results are **bit-identical
+//!   regardless of the worker-thread count**: every scenario is
+//!   self-contained, per-scenario seeds are derived deterministically from
+//!   the batch seed ([`Runner::with_base_seed`]), and reports are
+//!   collected in scenario order.
 //! * [`Report`] — structured per-scenario results (error series,
 //!   improvement %, fitted parameters) with CSV and JSON emitters.
 

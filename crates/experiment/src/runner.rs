@@ -1,15 +1,23 @@
-//! Parallel scenario execution.
+//! Parallel scenario execution — a thin adapter over [`ic_engine`].
 //!
-//! [`Runner`] executes a batch of [`Scenario`]s on a pool of scoped
-//! threads. Determinism is by construction, not by luck:
+//! [`Runner`] schedules a batch of [`Scenario`]s on the shared
+//! deterministic engine at **two levels**: scenarios fan out across the
+//! outer worker pool, and each scenario's bin-parallel work (pipeline
+//! refinement, prior comparison, streaming windows) runs on an inner
+//! engine sized to the threads the outer level leaves idle. A batch of
+//! one large scenario therefore still uses every thread — bins pick up
+//! the slack that scenario-granularity scheduling used to waste.
+//!
+//! Determinism is by construction, not by luck:
 //!
 //! * every scenario is self-contained (its own source build, fit, and
 //!   pipeline — no shared mutable state between jobs);
 //! * per-scenario RNG seeds are derived from the batch seed by index
-//!   ([`Runner::with_base_seed`]), never from thread identity or
-//!   scheduling order;
-//! * reports are collected into per-scenario slots and assembled in
-//!   scenario order.
+//!   ([`Runner::with_base_seed`] via [`ic_engine::shard_seed`]), never
+//!   from thread identity or scheduling order;
+//! * reports assemble in scenario order, and the first failing scenario
+//!   **by batch index** determines the returned error — both properties
+//!   the engine provides ([`ic_engine::Engine::run`]).
 //!
 //! Hence a batch run with 1 worker thread and with N worker threads
 //! produces **bit-identical** [`Report`]s (covered by this crate's
@@ -18,14 +26,12 @@
 use crate::report::Report;
 use crate::scenario::Scenario;
 use crate::Result;
-use ic_stats::rng::derive_seed;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use ic_engine::{shard_seed, Engine, WorkspacePool};
 
 /// Executes scenario batches in parallel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Runner {
-    threads: usize,
+    engine: Engine,
     base_seed: Option<u64>,
 }
 
@@ -36,12 +42,12 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// A runner sized to the machine's available parallelism.
+    /// A runner sized to the machine's available parallelism (the
+    /// engine's [`ic_engine::default_threads`] — the one source of truth
+    /// for worker-pool sizing).
     pub fn new() -> Self {
         Runner {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            engine: Engine::new(),
             base_seed: None,
         }
     }
@@ -49,12 +55,19 @@ impl Runner {
     /// Sets the number of worker threads (clamped to at least 1). The
     /// thread count affects wall-clock time only, never results.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
+
+    /// Replaces the execution engine (thread count and shard size) the
+    /// runner schedules on.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
     /// Derives each scenario's source seed from `seed` and the scenario's
-    /// batch index (`derive_seed(seed, index)`), overriding the seeds in
+    /// batch index (`shard_seed(seed, index)`), overriding the seeds in
     /// the scenario configs. Use this to re-randomize a whole batch from
     /// one knob while keeping runs reproducible.
     pub fn with_base_seed(mut self, seed: u64) -> Self {
@@ -64,7 +77,12 @@ impl Runner {
 
     /// Number of worker threads the runner will use.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.engine.threads()
+    }
+
+    /// The engine the runner schedules on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Runs every scenario and assembles the per-scenario reports in
@@ -80,39 +98,33 @@ impl Runner {
                 .enumerate()
                 .map(|(i, s)| {
                     let mut job = s.clone();
-                    job.reseed(derive_seed(base, i as u64));
+                    job.reseed(shard_seed(base, i as u64));
                     job
                 })
                 .collect()
         });
         let jobs: &[Scenario] = reseeded.as_deref().unwrap_or(scenarios);
 
-        let slots: Vec<Mutex<Option<Result<crate::ScenarioReport>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(jobs.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let result = jobs[i].run();
-                    *slots[i].lock().expect("slot mutex poisoned") = Some(result);
-                });
-            }
-        });
-
-        let mut reports = Vec::with_capacity(jobs.len());
-        for slot in slots {
-            let result = slot
-                .into_inner()
-                .expect("slot mutex poisoned")
-                .expect("every job index below len is executed exactly once");
-            reports.push(result?);
-        }
+        // Two-level scheduling: scenarios across the outer pool, bins
+        // across whatever threads the outer level cannot occupy. With
+        // more scenarios than threads the inner engines are serial; with
+        // one big scenario the inner engine gets every thread. A
+        // non-dividing thread count hands its remainder to the
+        // lowest-indexed scenarios (a pure function of the job index, so
+        // the sizing stays schedule-free; thread counts never change
+        // results either way).
+        let threads = self.engine.threads();
+        let outer_workers = threads.min(jobs.len().max(1));
+        let outer = self.engine.with_threads(outer_workers);
+        let base_inner = threads / outer_workers;
+        let spare = threads % outer_workers;
+        let pool: WorkspacePool<()> = WorkspacePool::new();
+        let reports = outer.run(jobs.len(), &pool, |i, _| {
+            let inner = self
+                .engine
+                .with_threads(base_inner + usize::from(i < spare));
+            jobs[i].run_with(&inner)
+        })?;
         Ok(Report { scenarios: reports })
     }
 }
@@ -154,6 +166,28 @@ mod tests {
         let one = Runner::new().with_threads(1).run(&scenarios).unwrap();
         let four = Runner::new().with_threads(4).run(&scenarios).unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn two_level_scheduling_agrees_with_serial() {
+        // Fewer scenarios than threads: the surplus goes to bin-level
+        // parallelism inside each scenario, without changing results.
+        let scenarios = batch(2);
+        let serial = Runner::new().with_threads(1).run(&scenarios).unwrap();
+        let wide = Runner::new()
+            .with_engine(Engine::new().with_threads(8).with_shard_bins(2))
+            .run(&scenarios)
+            .unwrap();
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn runner_exposes_engine_knobs() {
+        let r = Runner::new().with_threads(5);
+        assert_eq!(r.threads(), 5);
+        assert_eq!(r.engine().threads(), 5);
+        let r = Runner::new().with_engine(Engine::serial());
+        assert_eq!(r.threads(), 1);
     }
 
     #[test]

@@ -15,11 +15,14 @@ use ic_core::{
     FitOptions, FitResult, SynthConfig, TmSeries,
 };
 use ic_datasets::{build_d1, build_d2, GeantConfig, TotemConfig};
+use ic_engine::Engine;
 use ic_estimation::{
-    compare_priors, EstimationPipeline, GravityPrior, IpfOptions, MeasuredIcPrior,
+    compare_priors_with, EstimationPipeline, GravityPrior, IpfOptions, MeasuredIcPrior,
     ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
 };
-use ic_stream::{replay_estimation, replay_fit, ReplayOptions, ReplayReport, ReplayStream};
+use ic_stream::{
+    replay_estimation_with, replay_fit_with, ReplayOptions, ReplayReport, ReplayStream,
+};
 use ic_topology::{
     geant22, hierarchical, totem23, waxman, HierarchicalConfig, RoutingScheme, Topology,
     WaxmanConfig,
@@ -258,9 +261,19 @@ impl Scenario {
         self.source.reseed(seed);
     }
 
-    /// Executes the scenario. Deterministic: equal scenarios produce
-    /// bit-identical reports, on any thread.
+    /// Executes the scenario serially. Deterministic: equal scenarios
+    /// produce bit-identical reports, on any thread. Identical to
+    /// [`Scenario::run_with`] on a single-worker engine.
     pub fn run(&self) -> Result<ScenarioReport> {
+        self.run_with(&Engine::serial())
+    }
+
+    /// Executes the scenario with its bin-parallel work (pipeline
+    /// refinement, prior comparison, streaming windows) sharded across
+    /// `engine`'s worker pool — the inner level of the
+    /// [`Runner`](crate::Runner)'s two-level scheduling. Bit-identical to
+    /// [`Scenario::run`] for every thread count and shard size.
+    pub fn run_with(&self, engine: &Engine) -> Result<ScenarioReport> {
         let weeks = self.source.build_weeks()?;
         let target = weeks.get(self.target_week).ok_or_else(|| {
             ExperimentError::BadScenario(format!(
@@ -271,10 +284,10 @@ impl Scenario {
             ))
         })?;
         match self.task {
-            Task::Estimation => self.run_estimation(&weeks, target),
+            Task::Estimation => self.run_estimation(&weeks, target, engine),
             Task::FitImprovement => self.run_fit_improvement(target),
             Task::GravityGap => self.run_gravity_gap(target),
-            Task::Streaming => self.run_streaming(target),
+            Task::Streaming => self.run_streaming(target, engine),
         }
     }
 
@@ -282,7 +295,12 @@ impl Scenario {
         Ok(fit_stable_fp(week, self.fit.clone())?)
     }
 
-    fn run_estimation(&self, weeks: &[TmSeries], target: &TmSeries) -> Result<ScenarioReport> {
+    fn run_estimation(
+        &self,
+        weeks: &[TmSeries],
+        target: &TmSeries,
+        engine: &Engine,
+    ) -> Result<ScenarioReport> {
         // Step 1: construct the prior per the measurement scenario.
         let mut fitted_f = None;
         let mut fit_objective = None;
@@ -324,7 +342,7 @@ impl Scenario {
         let pipeline = EstimationPipeline::new(om)
             .with_tomogravity(self.tomogravity)
             .with_ipf(self.ipf);
-        let cmp = compare_priors(&pipeline, prior.as_ref(), target, &obs)?;
+        let cmp = compare_priors_with(&pipeline, prior.as_ref(), target, &obs, engine)?;
 
         Ok(ScenarioReport {
             name: self.name.clone(),
@@ -366,7 +384,7 @@ impl Scenario {
         })
     }
 
-    fn run_streaming(&self, target: &TmSeries) -> Result<ScenarioReport> {
+    fn run_streaming(&self, target: &TmSeries, engine: &Engine) -> Result<ScenarioReport> {
         // The scenario-level fit options drive the per-window refits, the
         // same single source of truth the other tasks use.
         let options = self.stream.clone().with_fit_options(self.fit.clone());
@@ -377,10 +395,10 @@ impl Scenario {
                 let pipeline = EstimationPipeline::new(om)
                     .with_tomogravity(self.tomogravity)
                     .with_ipf(self.ipf);
-                let replay = replay_estimation(&mut stream, pipeline, &options)?;
+                let replay = replay_estimation_with(&mut stream, pipeline, &options, engine)?;
                 (replay, Some("ic-rolling-fit".to_string()))
             }
-            None => (replay_fit(&mut stream, &options)?, None),
+            None => (replay_fit_with(&mut stream, &options, engine)?, None),
         };
         let improvement: Vec<f64> = replay.windows.iter().map(|w| w.improvement).collect();
         let errors_candidate: Vec<f64> = replay.windows.iter().map(|w| w.error_candidate).collect();
@@ -650,6 +668,7 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ic_estimation::compare_priors;
 
     fn tiny_synth() -> SynthConfig {
         SynthConfig::geant_like(3).with_nodes(22).with_bins(8)

@@ -3,6 +3,7 @@
 //! count, and batch seeding is a pure function of (base seed, index).
 
 use ic_core::SynthConfig;
+use ic_engine::Engine;
 use ic_experiment::{PriorStrategy, Runner, Scenario, Task};
 use ic_stream::ReplayOptions;
 use proptest::prelude::*;
@@ -79,5 +80,58 @@ proptest! {
         let a = runner.run(&batch).unwrap();
         let b = runner.run(&batch).unwrap();
         prop_assert_eq!(a, b);
+    }
+
+    /// Two-level scheduling (scenarios × bins) keeps the guarantee under
+    /// thread surpluses and deficits alike: with more threads than
+    /// scenarios the spare threads shard bins inside each scenario, and
+    /// the shard size is a wall-clock knob only.
+    #[test]
+    fn two_level_scheduling_bit_identical(
+        seed in 0u64..10_000,
+        scenarios in 1usize..4,
+        threads in 2usize..10,
+        shard_bins in 1usize..5,
+    ) {
+        let batch = mixed_batch(seed, scenarios);
+        let serial = Runner::new().with_threads(1).run(&batch).unwrap();
+        let wide = Runner::new()
+            .with_engine(Engine::new().with_threads(threads).with_shard_bins(shard_bins))
+            .run(&batch)
+            .unwrap();
+        prop_assert_eq!(serial, wide);
+    }
+
+    /// Error determinism: when scenarios fail, the first failing scenario
+    /// **by batch index** determines the error under every thread count —
+    /// mirroring `Runner::run`'s sequential reference behavior.
+    #[test]
+    fn first_failing_scenario_by_index_wins(
+        seed in 0u64..10_000,
+        scenarios in 2usize..6,
+        fail_a in 0usize..6,
+        fail_b in 0usize..6,
+        threads in 2usize..8,
+    ) {
+        let mut batch = mixed_batch(seed, scenarios);
+        // Poison one or two indices with a runtime failure (the f = 1/2
+        // prior is rejected inside estimation, past build-time checks).
+        let poison = |i: usize| {
+            Scenario::builder(format!("bad-{i}"))
+                .synth(SynthConfig::geant_like(seed).with_nodes(22).with_bins(4))
+                .geant22()
+                .prior(PriorStrategy::Custom(std::sync::Arc::new(
+                    ic_estimation::StableFPrior { f: 0.5 },
+                )))
+                .build()
+                .expect("builds fine; fails at run time")
+        };
+        let fail_a = fail_a % scenarios;
+        let fail_b = fail_b % scenarios;
+        batch[fail_a] = poison(fail_a);
+        batch[fail_b] = poison(fail_b);
+        let one = Runner::new().with_threads(1).run(&batch).unwrap_err();
+        let many = Runner::new().with_threads(threads).run(&batch).unwrap_err();
+        prop_assert_eq!(one.to_string(), many.to_string());
     }
 }

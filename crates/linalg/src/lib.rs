@@ -52,6 +52,22 @@ pub use simplex::project_to_simplex;
 pub use sparse::SparseMatrix;
 pub use svd::Svd;
 
+// Send/Sync audit for the parallel execution engine: every matrix type
+// and reusable workspace crossing `ic-engine` worker boundaries must be
+// plain owned data. A non-`Send` field sneaking in (an `Rc`, a raw
+// pointer cache, ...) turns this into a compile error here rather than a
+// trait-bound error deep inside a downstream crate.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Matrix>();
+    _assert_send_sync::<SparseMatrix>();
+    _assert_send_sync::<Cholesky>();
+    _assert_send_sync::<CholeskyWorkspace>();
+    _assert_send_sync::<Qr>();
+    _assert_send_sync::<Svd>();
+    _assert_send_sync::<LinalgError>();
+};
+
 /// Errors produced by linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinalgError {

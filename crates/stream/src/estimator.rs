@@ -22,6 +22,7 @@ use crate::{Result, StreamError};
 use ic_core::{
     fit_stable_fp, gravity_from_marginals, mean_rel_l2, FitOptions, FitResult, TmSeries,
 };
+use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace, StableFpPrior, TmPrior};
 
 /// One window's estimation outcome.
@@ -264,10 +265,15 @@ pub struct StreamingTomogravity {
     pipeline: EstimationPipeline,
     fit_options: FitOptions,
     previous: Option<FitResult>,
-    /// Reused across windows: per-bin tomogravity/IPF scratch, so the
-    /// steady-state estimation loop is allocation-free (results are
-    /// bit-identical to fresh-workspace runs).
-    workspace: PipelineWorkspace,
+    /// Bin-sharding engine for the per-window pipeline run (serial by
+    /// default; thread count never changes results).
+    engine: Engine,
+    /// Reused across windows: per-worker tomogravity/IPF scratch
+    /// (results are bit-identical to fresh-workspace runs). On the
+    /// serial default engine the steady-state loop is allocation-free;
+    /// multi-thread engines add only small per-window scheduling
+    /// allocations.
+    pool: WorkspacePool<PipelineWorkspace>,
 }
 
 impl StreamingTomogravity {
@@ -278,13 +284,21 @@ impl StreamingTomogravity {
             pipeline,
             fit_options: FitOptions::default(),
             previous: None,
-            workspace: PipelineWorkspace::new(),
+            engine: Engine::serial(),
+            pool: WorkspacePool::new(),
         }
     }
 
     /// Sets the options of the rolling per-window fit.
     pub fn with_fit_options(mut self, options: FitOptions) -> Self {
         self.fit_options = options;
+        self
+    }
+
+    /// Shards each window's pipeline run across the engine's worker pool.
+    /// Bit-identical to the serial default for any thread count.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -312,7 +326,7 @@ impl OnlineEstimator for StreamingTomogravity {
         };
         let estimate = self
             .pipeline
-            .estimate_with(prior.as_ref(), &obs, &mut self.workspace)
+            .estimate_parallel_pooled(prior.as_ref(), &obs, &self.engine, &self.pool)
             .map_err(StreamError::from)?;
         let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
         // The window's TM has now "been measured": refresh the rolling

@@ -58,7 +58,10 @@ pub use estimator::{
     OnlineEstimator, OnlineGravity, StreamingTomogravity, WarmStartIcFit, WindowEstimate,
 };
 pub use forecast::{ForecastOptions, ParamForecast, ParamForecaster};
-pub use replay::{replay_estimation, replay_fit, ReplayOptions, ReplayReport, WindowReport};
+pub use replay::{
+    replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, ReplayOptions,
+    ReplayReport, WindowReport,
+};
 pub use source::{LinkLoadStream, ReplayStream, SyntheticStream};
 pub use window::{Window, Windower};
 

@@ -9,6 +9,15 @@
 //! produce a [`ReplayReport`] with one [`WindowReport`] per window —
 //! the structure the experiment runner's `Task::Streaming` and the
 //! `streaming_replay` bench binary consume.
+//!
+//! Window estimation runs through the shared [`ic_engine::Engine`]
+//! (`*_with` variants take it explicitly) while preserving the online
+//! ordering contract: windows are still consumed strictly in stream
+//! order — warm starts and the rolling prior see exactly the history
+//! they would see serially — and the engine parallelizes only *within* a
+//! step: the independent candidate/baseline pair of each window
+//! ([`Engine::join`]) and, for the pipeline estimators, the bins inside
+//! a window. Replays are therefore bit-identical for every thread count.
 
 use crate::drift::{DriftDetector, DriftEvent, DriftOptions};
 use crate::estimator::{OnlineEstimator, OnlineGravity, StreamingTomogravity, WarmStartIcFit};
@@ -17,7 +26,8 @@ use crate::source::LinkLoadStream;
 use crate::window::Windower;
 use crate::{Result, StreamError};
 use ic_core::{improvement_percent, mean_rel_l2, FitOptions, TmSeries};
-use ic_estimation::{EstimationPipeline, GravityPrior};
+use ic_engine::{Engine, WorkspacePool};
+use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace};
 
 /// Options for a streaming replay run.
 ///
@@ -219,10 +229,21 @@ fn mean(xs: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Replays a stream through the warm-started incremental IC fit with the
-/// online gravity baseline (direct-fit comparison, no topology).
+/// online gravity baseline (direct-fit comparison, no topology), on the
+/// default engine.
 pub fn replay_fit(
     stream: &mut dyn LinkLoadStream,
     options: &ReplayOptions,
+) -> Result<ReplayReport> {
+    replay_fit_with(stream, options, &Engine::new())
+}
+
+/// [`replay_fit`] on an explicit engine. The thread count never changes
+/// the report — only wall-clock time.
+pub fn replay_fit_with(
+    stream: &mut dyn LinkLoadStream,
+    options: &ReplayOptions,
+    engine: &Engine,
 ) -> Result<ReplayReport> {
     let mut candidate = if options.warm_start {
         WarmStartIcFit::new(options.fit.clone())
@@ -231,16 +252,29 @@ pub fn replay_fit(
     };
     let name = candidate.name().to_string();
     let mut baseline = OnlineGravity::new();
-    run_replay(stream, options, name, &mut candidate, &mut baseline)
+    run_replay(stream, options, engine, name, &mut candidate, &mut baseline)
 }
 
 /// Replays a stream through the streaming tomogravity/IPF pipeline with a
 /// rolling IC prior, against the gravity-prior pipeline on the same
-/// observations.
+/// observations, on the default engine.
 pub fn replay_estimation(
     stream: &mut dyn LinkLoadStream,
     pipeline: EstimationPipeline,
     options: &ReplayOptions,
+) -> Result<ReplayReport> {
+    replay_estimation_with(stream, pipeline, options, &Engine::new())
+}
+
+/// [`replay_estimation`] on an explicit engine: each window's candidate
+/// and baseline pipelines run concurrently ([`Engine::join`]) and each
+/// pipeline's bins are sharded across the worker pool. Bit-identical to
+/// the serial replay for every thread count.
+pub fn replay_estimation_with(
+    stream: &mut dyn LinkLoadStream,
+    pipeline: EstimationPipeline,
+    options: &ReplayOptions,
+    engine: &Engine,
 ) -> Result<ReplayReport> {
     if pipeline.model().nodes() != stream.nodes() {
         return Err(StreamError::ShapeMismatch {
@@ -249,16 +283,30 @@ pub fn replay_estimation(
             actual: pipeline.model().nodes(),
         });
     }
-    let mut candidate =
-        StreamingTomogravity::new(pipeline.clone()).with_fit_options(options.fit.clone());
+    // The candidate and baseline each keep a window's pipeline run on the
+    // engine; `join` already splits the pair across two workers, so the
+    // two sides split the thread budget between them (the candidate —
+    // which also carries the rolling fit — takes the odd thread, keeping
+    // the total at the engine's configured count).
+    let candidate_inner = engine.with_threads(engine.threads().div_ceil(2));
+    let baseline_inner = engine.with_threads(engine.threads() / 2);
+    let mut candidate = StreamingTomogravity::new(pipeline.clone())
+        .with_fit_options(options.fit.clone())
+        .with_engine(candidate_inner);
     let name = candidate.name().to_string();
-    let mut baseline = PipelineGravity { pipeline };
-    run_replay(stream, options, name, &mut candidate, &mut baseline)
+    let mut baseline = PipelineGravity {
+        pipeline,
+        engine: baseline_inner,
+        pool: WorkspacePool::new(),
+    };
+    run_replay(stream, options, engine, name, &mut candidate, &mut baseline)
 }
 
 /// The gravity-prior pipeline as a (stateless) baseline estimator.
 struct PipelineGravity {
     pipeline: EstimationPipeline,
+    engine: Engine,
+    pool: WorkspacePool<PipelineWorkspace>,
 }
 
 impl OnlineEstimator for PipelineGravity {
@@ -274,7 +322,7 @@ impl OnlineEstimator for PipelineGravity {
             .map_err(StreamError::from)?;
         let estimate: TmSeries = self
             .pipeline
-            .estimate(&GravityPrior, &obs)
+            .estimate_parallel_pooled(&GravityPrior, &obs, &self.engine, &self.pool)
             .map_err(StreamError::from)?;
         let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
         Ok(crate::WindowEstimate {
@@ -296,9 +344,10 @@ impl OnlineEstimator for PipelineGravity {
 fn run_replay(
     stream: &mut dyn LinkLoadStream,
     options: &ReplayOptions,
+    engine: &Engine,
     estimator_name: String,
-    candidate: &mut dyn OnlineEstimator,
-    baseline: &mut dyn OnlineEstimator,
+    candidate: &mut (dyn OnlineEstimator + Send),
+    baseline: &mut (dyn OnlineEstimator + Send),
 ) -> Result<ReplayReport> {
     let nodes = stream.nodes();
     let bin_seconds = stream.bin_seconds();
@@ -317,8 +366,12 @@ fn run_replay(
         let Some(window) = windower.push(nodes, bin_seconds, column)? else {
             continue 'ingest;
         };
-        let cand = candidate.process(&window)?;
-        let base = baseline.process(&window)?;
+        // The candidate/baseline pair shares no state, so the engine may
+        // run the two sides concurrently; the candidate's error is
+        // inspected first either way, preserving the serial failure
+        // order.
+        let (cand, base) = engine.join(|| candidate.process(&window), || baseline.process(&window));
+        let (cand, base) = (cand?, base?);
         let improvement = improvement_percent(base.error, cand.error);
         let (forecast_f_error, drift_events) = match (cand.fitted_f, &cand.fitted_preference) {
             (Some(f), Some(p)) => {

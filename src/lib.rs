@@ -12,6 +12,9 @@
 //! * [`core`] — the IC model family behind the [`core::IcModel`]/
 //!   [`core::Fit`] traits, gravity model, and the Section 5.1 fitting
 //!   program (the paper's contribution),
+//! * [`engine`] — the deterministic sharded execution engine
+//!   ([`engine::Engine`]) every parallel layer schedules on: 1 worker and
+//!   N workers are bit-identical by construction,
 //! * [`estimation`] — traffic-matrix estimation with IC and gravity priors,
 //! * [`stream`] — online/streaming estimation: windowed ingestion,
 //!   warm-started incremental fits, parameter forecasting, and drift
@@ -27,6 +30,7 @@
 
 pub use ic_core as core;
 pub use ic_datasets as datasets;
+pub use ic_engine as engine;
 pub use ic_estimation as estimation;
 pub use ic_experiment as experiment;
 pub use ic_flowsim as flowsim;
@@ -130,19 +134,21 @@ pub mod prelude {
         TmSeries, WarmStart,
     };
     pub use ic_datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
+    pub use ic_engine::{default_threads, Engine, Shard, ShardPlan, WorkspacePool};
     pub use ic_estimation::{
-        compare_priors, EstimationPipeline, GravityPrior, IpfOptions, MeasuredIcPrior,
-        ObservationModel, Observations, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
+        compare_priors, compare_priors_with, EstimationPipeline, GravityPrior, IpfOptions,
+        MeasuredIcPrior, ObservationModel, Observations, StableFPrior, StableFpPrior, TmPrior,
+        TomogravityOptions,
     };
     pub use ic_experiment::{
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
     pub use ic_linalg::Matrix;
     pub use ic_stream::{
-        replay_estimation, replay_fit, DriftDetector, DriftOptions, ForecastOptions,
-        LinkLoadStream, OnlineEstimator, OnlineGravity, ParamForecaster, ReplayOptions,
-        ReplayReport, ReplayStream, StreamingTomogravity, SyntheticStream, WarmStartIcFit, Window,
-        Windower,
+        replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, DriftDetector,
+        DriftOptions, ForecastOptions, LinkLoadStream, OnlineEstimator, OnlineGravity,
+        ParamForecaster, ReplayOptions, ReplayReport, ReplayStream, StreamingTomogravity,
+        SyntheticStream, WarmStartIcFit, Window, Windower,
     };
     pub use ic_topology::{geant22, totem23, RoutingScheme, Topology};
 }
