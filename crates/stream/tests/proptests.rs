@@ -8,10 +8,13 @@
 //! * a replay of the same stream reproduces the same report bit-for-bit.
 
 use ic_core::{fit_stable_fp, generate_synthetic, gravity_predict, FitOptions, SynthConfig};
+use ic_engine::Engine;
+use ic_estimation::{EstimationPipeline, ObservationModel};
 use ic_stream::{
-    replay_fit, LinkLoadStream, OnlineEstimator, OnlineGravity, ReplayOptions, ReplayStream,
-    SyntheticStream, WarmStartIcFit, Windower,
+    replay_estimation_with, replay_fit, replay_fit_with, LinkLoadStream, OnlineEstimator,
+    OnlineGravity, ReplayOptions, ReplayStream, SyntheticStream, WarmStartIcFit, Windower,
 };
+use ic_topology::{RoutingScheme, Topology};
 use proptest::prelude::*;
 
 fn cfg(seed: u64, nodes: usize, bins: usize) -> SynthConfig {
@@ -132,5 +135,58 @@ proptest! {
             replay_fit(&mut stream, &opts).unwrap()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Streaming replay through the engine is bit-identical for 1 worker
+    /// and N workers — the online ordering contract (warm starts see the
+    /// same history) survives candidate/baseline pairing.
+    #[test]
+    fn replay_fit_one_vs_n_threads_bit_identical(
+        seed in 0u64..10_000,
+        threads in 2usize..8,
+        warm in 0u8..2,
+    ) {
+        let opts = ReplayOptions::default()
+            .with_window_bins(5)
+            .with_warm_start(warm == 1);
+        let run = |engine: Engine| {
+            let mut stream = SyntheticStream::new(cfg(seed, 4, 20)).unwrap();
+            replay_fit_with(&mut stream, &opts, &engine).unwrap()
+        };
+        let one = run(Engine::serial());
+        let many = run(Engine::new().with_threads(threads));
+        prop_assert_eq!(one, many);
+    }
+
+    /// Streaming pipeline estimation through the engine is bit-identical
+    /// for 1 worker and N workers and for arbitrary shard sizes: the
+    /// rolling IC prior, the per-window bin sharding, and the paired
+    /// gravity baseline never leak scheduling into results.
+    #[test]
+    fn replay_estimation_one_vs_n_threads_bit_identical(
+        seed in 0u64..5_000,
+        threads in 2usize..6,
+        shard_bins in 1usize..5,
+    ) {
+        let mut topo = Topology::new("ring5");
+        let ids: Vec<usize> = (0..5).map(|k| topo.add_node(format!("n{k}")).unwrap()).collect();
+        for k in 0..5 {
+            topo.add_symmetric_link(ids[k], ids[(k + 1) % 5], 1.0, 1e12).unwrap();
+        }
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let opts = ReplayOptions::default().with_window_bins(4);
+        let run = |engine: Engine| {
+            let mut stream = SyntheticStream::new(cfg(seed, 5, 16)).unwrap();
+            replay_estimation_with(
+                &mut stream,
+                EstimationPipeline::new(om.clone()),
+                &opts,
+                &engine,
+            )
+            .unwrap()
+        };
+        let one = run(Engine::serial().with_shard_bins(shard_bins));
+        let many = run(Engine::new().with_threads(threads).with_shard_bins(shard_bins));
+        prop_assert_eq!(one, many);
     }
 }
