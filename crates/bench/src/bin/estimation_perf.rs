@@ -22,16 +22,23 @@
 //! makes the parallel numbers interpretable across machines (on a 1-CPU
 //! runner the parallel speedup is necessarily ~1x).
 //!
+//! `--solver auto|dense|pcg` pins the [`SolverPolicy`] of the timed
+//! paths (default `auto`). Independently of the chosen policy, every
+//! size also times a forced-PCG refinement pass (`pcg_secs_per_bin`) and
+//! cross-checks it against the policy path, so the matrix-free solver is
+//! always measured and gated; solver counters (PCG iterations, stalls,
+//! Cholesky→pseudo-inverse fallbacks) are logged per size.
+//!
 //! Usage: `estimation_perf [--scale smoke|full] [--sizes 50,100,200]
 //! [--bins N] [--dense-max N] [--threads N] [--shard-bins N]
-//! [--out PATH]`.
+//! [--solver auto|dense|pcg] [--out PATH]`.
 
 use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{generate_synthetic, SynthConfig};
 use ic_engine::{default_threads, Engine, WorkspacePool};
 use ic_estimation::{
-    EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace, TmPrior, Tomogravity,
-    TomogravityOptions, TomogravityWorkspace,
+    EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace, SolveStats,
+    SolverPolicy, TmPrior, Tomogravity, TomogravityOptions, TomogravityWorkspace,
 };
 use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -96,6 +103,13 @@ struct SizeResult {
     parallel_speedup: f64,
     allocs_per_bin_warm: u64,
     max_rel_diff_vs_dense: Option<f64>,
+    /// Forced-PCG refinement time (measured even when the policy path
+    /// resolved to dense, so the matrix-free solver is always gated).
+    pcg_secs_per_bin: f64,
+    /// Mean PCG iterations per forced-PCG solve.
+    pcg_iterations_per_solve: f64,
+    /// Solver counters of the policy path over one counted bin sweep.
+    solve_stats: SolveStats,
 }
 
 fn default_sizes(scale: Scale) -> Vec<usize> {
@@ -119,7 +133,22 @@ fn parse_sizes(spec: &str) -> Vec<usize> {
     sizes
 }
 
-fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> SizeResult {
+fn parse_solver(spec: &str) -> SolverPolicy {
+    match spec {
+        "auto" => SolverPolicy::Auto,
+        "dense" => SolverPolicy::Dense,
+        "pcg" => SolverPolicy::Pcg,
+        other => panic!("--solver {other:?} is not one of auto|dense|pcg"),
+    }
+}
+
+fn bench_size(
+    nodes: usize,
+    bins: usize,
+    dense_max: usize,
+    engine: Engine,
+    policy: SolverPolicy,
+) -> SizeResult {
     // Hierarchical topology: nodes/10 backbones with 9 PoPs each, so the
     // node count lands exactly on the requested size for multiples of 10.
     let cfg = HierarchicalConfig::new((nodes / 10).max(1), 9, 20060419);
@@ -134,7 +163,7 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> Si
         .series;
     let obs = om.observe(&truth).expect("observe");
     let prior = GravityPrior.prior_series(&obs).expect("gravity prior");
-    let tomo = Tomogravity::new(TomogravityOptions::default());
+    let tomo = Tomogravity::new(TomogravityOptions::default().with_solver(policy));
 
     // Sparse path: series refine through the reusable workspace, with a
     // one-bin warm-up so the timed region measures steady state.
@@ -148,7 +177,9 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> Si
     let mut xp = vec![0.0; n * n];
     let mut b = vec![0.0; obs.stacked_len()];
     // Allocation count of one warm pass (measured outside the timing reps
-    // so the input fills don't blur it).
+    // so the input fills don't blur it). Solver counters are reset first
+    // so the snapshot covers exactly this bin sweep.
+    ws.reset_solve_stats();
     let allocs_before = allocations();
     for t in 0..bins {
         for (row, slot) in xp.iter_mut().enumerate() {
@@ -159,6 +190,7 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> Si
             .expect("sparse refine");
     }
     let allocs_per_bin_warm = (allocations() - allocs_before) / bins as u64;
+    let solve_stats = ws.solve_stats();
     let sparse_last: Vec<f64> = ws.solution().to_vec();
 
     // Sparse timing: min over repetitions of the whole bin sweep.
@@ -206,8 +238,60 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> Si
         (None, None)
     };
 
+    // Forced-PCG refinement pass. When the policy path already ran pure
+    // PCG (no dense solves), its numbers are reused; otherwise a second
+    // sweep with a pinned-PCG tomogravity measures the matrix-free
+    // solver at this size and is cross-checked against the policy path.
+    let (pcg_secs_per_bin, pcg_iterations_per_solve) =
+        if solve_stats.dense_solves == 0 && solve_stats.pcg_solves > 0 {
+            (
+                sparse_secs_per_bin,
+                solve_stats.pcg_iterations as f64 / solve_stats.pcg_solves as f64,
+            )
+        } else {
+            let tomo_pcg =
+                Tomogravity::new(TomogravityOptions::default().with_solver(SolverPolicy::Pcg));
+            let mut ws_pcg = TomogravityWorkspace::new();
+            let mut pcg_last = Vec::new();
+            let pcg_secs = time_min(
+                || {
+                    for t in 0..bins {
+                        for (row, slot) in xp.iter_mut().enumerate() {
+                            *slot = prior.as_matrix()[(row, t)];
+                        }
+                        obs.stacked_at_into(t, &mut b).expect("stacked obs");
+                        tomo_pcg
+                            .refine_bin_sparse_with(a, at, &xp, &b, &mut ws_pcg)
+                            .expect("pcg refine");
+                    }
+                    pcg_last.clear();
+                    pcg_last.extend_from_slice(ws_pcg.solution());
+                },
+                0.5,
+                200,
+            );
+            // Cross-check: PCG refined the same last bin as the policy
+            // path, within estimation tolerance.
+            let scale: f64 = sparse_last.iter().fold(1.0_f64, |m, &v| m.max(v.abs()));
+            let diff = sparse_last
+                .iter()
+                .zip(pcg_last.iter())
+                .fold(0.0_f64, |m, (&s, &p)| m.max((s - p).abs()));
+            assert!(
+                diff <= 1e-6 * scale,
+                "forced-PCG refinement disagrees with the policy path at {n} nodes: \
+                 rel diff {}",
+                diff / scale
+            );
+            let st = ws_pcg.solve_stats();
+            (
+                pcg_secs / bins as f64,
+                st.pcg_iterations as f64 / st.pcg_solves.max(1) as f64,
+            )
+        };
+
     // Full sparse pipeline (prior + tomogravity + IPF) for context.
-    let pipeline = EstimationPipeline::new(om);
+    let pipeline = EstimationPipeline::new(om).with_solver(policy);
     let mut pws = PipelineWorkspace::new();
     let serial_est = pipeline
         .estimate_with(&GravityPrior, &obs, &mut pws)
@@ -260,6 +344,9 @@ fn bench_size(nodes: usize, bins: usize, dense_max: usize, engine: Engine) -> Si
         parallel_speedup: pipeline_secs_per_bin / parallel_pipeline_secs_per_bin,
         allocs_per_bin_warm,
         max_rel_diff_vs_dense,
+        pcg_secs_per_bin,
+        pcg_iterations_per_solve,
+        solve_stats,
     }
 }
 
@@ -286,24 +373,25 @@ fn main() {
     let shard_bins: usize = arg_value("--shard-bins")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let solver = arg_value("--solver").map_or(SolverPolicy::Auto, |s| parse_solver(&s));
     let engine = Engine::new()
         .with_threads(threads)
         .with_shard_bins(shard_bins);
     println!(
         "# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}, \
-         {} threads x {}-bin shards ({} cpus available)",
+         solver {solver:?}, {} threads x {}-bin shards ({} cpus available)",
         engine.threads(),
         engine.shard_bins(),
         default_threads(),
     );
     println!(
-        "# nodes\tlinks\tnnz\tdensity\tsparse_s/bin\tdense_s/bin\tspeedup\tpar_s/bin\tpar_speedup\tallocs/bin"
+        "# nodes\tlinks\tnnz\tdensity\tsparse_s/bin\tdense_s/bin\tspeedup\tpcg_s/bin\tpar_s/bin\tpar_speedup\tallocs/bin"
     );
     let mut results = Vec::new();
     for &size in &sizes {
-        let r = bench_size(size, bins, dense_max, engine);
+        let r = bench_size(size, bins, dense_max, engine, solver);
         println!(
-            "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{:.5}\t{:.2}x\t{}",
+            "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{:.5}\t{:.5}\t{:.2}x\t{}",
             r.nodes,
             r.links,
             r.nnz,
@@ -315,13 +403,37 @@ fn main() {
             r.speedup_vs_dense
                 .map(|v| format!("{v:.1}x"))
                 .unwrap_or_else(|| "-".to_string()),
+            r.pcg_secs_per_bin,
             r.parallel_pipeline_secs_per_bin,
             r.parallel_speedup,
             r.allocs_per_bin_warm,
         );
+        // Satellite of the solver refactor: the once-silent
+        // pseudo-inverse fallback (and all PCG work) is logged per size.
+        let st = &r.solve_stats;
+        println!(
+            "#   solver @ {} nodes: {} dense / {} pcg solves, {} pcg iters \
+             ({:.1}/solve forced-pcg), {} stalls, {} fallbacks",
+            r.nodes,
+            st.dense_solves,
+            st.pcg_solves,
+            st.pcg_iterations,
+            r.pcg_iterations_per_solve,
+            st.pcg_stalls,
+            st.fallbacks,
+        );
         if let Some(diff) = r.max_rel_diff_vs_dense {
+            // PCG solves to a 1e-12 relative residual, not to machine
+            // epsilon, so when the policy path ran PCG the dense
+            // cross-check gets estimation tolerance instead of the
+            // bit-level dense-vs-sparse bound.
+            let tol = if r.solve_stats.pcg_solves > 0 {
+                1e-6
+            } else {
+                1e-9
+            };
             assert!(
-                diff < 1e-9,
+                diff < tol,
                 "sparse and dense refinements disagree at {} nodes: {diff}",
                 r.nodes
             );
@@ -334,7 +446,9 @@ fn main() {
             format!(
                 "{{\"nodes\":{},\"links\":{},\"nnz\":{},\"density\":{},\"bins\":{},\
                  \"sparse_refine_secs_per_bin\":{},\"dense_refine_secs_per_bin\":{},\
-                 \"speedup_vs_dense\":{},\"pipeline_secs_per_bin\":{},\
+                 \"speedup_vs_dense\":{},\"pcg_secs_per_bin\":{},\
+                 \"pcg_iterations_per_solve\":{},\"fallbacks\":{},\
+                 \"pipeline_secs_per_bin\":{},\
                  \"parallel_pipeline_secs_per_bin\":{},\"parallel_speedup\":{},\
                  \"allocs_per_bin_warm\":{}}}",
                 r.nodes,
@@ -349,6 +463,9 @@ fn main() {
                 r.speedup_vs_dense
                     .map(json_f)
                     .unwrap_or_else(|| "null".to_string()),
+                json_f(r.pcg_secs_per_bin),
+                json_f(r.pcg_iterations_per_solve),
+                r.solve_stats.fallbacks,
                 json_f(r.pipeline_secs_per_bin),
                 json_f(r.parallel_pipeline_secs_per_bin),
                 json_f(r.parallel_speedup),
@@ -358,6 +475,7 @@ fn main() {
         .collect();
     let json = format!(
         "{{\"scale\":\"{scale:?}\",\"bins\":{bins},\"dense_max\":{dense_max},\
+         \"solver\":\"{solver:?}\",\
          \"threads\":{},\"shard_bins\":{},\"cpus_available\":{},\"results\":[{}]}}\n",
         engine.threads(),
         engine.shard_bins(),

@@ -7,9 +7,9 @@
 //! * streaming (`BENCH_streaming.json`): `throughput_bins_per_sec` ↑,
 //!   `warm_speedup` ↑;
 //! * estimation (`BENCH_estimation.json`): `sparse_refine_secs_per_bin` ↓,
-//!   `pipeline_secs_per_bin` ↓, `parallel_pipeline_secs_per_bin` ↓,
-//!   `speedup_vs_dense` ↑, `allocs_per_bin_warm` ↓ (compared positionally
-//!   per topology size).
+//!   `pcg_secs_per_bin` ↓, `pipeline_secs_per_bin` ↓,
+//!   `parallel_pipeline_secs_per_bin` ↓, `speedup_vs_dense` ↑,
+//!   `allocs_per_bin_warm` ↓ (compared positionally per topology size).
 //!
 //! The engine-sharded timing is gated as an absolute per-bin time rather
 //! than as a parallel-speedup ratio: the ratio is a function of the
@@ -38,6 +38,7 @@ const METRICS: &[(&str, Direction)] = &[
     ("warm_speedup", Direction::HigherIsBetter),
     // Estimation bench.
     ("sparse_refine_secs_per_bin", Direction::LowerIsBetter),
+    ("pcg_secs_per_bin", Direction::LowerIsBetter),
     ("pipeline_secs_per_bin", Direction::LowerIsBetter),
     ("parallel_pipeline_secs_per_bin", Direction::LowerIsBetter),
     ("speedup_vs_dense", Direction::HigherIsBetter),

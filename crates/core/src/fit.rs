@@ -42,7 +42,9 @@ use crate::model::{
 use crate::tm::TmSeries;
 use crate::{IcError, Result};
 use ic_linalg::nnls::nnls_from_normal_equations;
-use ic_linalg::{CholeskyWorkspace, Matrix, NnlsOptions};
+use ic_linalg::{
+    CholeskyWorkspace, Matrix, NnlsOptions, PcgWorkspace, SolveStats, SolverKind, SolverPolicy,
+};
 
 /// Which scalarization of the Section 5.1 objective to optimize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,6 +108,10 @@ pub struct FitOptions {
     /// Optional warm-start point replacing the Eq. 11–12 cold
     /// initialization (default `None`).
     pub initial: Option<WarmStart>,
+    /// Normal-equations solver for the activity/preference subproblems
+    /// (default [`SolverPolicy::Auto`]: dense Cholesky below the row
+    /// threshold, matrix-free PCG above).
+    pub solver: SolverPolicy,
 }
 
 impl Default for FitOptions {
@@ -117,6 +123,7 @@ impl Default for FitOptions {
             objective: Objective::WeightedSse,
             fix_f: false,
             initial: None,
+            solver: SolverPolicy::Auto,
         }
     }
 }
@@ -166,6 +173,12 @@ impl FitOptions {
         self.initial = Some(warm);
         self
     }
+
+    /// Selects the normal-equations solver for the subproblem solves.
+    pub fn with_solver(mut self, solver: SolverPolicy) -> Self {
+        self.solver = solver;
+        self
+    }
 }
 
 /// Result of fitting a family member `M`: the fitted parameterization plus
@@ -181,6 +194,10 @@ pub struct FitReport<M> {
     pub objective_history: Vec<f64>,
     /// Whether the tolerance was reached before the sweep budget.
     pub converged: bool,
+    /// Solver counters accumulated over the subproblem solves: how many
+    /// went through dense Cholesky vs PCG, total PCG iterations, and how
+    /// often the unconstrained solve fell back to NNLS.
+    pub solve_stats: SolveStats,
 }
 
 impl<M: crate::ic_model::IcModel> FitReport<M> {
@@ -236,33 +253,122 @@ fn two_term_ridge(f: f64, v: &[f64]) -> f64 {
 /// matrix and Cholesky factor in reusable buffers so refactoring per sweep
 /// (stable-fP) or per bin (stable-f, time-varying) allocates nothing once
 /// warm.
+///
+/// Under [`SolverPolicy::Pcg`] (or `Auto` above the row threshold) the
+/// `n×n` Gram is never materialized for the solve: the two-term operator
+/// `(c1·s2)·I + c2·v·vᵀ` is applied matrix-free in `O(n)` per iteration,
+/// and — having exactly two distinct eigenvalues — CG converges in a
+/// couple of iterations. The dense Gram is built lazily only when the
+/// NNLS fallback needs it.
 struct TwoTermGram {
     g: Matrix,
+    g_valid: bool,
     chol: CholeskyWorkspace,
+    policy: SolverPolicy,
+    kind: SolverKind,
+    pcg: PcgWorkspace,
+    f: f64,
+    v: Vec<f64>,
+    c1s2: f64,
+    c2: f64,
+    ridge: f64,
+    diag: Vec<f64>,
+    stats: SolveStats,
 }
 
 impl TwoTermGram {
-    fn new() -> Self {
+    fn new(policy: SolverPolicy) -> Self {
         TwoTermGram {
             g: Matrix::zeros(0, 0),
+            g_valid: false,
             chol: CholeskyWorkspace::new(),
+            policy,
+            kind: SolverKind::Dense,
+            pcg: PcgWorkspace::new(),
+            f: 0.0,
+            v: Vec::new(),
+            c1s2: 0.0,
+            c2: 0.0,
+            ridge: 0.0,
+            diag: Vec::new(),
+            stats: SolveStats::default(),
         }
     }
 
     fn factor(&mut self, f: f64, v: &[f64]) -> Result<()> {
-        two_term_gram_into(f, v, &mut self.g);
-        self.chol
-            .factor_regularized(&self.g, two_term_ridge(f, v))
-            .map_err(IcError::from)
+        let c1 = f * f + (1.0 - f) * (1.0 - f);
+        let s2: f64 = v.iter().map(|&x| x * x).sum();
+        self.f = f;
+        self.v.resize(v.len(), 0.0);
+        self.v.copy_from_slice(v);
+        self.c1s2 = c1 * s2;
+        self.c2 = 2.0 * f * (1.0 - f);
+        self.ridge = two_term_ridge(f, v);
+        self.g_valid = false;
+        self.kind = self.policy.resolve(v.len());
+        match self.kind {
+            SolverKind::Dense => {
+                two_term_gram_into(f, v, &mut self.g);
+                self.g_valid = true;
+                self.chol
+                    .factor_regularized(&self.g, self.ridge)
+                    .map_err(IcError::from)
+            }
+            SolverKind::Pcg => {
+                self.diag.resize(v.len(), 0.0);
+                for (d, &vk) in self.diag.iter_mut().zip(v.iter()) {
+                    *d = self.c1s2 + self.c2 * vk * vk;
+                }
+                Ok(())
+            }
+        }
     }
 
-    fn solve_into(&self, rhs: &[f64], out: &mut [f64]) -> Result<()> {
-        self.chol.solve_into(rhs, out).map_err(IcError::from)
+    fn solve_into(&mut self, rhs: &[f64], out: &mut [f64]) -> Result<()> {
+        match self.kind {
+            SolverKind::Dense => {
+                self.chol.solve_into(rhs, out).map_err(IcError::from)?;
+                self.stats.dense_solves += 1;
+            }
+            SolverKind::Pcg => {
+                let (c1s2, c2) = (self.c1s2, self.c2);
+                let v = &self.v;
+                let solve = self
+                    .pcg
+                    .solve(&self.diag, self.ridge, rhs, out, |x, y| {
+                        let vx: f64 = v.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+                        for ((yk, &xk), &vk) in y.iter_mut().zip(x.iter()).zip(v.iter()) {
+                            *yk = c1s2 * xk + c2 * vk * vx;
+                        }
+                        Ok(())
+                    })
+                    .map_err(IcError::from)?;
+                self.stats.pcg_solves += 1;
+                self.stats.pcg_iterations += solve.iterations as u64;
+                if !solve.converged {
+                    self.stats.pcg_stalls += 1;
+                }
+            }
+        }
+        Ok(())
     }
 
-    /// The materialized Gram matrix (for the NNLS fallback path).
-    fn gram(&self) -> &Matrix {
+    /// The materialized Gram matrix (for the NNLS fallback path), built
+    /// lazily under the matrix-free policy.
+    fn gram(&mut self) -> &Matrix {
+        if !self.g_valid {
+            two_term_gram_into(self.f, &self.v, &mut self.g);
+            self.g_valid = true;
+        }
         &self.g
+    }
+
+    fn note_fallback(&mut self) {
+        self.stats.fallbacks += 1;
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
     }
 }
 
@@ -301,11 +407,12 @@ fn preference_rhs_into(x: &TmSeries, bin: usize, f: f64, a: &[f64], rhs: &mut [f
 /// Solves one bin's activity with the shared factorization into `out`,
 /// falling back to NNLS when the unconstrained solution leaves the
 /// feasible orthant (rare; the only allocating path of the loop).
-fn solve_activity_bin_into(gram: &TwoTermGram, rhs: &[f64], out: &mut [f64]) -> Result<()> {
+fn solve_activity_bin_into(gram: &mut TwoTermGram, rhs: &[f64], out: &mut [f64]) -> Result<()> {
     gram.solve_into(rhs, out)?;
     if out.iter().all(|&v| v >= 0.0) {
         return Ok(());
     }
+    gram.note_fallback();
     let a = nnls_from_normal_equations(gram.gram(), rhs, NnlsOptions::default())
         .map_err(IcError::from)?;
     out.copy_from_slice(&a);
@@ -522,7 +629,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
     let mut weights = vec![0.0; bins];
     let mut rhs = vec![0.0; n];
     let mut a_buf = vec![0.0; n];
-    let mut gram = TwoTermGram::new();
+    let mut gram = TwoTermGram::new(options.solver);
     let mut g = Matrix::zeros(n, n);
     let mut h = vec![0.0; n];
 
@@ -538,7 +645,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
         gram.factor(f, &p)?;
         for t in 0..bins {
             activity_rhs_into(x, t, f, &p, &mut rhs);
-            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
+            solve_activity_bin_into(&mut gram, &rhs, &mut a_buf)?;
             for (i, &v) in a_buf.iter().enumerate() {
                 activity[(i, t)] = v;
             }
@@ -625,6 +732,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
         },
         objective_history: history,
         converged,
+        solve_stats: gram.stats(),
     })
 }
 
@@ -649,7 +757,7 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
     let mut p_buf = vec![0.0; n];
     let mut a_buf = vec![0.0; n];
     let mut rhs = vec![0.0; n];
-    let mut gram = TwoTermGram::new();
+    let mut gram = TwoTermGram::new(options.solver);
     let mut g2 = Matrix::zeros(n, n);
 
     for _sweep in 0..options.max_sweeps {
@@ -664,7 +772,7 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
             }
             gram.factor(f, &p_buf)?;
             activity_rhs_into(x, t, f, &p_buf, &mut rhs);
-            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
+            solve_activity_bin_into(&mut gram, &rhs, &mut a_buf)?;
             // Per-bin preference step.
             two_term_gram_into(f, &a_buf, &mut g2);
             preference_rhs_into(x, t, f, &a_buf, &mut rhs);
@@ -716,6 +824,7 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
         },
         objective_history: history,
         converged,
+        solve_stats: gram.stats(),
     })
 }
 
@@ -779,7 +888,7 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
     let mut p_buf = vec![0.0; n];
     let mut a_buf = vec![0.0; n];
     let mut rhs = vec![0.0; n];
-    let mut gram = TwoTermGram::new();
+    let mut gram = TwoTermGram::new(options.solver);
     let mut g2 = Matrix::zeros(n, n);
 
     for _sweep in 0..options.max_sweeps {
@@ -794,7 +903,7 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
             // Activity.
             gram.factor(f_t, &p_buf)?;
             activity_rhs_into(x, t, f_t, &p_buf, &mut rhs);
-            solve_activity_bin_into(&gram, &rhs, &mut a_buf)?;
+            solve_activity_bin_into(&mut gram, &rhs, &mut a_buf)?;
             // Preference.
             two_term_gram_into(f_t, &a_buf, &mut g2);
             preference_rhs_into(x, t, f_t, &a_buf, &mut rhs);
@@ -859,6 +968,7 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
         },
         objective_history: history,
         converged,
+        solve_stats: gram.stats(),
     })
 }
 
@@ -1165,6 +1275,39 @@ mod tests {
             preference: vec![1.0, -0.5],
         });
         assert!(fit_time_varying(&tm, bad).is_err());
+    }
+
+    #[test]
+    fn pcg_solver_matches_dense_bcd() {
+        let p = [0.5, 0.3, 0.15, 0.05];
+        let acts = varied_activities(4, 10);
+        let tm = exact_series(0.25, &p, &acts);
+        let dense =
+            fit_stable_fp(&tm, FitOptions::default().with_solver(SolverPolicy::Dense)).unwrap();
+        let pcg = fit_stable_fp(&tm, FitOptions::default().with_solver(SolverPolicy::Pcg)).unwrap();
+        // The activity subproblem operator has exactly two distinct
+        // eigenvalues, so CG converges essentially exactly and the two
+        // descents track each other to tight tolerance.
+        assert!((dense.params.f - pcg.params.f).abs() < 1e-6);
+        for (a, b) in dense
+            .params
+            .preference
+            .iter()
+            .zip(pcg.params.preference.iter())
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert!((dense.final_objective() - pcg.final_objective()).abs() < 1e-6);
+        // Work is counted on the right ledger.
+        assert!(dense.solve_stats.dense_solves > 0);
+        assert_eq!(dense.solve_stats.pcg_solves, 0);
+        assert!(pcg.solve_stats.pcg_solves > 0);
+        assert!(pcg.solve_stats.pcg_iterations > 0);
+        assert_eq!(pcg.solve_stats.dense_solves, 0);
+        // Auto resolves dense at this size (4 nodes, far below threshold).
+        let auto = fit_stable_fp(&tm, FitOptions::default()).unwrap();
+        assert_eq!(auto.solve_stats.pcg_solves, 0);
+        assert_eq!(auto.params.f, dense.params.f);
     }
 
     #[test]

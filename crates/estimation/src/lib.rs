@@ -40,6 +40,10 @@ pub use pipeline::{
 pub use prior::{GravityPrior, MeasuredIcPrior, StableFPrior, StableFpPrior, TmPrior};
 pub use tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
 
+// Re-exported so downstream crates can pick a solver without depending on
+// ic-linalg directly.
+pub use ic_linalg::{SolveStats, SolverPolicy};
+
 // Send/Sync audit for the parallel execution engine: the pipeline, its
 // inputs, and every reusable workspace cross `ic-engine` worker
 // boundaries. Plain owned data only — a non-`Send` field breaks the

@@ -67,6 +67,18 @@ impl PipelineWorkspace {
         self.ingress.resize(nodes, 0.0);
         self.egress.resize(nodes, 0.0);
     }
+
+    /// Cumulative normal-equations solver counters for every bin refined
+    /// through this workspace (see
+    /// [`TomogravityWorkspace::solve_stats`](crate::TomogravityWorkspace::solve_stats)).
+    pub fn solve_stats(&self) -> ic_linalg::SolveStats {
+        self.tomo.solve_stats()
+    }
+
+    /// Zeroes the cumulative solver counters.
+    pub fn reset_solve_stats(&mut self) {
+        self.tomo.reset_solve_stats();
+    }
 }
 
 /// The three-step estimation pipeline.
@@ -97,6 +109,13 @@ impl EstimationPipeline {
     /// Replaces the IPF options.
     pub fn with_ipf(mut self, options: IpfOptions) -> Self {
         self.ipf = options;
+        self
+    }
+
+    /// Overrides only the normal-equations solver policy, keeping the other
+    /// tomogravity options intact.
+    pub fn with_solver(mut self, policy: ic_linalg::SolverPolicy) -> Self {
+        self.tomo = Tomogravity::new(self.tomo.options().with_solver(policy));
         self
     }
 
@@ -578,5 +597,40 @@ mod tests {
         let obs = pipeline.model().observe(&truth).unwrap();
         let est = pipeline.estimate(&GravityPrior, &obs).unwrap();
         assert!(est.is_physical());
+    }
+
+    #[test]
+    fn with_solver_overrides_policy_and_counts_in_workspace() {
+        use ic_linalg::SolverPolicy;
+
+        let topo = ring_topology(4);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, _) = truth_series(4, 2, 0.25);
+
+        let dense = EstimationPipeline::new(om.clone())
+            .with_tomogravity(TomogravityOptions::default().with_ridge(1e-8));
+        let pcg = dense.clone().with_solver(SolverPolicy::Pcg);
+        // with_solver preserves the other tomogravity options.
+        assert_eq!(pcg.tomo.options().ridge, 1e-8);
+
+        let obs = om.observe(&truth).unwrap();
+        let mut ws_d = PipelineWorkspace::new();
+        let mut ws_p = PipelineWorkspace::new();
+        let est_d = dense.estimate_with(&GravityPrior, &obs, &mut ws_d).unwrap();
+        let est_p = pcg.estimate_with(&GravityPrior, &obs, &mut ws_p).unwrap();
+
+        assert_eq!(ws_d.solve_stats().pcg_solves, 0);
+        assert!(ws_d.solve_stats().dense_solves > 0);
+        assert!(ws_p.solve_stats().pcg_solves > 0);
+        assert_eq!(ws_p.solve_stats().dense_solves, 0);
+
+        let (md, mp) = (est_d.as_matrix(), est_p.as_matrix());
+        let scale = md.max_abs().max(1.0);
+        for (x, y) in md.as_slice().iter().zip(mp.as_slice().iter()) {
+            assert!((x - y).abs() <= 1e-8 * scale);
+        }
+
+        ws_p.reset_solve_stats();
+        assert_eq!(ws_p.solve_stats(), ic_linalg::SolveStats::default());
     }
 }

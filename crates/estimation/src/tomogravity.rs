@@ -16,13 +16,18 @@
 //!
 //! where `A` stacks the routing matrix with the marginal operators and `b`
 //! the corresponding counts. `A W Aᵀ` is symmetric positive semi-definite;
-//! we solve it with a scale-aware ridge Cholesky (fast path) and fall back
-//! to the SVD pseudo-inverse when the factorization fails.
+//! it is solved through the pluggable [`ic_linalg::NormalSolver`] layer —
+//! a scale-aware ridge Cholesky with an SVD pseudo-inverse fallback on
+//! small systems, matrix-free Jacobi-PCG (the gram matrix is never
+//! materialized) on large ones — selected per problem by the
+//! [`SolverPolicy`] in [`TomogravityOptions`].
 
 use crate::observe::{ObservationModel, Observations};
 use crate::{EstimationError, Result};
 use ic_core::TmSeries;
-use ic_linalg::{pseudo_inverse, Cholesky, CholeskyWorkspace, Matrix, SparseMatrix};
+use ic_linalg::{
+    pseudo_inverse, Cholesky, Matrix, NormalSolverWorkspace, SolveStats, SolverPolicy, SparseMatrix,
+};
 
 /// Options for the tomogravity refinement.
 ///
@@ -40,6 +45,11 @@ pub struct TomogravityOptions {
     /// Clamp negative refined entries to zero (the physical choice; the
     /// subsequent IPF step assumes non-negativity).
     pub clamp_negative: bool,
+    /// Which normal-equations solver refines each bin.
+    /// [`SolverPolicy::Auto`] (the default) keeps small problems on the
+    /// historical dense path — bit-identical results — and switches large
+    /// ones to matrix-free PCG.
+    pub solver: SolverPolicy,
 }
 
 impl Default for TomogravityOptions {
@@ -48,6 +58,7 @@ impl Default for TomogravityOptions {
             ridge: 1e-10,
             weight_floor: 1e-4,
             clamp_negative: true,
+            solver: SolverPolicy::Auto,
         }
     }
 }
@@ -70,44 +81,39 @@ impl TomogravityOptions {
         self.clamp_negative = clamp_negative;
         self
     }
+
+    /// Sets the normal-equations solver policy.
+    pub fn with_solver(mut self, solver: SolverPolicy) -> Self {
+        self.solver = solver;
+        self
+    }
 }
 
 /// Reusable per-call buffers for the tomogravity refinement.
 ///
 /// One workspace serves any number of bins (and any number of `refine`
-/// calls): the `O(rows²)` normal-equations matrix, the Cholesky factor,
-/// and all vector scratch are sized on first use and reused afterwards, so
-/// the per-bin inner loop performs no allocation once warm. Streaming
-/// estimators hold one workspace across windows for the same reason.
-#[derive(Debug, Clone)]
+/// calls): the solver's internal state (the dense gram matrix and its
+/// Cholesky factor, or the PCG iteration vectors, depending on the
+/// resolved [`SolverPolicy`]) and all vector scratch are sized on first
+/// use and reused afterwards, so the per-bin inner loop performs no
+/// allocation once warm. Streaming estimators hold one workspace across
+/// windows for the same reason. The embedded [`NormalSolverWorkspace`]
+/// also accumulates observable [`SolveStats`] — see
+/// [`TomogravityWorkspace::solve_stats`].
+#[derive(Debug, Clone, Default)]
 pub struct TomogravityWorkspace {
     w: Vec<f64>,
     resid: Vec<f64>,
     lambda: Vec<f64>,
     at_lambda: Vec<f64>,
     x: Vec<f64>,
-    awat: Matrix,
-    chol: CholeskyWorkspace,
-}
-
-impl Default for TomogravityWorkspace {
-    fn default() -> Self {
-        TomogravityWorkspace::new()
-    }
+    solver: NormalSolverWorkspace,
 }
 
 impl TomogravityWorkspace {
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
-        TomogravityWorkspace {
-            w: Vec::new(),
-            resid: Vec::new(),
-            lambda: Vec::new(),
-            at_lambda: Vec::new(),
-            x: Vec::new(),
-            awat: Matrix::zeros(0, 0),
-            chol: CholeskyWorkspace::new(),
-        }
+        TomogravityWorkspace::default()
     }
 
     fn ensure(&mut self, rows: usize, cols: usize) {
@@ -116,15 +122,24 @@ impl TomogravityWorkspace {
         self.x.resize(cols, 0.0);
         self.resid.resize(rows, 0.0);
         self.lambda.resize(rows, 0.0);
-        if self.awat.shape() != (rows, rows) {
-            self.awat = Matrix::zeros(rows, rows);
-        }
     }
 
     /// The refined bin produced by the latest
     /// [`Tomogravity::refine_bin_sparse_with`] call.
     pub fn solution(&self) -> &[f64] {
         &self.x
+    }
+
+    /// Cumulative solver counters for every bin refined through this
+    /// workspace: dense/PCG solve counts, total PCG iterations, and the
+    /// previously-silent pseudo-inverse fallbacks and PCG stalls.
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solver.stats()
+    }
+
+    /// Zeroes the cumulative solver counters.
+    pub fn reset_solve_stats(&mut self) {
+        self.solver.reset_stats();
     }
 }
 
@@ -138,6 +153,11 @@ impl Tomogravity {
     /// Creates the estimator with the given options.
     pub fn new(options: TomogravityOptions) -> Self {
         Tomogravity { options }
+    }
+
+    /// The estimator's options.
+    pub fn options(&self) -> TomogravityOptions {
+        self.options
     }
 
     /// Refines a prior series against per-bin observations.
@@ -234,25 +254,13 @@ impl Tomogravity {
             *r = bi - *r;
         }
 
-        // A W Aᵀ in O(nnz) via the precomputed transpose.
-        a.awat_into(&ws.w, at, &mut ws.awat)
+        // Solve (A W Aᵀ + scale·ridge·I) λ = resid through the policy's
+        // solver: dense Cholesky (+ counted pseudo-inverse fallback) or
+        // matrix-free PCG — the gram matrix never materializes there.
+        ws.solver.set_policy(self.options.solver);
+        ws.solver
+            .solve(a, at, &ws.w, self.options.ridge, &ws.resid, &mut ws.lambda)
             .map_err(EstimationError::from)?;
-        let scale = ws.awat.max_abs().max(f64::MIN_POSITIVE);
-        match ws
-            .chol
-            .factor_regularized(&ws.awat, scale * self.options.ridge)
-        {
-            Ok(()) => ws
-                .chol
-                .solve_into(&ws.resid, &mut ws.lambda)
-                .map_err(EstimationError::from)?,
-            Err(_) => {
-                // Rank-deficient beyond what the ridge absorbs: SVD route.
-                let pinv = pseudo_inverse(&ws.awat, None).map_err(EstimationError::from)?;
-                let l = pinv.matvec(&ws.resid).map_err(EstimationError::from)?;
-                ws.lambda.copy_from_slice(&l);
-            }
-        }
         // x = x_p + W Aᵀ λ.
         a.matvec_transposed_into(&ws.lambda, &mut ws.at_lambda)
             .map_err(EstimationError::from)?;
@@ -450,6 +458,51 @@ mod tests {
         assert!(tomo.refine(&om, &obs, &bad_bins).is_err());
         let a = Matrix::identity(3);
         assert!(tomo.refine_bin(&a, &[1.0], &[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn pcg_policy_matches_dense_and_counts_work() {
+        let topo = square_topology();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let truth = ic_series(0.25, 2);
+        let obs = om.observe(&truth).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        let dense =
+            Tomogravity::new(TomogravityOptions::default().with_solver(SolverPolicy::Dense));
+        let pcg = Tomogravity::new(TomogravityOptions::default().with_solver(SolverPolicy::Pcg));
+        let mut ws_d = TomogravityWorkspace::new();
+        let mut ws_p = TomogravityWorkspace::new();
+        let rd = dense.refine_with(&om, &obs, &prior, &mut ws_d).unwrap();
+        let rp = pcg.refine_with(&om, &obs, &prior, &mut ws_p).unwrap();
+        let scale = 1.0 + truth.as_matrix().max_abs();
+        for t in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let d = rd.get(i, j, t).unwrap();
+                    let p = rp.get(i, j, t).unwrap();
+                    assert!(
+                        (d - p).abs() <= 1e-8 * scale,
+                        "bin {t} ({i},{j}): {d} vs {p}"
+                    );
+                }
+            }
+        }
+        // The observable counters reflect which path each workspace took.
+        let sd = ws_d.solve_stats();
+        assert_eq!(sd.dense_solves, 2);
+        assert_eq!(sd.pcg_solves, 0);
+        let sp = ws_p.solve_stats();
+        assert_eq!(sp.pcg_solves, 2);
+        assert_eq!(sp.dense_solves, 0);
+        assert!(sp.pcg_iterations > 0);
+        // Auto resolves dense at this (tiny) size: bit-identical to Dense.
+        let auto = Tomogravity::new(TomogravityOptions::default());
+        let mut ws_a = TomogravityWorkspace::new();
+        let ra = auto.refine_with(&om, &obs, &prior, &mut ws_a).unwrap();
+        assert_eq!(&ra, &rd);
+        assert_eq!(ws_a.solve_stats().dense_solves, 2);
+        ws_a.reset_solve_stats();
+        assert_eq!(ws_a.solve_stats(), SolveStats::default());
     }
 
     #[test]

@@ -152,6 +152,36 @@ proptest! {
         }
     }
 
+    /// End-to-end solver equivalence: the full pipeline under
+    /// `SolverPolicy::Pcg` matches `SolverPolicy::Dense` within estimation
+    /// tolerance on random topologies, and `Auto` is bit-identical to
+    /// `Dense` at these sizes (all far below the auto row threshold).
+    #[test]
+    fn pipeline_pcg_matches_dense_end_to_end((om, tm) in topo_and_series()) {
+        use ic_estimation::SolverPolicy;
+        let obs = om.observe(&tm).unwrap();
+        let dense_pipe = EstimationPipeline::new(om.clone()).with_solver(SolverPolicy::Dense);
+        let pcg_pipe = EstimationPipeline::new(om.clone()).with_solver(SolverPolicy::Pcg);
+        let auto_pipe = EstimationPipeline::new(om);
+        let mut ws_d = PipelineWorkspace::new();
+        let mut ws_p = PipelineWorkspace::new();
+        let dense = dense_pipe.estimate_with(&GravityPrior, &obs, &mut ws_d).unwrap();
+        let pcg = pcg_pipe.estimate_with(&GravityPrior, &obs, &mut ws_p).unwrap();
+        let auto = auto_pipe.estimate(&GravityPrior, &obs).unwrap();
+        prop_assert_eq!(&auto, &dense);
+        prop_assert!(ws_d.solve_stats().pcg_solves == 0 && ws_d.solve_stats().dense_solves > 0);
+        prop_assert!(ws_p.solve_stats().dense_solves == 0 && ws_p.solve_stats().pcg_solves > 0);
+        // Estimation tolerance, not solver tolerance: random topologies
+        // can produce ill-conditioned normal equations where the two
+        // solvers' (both correct) solutions differ beyond 1e-8, and the
+        // IPF step renormalizes whole rows by the difference.
+        let (md, mp) = (dense.as_matrix(), pcg.as_matrix());
+        let scale = md.max_abs().max(1.0);
+        for (a, b) in md.as_slice().iter().zip(mp.as_slice().iter()) {
+            prop_assert!((a - b).abs() <= 1e-6 * scale, "dense {a} vs pcg {b}");
+        }
+    }
+
     /// IPF preserves zero cells of the seed (it only rescales), keeping
     /// the prior's structural zeros — the property that makes it safe as
     /// step 3 of the pipeline.

@@ -589,6 +589,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the normal-equations solver for every solve the scenario
+    /// performs: the tomogravity refinement of the estimation/streaming
+    /// tasks and the activity subproblems of the BCD fits.
+    pub fn solver(mut self, policy: ic_core::SolverPolicy) -> Self {
+        self.fit = self.fit.clone().with_solver(policy);
+        self.tomogravity = self.tomogravity.with_solver(policy);
+        self
+    }
+
     /// Validates the description and produces the immutable [`Scenario`].
     pub fn build(self) -> Result<Scenario> {
         let bad = |msg: String| Err(ExperimentError::BadScenario(msg));
@@ -781,6 +790,34 @@ mod tests {
         assert_eq!(report.errors_gravity, cmp.errors_gravity);
         assert_eq!(report.fitted_f, Some(fit.params.f));
         assert_eq!(report.prior.as_deref(), Some("ic-measured"));
+    }
+
+    #[test]
+    fn solver_builder_applies_to_fit_and_tomogravity() {
+        use ic_core::SolverPolicy;
+
+        let sc = Scenario::builder("pcg")
+            .synth(tiny_synth())
+            .geant22()
+            .solver(SolverPolicy::Pcg)
+            .build()
+            .unwrap();
+        assert_eq!(sc.fit.solver, SolverPolicy::Pcg);
+        assert_eq!(sc.tomogravity.solver, SolverPolicy::Pcg);
+        let pcg = sc.run().unwrap();
+        let dense = Scenario::builder("dense")
+            .synth(tiny_synth())
+            .geant22()
+            .solver(SolverPolicy::Dense)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Same scenario, both solvers: estimates agree to estimation
+        // tolerance, well inside the improvement metric's resolution.
+        for (a, b) in pcg.improvement.iter().zip(dense.improvement.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]

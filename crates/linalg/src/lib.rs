@@ -37,18 +37,25 @@
 pub mod cholesky;
 pub mod matrix;
 pub mod nnls;
+pub mod pcg;
 pub mod pinv;
 pub mod qr;
 pub mod simplex;
+pub mod solver;
 pub mod sparse;
 pub mod svd;
 
 pub use cholesky::{Cholesky, CholeskyWorkspace};
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsOptions};
+pub use pcg::{PcgSolve, PcgWorkspace, PCG_MAX_ITERATIONS, PCG_REL_TOLERANCE};
 pub use pinv::pseudo_inverse;
 pub use qr::Qr;
 pub use simplex::project_to_simplex;
+pub use solver::{
+    DenseNormalSolver, NormalSolver, NormalSolverWorkspace, PcgNormalSolver, SolveStats,
+    SolverKind, SolverPolicy,
+};
 pub use sparse::SparseMatrix;
 pub use svd::Svd;
 
@@ -65,6 +72,12 @@ const _: () = {
     _assert_send_sync::<CholeskyWorkspace>();
     _assert_send_sync::<Qr>();
     _assert_send_sync::<Svd>();
+    _assert_send_sync::<PcgWorkspace>();
+    _assert_send_sync::<DenseNormalSolver>();
+    _assert_send_sync::<PcgNormalSolver>();
+    _assert_send_sync::<NormalSolverWorkspace>();
+    _assert_send_sync::<SolverPolicy>();
+    _assert_send_sync::<SolveStats>();
     _assert_send_sync::<LinalgError>();
 };
 

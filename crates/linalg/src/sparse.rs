@@ -341,6 +341,33 @@ impl SparseMatrix {
         Ok(out)
     }
 
+    /// Writes the diagonal of `self · diag(weights) · selfᵀ` into `out`
+    /// without materializing the `rows x rows` matrix:
+    /// `out[r] = Σ_c a_rc² · w_c`, an `O(nnz)` scan.
+    ///
+    /// This is the Jacobi preconditioner of the matrix-free PCG solver;
+    /// for a PSD operator it also bounds the largest entry of the full
+    /// gram matrix (the maximum of a PSD matrix lies on its diagonal), so
+    /// the scale-aware ridge can be chosen from it alone.
+    pub fn awat_diag_into(&self, weights: &[f64], out: &mut [f64]) -> Result<()> {
+        if weights.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_awat_diag",
+                lhs: self.shape(),
+                rhs: (weights.len(), out.len()),
+            });
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut s = 0.0;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                s += v * v * weights[c];
+            }
+            *o = s;
+        }
+        Ok(())
+    }
+
     /// Vertical concatenation `[self ; rhs]`; column counts must match.
     pub fn vstack(&self, rhs: &SparseMatrix) -> Result<SparseMatrix> {
         if self.cols != rhs.cols {
@@ -580,6 +607,22 @@ mod tests {
         let mut out = Matrix::zeros(3, 3);
         assert!(s.awat_into(&w, &s, &mut out).is_err());
         assert!(s.awat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn awat_diag_matches_full_awat() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let w = [0.5, 2.0, 1.0, 3.0];
+        let full = s.awat(&w).unwrap();
+        let mut diag = vec![0.0; 3];
+        s.awat_diag_into(&w, &mut diag).unwrap();
+        for (i, &v) in diag.iter().enumerate() {
+            assert!((v - full[(i, i)]).abs() < 1e-15, "diag[{i}] {v}");
+        }
+        assert!(s.awat_diag_into(&[1.0], &mut diag).is_err());
+        let mut short = vec![0.0; 2];
+        assert!(s.awat_diag_into(&w, &mut short).is_err());
     }
 
     #[test]

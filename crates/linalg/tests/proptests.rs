@@ -8,7 +8,8 @@
 use ic_linalg::pinv::satisfies_moore_penrose;
 use ic_linalg::qr::solve;
 use ic_linalg::{
-    nnls, project_to_simplex, pseudo_inverse, Matrix, NnlsOptions, Qr, SparseMatrix, Svd,
+    nnls, project_to_simplex, pseudo_inverse, Cholesky, Matrix, NnlsOptions, NormalSolver,
+    PcgNormalSolver, PcgWorkspace, Qr, SolveStats, SparseMatrix, Svd,
 };
 use proptest::prelude::*;
 
@@ -196,6 +197,104 @@ proptest! {
         for (new, &old) in keep_cols.iter().enumerate() {
             prop_assert_eq!(sel.col(new), d.col(old));
         }
+    }
+
+    /// Matrix-free PCG agrees with a dense Cholesky solve to ≤1e-8 on
+    /// random SPD systems (`BᵀB + boost·I` for random B), applied only
+    /// through the matvec closure.
+    #[test]
+    fn pcg_matches_cholesky_on_random_spd(
+        n in 1usize..10,
+        boost in 1.0f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let b_mat = deterministic_matrix(n, n, seed);
+        let mut a = b_mat.gram();
+        for i in 0..n {
+            let v = a[(i, i)] + boost;
+            a[(i, i)] = v;
+        }
+        let rhs: Vec<f64> = deterministic_matrix(n, 1, seed ^ 0x00c0_ffee).into_vec();
+        let dense = Cholesky::factor(&a).unwrap().solve(&rhs).unwrap();
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        let mut ws = PcgWorkspace::new();
+        let mut x = vec![0.0; n];
+        let out = ws
+            .solve(&diag, 0.0, &rhs, &mut x, |v, y| {
+                y.copy_from_slice(&a.matvec(v).unwrap());
+                Ok(())
+            })
+            .unwrap();
+        prop_assert!(out.converged, "stalled after {} iterations", out.iterations);
+        let scale = 1.0 + dense.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        for (got, want) in x.iter().zip(dense.iter()) {
+            prop_assert!((got - want).abs() <= 1e-8 * scale, "pcg {got} vs dense {want}");
+        }
+    }
+
+    /// The normal-equations PCG solver agrees with the exact solution of
+    /// `(A·diag(w)·Aᵀ + scale·ridge·I) x = b` built densely, on random
+    /// sparse operators with positive weights.
+    #[test]
+    fn pcg_normal_solver_matches_dense_normal_equations(
+        rows in 1usize..6, cols in 1usize..9, seed in any::<u64>()
+    ) {
+        let d = deterministic_sparse_dense(rows, cols, seed);
+        let s = SparseMatrix::from_dense(&d);
+        if s.nnz() == 0 {
+            // An all-zero operator leaves only the (denormal) ridge —
+            // neither path has a meaningful answer there.
+            return;
+        }
+        let at = s.transpose();
+        let w: Vec<f64> = deterministic_matrix(cols, 1, seed ^ 0x9a9a)
+            .into_vec()
+            .iter()
+            .map(|v| v.abs() + 0.1)
+            .collect();
+        let rhs: Vec<f64> = deterministic_matrix(rows, 1, seed ^ 0x55aa).into_vec();
+        // Dense reference with the same scale-aware ridge.
+        let ridge = 1e-10;
+        let mut awat = s.awat(&w).unwrap();
+        let scale = awat.max_abs().max(f64::MIN_POSITIVE);
+        for i in 0..rows {
+            let v = awat[(i, i)] + scale * ridge + scale * 1e-9;
+            awat[(i, i)] = v;
+        }
+        // Rank-deficient beyond the ridge: the dense reference itself has
+        // no unique answer — skip such draws.
+        let Ok(chol) = Cholesky::factor(&awat) else {
+            return;
+        };
+        let dense = chol.solve(&rhs).unwrap();
+        // PCG against the same boosted operator, matrix-free.
+        let mut diag = vec![0.0; rows];
+        s.awat_diag_into(&w, &mut diag).unwrap();
+        let mut ws = PcgWorkspace::new();
+        let mut x = vec![0.0; rows];
+        let mut scratch = vec![0.0; cols];
+        let out = ws
+            .solve(&diag, scale * ridge + scale * 1e-9, &rhs, &mut x, |v, y| {
+                s.matvec_transposed_into(v, &mut scratch)?;
+                for (t, &wi) in scratch.iter_mut().zip(w.iter()) {
+                    *t *= wi;
+                }
+                s.matvec_into(&scratch, y)
+            })
+            .unwrap();
+        prop_assert!(out.converged);
+        let norm = 1.0 + dense.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        for (got, want) in x.iter().zip(dense.iter()) {
+            prop_assert!((got - want).abs() <= 1e-8 * norm, "pcg {got} vs dense {want}");
+        }
+        // The trait-level solver runs the same math and counts its work.
+        let mut stats = SolveStats::default();
+        let mut via_trait = vec![0.0; rows];
+        PcgNormalSolver::new()
+            .solve_normal(&s, &at, &w, ridge, &rhs, &mut via_trait, &mut stats)
+            .unwrap();
+        prop_assert_eq!(stats.pcg_solves, 1);
+        prop_assert!(via_trait.iter().all(|v| v.is_finite()));
     }
 
     #[test]

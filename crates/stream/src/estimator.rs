@@ -295,6 +295,14 @@ impl StreamingTomogravity {
         self
     }
 
+    /// Selects the normal-equations solver for both the per-window
+    /// tomogravity refinement and the rolling BCD fit.
+    pub fn with_solver(mut self, policy: ic_core::SolverPolicy) -> Self {
+        self.pipeline = self.pipeline.with_solver(policy);
+        self.fit_options = self.fit_options.clone().with_solver(policy);
+        self
+    }
+
     /// Shards each window's pipeline run across the engine's worker pool.
     /// Bit-identical to the serial default for any thread count.
     pub fn with_engine(mut self, engine: Engine) -> Self {
@@ -504,6 +512,33 @@ mod tests {
             rolling < gravity,
             "rolling IC prior {rolling} should beat gravity prior {gravity}"
         );
+    }
+
+    #[test]
+    fn streaming_pcg_solver_tracks_dense_solver() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(17).with_nodes(5).with_bins(12)).unwrap();
+        let ws = Windower::tumbling(4)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        let mut dense = StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
+            .with_solver(ic_core::SolverPolicy::Dense);
+        let mut pcg = StreamingTomogravity::new(EstimationPipeline::new(om))
+            .with_solver(ic_core::SolverPolicy::Pcg);
+        for w in &ws {
+            let ed = dense.process(w).unwrap();
+            let ep = pcg.process(w).unwrap();
+            assert!(
+                (ed.error - ep.error).abs() <= 1e-6 * ed.error + 1e-9,
+                "window {}: dense error {} vs pcg {}",
+                w.index,
+                ed.error,
+                ep.error
+            );
+        }
     }
 
     #[test]

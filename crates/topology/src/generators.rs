@@ -224,8 +224,9 @@ impl HierarchicalConfig {
 /// `pops_per_backbone` access PoPs (`p03-1` = PoP 1 of backbone 3) over a
 /// cheap access link, optionally dual-homed to a second backbone. This is
 /// the canonical shape of an ISP network one level below PoP aggregation,
-/// and it scales the estimation problem to hundreds of nodes while keeping
-/// the routing matrix realistically sparse and rank-deficient.
+/// and it scales the estimation problem to thousands of nodes (generation
+/// is O(nodes); 5k-node configs are test-locked) while keeping the
+/// routing matrix realistically sparse and rank-deficient.
 ///
 /// # Examples
 ///
@@ -347,6 +348,27 @@ mod tests {
         assert!(a.validate().is_ok());
         // Every PoP has at least its primary access link.
         assert!(a.link_count() >= 2 * (8 + 8 * 4));
+    }
+
+    #[test]
+    fn generators_reach_production_scale() {
+        // The scale target of the matrix-free solver work: generation
+        // must stay deterministic and valid at thousands of nodes.
+        // Hierarchical is O(nodes) and carries the 5k point; Waxman is
+        // quadratic (every node pair is sampled), so its lock sits at 2k
+        // to keep the debug-build suite fast.
+        let cfg = HierarchicalConfig::new(100, 49, 20060419);
+        assert_eq!(cfg.node_count(), 5000);
+        let h = hierarchical(&cfg).unwrap();
+        assert_eq!(h.node_count(), 5000);
+        assert!(h.validate().is_ok());
+        assert_eq!(h, hierarchical(&cfg).unwrap());
+
+        let wax_cfg = WaxmanConfig::new(2000, 20060419);
+        let w = waxman(&wax_cfg).unwrap();
+        assert_eq!(w.node_count(), 2000);
+        assert!(w.validate().is_ok());
+        assert_eq!(w, waxman(&wax_cfg).unwrap());
     }
 
     #[test]

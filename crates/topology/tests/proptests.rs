@@ -155,3 +155,36 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Few cases: each builds graphs of thousands of nodes.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The generators stay deterministic at production scale (2k–5k
+    /// nodes, the sizes the matrix-free PCG solver unlocks).
+    /// Hierarchical generation is O(nodes), so both graphs of each case
+    /// are cheap; Waxman samples every node pair (quadratic), so it gets
+    /// one modest scaled size per case instead of a sweep, and routing is
+    /// deliberately not built here (a 5k-node all-pairs shortest path
+    /// would dominate the suite).
+    #[test]
+    fn generators_deterministic_at_scale(
+        backbones in 50usize..100,
+        pops in 39usize..50,
+        wax_nodes in 500usize..800,
+        seed in any::<u64>(),
+    ) {
+        let cfg = HierarchicalConfig::new(backbones, pops, seed);
+        prop_assert!((2000..=5000).contains(&cfg.node_count()));
+        let a = hierarchical(&cfg).unwrap();
+        prop_assert_eq!(a.node_count(), cfg.node_count());
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(&a, &hierarchical(&cfg).unwrap());
+
+        let wax_cfg = WaxmanConfig::new(wax_nodes, seed);
+        let w = waxman(&wax_cfg).unwrap();
+        prop_assert_eq!(w.node_count(), wax_nodes);
+        prop_assert!(w.validate().is_ok());
+        prop_assert_eq!(&w, &waxman(&wax_cfg).unwrap());
+    }
+}

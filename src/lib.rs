@@ -143,7 +143,7 @@ pub mod prelude {
     pub use ic_experiment::{
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
-    pub use ic_linalg::Matrix;
+    pub use ic_linalg::{Matrix, SolveStats, SolverPolicy};
     pub use ic_stream::{
         replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, DriftDetector,
         DriftOptions, ForecastOptions, LinkLoadStream, OnlineEstimator, OnlineGravity,
