@@ -4,8 +4,10 @@
 //! throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ic_core::{fit_stable_fp, FitOptions, SynthConfig};
+use ic_core::{fit_stable_fp, generate_synthetic, FitOptions, SynthConfig};
+use ic_serve::{Service, TenantSpec};
 use ic_stream::{replay_fit, ReplayOptions, SyntheticStream, Windower};
+use ic_topology::{RoutingScheme, Topology};
 
 fn synth(nodes: usize, bins: usize) -> SynthConfig {
     SynthConfig::geant_like(4242)
@@ -60,10 +62,62 @@ fn bench_full_replay(c: &mut Criterion) {
     });
 }
 
+fn ring_topology(name: &str, n: usize) -> Topology {
+    let mut t = Topology::new(name);
+    let ids: Vec<usize> = (0..n)
+        .map(|k| t.add_node(format!("n{k}")).unwrap())
+        .collect();
+    for k in 0..n {
+        t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+            .unwrap();
+    }
+    t.add_symmetric_link(ids[0], ids[n / 2], 1.0, 1e12).unwrap();
+    t
+}
+
+fn bench_service_multi_tenant(c: &mut Criterion) {
+    // The ic-serve batching core end to end: bin-by-bin ingest for two
+    // tenants plus one final poll that executes every ready window on
+    // the shared engine.
+    const NODES: usize = 6;
+    const BINS: usize = 96;
+    let tenants: Vec<_> = (0..2)
+        .map(|k| {
+            let name = format!("bench-{k}");
+            let spec = TenantSpec::new(&name, &ring_topology(&name, NODES), RoutingScheme::Ecmp)
+                .with_window_bins(24);
+            let series = generate_synthetic(
+                &SynthConfig::geant_like(4242 + k as u64)
+                    .with_nodes(NODES)
+                    .with_bins(BINS),
+            )
+            .unwrap()
+            .series;
+            (spec, series)
+        })
+        .collect();
+    c.bench_function("service_2_tenants_6n_96_bins", |b| {
+        b.iter(|| {
+            let mut service = Service::new();
+            let ids: Vec<_> = tenants
+                .iter()
+                .map(|(spec, _)| service.register(spec.clone()).unwrap())
+                .collect();
+            for t in 0..BINS {
+                for (id, (_, series)) in ids.iter().zip(&tenants) {
+                    service.ingest(*id, series.column(t)).unwrap();
+                }
+            }
+            black_box(service.poll().unwrap().len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_warm_vs_cold_refit,
     bench_windowed_ingestion,
-    bench_full_replay
+    bench_full_replay,
+    bench_service_multi_tenant
 );
 criterion_main!(benches);

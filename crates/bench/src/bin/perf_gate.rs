@@ -5,7 +5,8 @@
 //! The metric set is inferred from the keys present in the baseline:
 //!
 //! * streaming (`BENCH_streaming.json`): `throughput_bins_per_sec` ↑,
-//!   `warm_speedup` ↑;
+//!   `warm_speedup` ↑, `service_bins_per_sec` ↑ (the multi-tenant
+//!   `ic-serve` ingest+poll path);
 //! * estimation (`BENCH_estimation.json`): `sparse_refine_secs_per_bin` ↓,
 //!   `pcg_secs_per_bin` ↓, `pipeline_secs_per_bin` ↓,
 //!   `parallel_pipeline_secs_per_bin` ↓, `speedup_vs_dense` ↑,
@@ -36,6 +37,7 @@ const METRICS: &[(&str, Direction)] = &[
     // Streaming bench.
     ("throughput_bins_per_sec", Direction::HigherIsBetter),
     ("warm_speedup", Direction::HigherIsBetter),
+    ("service_bins_per_sec", Direction::HigherIsBetter),
     // Estimation bench.
     ("sparse_refine_secs_per_bin", Direction::LowerIsBetter),
     ("pcg_secs_per_bin", Direction::LowerIsBetter),

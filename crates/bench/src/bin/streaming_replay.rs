@@ -4,8 +4,9 @@
 //! Replays a synthetic diurnal stream through the warm-started online
 //! estimator, then times warm vs cold per-window refits head-to-head, and
 //! emits a machine-readable `BENCH_streaming.json` (throughput in
-//! bins/sec, warm vs cold fit time and sweep counts) so the perf
-//! trajectory is tracked across commits. The replay runs through the
+//! bins/sec, warm vs cold fit time and sweep counts, and multi-tenant
+//! `ic-serve` ingest+poll throughput) so the perf trajectory is tracked
+//! across commits. The replay runs through the
 //! shared `ic-engine` worker pool (`--threads`, default: machine
 //! parallelism); the thread count and engine shard size are recorded in
 //! the JSON metadata and never change the replayed results.
@@ -13,15 +14,33 @@
 //! Usage: `streaming_replay [--scale smoke|full] [--threads N] [--out PATH]`.
 
 use ic_bench::{arg_value, json_f, out_path, Scale};
-use ic_core::{fit_stable_fp, FitOptions, SynthConfig};
+use ic_core::{fit_stable_fp, generate_synthetic, FitOptions, SynthConfig, TmSeries};
 use ic_engine::{default_threads, Engine};
+use ic_serve::{Service, TenantSpec};
 use ic_stream::{replay_fit_with, ReplayOptions, SyntheticStream, Windower};
+use ic_topology::{RoutingScheme, Topology};
 use std::time::Instant;
 
 struct BenchConfig {
     nodes: usize,
     window_bins: usize,
     windows: usize,
+}
+
+/// Ring-with-chord tenant topology for the service path (matches the
+/// shape `ic-serve`'s own tests benchmark against).
+fn ring_topology(name: &str, n: usize) -> Topology {
+    let mut t = Topology::new(name);
+    let ids: Vec<usize> = (0..n)
+        .map(|k| t.add_node(format!("n{k}")).expect("node"))
+        .collect();
+    for k in 0..n {
+        t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+            .expect("link");
+    }
+    t.add_symmetric_link(ids[0], ids[n / 2], 1.0, 1e12)
+        .expect("chord");
+    t
 }
 
 fn bench_config(scale: Scale) -> BenchConfig {
@@ -143,6 +162,57 @@ fn main() {
             previous = Some(cold);
         }
     }
+    // Multi-tenant service path: the same per-window work routed through
+    // the `ic-serve` batching core — bin-by-bin ingest for two
+    // independent tenants, polled once at the end, on the same engine
+    // configuration. Throughput counts every ingested bin across all
+    // tenants, so the number is directly comparable to the solo replay
+    // throughput above.
+    let tenant_nodes = cfg.nodes.min(12);
+    let tenant_bins = cfg.window_bins * cfg.windows;
+    let tenants: Vec<(TenantSpec, TmSeries)> = (0..2)
+        .map(|k| {
+            let name = format!("bench-{k}");
+            let spec = TenantSpec::new(
+                &name,
+                &ring_topology(&name, tenant_nodes),
+                RoutingScheme::Ecmp,
+            )
+            .with_window_bins(cfg.window_bins);
+            let series = generate_synthetic(
+                &SynthConfig::geant_like(20060419 + k as u64)
+                    .with_nodes(tenant_nodes)
+                    .with_bins(tenant_bins),
+            )
+            .expect("valid synth config")
+            .series;
+            (spec, series)
+        })
+        .collect();
+    let mut service_secs = f64::INFINITY;
+    let mut service_windows = 0usize;
+    for _ in 0..reps {
+        let mut service = Service::with_engine(Engine::new().with_threads(threads));
+        let ids: Vec<_> = tenants
+            .iter()
+            .map(|(spec, _)| service.register(spec.clone()).expect("register tenant"))
+            .collect();
+        let start = Instant::now();
+        for t in 0..tenant_bins {
+            for (id, (_, series)) in ids.iter().zip(&tenants) {
+                service.ingest(*id, series.column(t)).expect("ingest bin");
+            }
+        }
+        service_windows = service.poll().expect("poll service").len();
+        service_secs = service_secs.min(start.elapsed().as_secs_f64());
+    }
+    let service_bins = 2 * tenant_bins;
+    let service_throughput = service_bins as f64 / service_secs;
+    println!(
+        "# service: 2 tenants x {tenant_nodes} nodes, {service_windows} windows, \
+         {service_secs:.3}s, {service_throughput:.0} bins/sec"
+    );
+
     let cold_mean = cold_secs / measured.max(1) as f64;
     let warm_mean = warm_secs / measured.max(1) as f64;
     let speedup = cold_mean / warm_mean;
@@ -161,7 +231,9 @@ fn main() {
          \"bins_total\":{},\"replay_secs\":{},\"throughput_bins_per_sec\":{},\
          \"cold_fit_secs_mean\":{},\"warm_fit_secs_mean\":{},\"warm_speedup\":{},\
          \"cold_sweeps_mean\":{},\"warm_sweeps_mean\":{},\"mean_improvement_pct\":{},\
-         \"mean_forecast_f_error\":{},\"drift_windows\":[{}]}}\n",
+         \"mean_forecast_f_error\":{},\"drift_windows\":[{}],\
+         \"service_tenants\":2,\"service_nodes\":{},\"service_bins\":{},\
+         \"service_windows\":{},\"service_secs\":{},\"service_bins_per_sec\":{}}}\n",
         engine.threads(),
         engine.shard_bins(),
         default_threads(),
@@ -178,7 +250,12 @@ fn main() {
         json_f(warm_sweeps as f64 / measured.max(1) as f64),
         json_f(report.mean_improvement()),
         json_f(report.mean_forecast_f_error()),
-        drift.join(",")
+        drift.join(","),
+        tenant_nodes,
+        service_bins,
+        service_windows,
+        json_f(service_secs),
+        json_f(service_throughput)
     );
     let path = out_path("BENCH_streaming.json");
     std::fs::write(&path, &json).expect("write BENCH_streaming.json");

@@ -185,7 +185,7 @@ impl FitOptions {
 /// the optimization trace. The uniform report type behind
 /// [`crate::ic_model::Fit`] — generic code can fit any variant and consume
 /// the result identically.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitReport<M> {
     /// Fitted parameters.
     pub params: M,

@@ -5,6 +5,7 @@
 //! this offline workspace): CSV carries the per-scenario summary row,
 //! JSON carries everything including the per-bin series.
 
+use ic_stream::{DriftEvent, DriftKind};
 use std::io::{self, Write};
 
 /// Results of one executed scenario.
@@ -31,6 +32,11 @@ pub struct ScenarioReport {
     pub fitted_f: Option<f64>,
     /// Final fit objective (mean RelL2), when the scenario ran a fit.
     pub fit_objective: Option<f64>,
+    /// Change-detection events fired during a streaming task, flattened
+    /// across windows in firing order (empty for non-streaming tasks).
+    /// Previously these died inside the replay loop; now they are part
+    /// of the report and both emitters carry them.
+    pub drift_events: Vec<DriftEvent>,
 }
 
 impl ScenarioReport {
@@ -42,6 +48,15 @@ impl ScenarioReport {
     /// Mean gravity error over bins (NaN if the task produced none).
     pub fn mean_gravity_error(&self) -> f64 {
         mean(&self.errors_gravity)
+    }
+}
+
+/// Stable string form of a drift kind, used by both emitters.
+fn drift_kind_str(kind: DriftKind) -> &'static str {
+    match kind {
+        DriftKind::ForwardRatioTrend => "forward-ratio-trend",
+        DriftKind::ForwardRatioJump => "forward-ratio-jump",
+        DriftKind::PreferenceDecorrelation => "preference-decorrelation",
     }
 }
 
@@ -88,12 +103,13 @@ impl Report {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "name,task,prior,bins,mean_improvement,p5_improvement,p50_improvement,\
-             p95_improvement,mean_error_candidate,mean_error_gravity,fitted_f,fit_objective\n",
+             p95_improvement,mean_error_candidate,mean_error_gravity,fitted_f,fit_objective,\
+             drift_events\n",
         );
         for s in &self.scenarios {
             let (p5, p50, p95) = percentiles(&s.improvement);
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.name),
                 csv_field(&s.task),
                 csv_field(s.prior.as_deref().unwrap_or("")),
@@ -106,6 +122,7 @@ impl Report {
                 csv_num(s.mean_gravity_error()),
                 s.fitted_f.map(csv_num).unwrap_or_default(),
                 s.fit_objective.map(csv_num).unwrap_or_default(),
+                s.drift_events.len(),
             ));
         }
         out
@@ -127,7 +144,7 @@ impl Report {
                 "{{\"name\":{},\"task\":{},\"prior\":{},\"bins\":{},\
                  \"mean_improvement\":{},\"improvement\":{},\
                  \"errors_candidate\":{},\"errors_gravity\":{},\
-                 \"fitted_f\":{},\"fit_objective\":{}}}",
+                 \"fitted_f\":{},\"fit_objective\":{},\"drift_events\":{}}}",
                 json_string(&s.name),
                 json_string(&s.task),
                 s.prior
@@ -143,6 +160,7 @@ impl Report {
                 s.fit_objective
                     .map(json_num)
                     .unwrap_or_else(|| "null".into()),
+                json_drift_events(&s.drift_events),
             ));
         }
         out.push_str("]}");
@@ -195,6 +213,23 @@ fn json_array(xs: &[f64]) -> String {
     out
 }
 
+fn json_drift_events(events: &[DriftEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"window\":{},\"kind\":{},\"statistic\":{}}}",
+            ev.window,
+            json_string(drift_kind_str(ev.kind)),
+            json_num(ev.statistic),
+        ));
+    }
+    out.push(']');
+    out
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -231,6 +266,11 @@ mod tests {
                     errors_gravity: vec![0.2, 0.3, 0.4],
                     fitted_f: Some(0.25),
                     fit_objective: Some(0.05),
+                    drift_events: vec![DriftEvent {
+                        window: 2,
+                        kind: DriftKind::ForwardRatioJump,
+                        statistic: 0.08,
+                    }],
                 },
                 ScenarioReport {
                     name: "gap".into(),
@@ -243,6 +283,7 @@ mod tests {
                     errors_gravity: vec![0.5, 0.7],
                     fitted_f: None,
                     fit_objective: None,
+                    drift_events: Vec::new(),
                 },
             ],
         }
@@ -256,8 +297,9 @@ mod tests {
         assert!(lines[0].starts_with("name,task,prior,bins"));
         // Comma-containing name is quoted.
         assert!(lines[1].starts_with("\"fig11a, geant\",estimation,ic-measured,3,20,"));
-        // Missing numerics are empty cells.
-        assert!(lines[2].ends_with(",,"));
+        // Missing numerics are empty cells; the drift count closes the row.
+        assert!(lines[2].ends_with(",,0"));
+        assert!(lines[1].ends_with(",1"));
         let mut buf = Vec::new();
         sample_report().write_csv(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), csv);
@@ -281,6 +323,10 @@ mod tests {
         assert!(json.contains("\"prior\":null"));
         assert!(json.contains("\"improvement\":[10,20,30]"));
         assert!(json.contains("\"fitted_f\":null"));
+        assert!(json.contains(
+            "\"drift_events\":[{\"window\":2,\"kind\":\"forward-ratio-jump\",\"statistic\":0.08}]"
+        ));
+        assert!(json.contains("\"drift_events\":[]"));
         // NaN means render as null, not as invalid JSON.
         let mut r = sample_report();
         r.scenarios[0].mean_improvement = f64::NAN;

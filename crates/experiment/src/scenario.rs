@@ -355,6 +355,7 @@ impl Scenario {
             errors_gravity: cmp.errors_gravity,
             fitted_f,
             fit_objective,
+            drift_events: Vec::new(),
         })
     }
 
@@ -381,6 +382,7 @@ impl Scenario {
             errors_gravity,
             fitted_f: Some(fit.params.f),
             fit_objective: Some(fit.final_objective()),
+            drift_events: Vec::new(),
         })
     }
 
@@ -403,6 +405,13 @@ impl Scenario {
         let improvement: Vec<f64> = replay.windows.iter().map(|w| w.improvement).collect();
         let errors_candidate: Vec<f64> = replay.windows.iter().map(|w| w.error_candidate).collect();
         let errors_gravity: Vec<f64> = replay.windows.iter().map(|w| w.error_gravity).collect();
+        // Surface every fired change-detection event instead of dropping
+        // them inside the replay loop.
+        let drift_events: Vec<_> = replay
+            .windows
+            .iter()
+            .flat_map(|w| w.drift_events.iter().cloned())
+            .collect();
         let last = replay.windows.last().expect("replay yields >= 1 window");
         Ok(ScenarioReport {
             name: self.name.clone(),
@@ -415,6 +424,7 @@ impl Scenario {
             errors_gravity,
             fitted_f: Some(last.fitted_f),
             fit_objective: Some(last.fit_objective),
+            drift_events,
         })
     }
 
@@ -432,6 +442,7 @@ impl Scenario {
             errors_gravity,
             fitted_f: None,
             fit_objective: None,
+            drift_events: Vec::new(),
         })
     }
 }

@@ -140,7 +140,7 @@ impl PcgWorkspace {
         }
         self.p.copy_from_slice(&self.z);
         let mut rz = dot(&self.r, &self.z);
-        let max_iterations = (2 * n).max(32).min(PCG_MAX_ITERATIONS);
+        let max_iterations = (2 * n).clamp(32, PCG_MAX_ITERATIONS);
         for iteration in 1..=max_iterations {
             apply(&self.p, &mut self.ap)?;
             if ridge > 0.0 {

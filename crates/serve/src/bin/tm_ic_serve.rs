@@ -1,0 +1,248 @@
+//! `tm-ic-serve`: the multi-tenant streaming estimation server.
+//!
+//! Modes:
+//!
+//! - `serve --addr HOST:PORT [--threads N]` — run the TCP server until a
+//!   client sends `Shutdown`. Prints `listening on <addr>` once bound
+//!   (port 0 picks an ephemeral port).
+//! - `smoke --addr HOST:PORT --snapshot-dir DIR` — scripted client for CI:
+//!   registers two ring tenants, streams the first half of a synthetic
+//!   trace, polls, asserts every window report is bit-identical to the
+//!   offline [`ic_stream::replay_estimation`] reference, saves one warm
+//!   snapshot per tenant into DIR, and shuts the server down.
+//! - `resume --addr HOST:PORT --snapshot-dir DIR` — against a *fresh*
+//!   server: restores the smoke snapshots, streams the second half,
+//!   and asserts the resumed reports are bit-identical to an
+//!   uninterrupted offline replay of the full trace. Proves the
+//!   kill-and-restore story end to end over real sockets.
+
+use ic_core::{generate_synthetic, SynthConfig, TmSeries};
+use ic_estimation::{EstimationPipeline, ObservationModel};
+use ic_serve::wire::encode_window_report;
+use ic_serve::{codec::Enc, Client, Server, Service, TenantSpec};
+use ic_stream::{replay_estimation, ReplayStream, WindowReport};
+use ic_topology::{RoutingScheme, Topology};
+use std::time::Duration;
+
+const TRACE_BINS: usize = 16;
+const WINDOW_BINS: usize = 4;
+const HALF_BINS: usize = TRACE_BINS / 2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("tm-ic-serve: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(mode) = args.first() else {
+        return Err(usage());
+    };
+    let addr = flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".to_string());
+    match mode.as_str() {
+        "serve" => {
+            let threads = match flag(args, "--threads")? {
+                Some(t) => Some(t.parse::<usize>()?),
+                None => None,
+            };
+            let service = match threads {
+                Some(t) => Service::with_engine(ic_engine::Engine::new().with_threads(t)),
+                None => Service::new(),
+            };
+            let handle = Server::bind(addr.as_str(), service)?;
+            println!("listening on {}", handle.addr());
+            handle.wait();
+            println!("shut down");
+            Ok(())
+        }
+        "smoke" => smoke(&addr, &required_flag(args, "--snapshot-dir")?),
+        "resume" => resume(&addr, &required_flag(args, "--snapshot-dir")?),
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> Box<dyn std::error::Error> {
+    "usage: tm-ic-serve serve --addr HOST:PORT [--threads N]\n\
+     \x20      tm-ic-serve smoke  --addr HOST:PORT --snapshot-dir DIR\n\
+     \x20      tm-ic-serve resume --addr HOST:PORT --snapshot-dir DIR"
+        .into()
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<String>, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{name} requires a value").into()),
+        },
+        None => Ok(None),
+    }
+}
+
+fn required_flag(args: &[String], name: &str) -> Result<String, Box<dyn std::error::Error>> {
+    flag(args, name)?.ok_or_else(|| format!("{name} is required").into())
+}
+
+/// A ring topology with one chord for path diversity.
+fn ring_topology(name: &str, n: usize) -> Topology {
+    let mut t = Topology::new(name);
+    let ids: Vec<usize> = (0..n)
+        .map(|k| t.add_node(format!("n{k}")).unwrap())
+        .collect();
+    for k in 0..n {
+        t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+            .unwrap();
+    }
+    t.add_symmetric_link(ids[0], ids[n / 2], 1.0, 1e12).unwrap();
+    t
+}
+
+/// The two-tenant CI scenario: distinct topologies, seeds, and traces.
+fn scenario() -> Result<Vec<(TenantSpec, TmSeries)>, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for (name, nodes, seed) in [("pop-west", 5usize, 11u64), ("pop-east", 6, 12)] {
+        let topo = ring_topology(name, nodes);
+        let spec = TenantSpec::new(name, &topo, RoutingScheme::Ecmp).with_window_bins(WINDOW_BINS);
+        let series = generate_synthetic(
+            &SynthConfig::geant_like(seed)
+                .with_nodes(nodes)
+                .with_bins(TRACE_BINS),
+        )?
+        .series;
+        out.push((spec, series));
+    }
+    Ok(out)
+}
+
+/// The offline single-tenant reference: [`replay_estimation`] over the
+/// first `bins` bins of the trace, configured exactly as the service
+/// configures the tenant.
+fn offline_reports(
+    spec: &TenantSpec,
+    series: &TmSeries,
+    bins: usize,
+) -> Result<Vec<WindowReport>, Box<dyn std::error::Error>> {
+    let topo = spec.build_topology()?;
+    let model = ObservationModel::new(&topo, spec.routing)?;
+    let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
+    let mut stream = ReplayStream::new(series.slice_bins(0, bins)?);
+    let report = replay_estimation(&mut stream, pipeline, &spec.replay_options())?;
+    Ok(report.windows)
+}
+
+/// Bit-exact fingerprint of a report (shared wire encoding).
+fn report_bits(report: &WindowReport) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_window_report(&mut e, report);
+    e.into_bytes()
+}
+
+fn assert_reports_match(
+    context: &str,
+    got: &[WindowReport],
+    want: &[WindowReport],
+) -> Result<(), Box<dyn std::error::Error>> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{context}: {} reports from the service, {} offline",
+            got.len(),
+            want.len()
+        )
+        .into());
+    }
+    for (g, w) in got.iter().zip(want) {
+        if report_bits(g) != report_bits(w) {
+            return Err(format!(
+                "{context}: window {} differs from the offline reference:\n  service: {g:?}\n  offline: {w:?}",
+                w.window
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+fn snapshot_path(dir: &str, name: &str) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{name}.snap"))
+}
+
+fn smoke(addr: &str, snapshot_dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(snapshot_dir)?;
+    let mut client = Client::connect_with_retry(addr, Duration::from_secs(10))?;
+    client.hello()?;
+    let tenants = scenario()?;
+    let mut ids = Vec::new();
+    for (spec, series) in &tenants {
+        let id = client.register(spec.clone())?;
+        for t in 0..HALF_BINS {
+            client.ingest(id, series.column(t))?;
+        }
+        ids.push(id);
+    }
+    let events = client.poll()?;
+    for (id, (spec, series)) in ids.iter().zip(&tenants) {
+        let got: Vec<WindowReport> = events
+            .iter()
+            .filter(|ev| ev.tenant == *id)
+            .map(|ev| ev.report.clone())
+            .collect();
+        let want = offline_reports(spec, series, HALF_BINS)?;
+        assert_reports_match(&format!("smoke/{}", spec.name), &got, &want)?;
+        // The estimate endpoint serves the last window's full series.
+        let frame = client
+            .estimate(*id)?
+            .ok_or_else(|| format!("smoke/{}: no estimate after poll", spec.name))?;
+        if frame.bins as usize != WINDOW_BINS || frame.nodes as usize != spec.nodes() {
+            return Err(format!("smoke/{}: estimate shape off: {frame:?}", spec.name).into());
+        }
+        let snap = client.snapshot(*id)?;
+        std::fs::write(snapshot_path(snapshot_dir, &spec.name), &snap)?;
+        println!(
+            "smoke: tenant {} ok ({} windows, snapshot {} bytes)",
+            spec.name,
+            got.len(),
+            snap.len()
+        );
+    }
+    client.shutdown()?;
+    println!("smoke ok");
+    Ok(())
+}
+
+fn resume(addr: &str, snapshot_dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = Client::connect_with_retry(addr, Duration::from_secs(10))?;
+    client.hello()?;
+    let tenants = scenario()?;
+    let mut ids = Vec::new();
+    for (spec, _) in &tenants {
+        let bytes = std::fs::read(snapshot_path(snapshot_dir, &spec.name))?;
+        ids.push(client.restore(&bytes)?);
+    }
+    for (id, (_, series)) in ids.iter().zip(&tenants) {
+        for t in HALF_BINS..TRACE_BINS {
+            client.ingest(*id, series.column(t))?;
+        }
+    }
+    let events = client.poll()?;
+    let resumed_windows = HALF_BINS / WINDOW_BINS;
+    for (id, (spec, series)) in ids.iter().zip(&tenants) {
+        let got: Vec<WindowReport> = events
+            .iter()
+            .filter(|ev| ev.tenant == *id)
+            .map(|ev| ev.report.clone())
+            .collect();
+        // The uninterrupted reference: one offline replay over the FULL
+        // trace; the resumed service must reproduce its tail bit for bit.
+        let want = offline_reports(spec, series, TRACE_BINS)?;
+        assert_reports_match(
+            &format!("resume/{}", spec.name),
+            &got,
+            &want[resumed_windows..],
+        )?;
+        println!("resume: tenant {} ok ({} windows)", spec.name, got.len());
+    }
+    client.shutdown()?;
+    println!("resume ok");
+    Ok(())
+}

@@ -1,0 +1,334 @@
+//! Hand-rolled little-endian binary codec.
+//!
+//! The workspace is offline (no serde); every byte the service persists
+//! (snapshots, journals) or puts on the wire goes through this one
+//! encoder/decoder pair, so the format is defined in exactly one place.
+//! All integers are little-endian; `f64`s are encoded via
+//! [`f64::to_bits`], so round-trips are bit-exact for every value
+//! including NaNs, infinities, and signed zeros — the property the
+//! snapshot bit-identity guarantee rests on.
+
+use crate::{Result, ServeError};
+
+/// An append-only byte encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (sizes are platform-independent on
+    /// the wire).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends an optional `f64` (presence byte + bits).
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_f64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+}
+
+/// A cursor-based decoder over an encoded byte slice.
+///
+/// Every `take_*` fails with [`ServeError::Codec`] instead of panicking
+/// on truncated or corrupt input.
+#[derive(Debug, Clone)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed (trailing garbage guard).
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(ServeError::Codec(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ServeError::Codec(format!(
+                "truncated input: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads raw bytes verbatim (no length prefix).
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` encoded as `u64`, rejecting values that do not fit.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| ServeError::Codec(format!("size {v} overflows usize")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a bool, rejecting bytes other than 0/1.
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(ServeError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ServeError::Codec(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn take_f64s(&mut self) -> Result<Vec<f64>> {
+        let len = self.take_usize()?;
+        // Guard against absurd lengths from corrupt input before
+        // allocating.
+        if len > self.remaining() / 8 {
+            return Err(ServeError::Codec(format!(
+                "f64 vector length {len} exceeds remaining input"
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.take_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.take_usize()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads an optional `f64`.
+    pub fn take_opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.take_bool()? {
+            Some(self.take_f64()?)
+        } else {
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_round_trips_are_bit_exact() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_usize(12345);
+        e.put_f64(f64::NAN);
+        e.put_f64(-0.0);
+        e.put_bool(true);
+        e.put_str("tenant-α");
+        e.put_f64s(&[1.5, f64::INFINITY]);
+        e.put_bytes(&[1, 2, 3]);
+        e.put_opt_f64(Some(2.5));
+        e.put_opt_f64(None);
+        assert!(!e.is_empty());
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX);
+        assert_eq!(d.take_usize().unwrap(), 12345);
+        assert!(d.take_f64().unwrap().is_nan());
+        assert_eq!(d.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.take_bool().unwrap());
+        assert_eq!(d.take_str().unwrap(), "tenant-α");
+        assert_eq!(d.take_f64s().unwrap(), vec![1.5, f64::INFINITY]);
+        assert_eq!(d.take_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.take_opt_f64().unwrap(), Some(2.5));
+        assert_eq!(d.take_opt_f64().unwrap(), None);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_input_errors_cleanly() {
+        let mut e = Enc::new();
+        e.put_u64(42);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes[..5]).take_u64().is_err());
+        let mut d = Dec::new(&bytes);
+        d.take_u64().unwrap();
+        assert!(d.take_u8().is_err());
+        // Bool bytes other than 0/1 are rejected.
+        assert!(Dec::new(&[2]).take_bool().is_err());
+        // A huge claimed vector length fails before allocating.
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX);
+        assert!(Dec::new(&e.into_bytes()).take_f64s().is_err());
+        // Trailing garbage is caught.
+        assert!(Dec::new(&[0]).expect_end().is_err());
+        // Invalid UTF-8 is caught.
+        let mut e = Enc::new();
+        e.put_u32(2);
+        e.put_raw(&[0xFF, 0xFE]);
+        assert!(Dec::new(&e.into_bytes()).take_str().is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any mixed sequence of values survives an encode/decode
+        /// round-trip bit-exactly, including non-finite floats.
+        #[test]
+        fn mixed_round_trip(
+            a in any::<u64>(),
+            b in any::<u32>(),
+            f_bits in any::<u64>(),
+            s_bytes in proptest::collection::vec(32u8..127, 0..24),
+            xs in proptest::collection::vec(any::<u64>(), 0..16),
+            flag in any::<bool>(),
+        ) {
+            let s: String = s_bytes.iter().map(|&b| b as char).collect();
+            let f = f64::from_bits(f_bits);
+            let floats: Vec<f64> = xs.iter().map(|&b| f64::from_bits(b)).collect();
+            let mut e = Enc::new();
+            e.put_u64(a);
+            e.put_u32(b);
+            e.put_f64(f);
+            e.put_str(&s);
+            e.put_f64s(&floats);
+            e.put_bool(flag);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            prop_assert_eq!(d.take_u64().unwrap(), a);
+            prop_assert_eq!(d.take_u32().unwrap(), b);
+            prop_assert_eq!(d.take_f64().unwrap().to_bits(), f_bits);
+            prop_assert_eq!(d.take_str().unwrap(), s);
+            let got = d.take_f64s().unwrap();
+            prop_assert_eq!(got.len(), floats.len());
+            for (g, w) in got.iter().zip(&floats) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+            prop_assert_eq!(d.take_bool().unwrap(), flag);
+            d.expect_end().unwrap();
+        }
+    }
+}

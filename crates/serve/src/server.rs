@@ -1,0 +1,222 @@
+//! The TCP front-end: a thread-per-connection server over `std::net`.
+//!
+//! The server owns a [`Service`] behind a mutex and speaks the
+//! [`crate::wire`] protocol. It adds no numeric behaviour of its own —
+//! every request is decoded, executed against the shared core, and the
+//! reply re-encoded — so socket-level tests only need to establish that
+//! bytes survive the trip; bit-identity is the core's property.
+//!
+//! Drift alerts are first-class here: a connection that sends
+//! [`Request::Subscribe`] is switched to push mode and receives every
+//! [`Response::Events`] frame produced by subsequent polls (from any
+//! connection), so drift events fire to listeners instead of dying inside
+//! a replay loop.
+
+use crate::service::Service;
+use crate::wire::{read_frame, write_frame, EstimateFrame, Request, Response, PROTOCOL_VERSION};
+use crate::Result;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Shared {
+    addr: SocketAddr,
+    service: Mutex<Service>,
+    subscribers: Mutex<Vec<Sender<Vec<u8>>>>,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Sets the shutdown flag and pokes the listener so the accept loop
+    /// observes it.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server (listener plus per-connection worker threads).
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), moves the
+    /// service behind the listener, and starts accepting connections.
+    pub fn bind(addr: impl ToSocketAddrs, service: Service) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr: local,
+            service: Mutex::new(service),
+            subscribers: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                let worker = std::thread::spawn(move || {
+                    // A broken connection only ends that connection.
+                    let _ = handle_connection(stream, &conn_shared);
+                });
+                accept_shared.workers.lock().unwrap().push(worker);
+            }
+        });
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Handle to a running [`Server`]: address, shutdown, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and unblocks the accept loop.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until the server shuts down (e.g. a client sends
+    /// [`Request::Shutdown`]), joins every thread, and returns the
+    /// service so its final state (journal, tenants) can be inspected.
+    pub fn wait(mut self) -> Service {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().unwrap());
+        for worker in workers {
+            let _ = worker.join();
+        }
+        std::mem::take(&mut *self.shared.service.lock().unwrap())
+    }
+
+    /// Shuts down and joins every thread ([`ServerHandle::shutdown`] +
+    /// [`ServerHandle::wait`]).
+    pub fn join(self) -> Service {
+        self.shutdown();
+        self.wait()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<()> {
+    loop {
+        let Some(payload) = read_frame(&mut stream)? else {
+            return Ok(()); // peer closed cleanly
+        };
+        let request = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Undecodable frame: report and drop the connection — the
+                // stream offset can no longer be trusted.
+                let _ = write_frame(&mut stream, &Response::Error(e.to_string()).encode());
+                return Ok(());
+            }
+        };
+        match request {
+            Request::Subscribe => {
+                let (tx, rx) = channel::<Vec<u8>>();
+                shared.subscribers.lock().unwrap().push(tx);
+                write_frame(&mut stream, &Response::Subscribed.encode())?;
+                // Push mode: forward event frames until shutdown or the
+                // peer goes away.
+                loop {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(frame) => write_frame(&mut stream, &frame)?,
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                    }
+                }
+            }
+            Request::Shutdown => {
+                write_frame(&mut stream, &Response::ShutdownOk.encode())?;
+                shared.request_shutdown();
+                return Ok(());
+            }
+            other => {
+                let response = execute(other, shared);
+                write_frame(&mut stream, &response.encode())?;
+            }
+        }
+    }
+}
+
+/// Executes one non-connection-control request against the shared core.
+fn execute(request: Request, shared: &Shared) -> Response {
+    let mut service = shared.service.lock().unwrap();
+    let result = match request {
+        Request::Hello => Ok(Response::HelloOk {
+            protocol: PROTOCOL_VERSION,
+            tenants: service.tenant_count() as u32,
+        }),
+        Request::Register(spec) => service
+            .register(*spec)
+            .map(|tenant| Response::Registered { tenant }),
+        Request::Ingest { tenant, column } => {
+            service
+                .ingest(tenant, column)
+                .map(|ready| Response::Ingested {
+                    ready: ready as u64,
+                })
+        }
+        Request::Poll => service.poll().map(|events| {
+            if !events.is_empty() {
+                publish(shared, &Response::Events(events.clone()).encode());
+            }
+            Response::Events(events)
+        }),
+        Request::Report { tenant } => service
+            .last_report(tenant)
+            .map(|report| Response::Report(report.cloned())),
+        Request::Estimate { tenant } => service.last_estimate(tenant).map(|estimate| {
+            Response::Estimate(estimate.map(|est| Box::new(EstimateFrame::from_estimate(est))))
+        }),
+        Request::Forecast { tenant } => service.forecast(tenant).map(Response::Forecast),
+        Request::Snapshot { tenant } => service.snapshot_tenant(tenant).map(Response::Snapshot),
+        Request::Restore(bytes) => service
+            .restore_tenant(&bytes)
+            .map(|tenant| Response::Restored { tenant }),
+        // Subscribe/Shutdown are handled at the connection level.
+        Request::Subscribe | Request::Shutdown => {
+            Ok(Response::Error("unreachable control request".into()))
+        }
+    };
+    result.unwrap_or_else(|e| Response::Error(e.to_string()))
+}
+
+/// Sends an encoded frame to every live subscriber, dropping dead ones.
+fn publish(shared: &Shared, frame: &[u8]) {
+    let mut subs = shared.subscribers.lock().unwrap();
+    subs.retain(|tx| tx.send(frame.to_vec()).is_ok());
+}

@@ -1,0 +1,470 @@
+//! The transport-free service core.
+//!
+//! A [`Service`] owns many independent tenants — each a registered
+//! topology + routing + [`StreamingTomogravity`] (with held workspaces) +
+//! [`ParamForecaster`] + [`DriftDetector`] — and batches their ready
+//! windows onto one shared [`ic_engine::Engine`]. Determinism is the
+//! design invariant:
+//!
+//! * **Per-tenant ordering.** Window `k + 1`'s prior depends on window
+//!   `k`'s fit, so a [`Service::poll`] round takes at most *one* ready
+//!   window per tenant and loops rounds until drained. Within a round,
+//!   each tenant-window contributes two independent engine jobs (the
+//!   IC-prior candidate and the gravity-prior baseline — the same pair
+//!   [`ic_stream::replay_estimation`] runs), so cross-tenant throughput
+//!   rides the executor while every tenant sees exactly the serial
+//!   history it would see alone.
+//! * **Bit-identity.** The engine assembles results by job index and its
+//!   thread count never changes results, so a tenant's report stream is
+//!   bit-identical to feeding the same bins through
+//!   [`ic_stream::replay_estimation`] offline, for any worker count and
+//!   any interleaving of other tenants (proptest-locked in
+//!   `tests/service.rs`).
+//! * **Record/replay.** With [`Service::enable_journal`] every
+//!   registration, ingested column, and snapshot-restore is appended to a
+//!   journal that [`Service::replay_journal`] can re-feed through a fresh
+//!   service core offline, reproducing every tenant's reports.
+
+use crate::codec::{Dec, Enc};
+use crate::snapshot::TenantSnapshot;
+use crate::spec::TenantSpec;
+use crate::{Result, ServeError};
+use ic_core::{improvement_percent, mean_rel_l2};
+use ic_engine::{Engine, WorkspacePool};
+use ic_estimation::{EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace};
+use ic_stream::{
+    DriftDetector, OnlineEstimator, ParamForecast, ParamForecaster, StreamError,
+    StreamingTomogravity, Window, WindowEstimate, WindowReport, Windower,
+};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Identifies a registered tenant (assigned densely from 0).
+pub type TenantId = u32;
+
+/// One completed window, pushed to subscribers and returned by
+/// [`Service::poll`]. Drift alerts ride inside the report's
+/// `drift_events` — first-class, not dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEvent {
+    /// The tenant the window belongs to.
+    pub tenant: TenantId,
+    /// The tenant's name (denormalized for subscribers).
+    pub name: String,
+    /// The window's results, identical in structure and bits to the
+    /// offline replay drivers' reports.
+    pub report: WindowReport,
+}
+
+/// Magic bytes opening every journal.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"ICJL";
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+const RECORD_REGISTER: u8 = 0;
+const RECORD_INGEST: u8 = 1;
+const RECORD_RESTORE: u8 = 2;
+
+struct Tenant {
+    spec: TenantSpec,
+    /// Gravity-prior baseline pipeline (the candidate holds its own
+    /// clone inside the streaming estimator).
+    pipeline: EstimationPipeline,
+    /// The IC-prior candidate; behind a mutex so an engine job can
+    /// advance it while the service only holds `&self.tenants`.
+    candidate: Mutex<StreamingTomogravity>,
+    windower: Windower,
+    forecaster: ParamForecaster,
+    detector: DriftDetector,
+    /// Completed windows awaiting a poll round, in arrival order.
+    ready: VecDeque<Window>,
+    last_estimate: Option<WindowEstimate>,
+    last_report: Option<WindowReport>,
+}
+
+impl Tenant {
+    fn build(spec: TenantSpec) -> Result<Self> {
+        spec.validate()?;
+        let topology = spec.build_topology()?;
+        let model = ObservationModel::new(&topology, spec.routing)?;
+        let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
+        let candidate =
+            StreamingTomogravity::new(pipeline.clone()).with_fit_options(spec.fit.clone());
+        let windower = match spec.stride {
+            None => Windower::tumbling(spec.window_bins),
+            Some(stride) => Windower::sliding(spec.window_bins, stride),
+        }?;
+        let forecaster = ParamForecaster::new(spec.forecast.clone())?;
+        let detector = DriftDetector::new(spec.drift.clone())?;
+        Ok(Tenant {
+            spec,
+            pipeline,
+            candidate: Mutex::new(candidate),
+            windower,
+            forecaster,
+            detector,
+            ready: VecDeque::new(),
+            last_estimate: None,
+            last_report: None,
+        })
+    }
+}
+
+/// A candidate/baseline job's output inside a poll round.
+enum StepOut {
+    Candidate(Box<WindowEstimate>),
+    Baseline(f64),
+}
+
+/// The multi-tenant streaming estimation service.
+#[derive(Default)]
+pub struct Service {
+    engine: Engine,
+    tenants: Vec<Tenant>,
+    /// Per-worker scratch for the gravity-baseline jobs (result-neutral).
+    scratch: WorkspacePool<PipelineWorkspace>,
+    journal: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("tenants", &self.tenants.len())
+            .field("pending", &self.pending())
+            .field("journaling", &self.journal.is_some())
+            .finish()
+    }
+}
+
+impl Service {
+    /// A service batching onto the default engine
+    /// ([`Engine::new`] — all available cores).
+    pub fn new() -> Self {
+        Service::with_engine(Engine::new())
+    }
+
+    /// A service batching onto an explicit engine. The thread count
+    /// never changes any tenant's results — only wall-clock time.
+    pub fn with_engine(engine: Engine) -> Self {
+        Service {
+            engine,
+            tenants: Vec::new(),
+            scratch: WorkspacePool::new(),
+            journal: None,
+        }
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Looks a tenant up by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .iter()
+            .position(|t| t.spec.name == name)
+            .map(|i| i as TenantId)
+    }
+
+    /// The tenant's name.
+    pub fn tenant_name(&self, id: TenantId) -> Result<&str> {
+        Ok(&self.tenants[self.check(id)?].spec.name)
+    }
+
+    /// Ready windows across all tenants awaiting a poll.
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.ready.len()).sum()
+    }
+
+    fn check(&self, id: TenantId) -> Result<usize> {
+        let idx = id as usize;
+        if idx >= self.tenants.len() {
+            return Err(ServeError::UnknownTenant(id));
+        }
+        Ok(idx)
+    }
+
+    /// Starts journaling. Call *before* registering tenants: the journal
+    /// records registrations, ingested columns, and snapshot-restores
+    /// from this point on, and [`Service::replay_journal`] replays it
+    /// against an empty service.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            let mut e = Enc::new();
+            e.put_raw(&JOURNAL_MAGIC);
+            e.put_u32(JOURNAL_VERSION);
+            self.journal = Some(e.into_bytes());
+        }
+    }
+
+    /// The journal so far, when journaling is enabled.
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_deref()
+    }
+
+    /// Registers a tenant; its name must be unused.
+    pub fn register(&mut self, spec: TenantSpec) -> Result<TenantId> {
+        if self.tenant_id(&spec.name).is_some() {
+            return Err(ServeError::NameTaken(spec.name));
+        }
+        let tenant = Tenant::build(spec)?;
+        // Journal only successful registrations, so a replayed journal
+        // never trips over a spec this build rejected.
+        if let Some(journal) = &mut self.journal {
+            let mut e = Enc::new();
+            e.put_u8(RECORD_REGISTER);
+            tenant.spec.encode(&mut e);
+            journal.extend_from_slice(&e.into_bytes());
+        }
+        self.tenants.push(tenant);
+        Ok((self.tenants.len() - 1) as TenantId)
+    }
+
+    /// Restores a tenant from a snapshot, picking up exactly where the
+    /// snapshotted service left off (bit-identically — including
+    /// mid-window partial bins). The snapshot carries the full spec, so
+    /// no prior registration is needed; the name must be unused.
+    pub fn restore_tenant(&mut self, snapshot: &[u8]) -> Result<TenantId> {
+        let snap = TenantSnapshot::from_bytes(snapshot)?;
+        if self.tenant_id(&snap.spec.name).is_some() {
+            return Err(ServeError::NameTaken(snap.spec.name));
+        }
+        let mut tenant = Tenant::build(snap.spec)?;
+        if let Some(journal) = &mut self.journal {
+            let mut e = Enc::new();
+            e.put_u8(RECORD_RESTORE);
+            e.put_bytes(snapshot);
+            journal.extend_from_slice(&e.into_bytes());
+        }
+        tenant.windower.restore(snap.windower);
+        tenant
+            .candidate
+            .get_mut()
+            .expect("candidate lock poisoned")
+            .restore(snap.estimator);
+        tenant.forecaster.restore(snap.forecaster);
+        tenant.detector.restore(snap.detector);
+        self.tenants.push(tenant);
+        Ok((self.tenants.len() - 1) as TenantId)
+    }
+
+    /// Snapshots one tenant's warm state (spec, rolling fit, forecaster,
+    /// drift statistics, window position). Fails while the tenant has
+    /// unprocessed ready windows — poll first, so no completed-but-
+    /// unreported window can be lost across a restart.
+    pub fn snapshot_tenant(&self, id: TenantId) -> Result<Vec<u8>> {
+        let t = &self.tenants[self.check(id)?];
+        if !t.ready.is_empty() {
+            return Err(ServeError::BadRequest(format!(
+                "tenant {}: {} ready window(s) not yet polled; poll() before snapshotting",
+                t.spec.name,
+                t.ready.len()
+            )));
+        }
+        Ok(TenantSnapshot {
+            spec: t.spec.clone(),
+            windower: t.windower.state(),
+            estimator: t.candidate.lock().expect("candidate lock poisoned").state(),
+            forecaster: t.forecaster.state(),
+            detector: t.detector.state(),
+        }
+        .to_bytes())
+    }
+
+    /// Ingests one link-load column (length `nodes²`) for a tenant.
+    /// Returns the tenant's ready-window count after the push; call
+    /// [`Service::poll`] to execute ready windows.
+    pub fn ingest(&mut self, id: TenantId, column: Vec<f64>) -> Result<usize> {
+        let idx = self.check(id)?;
+        let expected = self.tenants[idx].spec.column_len();
+        if column.len() != expected {
+            return Err(ServeError::BadRequest(format!(
+                "tenant {}: column has {} entries, want {expected}",
+                self.tenants[idx].spec.name,
+                column.len()
+            )));
+        }
+        if let Some(journal) = &mut self.journal {
+            let mut e = Enc::new();
+            e.put_u8(RECORD_INGEST);
+            e.put_u32(id);
+            e.put_f64s(&column);
+            journal.extend_from_slice(&e.into_bytes());
+        }
+        let t = &mut self.tenants[idx];
+        let nodes = t.spec.nodes();
+        let bin_seconds = t.spec.bin_seconds;
+        if let Some(window) = t.windower.push(nodes, bin_seconds, column)? {
+            t.ready.push_back(window);
+        }
+        Ok(t.ready.len())
+    }
+
+    /// Executes every ready window across all tenants and returns the
+    /// completed-window events in processing order.
+    ///
+    /// Windows run in rounds — at most one per tenant per round, tenants
+    /// in id order — so each tenant's windows execute strictly in stream
+    /// order while distinct tenants (and each window's candidate/baseline
+    /// pair) batch onto the shared engine as one job list.
+    pub fn poll(&mut self) -> Result<Vec<TenantEvent>> {
+        let mut events = Vec::new();
+        loop {
+            let mut round: Vec<(usize, Window)> = Vec::new();
+            for (idx, t) in self.tenants.iter_mut().enumerate() {
+                if let Some(w) = t.ready.pop_front() {
+                    round.push((idx, w));
+                }
+            }
+            if round.is_empty() {
+                break;
+            }
+            let tenants = &self.tenants;
+            let round_ref = &round;
+            let outs: Vec<StepOut> = self
+                .engine
+                .run(round.len() * 2, &self.scratch, |j, ws| {
+                    let (idx, window) = &round_ref[j / 2];
+                    let tenant = &tenants[*idx];
+                    if j % 2 == 0 {
+                        // The candidate step IS StreamingTomogravity::process —
+                        // the single source of the per-window logic shared with
+                        // the offline replay drivers.
+                        let mut candidate =
+                            tenant.candidate.lock().expect("candidate lock poisoned");
+                        candidate
+                            .process(window)
+                            .map(|e| StepOut::Candidate(Box::new(e)))
+                    } else {
+                        // The gravity-prior baseline, identical to the replay
+                        // drivers' (serial here: the engine already
+                        // parallelizes across tenants and sides; workspace
+                        // reuse and thread counts are result-neutral).
+                        let obs = tenant
+                            .pipeline
+                            .model()
+                            .observe(&window.series)
+                            .map_err(StreamError::from)?;
+                        let estimate = tenant
+                            .pipeline
+                            .estimate_with(&GravityPrior, &obs, ws)
+                            .map_err(StreamError::from)?;
+                        let error =
+                            mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
+                        Ok(StepOut::Baseline(error))
+                    }
+                })
+                .map_err(ServeError::from)?;
+            // Coordinator pass, tenants in id order: score the forecast
+            // made *before* this window, extend the forecaster/detector
+            // history, and publish the report — the exact ordering the
+            // replay drivers use.
+            let mut outs = outs.into_iter();
+            for (idx, window) in round {
+                let (Some(StepOut::Candidate(cand)), Some(StepOut::Baseline(error_gravity))) =
+                    (outs.next(), outs.next())
+                else {
+                    unreachable!("engine returns one output per job, in job order");
+                };
+                let tenant = &mut self.tenants[idx];
+                let improvement = improvement_percent(error_gravity, cand.error);
+                let (forecast_f_error, drift_events) =
+                    match (cand.fitted_f, &cand.fitted_preference) {
+                        (Some(f), Some(p)) => {
+                            let fe = tenant.forecaster.forecast().map(|fc| fc.f_error(f));
+                            tenant.forecaster.observe(f, p)?;
+                            let fired = tenant.detector.observe(window.index, f, p)?;
+                            (fe, fired)
+                        }
+                        _ => (None, Vec::new()),
+                    };
+                let report = WindowReport {
+                    window: window.index,
+                    start_bin: window.start_bin,
+                    bins: window.bins(),
+                    fitted_f: cand.fitted_f.unwrap_or(f64::NAN),
+                    fit_objective: cand.fit_objective.unwrap_or(f64::NAN),
+                    sweeps: cand.sweeps.unwrap_or(0),
+                    warm: cand.warm,
+                    error_candidate: cand.error,
+                    error_gravity,
+                    improvement,
+                    forecast_f_error,
+                    drift_events,
+                };
+                tenant.last_report = Some(report.clone());
+                tenant.last_estimate = Some(*cand);
+                events.push(TenantEvent {
+                    tenant: idx as TenantId,
+                    name: tenant.spec.name.clone(),
+                    report,
+                });
+            }
+        }
+        Ok(events)
+    }
+
+    /// The tenant's most recent window report.
+    pub fn last_report(&self, id: TenantId) -> Result<Option<&WindowReport>> {
+        Ok(self.tenants[self.check(id)?].last_report.as_ref())
+    }
+
+    /// The tenant's most recent window estimate (the full estimated
+    /// traffic-matrix series).
+    pub fn last_estimate(&self, id: TenantId) -> Result<Option<&WindowEstimate>> {
+        Ok(self.tenants[self.check(id)?].last_estimate.as_ref())
+    }
+
+    /// The tenant's forecast of the next window's `(f, {P_i})`, once at
+    /// least one window has completed.
+    pub fn forecast(&self, id: TenantId) -> Result<Option<ParamForecast>> {
+        Ok(self.tenants[self.check(id)?].forecaster.forecast())
+    }
+
+    /// Replays a journal through a fresh service core: re-registers,
+    /// re-ingests, and polls once at the end. Each tenant's event
+    /// subsequence is bit-identical to the recording service's, whatever
+    /// poll cadence the original used (the cross-tenant interleaving may
+    /// group differently).
+    pub fn replay_journal(journal: &[u8]) -> Result<(Service, Vec<TenantEvent>)> {
+        let mut d = Dec::new(journal);
+        let magic = d.take_raw(4)?;
+        if magic != JOURNAL_MAGIC {
+            return Err(ServeError::Codec(format!(
+                "bad journal magic {magic:?} (want {JOURNAL_MAGIC:?})"
+            )));
+        }
+        let version = d.take_u32()?;
+        if version != JOURNAL_VERSION {
+            return Err(ServeError::Codec(format!(
+                "unsupported journal version {version} (this build reads {JOURNAL_VERSION})"
+            )));
+        }
+        let mut service = Service::new();
+        while d.remaining() > 0 {
+            match d.take_u8()? {
+                RECORD_REGISTER => {
+                    let spec = TenantSpec::decode(&mut d)?;
+                    service.register(spec)?;
+                }
+                RECORD_INGEST => {
+                    let id = d.take_u32()?;
+                    let column = d.take_f64s()?;
+                    service.ingest(id, column)?;
+                }
+                RECORD_RESTORE => {
+                    let snapshot = d.take_bytes()?;
+                    service.restore_tenant(&snapshot)?;
+                }
+                tag => {
+                    return Err(ServeError::Codec(format!(
+                        "unknown journal record tag {tag}"
+                    )));
+                }
+            }
+        }
+        let events = service.poll()?;
+        Ok((service, events))
+    }
+}

@@ -1,0 +1,336 @@
+//! Determinism contracts of the transport-free service core.
+//!
+//! The load-bearing invariant: a tenant's report stream through the
+//! multi-tenant batching service is bit-identical to feeding the same
+//! bins through [`ic_stream::replay_estimation`] alone — for any engine
+//! worker count, any poll cadence, any co-tenant interleaving, and across
+//! a snapshot/restore restart or a journal replay.
+
+use ic_core::{generate_synthetic, SynthConfig, TmSeries};
+use ic_engine::Engine;
+use ic_estimation::{EstimationPipeline, ObservationModel};
+use ic_serve::{Service, TenantSpec};
+use ic_stream::{replay_estimation, ReplayStream, WindowReport};
+use ic_topology::{RoutingScheme, Topology};
+use proptest::prelude::*;
+
+const WINDOW_BINS: usize = 4;
+
+fn ring_topology(name: &str, n: usize) -> Topology {
+    let mut t = Topology::new(name);
+    let ids: Vec<usize> = (0..n)
+        .map(|k| t.add_node(format!("n{k}")).unwrap())
+        .collect();
+    for k in 0..n {
+        t.add_symmetric_link(ids[k], ids[(k + 1) % n], 1.0, 1e12)
+            .unwrap();
+    }
+    t.add_symmetric_link(ids[0], ids[n / 2], 1.0, 1e12).unwrap();
+    t
+}
+
+fn spec_for(name: &str, nodes: usize) -> TenantSpec {
+    TenantSpec::new(name, &ring_topology(name, nodes), RoutingScheme::Ecmp)
+        .with_window_bins(WINDOW_BINS)
+}
+
+fn series_for(seed: u64, nodes: usize, bins: usize) -> TmSeries {
+    generate_synthetic(
+        &SynthConfig::geant_like(seed)
+            .with_nodes(nodes)
+            .with_bins(bins),
+    )
+    .unwrap()
+    .series
+}
+
+/// The solo offline reference for a tenant: `replay_estimation` over the
+/// same bins, configured exactly as the service configures the tenant.
+fn offline_windows(spec: &TenantSpec, series: &TmSeries) -> Vec<WindowReport> {
+    let topo = spec.build_topology().unwrap();
+    let model = ObservationModel::new(&topo, spec.routing).unwrap();
+    let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
+    let mut stream = ReplayStream::new(series.clone());
+    replay_estimation(&mut stream, pipeline, &spec.replay_options())
+        .unwrap()
+        .windows
+}
+
+#[test]
+fn multi_tenant_batched_service_matches_solo_offline_replay() {
+    let tenants = [
+        (spec_for("west", 4), series_for(5, 4, 8)),
+        (spec_for("east", 5), series_for(7, 5, 8)),
+    ];
+    let mut service = Service::new();
+    let ids: Vec<_> = tenants
+        .iter()
+        .map(|(spec, _)| service.register(spec.clone()).unwrap())
+        .collect();
+
+    // Interleave the two tenants bin by bin, with a mid-stream poll.
+    let mut events = Vec::new();
+    for t in 0..8 {
+        for (id, (_, series)) in ids.iter().zip(&tenants) {
+            service.ingest(*id, series.column(t)).unwrap();
+        }
+        if t == 5 {
+            events.extend(service.poll().unwrap());
+        }
+    }
+    events.extend(service.poll().unwrap());
+    assert_eq!(service.pending(), 0);
+
+    for (id, (spec, series)) in ids.iter().zip(&tenants) {
+        let got: Vec<WindowReport> = events
+            .iter()
+            .filter(|ev| ev.tenant == *id)
+            .map(|ev| ev.report.clone())
+            .collect();
+        assert_eq!(got, offline_windows(spec, series), "tenant {}", spec.name);
+        // The accessors surface the final window.
+        assert_eq!(
+            service.last_report(*id).unwrap(),
+            got.last(),
+            "tenant {}",
+            spec.name
+        );
+        assert!(service.forecast(*id).unwrap().is_some());
+        let est = service.last_estimate(*id).unwrap().unwrap();
+        assert_eq!(est.window, got.last().unwrap().window);
+        assert_eq!(
+            est.error.to_bits(),
+            got.last().unwrap().error_candidate.to_bits()
+        );
+    }
+}
+
+#[test]
+fn kill_and_restore_mid_stream_is_bit_identical() {
+    let spec = spec_for("resume", 5);
+    let series = series_for(9, 5, 16);
+
+    // The uninterrupted run.
+    let mut live = Service::with_engine(Engine::new().with_threads(3));
+    let id = live.register(spec.clone()).unwrap();
+    for t in 0..16 {
+        live.ingest(id, series.column(t)).unwrap();
+    }
+    let uninterrupted: Vec<WindowReport> = live
+        .poll()
+        .unwrap()
+        .into_iter()
+        .map(|ev| ev.report)
+        .collect();
+    assert_eq!(uninterrupted.len(), 4);
+
+    // The interrupted run: stop after 10 bins — two polled windows plus
+    // two bins buffered inside a half-built window.
+    let mut first = Service::with_engine(Engine::serial());
+    let id1 = first.register(spec.clone()).unwrap();
+    for t in 0..10 {
+        first.ingest(id1, series.column(t)).unwrap();
+    }
+    let mut reports: Vec<WindowReport> = first
+        .poll()
+        .unwrap()
+        .into_iter()
+        .map(|ev| ev.report)
+        .collect();
+    let snapshot = first.snapshot_tenant(id1).unwrap();
+    drop(first);
+
+    // A brand-new service (different worker count) picks up mid-window.
+    let mut second = Service::with_engine(Engine::new().with_threads(2));
+    let id2 = second.restore_tenant(&snapshot).unwrap();
+    assert_eq!(second.tenant_name(id2).unwrap(), "resume");
+    for t in 10..16 {
+        second.ingest(id2, series.column(t)).unwrap();
+    }
+    reports.extend(second.poll().unwrap().into_iter().map(|ev| ev.report));
+
+    assert_eq!(reports, uninterrupted);
+    assert_eq!(reports, offline_windows(&spec, &series));
+}
+
+#[test]
+fn snapshot_refuses_while_ready_windows_are_unpolled() {
+    let spec = spec_for("pending", 4);
+    let series = series_for(3, 4, 8);
+    let mut service = Service::with_engine(Engine::serial());
+    let id = service.register(spec).unwrap();
+    for t in 0..4 {
+        service.ingest(id, series.column(t)).unwrap();
+    }
+    assert_eq!(service.pending(), 1);
+    let err = service.snapshot_tenant(id).unwrap_err().to_string();
+    assert!(err.contains("poll() before snapshotting"), "{err}");
+    service.poll().unwrap();
+    assert!(service.snapshot_tenant(id).is_ok());
+}
+
+#[test]
+fn journal_replay_reproduces_every_tenants_reports() {
+    let tenants = [
+        (spec_for("north", 4), series_for(21, 4, 8)),
+        (spec_for("south", 5), series_for(22, 5, 8)),
+    ];
+    let mut service = Service::new();
+    service.enable_journal();
+    let ids: Vec<_> = tenants
+        .iter()
+        .map(|(spec, _)| service.register(spec.clone()).unwrap())
+        .collect();
+    let mut events = Vec::new();
+    for t in 0..8 {
+        for (id, (_, series)) in ids.iter().zip(&tenants) {
+            service.ingest(*id, series.column(t)).unwrap();
+        }
+        // An uneven poll cadence the replay does not repeat.
+        if t == 3 {
+            events.extend(service.poll().unwrap());
+        }
+    }
+    events.extend(service.poll().unwrap());
+
+    let journal = service.journal_bytes().unwrap().to_vec();
+    let (replayed_service, replayed) = Service::replay_journal(&journal).unwrap();
+    assert_eq!(replayed_service.tenant_count(), 2);
+    for (id, (spec, _)) in ids.iter().zip(&tenants) {
+        let original: Vec<&WindowReport> = events
+            .iter()
+            .filter(|ev| ev.tenant == *id)
+            .map(|ev| &ev.report)
+            .collect();
+        let from_journal: Vec<&WindowReport> = replayed
+            .iter()
+            .filter(|ev| ev.tenant == *id)
+            .map(|ev| &ev.report)
+            .collect();
+        assert_eq!(original, from_journal, "tenant {}", spec.name);
+    }
+}
+
+#[test]
+fn journal_records_restores_too() {
+    let spec = spec_for("journaled-restore", 4);
+    let series = series_for(31, 4, 12);
+
+    // First life: no journal, snapshot after one window.
+    let mut first = Service::with_engine(Engine::serial());
+    let id = first.register(spec.clone()).unwrap();
+    for t in 0..4 {
+        first.ingest(id, series.column(t)).unwrap();
+    }
+    first.poll().unwrap();
+    let snapshot = first.snapshot_tenant(id).unwrap();
+
+    // Second life: journaled from the restore on.
+    let mut second = Service::with_engine(Engine::serial());
+    second.enable_journal();
+    let id2 = second.restore_tenant(&snapshot).unwrap();
+    for t in 4..12 {
+        second.ingest(id2, series.column(t)).unwrap();
+    }
+    let events: Vec<WindowReport> = second
+        .poll()
+        .unwrap()
+        .into_iter()
+        .map(|ev| ev.report)
+        .collect();
+    assert_eq!(events.len(), 2);
+
+    let journal = second.journal_bytes().unwrap().to_vec();
+    let (_, replayed) = Service::replay_journal(&journal).unwrap();
+    let replayed: Vec<WindowReport> = replayed.into_iter().map(|ev| ev.report).collect();
+    assert_eq!(replayed, events);
+    // And the tail matches the uninterrupted offline reference.
+    assert_eq!(events, offline_windows(&spec, &series)[1..]);
+}
+
+#[test]
+fn service_rejects_bad_requests() {
+    let spec = spec_for("strict", 4);
+    let series = series_for(2, 4, 4);
+    let mut service = Service::with_engine(Engine::serial());
+    let id = service.register(spec.clone()).unwrap();
+
+    // Duplicate name.
+    assert!(matches!(
+        service.register(spec.clone()),
+        Err(ic_serve::ServeError::NameTaken(_))
+    ));
+    // Wrong column length.
+    assert!(service.ingest(id, vec![1.0; 3]).is_err());
+    // Unknown tenant.
+    assert!(service.ingest(99, series.column(0)).is_err());
+    assert!(service.last_report(99).is_err());
+    assert!(service.snapshot_tenant(99).is_err());
+    // Restoring over an existing name collides.
+    let snap = service.snapshot_tenant(id).unwrap();
+    assert!(matches!(
+        service.restore_tenant(&snap),
+        Err(ic_serve::ServeError::NameTaken(_))
+    ));
+    // Garbage snapshot bytes are rejected.
+    assert!(service.restore_tenant(b"not a snapshot").is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The 1-vs-N contract, service edition: two co-tenant streams
+    /// through engines with different worker counts produce bit-identical
+    /// events, equal to each tenant's solo offline replay — whatever the
+    /// poll cadence.
+    #[test]
+    fn worker_count_and_poll_cadence_never_change_results(
+        threads in 2usize..5,
+        seed_a in 1u64..500,
+        seed_b in 500u64..1000,
+        poll_after in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let tenants = [
+            (spec_for("a", 4), series_for(seed_a, 4, 8)),
+            (spec_for("b", 5), series_for(seed_b, 5, 8)),
+        ];
+        let mut serial = Service::with_engine(Engine::serial());
+        let mut parallel = Service::with_engine(Engine::new().with_threads(threads));
+        let ids: Vec<_> = tenants
+            .iter()
+            .map(|(spec, _)| {
+                let id = serial.register(spec.clone()).unwrap();
+                assert_eq!(id, parallel.register(spec.clone()).unwrap());
+                id
+            })
+            .collect();
+
+        let mut serial_events = Vec::new();
+        let mut parallel_events = Vec::new();
+        for (t, poll) in poll_after.iter().enumerate() {
+            for (id, (_, series)) in ids.iter().zip(&tenants) {
+                serial.ingest(*id, series.column(t)).unwrap();
+                parallel.ingest(*id, series.column(t)).unwrap();
+            }
+            if *poll {
+                serial_events.extend(serial.poll().unwrap());
+                // The parallel side polls only at the end: grouping must
+                // not matter either.
+            }
+        }
+        serial_events.extend(serial.poll().unwrap());
+        parallel_events.extend(parallel.poll().unwrap());
+
+        for (id, (spec, series)) in ids.iter().zip(&tenants) {
+            let off = offline_windows(spec, series);
+            for events in [&serial_events, &parallel_events] {
+                let got: Vec<WindowReport> = events
+                    .iter()
+                    .filter(|ev| ev.tenant == *id)
+                    .map(|ev| ev.report.clone())
+                    .collect();
+                prop_assert_eq!(&got, &off);
+            }
+        }
+    }
+}

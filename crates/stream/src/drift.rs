@@ -115,6 +115,24 @@ pub struct DriftEvent {
     pub statistic: f64,
 }
 
+/// The carried state of a [`DriftDetector`], detached from its options.
+///
+/// Extract with [`DriftDetector::state`], reinstall with
+/// [`DriftDetector::restore`] on a detector constructed with the same
+/// [`DriftOptions`]; subsequent observations fire bit-identically to the
+/// uninterrupted detector's. The `ic-serve` snapshot codec persists
+/// exactly these fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftDetectorState {
+    /// The previous window's `(f, P)` baseline (`None` before the first
+    /// observation).
+    pub previous: Option<(f64, Vec<f64>)>,
+    /// Upward one-sided CUSUM accumulator.
+    pub cusum_up: f64,
+    /// Downward one-sided CUSUM accumulator.
+    pub cusum_down: f64,
+}
+
 /// CUSUM + envelope change detector over per-window fitted parameters.
 ///
 /// # Examples
@@ -224,6 +242,25 @@ impl DriftDetector {
         self.cusum_up = 0.0;
         self.cusum_down = 0.0;
     }
+
+    /// Extracts the carried state for snapshotting (see
+    /// [`DriftDetectorState`]).
+    pub fn state(&self) -> DriftDetectorState {
+        DriftDetectorState {
+            previous: self.previous.clone(),
+            cusum_up: self.cusum_up,
+            cusum_down: self.cusum_down,
+        }
+    }
+
+    /// Reinstalls previously extracted state. The detector must carry the
+    /// same [`DriftOptions`] the state was taken under for the
+    /// bit-identity guarantee to hold.
+    pub fn restore(&mut self, state: DriftDetectorState) {
+        self.previous = state.previous;
+        self.cusum_up = state.cusum_up;
+        self.cusum_down = state.cusum_down;
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +330,34 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.kind == DriftKind::PreferenceDecorrelation));
+    }
+
+    #[test]
+    fn restored_detector_fires_bit_identically() {
+        let mut live = DriftDetector::new(DriftOptions::default()).unwrap();
+        assert_eq!(live.state(), DriftDetectorState::default());
+        // Build up nontrivial CUSUM state without firing.
+        for k in 0..4 {
+            let f = 0.20 + 0.015 * k as f64;
+            live.observe(k, f, &stable_p()).unwrap();
+        }
+        let snapshot = live.state();
+        assert!(snapshot.cusum_up > 0.0);
+        let mut restored = DriftDetector::new(DriftOptions::default()).unwrap();
+        restored.restore(snapshot.clone());
+        assert_eq!(restored.cusum(), live.cusum());
+        // Both continue the same trend and must fire on the same window
+        // with the same statistic.
+        for k in 4..8 {
+            let f = 0.20 + 0.015 * k as f64;
+            let a = live.observe(k, f, &stable_p()).unwrap();
+            let b = restored.observe(k, f, &stable_p()).unwrap();
+            assert_eq!(a, b, "window {k}");
+        }
+        // state() is side-effect free.
+        let mut again = DriftDetector::new(DriftOptions::default()).unwrap();
+        again.restore(snapshot.clone());
+        assert_eq!(again.state(), snapshot);
     }
 
     #[test]

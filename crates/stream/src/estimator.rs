@@ -249,6 +249,23 @@ impl OnlineEstimator for WarmStartIcFit {
     }
 }
 
+/// The carried state of a [`StreamingTomogravity`], detached from its
+/// configuration.
+///
+/// Everything window `k + 1` depends on from windows `0..=k`: the rolling
+/// fit (prior + warm start for the next refresh). Extract with
+/// [`StreamingTomogravity::state`], reinstall with
+/// [`StreamingTomogravity::restore`] on an identically configured
+/// estimator; the restored estimator's next-window output is
+/// **bit-identical** to the uninterrupted one's (unit-tested below) —
+/// the contract `ic-serve` warm-state snapshots rest on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingTomogravityState {
+    /// The rolling fit carried from the most recent processed window
+    /// (`None` in the cold-start condition).
+    pub previous: Option<FitResult>,
+}
+
 /// Streaming tomogravity/IPF with a rolling IC prior.
 ///
 /// Window `k` is estimated from its *observations only* (link counts and
@@ -313,6 +330,23 @@ impl StreamingTomogravity {
     /// The most recent window's rolling fit.
     pub fn last_fit(&self) -> Option<&FitResult> {
         self.previous.as_ref()
+    }
+
+    /// Extracts the carried state for snapshotting (see
+    /// [`StreamingTomogravityState`]). The estimator keeps running
+    /// unaffected.
+    pub fn state(&self) -> StreamingTomogravityState {
+        StreamingTomogravityState {
+            previous: self.previous.clone(),
+        }
+    }
+
+    /// Reinstalls previously extracted state. The estimator must be
+    /// configured identically (same pipeline, fit options, solver) to the
+    /// one the state was taken from for the bit-identity guarantee to
+    /// hold; held workspaces are result-neutral and need not be restored.
+    pub fn restore(&mut self, state: StreamingTomogravityState) {
+        self.previous = state.previous;
     }
 }
 
@@ -539,6 +573,47 @@ mod tests {
                 ep.error
             );
         }
+    }
+
+    #[test]
+    fn restored_streaming_tomogravity_is_bit_identical_on_the_next_window() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(23).with_nodes(5).with_bins(16)).unwrap();
+        let ws = Windower::tumbling(4)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        let mut live = StreamingTomogravity::new(EstimationPipeline::new(om.clone()));
+        // Cold-start state restores to cold start.
+        assert_eq!(live.state().previous, None);
+        live.process(&ws[0]).unwrap();
+        live.process(&ws[1]).unwrap();
+        let snapshot = live.state();
+        assert!(snapshot.previous.is_some());
+        // A freshly configured estimator with the snapshot installed must
+        // continue bit-identically to the uninterrupted one.
+        let mut restored = StreamingTomogravity::new(EstimationPipeline::new(om));
+        restored.restore(snapshot.clone());
+        for w in &ws[2..] {
+            let a = live.process(w).unwrap();
+            let b = restored.process(w).unwrap();
+            assert_eq!(a.estimate, b.estimate, "window {}", w.index);
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.fitted_f, b.fitted_f);
+            assert_eq!(a.fitted_preference, b.fitted_preference);
+            assert_eq!(a.fit_objective, b.fit_objective);
+            assert_eq!(a.sweeps, b.sweeps);
+            assert!(a.warm && b.warm);
+        }
+        // restore() overwrites carried state outright.
+        restored.restore(StreamingTomogravityState { previous: None });
+        assert!(restored.last_fit().is_none());
+        // state() itself is side-effect free: re-extracting gives the
+        // same snapshot.
+        live.restore(snapshot.clone());
+        assert_eq!(live.state(), snapshot);
     }
 
     #[test]

@@ -96,6 +96,26 @@ impl ParamForecast {
     }
 }
 
+/// The carried state of a [`ParamForecaster`], detached from its options.
+///
+/// Extract with [`ParamForecaster::state`], reinstall with
+/// [`ParamForecaster::restore`] on a forecaster constructed with the same
+/// [`ForecastOptions`]; subsequent forecasts are bit-identical to the
+/// uninterrupted forecaster's. The `ic-serve` snapshot codec persists
+/// exactly these fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamForecasterState {
+    /// The seasonal-naive ring: the last `season_length` realized `(f, P)`
+    /// observations in arrival order (empty when seasonality is off).
+    pub season_ring: Vec<(f64, Vec<f64>)>,
+    /// Number of windows observed so far.
+    pub observed: usize,
+    /// EWMA level of `f` (`None` before the first observation).
+    pub ewma_f: Option<f64>,
+    /// EWMA level of the preference vector.
+    pub ewma_p: Option<Vec<f64>>,
+}
+
 /// EWMA + seasonal-naive forecaster over the fitted parameter series.
 ///
 /// # Examples
@@ -139,6 +159,27 @@ impl ParamForecaster {
     /// Number of windows observed so far.
     pub fn observed(&self) -> usize {
         self.observed
+    }
+
+    /// Extracts the carried state for snapshotting (see
+    /// [`ParamForecasterState`]).
+    pub fn state(&self) -> ParamForecasterState {
+        ParamForecasterState {
+            season_ring: self.season_ring.iter().cloned().collect(),
+            observed: self.observed,
+            ewma_f: self.ewma_f,
+            ewma_p: self.ewma_p.clone(),
+        }
+    }
+
+    /// Reinstalls previously extracted state. The forecaster must carry
+    /// the same [`ForecastOptions`] the state was taken under for the
+    /// bit-identity guarantee to hold.
+    pub fn restore(&mut self, state: ParamForecasterState) {
+        self.season_ring = state.season_ring.into();
+        self.observed = state.observed;
+        self.ewma_f = state.ewma_f;
+        self.ewma_p = state.ewma_p;
     }
 
     /// Feeds one window's fitted parameters.
@@ -264,6 +305,40 @@ mod tests {
         let warm = fc.forecast().unwrap().warm_start();
         assert_eq!(warm.f, 0.24);
         assert_eq!(warm.preference, vec![0.7, 0.3]);
+    }
+
+    #[test]
+    fn restored_forecaster_is_bit_identical_going_forward() {
+        let opts = ForecastOptions::default()
+            .with_ewma_alpha(0.4)
+            .with_season_length(3)
+            .with_seasonal_weight(0.6);
+        let mut live = ParamForecaster::new(opts.clone()).unwrap();
+        assert_eq!(live.state(), ParamForecasterState::default());
+        for k in 0..7 {
+            let f = 0.2 + 0.01 * (k % 3) as f64;
+            live.observe(f, &[0.5 + 0.01 * k as f64, 0.5 - 0.01 * k as f64])
+                .unwrap();
+        }
+        let snapshot = live.state();
+        let mut restored = ParamForecaster::new(opts).unwrap();
+        restored.restore(snapshot.clone());
+        assert_eq!(restored.observed(), live.observed());
+        assert_eq!(restored.forecast(), live.forecast());
+        for k in 0..4 {
+            let f = 0.25 + 0.02 * (k % 2) as f64;
+            let p = [0.45, 0.55];
+            live.observe(f, &p).unwrap();
+            restored.observe(f, &p).unwrap();
+            let a = live.forecast().unwrap();
+            let b = restored.forecast().unwrap();
+            assert_eq!(a.f.to_bits(), b.f.to_bits());
+            assert_eq!(a.preference, b.preference);
+        }
+        // state() is side-effect free.
+        let mut again = ParamForecaster::new(ForecastOptions::default()).unwrap();
+        again.restore(snapshot.clone());
+        assert_eq!(again.state(), snapshot);
     }
 
     #[test]

@@ -53,17 +53,18 @@ pub mod replay;
 pub mod source;
 pub mod window;
 
-pub use drift::{DriftDetector, DriftEvent, DriftKind, DriftOptions};
+pub use drift::{DriftDetector, DriftDetectorState, DriftEvent, DriftKind, DriftOptions};
 pub use estimator::{
-    OnlineEstimator, OnlineGravity, StreamingTomogravity, WarmStartIcFit, WindowEstimate,
+    OnlineEstimator, OnlineGravity, StreamingTomogravity, StreamingTomogravityState,
+    WarmStartIcFit, WindowEstimate,
 };
-pub use forecast::{ForecastOptions, ParamForecast, ParamForecaster};
+pub use forecast::{ForecastOptions, ParamForecast, ParamForecaster, ParamForecasterState};
 pub use replay::{
     replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, ReplayOptions,
     ReplayReport, WindowReport,
 };
 pub use source::{LinkLoadStream, ReplayStream, SyntheticStream};
-pub use window::{Window, Windower};
+pub use window::{Window, Windower, WindowerState};
 
 /// Errors produced by the streaming subsystem.
 #[derive(Debug)]

@@ -31,6 +31,28 @@ impl Window {
     }
 }
 
+/// The carried state of a [`Windower`], detached from its `len`/`stride`
+/// configuration: the partially filled buffer and the stream position.
+///
+/// Extract with [`Windower::state`], reinstall with [`Windower::restore`]
+/// on a windower constructed with the same `len`/`stride`; subsequently
+/// pushed bins produce bit-identical windows (index, start bin, series)
+/// to the uninterrupted windower's. The `ic-serve` snapshot codec
+/// persists exactly these fields so a service restart mid-window loses
+/// no buffered bins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowerState {
+    /// Buffered bins of the partially filled next window, oldest first.
+    pub buffer: Vec<Vec<f64>>,
+    /// Bins still to be discarded before buffering resumes (gapped
+    /// sliding windows only).
+    pub pending_skip: usize,
+    /// Global stream index of the next window's first bin.
+    pub next_start: usize,
+    /// Number of windows produced so far.
+    pub produced: usize,
+}
+
 /// Groups stream bins into tumbling or sliding windows.
 ///
 /// # Examples
@@ -100,6 +122,27 @@ impl Windower {
     /// Number of windows produced so far.
     pub fn produced(&self) -> usize {
         self.produced
+    }
+
+    /// Extracts the carried state for snapshotting (see
+    /// [`WindowerState`]).
+    pub fn state(&self) -> WindowerState {
+        WindowerState {
+            buffer: self.buffer.iter().cloned().collect(),
+            pending_skip: self.pending_skip,
+            next_start: self.next_start,
+            produced: self.produced,
+        }
+    }
+
+    /// Reinstalls previously extracted state. The windower must be
+    /// configured with the same `len`/`stride` the state was taken under
+    /// for the bit-identity guarantee to hold.
+    pub fn restore(&mut self, state: WindowerState) {
+        self.buffer = state.buffer.into();
+        self.pending_skip = state.pending_skip;
+        self.next_start = state.next_start;
+        self.produced = state.produced;
     }
 
     /// Feeds one bin; returns the completed window when this bin fills
@@ -248,6 +291,40 @@ mod tests {
         assert_eq!(windows[0].start_bin, 0);
         assert_eq!(windows[1].start_bin, 3);
         assert_eq!(windows[1].series, tm.slice_bins(3, 2).unwrap());
+    }
+
+    #[test]
+    fn restored_windower_resumes_mid_window_bit_identically() {
+        let tm = numbered_series(10);
+        let columns: Vec<Vec<f64>> = (0..10).map(|t| tm.column(t)).collect();
+        let mut live = Windower::tumbling(3).unwrap();
+        assert_eq!(live.state(), WindowerState::default());
+        // Push 4 bins: one full window out, one bin buffered mid-window.
+        let mut live_windows = Vec::new();
+        for col in &columns[..4] {
+            if let Some(w) = live.push(2, 300.0, col.clone()).unwrap() {
+                live_windows.push(w);
+            }
+        }
+        let snapshot = live.state();
+        assert_eq!(snapshot.buffer.len(), 1);
+        assert_eq!(snapshot.produced, 1);
+        assert_eq!(snapshot.next_start, 3);
+        let mut restored = Windower::tumbling(3).unwrap();
+        restored.restore(snapshot.clone());
+        let mut restored_windows = Vec::new();
+        for col in &columns[4..] {
+            live_windows.extend(live.push(2, 300.0, col.clone()).unwrap());
+            restored_windows.extend(restored.push(2, 300.0, col.clone()).unwrap());
+        }
+        // The restored windower lost no buffered bins: its windows are
+        // the uninterrupted windower's post-snapshot tail.
+        assert_eq!(live_windows.len(), 3);
+        assert_eq!(restored_windows, live_windows[1..]);
+        // state() is side-effect free.
+        let mut again = Windower::tumbling(3).unwrap();
+        again.restore(snapshot.clone());
+        assert_eq!(again.state(), snapshot);
     }
 
     #[test]

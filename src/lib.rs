@@ -19,6 +19,10 @@
 //! * [`stream`] — online/streaming estimation: windowed ingestion,
 //!   warm-started incremental fits, parameter forecasting, and drift
 //!   detection ([`stream::OnlineEstimator`] and friends),
+//! * [`serve`] — the multi-tenant streaming estimation service
+//!   ([`serve::Service`] core, [`serve::Server`]/[`serve::Client`] TCP
+//!   front-end) with warm-state snapshots and deterministic
+//!   record/replay journals,
 //! * [`experiment`] — declarative [`experiment::Scenario`]s, the parallel
 //!   [`experiment::Runner`], and structured reports.
 //!
@@ -35,6 +39,7 @@ pub use ic_estimation as estimation;
 pub use ic_experiment as experiment;
 pub use ic_flowsim as flowsim;
 pub use ic_linalg as linalg;
+pub use ic_serve as serve;
 pub use ic_stats as stats;
 pub use ic_stream as stream;
 pub use ic_topology as topology;
@@ -60,6 +65,8 @@ pub enum TmIcError {
     Estimation(ic_estimation::EstimationError),
     /// Streaming-estimation failure.
     Stream(ic_stream::StreamError),
+    /// Serving-layer failure (tenant registry, snapshots, wire protocol).
+    Serve(ic_serve::ServeError),
     /// Scenario / runner failure.
     Experiment(ic_experiment::ExperimentError),
 }
@@ -75,6 +82,7 @@ impl std::fmt::Display for TmIcError {
             TmIcError::Core(e) => write!(f, "core: {e}"),
             TmIcError::Estimation(e) => write!(f, "estimation: {e}"),
             TmIcError::Stream(e) => write!(f, "stream: {e}"),
+            TmIcError::Serve(e) => write!(f, "serve: {e}"),
             TmIcError::Experiment(e) => write!(f, "experiment: {e}"),
         }
     }
@@ -91,6 +99,7 @@ impl std::error::Error for TmIcError {
             TmIcError::Core(e) => Some(e),
             TmIcError::Estimation(e) => Some(e),
             TmIcError::Stream(e) => Some(e),
+            TmIcError::Serve(e) => Some(e),
             TmIcError::Experiment(e) => Some(e),
         }
     }
@@ -114,6 +123,7 @@ from_layer!(Dataset, ic_datasets::DatasetError);
 from_layer!(Core, ic_core::IcError);
 from_layer!(Estimation, ic_estimation::EstimationError);
 from_layer!(Stream, ic_stream::StreamError);
+from_layer!(Serve, ic_serve::ServeError);
 from_layer!(Experiment, ic_experiment::ExperimentError);
 
 /// Convenience result alias over [`TmIcError`].
@@ -144,6 +154,7 @@ pub mod prelude {
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
     pub use ic_linalg::{Matrix, SolveStats, SolverPolicy};
+    pub use ic_serve::{Client, Server, Service, TenantEvent, TenantSnapshot, TenantSpec};
     pub use ic_stream::{
         replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, DriftDetector,
         DriftOptions, ForecastOptions, LinkLoadStream, OnlineEstimator, OnlineGravity,
@@ -167,6 +178,7 @@ mod tests {
             ic_estimation::EstimationError::BadData("z").into(),
             ic_experiment::ExperimentError::BadScenario("w".into()).into(),
             ic_stream::StreamError::BadConfig("s").into(),
+            ic_serve::ServeError::BadRequest("q".into()).into(),
             ic_datasets::DatasetError::Format("v".into()).into(),
         ];
         for e in errs {
