@@ -37,9 +37,10 @@ use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{generate_synthetic, SynthConfig};
 use ic_engine::{default_threads, Engine, WorkspacePool};
 use ic_estimation::{
-    EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace, SolveStats,
-    SolverPolicy, TmPrior, Tomogravity, TomogravityOptions, TomogravityWorkspace,
+    EstimationPipeline, GravityPrior, ObservationModel, PipelineMetrics, PipelineWorkspace,
+    SolveStats, SolverPolicy, TmPrior, Tomogravity, TomogravityOptions, TomogravityWorkspace,
 };
+use ic_obs::{MetricsRegistry, Span};
 use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,6 +111,14 @@ struct SizeResult {
     pcg_iterations_per_solve: f64,
     /// Solver counters of the policy path over one counted bin sweep.
     solve_stats: SolveStats,
+    /// Pipeline time with `ic-obs` stage metrics attached — the
+    /// metrics-overhead gate compares this against the bare
+    /// `pipeline_secs_per_bin`.
+    instrumented_pipeline_secs_per_bin: f64,
+    /// Warm-sweep allocations per bin with a span recording each refine
+    /// into a registry histogram. Must stay 0: metric recording is
+    /// clock reads and relaxed atomics only.
+    instrumented_allocs_per_bin_warm: u64,
 }
 
 fn default_sizes(scale: Scale) -> Vec<usize> {
@@ -209,6 +218,24 @@ fn bench_size(
         200,
     );
     let sparse_secs_per_bin = sparse_secs / bins as f64;
+
+    // The same warm sweep with every refine wrapped in a recording span:
+    // proves the zero-allocation warm path survives instrumentation.
+    let registry = MetricsRegistry::new();
+    let refine_hist = registry.histogram("bench.refine.seconds");
+    let allocs_before = allocations();
+    for t in 0..bins {
+        for (row, slot) in xp.iter_mut().enumerate() {
+            *slot = prior.as_matrix()[(row, t)];
+        }
+        obs.stacked_at_into(t, &mut b).expect("stacked obs");
+        let span = Span::start(&refine_hist);
+        tomo.refine_bin_sparse_with(a, at, &xp, &b, &mut ws)
+            .expect("instrumented sparse refine");
+        drop(span);
+    }
+    let instrumented_allocs_per_bin_warm = (allocations() - allocs_before) / bins as u64;
+    assert_eq!(refine_hist.count(), bins as u64);
 
     // Dense reference path, where tractable.
     let (dense_secs_per_bin, max_rel_diff_vs_dense) = if n <= dense_max {
@@ -329,6 +356,30 @@ fn bench_size(
     );
     let parallel_pipeline_secs_per_bin = parallel_secs / bins as f64;
 
+    // The serial pipeline with stage metrics attached: bit-identical
+    // output, and the timing difference vs the bare run is the whole
+    // observability overhead.
+    let instrumented_pipeline = pipeline
+        .clone()
+        .with_metrics(PipelineMetrics::register(&registry));
+    let instrumented_est = instrumented_pipeline
+        .estimate_with(&GravityPrior, &obs, &mut pws)
+        .expect("instrumented warm-up");
+    assert_eq!(
+        instrumented_est, serial_est,
+        "instrumented estimate must be bit-identical to bare at {n} nodes"
+    );
+    let instrumented_secs = time_min(
+        || {
+            instrumented_pipeline
+                .estimate_with(&GravityPrior, &obs, &mut pws)
+                .expect("instrumented estimate");
+        },
+        0.5,
+        200,
+    );
+    let instrumented_pipeline_secs_per_bin = instrumented_secs / bins as f64;
+
     let sparse = pipeline.model().stacked_sparse();
     SizeResult {
         nodes: n,
@@ -347,6 +398,8 @@ fn bench_size(
         pcg_secs_per_bin,
         pcg_iterations_per_solve,
         solve_stats,
+        instrumented_pipeline_secs_per_bin,
+        instrumented_allocs_per_bin_warm,
     }
 }
 
@@ -422,6 +475,32 @@ fn main() {
             st.pcg_stalls,
             st.fallbacks,
         );
+        // Metrics-overhead gate: stage spans are two clock reads and a
+        // few relaxed atomics per bin, so the instrumented pipeline must
+        // stay within noise of the bare one. 1.5x is far above any real
+        // span cost and still catches an accidentally hot-path allocation
+        // or lock.
+        println!(
+            "#   metrics @ {} nodes: instrumented pipeline {:.5} s/bin vs bare {:.5} \
+             ({:+.1}% overhead), {} allocs/bin warm",
+            r.nodes,
+            r.instrumented_pipeline_secs_per_bin,
+            r.pipeline_secs_per_bin,
+            (r.instrumented_pipeline_secs_per_bin / r.pipeline_secs_per_bin - 1.0) * 100.0,
+            r.instrumented_allocs_per_bin_warm,
+        );
+        assert!(
+            r.instrumented_pipeline_secs_per_bin <= 1.5 * r.pipeline_secs_per_bin,
+            "metrics overhead too high at {} nodes: instrumented {:.6} s/bin vs bare {:.6}",
+            r.nodes,
+            r.instrumented_pipeline_secs_per_bin,
+            r.pipeline_secs_per_bin,
+        );
+        assert_eq!(
+            r.instrumented_allocs_per_bin_warm, 0,
+            "instrumented warm refine sweep allocated at {} nodes",
+            r.nodes
+        );
         if let Some(diff) = r.max_rel_diff_vs_dense {
             // PCG solves to a 1e-12 relative residual, not to machine
             // epsilon, so when the policy path ran PCG the dense
@@ -450,7 +529,9 @@ fn main() {
                  \"pcg_iterations_per_solve\":{},\"fallbacks\":{},\
                  \"pipeline_secs_per_bin\":{},\
                  \"parallel_pipeline_secs_per_bin\":{},\"parallel_speedup\":{},\
-                 \"allocs_per_bin_warm\":{}}}",
+                 \"allocs_per_bin_warm\":{},\
+                 \"instrumented_pipeline_secs_per_bin\":{},\
+                 \"instrumented_allocs_per_bin_warm\":{}}}",
                 r.nodes,
                 r.links,
                 r.nnz,
@@ -470,6 +551,8 @@ fn main() {
                 json_f(r.parallel_pipeline_secs_per_bin),
                 json_f(r.parallel_speedup),
                 r.allocs_per_bin_warm,
+                json_f(r.instrumented_pipeline_secs_per_bin),
+                r.instrumented_allocs_per_bin_warm,
             )
         })
         .collect();

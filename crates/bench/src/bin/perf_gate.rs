@@ -10,7 +10,11 @@
 //! * estimation (`BENCH_estimation.json`): `sparse_refine_secs_per_bin` ↓,
 //!   `pcg_secs_per_bin` ↓, `pipeline_secs_per_bin` ↓,
 //!   `parallel_pipeline_secs_per_bin` ↓, `speedup_vs_dense` ↑,
-//!   `allocs_per_bin_warm` ↓ (compared positionally per topology size).
+//!   `allocs_per_bin_warm` ↓, `instrumented_pipeline_secs_per_bin` ↓ and
+//!   `instrumented_allocs_per_bin_warm` ↓ (the `ic-obs`-instrumented
+//!   pipeline and warm refine sweep; a 0-alloc baseline means any
+//!   instrumentation-added allocation fails the gate) — compared
+//!   positionally per topology size.
 //!
 //! The engine-sharded timing is gated as an absolute per-bin time rather
 //! than as a parallel-speedup ratio: the ratio is a function of the
@@ -45,6 +49,11 @@ const METRICS: &[(&str, Direction)] = &[
     ("parallel_pipeline_secs_per_bin", Direction::LowerIsBetter),
     ("speedup_vs_dense", Direction::HigherIsBetter),
     ("allocs_per_bin_warm", Direction::LowerIsBetter),
+    (
+        "instrumented_pipeline_secs_per_bin",
+        Direction::LowerIsBetter,
+    ),
+    ("instrumented_allocs_per_bin_warm", Direction::LowerIsBetter),
 ];
 
 fn main() -> ExitCode {

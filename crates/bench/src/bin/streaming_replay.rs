@@ -16,6 +16,7 @@
 use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{fit_stable_fp, generate_synthetic, FitOptions, SynthConfig, TmSeries};
 use ic_engine::{default_threads, Engine};
+use ic_obs::{MetricsRegistry, Span};
 use ic_serve::{Service, TenantSpec};
 use ic_stream::{replay_fit_with, ReplayOptions, SyntheticStream, Windower};
 use ic_topology::{RoutingScheme, Topology};
@@ -191,26 +192,50 @@ fn main() {
         .collect();
     let mut service_secs = f64::INFINITY;
     let mut service_windows = 0usize;
+    let mut bin_hist = None;
     for _ in 0..reps {
+        // Per-bin latency lands in an `ic-obs` histogram; each bin span
+        // covers every tenant's ingest plus a poll, so window completions
+        // pay their window's cost at the bin that completes it — the p99
+        // is the window-carrying bin, the p50 the pure buffering path.
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("bench.service.bin.seconds");
         let mut service = Service::with_engine(Engine::new().with_threads(threads));
         let ids: Vec<_> = tenants
             .iter()
             .map(|(spec, _)| service.register(spec.clone()).expect("register tenant"))
             .collect();
+        let mut windows = 0usize;
         let start = Instant::now();
         for t in 0..tenant_bins {
+            let span = Span::start(&hist);
             for (id, (_, series)) in ids.iter().zip(&tenants) {
                 service.ingest(*id, series.column(t)).expect("ingest bin");
             }
+            windows += service.poll().expect("poll service").len();
+            drop(span);
         }
-        service_windows = service.poll().expect("poll service").len();
-        service_secs = service_secs.min(start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
+        if secs < service_secs {
+            service_secs = secs;
+            service_windows = windows;
+            bin_hist = Some(hist);
+        }
     }
+    let bin_hist = bin_hist.expect("at least one service rep");
     let service_bins = 2 * tenant_bins;
     let service_throughput = service_bins as f64 / service_secs;
     println!(
         "# service: 2 tenants x {tenant_nodes} nodes, {service_windows} windows, \
          {service_secs:.3}s, {service_throughput:.0} bins/sec"
+    );
+    println!(
+        "# service per-bin latency: p50 {:.6}s, p95 {:.6}s, p99 {:.6}s, max {:.6}s \
+         (power-of-two histogram buckets)",
+        bin_hist.p50(),
+        bin_hist.p95(),
+        bin_hist.p99(),
+        bin_hist.max(),
     );
 
     let cold_mean = cold_secs / measured.max(1) as f64;
@@ -233,7 +258,9 @@ fn main() {
          \"cold_sweeps_mean\":{},\"warm_sweeps_mean\":{},\"mean_improvement_pct\":{},\
          \"mean_forecast_f_error\":{},\"drift_windows\":[{}],\
          \"service_tenants\":2,\"service_nodes\":{},\"service_bins\":{},\
-         \"service_windows\":{},\"service_secs\":{},\"service_bins_per_sec\":{}}}\n",
+         \"service_windows\":{},\"service_secs\":{},\"service_bins_per_sec\":{},\
+         \"service_bin_p50_secs\":{},\"service_bin_p95_secs\":{},\
+         \"service_bin_p99_secs\":{},\"service_bin_max_secs\":{}}}\n",
         engine.threads(),
         engine.shard_bins(),
         default_threads(),
@@ -255,7 +282,11 @@ fn main() {
         service_bins,
         service_windows,
         json_f(service_secs),
-        json_f(service_throughput)
+        json_f(service_throughput),
+        json_f(bin_hist.p50()),
+        json_f(bin_hist.p95()),
+        json_f(bin_hist.p99()),
+        json_f(bin_hist.max())
     );
     let path = out_path("BENCH_streaming.json");
     std::fs::write(&path, &json).expect("write BENCH_streaming.json");

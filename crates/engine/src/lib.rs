@@ -61,10 +61,12 @@
 //!
 //! [`TmSeries`]: https://docs.rs/ic-core
 
+mod metrics;
 mod pool;
 mod run;
 mod shard;
 
+pub use metrics::EngineMetrics;
 pub use pool::WorkspacePool;
 pub use run::Engine;
 pub use shard::{Shard, ShardPlan};

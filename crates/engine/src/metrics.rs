@@ -1,0 +1,89 @@
+//! Engine execution metrics: queue wait vs. run time, per-worker
+//! utilization.
+//!
+//! An [`EngineMetrics`] bundle is registered once per *scope* (the
+//! subsystem owning a [`WorkspacePool`](crate::WorkspacePool) — e.g.
+//! `pipeline`, `serve`) and attached to the pool; [`Engine::run`] then
+//! records into it on every run that uses that pool. All handles are
+//! pre-registered `Arc`s, so the per-job cost is a clock read and a few
+//! relaxed atomic adds — and a pool without metrics costs one `None`
+//! branch per run, preserving the engine's bit-identity and
+//! allocation-free guarantees untouched (metrics only observe).
+//!
+//! [`Engine::run`]: crate::Engine::run
+
+use ic_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Pre-registered handles for one engine scope.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    /// `engine.<scope>.job_wait.seconds` — time from run start until a
+    /// job is picked up (queue wait).
+    pub job_wait: Arc<Histogram>,
+    /// `engine.<scope>.job_run.seconds` — time a job spends executing.
+    pub job_run: Arc<Histogram>,
+    /// `engine.<scope>.jobs_total` — jobs executed.
+    pub jobs: Arc<Counter>,
+    /// `engine.<scope>.runs_total` — engine runs.
+    pub runs: Arc<Counter>,
+    /// `engine.<scope>.worker_busy_nanos_total` — nanoseconds workers
+    /// spent executing jobs.
+    pub worker_busy_nanos: Arc<Counter>,
+    /// `engine.<scope>.worker_wall_nanos_total` — nanoseconds of worker
+    /// capacity (run wall time × workers).
+    pub worker_wall_nanos: Arc<Counter>,
+    /// `engine.<scope>.workers` — worker count of the most recent run.
+    pub workers: Arc<Gauge>,
+    /// `engine.<scope>.utilization` — cumulative busy/capacity ratio,
+    /// refreshed after every run.
+    pub utilization: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    /// Registers the scope's handles in `registry` under
+    /// `engine.<scope>.*`.
+    pub fn register(registry: &MetricsRegistry, scope: &str) -> Arc<EngineMetrics> {
+        let name = |suffix: &str| format!("engine.{scope}.{suffix}");
+        Arc::new(EngineMetrics {
+            job_wait: registry.histogram(&name("job_wait.seconds")),
+            job_run: registry.histogram(&name("job_run.seconds")),
+            jobs: registry.counter(&name("jobs_total")),
+            runs: registry.counter(&name("runs_total")),
+            worker_busy_nanos: registry.counter(&name("worker_busy_nanos_total")),
+            worker_wall_nanos: registry.counter(&name("worker_wall_nanos_total")),
+            workers: registry.gauge(&name("workers")),
+            utilization: registry.gauge(&name("utilization")),
+        })
+    }
+
+    /// Cumulative per-worker utilization: busy nanoseconds over worker
+    /// capacity nanoseconds across all runs (NaN before the first run).
+    pub fn cumulative_utilization(&self) -> f64 {
+        let wall = self.worker_wall_nanos.get();
+        if wall == 0 {
+            return f64::NAN;
+        }
+        self.worker_busy_nanos.get() as f64 / wall as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_creates_shared_handles() {
+        let registry = MetricsRegistry::new();
+        let a = EngineMetrics::register(&registry, "pipeline");
+        let b = EngineMetrics::register(&registry, "pipeline");
+        a.jobs.add(3);
+        assert_eq!(b.jobs.get(), 3, "same scope shares counters");
+        assert!(a.cumulative_utilization().is_nan());
+        a.worker_busy_nanos.add(50);
+        a.worker_wall_nanos.add(100);
+        assert_eq!(a.cumulative_utilization(), 0.5);
+        let text = registry.render_prometheus();
+        assert!(text.contains("engine_pipeline_jobs_total 3"));
+    }
+}

@@ -14,11 +14,13 @@
 //! fresh `Default` one would. Which workspace a worker draws depends on
 //! scheduling; the produced results must not.
 
-use std::sync::Mutex;
+use crate::metrics::EngineMetrics;
+use std::sync::{Arc, Mutex};
 
 /// A lock-guarded free list of reusable workspaces.
 pub struct WorkspacePool<W> {
     free: Mutex<Vec<W>>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl<W> WorkspacePool<W> {
@@ -26,12 +28,35 @@ impl<W> WorkspacePool<W> {
     pub fn new() -> Self {
         WorkspacePool {
             free: Mutex::new(Vec::new()),
+            metrics: None,
         }
+    }
+
+    /// Attaches engine metrics: every [`Engine::run`](crate::Engine::run)
+    /// against this pool records queue-wait/run-time/utilization into the
+    /// given scope's handles. Purely observational — results and the
+    /// pool's reuse behaviour are unchanged.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached engine metrics, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Number of idle workspaces currently in the pool.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Folds over the idle workspaces (observability accessor: e.g.
+    /// summing per-workspace solve counters after a run, when every
+    /// worker has restored its workspace).
+    pub fn fold_idle<T>(&self, init: T, f: impl FnMut(T, &W) -> T) -> T {
+        let free = self.free.lock().expect("workspace pool poisoned");
+        free.iter().fold(init, f)
     }
 
     /// Returns a workspace to the pool for later reuse.
@@ -71,10 +96,15 @@ impl<W> core::fmt::Debug for WorkspacePool<W> {
 
 /// Cloning yields an **empty** pool: pooled buffers are scratch, not
 /// state, so a cloned owner (e.g. a cloned streaming estimator) warms its
-/// own workspaces from scratch and produces identical results.
+/// own workspaces from scratch and produces identical results. Attached
+/// metrics handles are kept — the clone keeps reporting into the same
+/// scope.
 impl<W> Clone for WorkspacePool<W> {
     fn clone(&self) -> Self {
-        WorkspacePool::new()
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+            metrics: self.metrics.clone(),
+        }
     }
 }
 
@@ -102,5 +132,24 @@ mod tests {
         let cloned = pool.clone();
         assert_eq!(cloned.idle(), 0);
         assert!(format!("{pool:?}").contains("idle"));
+    }
+
+    #[test]
+    fn fold_idle_sees_restored_workspaces() {
+        let pool: WorkspacePool<Vec<u8>> = WorkspacePool::new();
+        pool.restore(vec![1, 2]);
+        pool.restore(vec![3]);
+        let total: usize = pool.fold_idle(0, |acc, w| acc + w.len());
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn metrics_attach_and_survive_clone() {
+        let registry = ic_obs::MetricsRegistry::new();
+        let metrics = EngineMetrics::register(&registry, "test");
+        let pool: WorkspacePool<Vec<u8>> = WorkspacePool::new().with_metrics(metrics);
+        assert!(pool.metrics().is_some());
+        assert!(pool.clone().metrics().is_some());
+        assert!(WorkspacePool::<Vec<u8>>::new().metrics().is_none());
     }
 }

@@ -106,17 +106,40 @@ impl Engine {
             return Ok(Vec::new());
         }
         let workers = self.threads.min(jobs);
+        // Purely observational: when the pool carries engine metrics,
+        // each job records its queue wait (run start → pickup) and run
+        // time, and each worker its busy time. Everything below is
+        // atomics on pre-registered handles — no locks, no allocation —
+        // and absence costs one branch per job.
+        let metrics = pool.metrics();
+        let run_start = metrics.map(|_| std::time::Instant::now());
         let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let worker = || {
             let mut ws = pool.checkout();
+            let mut busy_nanos: u64 = 0;
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
+                let job_start = metrics.map(|m| {
+                    let now = std::time::Instant::now();
+                    let wait = now.duration_since(run_start.expect("run_start set with metrics"));
+                    m.job_wait.record(wait.as_secs_f64());
+                    now
+                });
                 let result = job(i, &mut ws);
+                if let (Some(m), Some(start)) = (metrics, job_start) {
+                    let elapsed = start.elapsed();
+                    m.job_run.record(elapsed.as_secs_f64());
+                    m.jobs.inc();
+                    busy_nanos += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                }
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
+            }
+            if let Some(m) = metrics {
+                m.worker_busy_nanos.add(busy_nanos);
             }
             pool.restore(ws);
         };
@@ -131,6 +154,14 @@ impl Engine {
                 }
                 worker();
             });
+        }
+        if let (Some(m), Some(start)) = (metrics, run_start) {
+            let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let capacity = wall_nanos.saturating_mul(workers as u64);
+            m.runs.inc();
+            m.worker_wall_nanos.add(capacity);
+            m.workers.set(workers as f64);
+            m.utilization.set(m.cumulative_utilization());
         }
         let mut out = Vec::with_capacity(jobs);
         for slot in slots {
@@ -304,6 +335,34 @@ mod tests {
         let out = engine.run(4, &pool, |i, _| Ok::<usize, ()>(i)).unwrap();
         assert_eq!(out, vec![0, 1, 2, 3]);
     }
+
+    #[test]
+    fn instrumented_runs_record_metrics_and_match_bare_runs() {
+        let registry = ic_obs::MetricsRegistry::new();
+        let metrics = crate::EngineMetrics::register(&registry, "test");
+        let bare_pool: WorkspacePool<()> = WorkspacePool::new();
+        let obs_pool: WorkspacePool<()> = WorkspacePool::new().with_metrics(Arc::clone(&metrics));
+        for threads in [1, 3] {
+            let engine = Engine::new().with_threads(threads);
+            let bare = engine
+                .run(10, &bare_pool, |i, _| Ok::<usize, ()>(i * i))
+                .unwrap();
+            let obs = engine
+                .run(10, &obs_pool, |i, _| Ok::<usize, ()>(i * i))
+                .unwrap();
+            assert_eq!(bare, obs, "instrumentation must not change results");
+        }
+        assert_eq!(metrics.jobs.get(), 20);
+        assert_eq!(metrics.runs.get(), 2);
+        assert_eq!(metrics.job_wait.count(), 20);
+        assert_eq!(metrics.job_run.count(), 20);
+        assert!(metrics.worker_wall_nanos.get() > 0);
+        assert_eq!(metrics.workers.get(), 3.0);
+        let util = metrics.utilization.get();
+        assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    }
+
+    use std::sync::Arc;
 
     #[test]
     fn join_runs_both_in_either_mode() {

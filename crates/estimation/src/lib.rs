@@ -35,7 +35,8 @@ pub use evaluate::{rel_l2_spatial, spatial_error_by_volume, top_flow_error};
 pub use ipf::{ipf_fit, ipf_fit_with, IpfOptions, IpfWorkspace};
 pub use observe::{ObservationModel, Observations};
 pub use pipeline::{
-    compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline, PipelineWorkspace,
+    compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline, PipelineMetrics,
+    PipelineWorkspace,
 };
 pub use prior::{GravityPrior, MeasuredIcPrior, StableFPrior, StableFpPrior, TmPrior};
 pub use tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};

@@ -19,7 +19,44 @@ use crate::tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
 use crate::{EstimationError, Result};
 use ic_core::{improvement_percent, rel_l2_series, TmSeries};
 use ic_engine::{Engine, Shard, WorkspacePool};
-use ic_linalg::Matrix;
+use ic_linalg::{Matrix, SolveStats};
+use ic_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pre-registered stage-timing handles for the pipeline's per-bin
+/// kernel.
+///
+/// Register once ([`PipelineMetrics::register`]) and attach via
+/// [`EstimationPipeline::with_metrics`]; the instrumented kernel then
+/// records each bin's tomogravity-refinement and IPF stage durations
+/// plus the whole-bin time. Recording is a clock read and a relaxed
+/// atomic add per stage — no locks, no allocation — and a pipeline
+/// without metrics pays one `None` branch per bin, so the instrumented
+/// path keeps the bit-identity and allocation-free guarantees.
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    /// `pipeline.refine.seconds` — per-bin tomogravity refinement time.
+    pub refine: Arc<Histogram>,
+    /// `pipeline.ipf.seconds` — per-bin IPF time.
+    pub ipf: Arc<Histogram>,
+    /// `pipeline.bin.seconds` — whole per-bin kernel time.
+    pub bin: Arc<Histogram>,
+    /// `pipeline.bins_total` — bins estimated.
+    pub bins: Arc<Counter>,
+}
+
+impl PipelineMetrics {
+    /// Registers the pipeline stage handles under `pipeline.*`.
+    pub fn register(registry: &MetricsRegistry) -> Arc<PipelineMetrics> {
+        Arc::new(PipelineMetrics {
+            refine: registry.histogram("pipeline.refine.seconds"),
+            ipf: registry.histogram("pipeline.ipf.seconds"),
+            bin: registry.histogram("pipeline.bin.seconds"),
+            bins: registry.counter("pipeline.bins_total"),
+        })
+    }
+}
 
 /// Reusable buffers for the full prior → tomogravity → IPF pipeline.
 ///
@@ -87,6 +124,7 @@ pub struct EstimationPipeline {
     model: ObservationModel,
     tomo: Tomogravity,
     ipf: IpfOptions,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl EstimationPipeline {
@@ -97,7 +135,21 @@ impl EstimationPipeline {
             model,
             tomo: Tomogravity::new(TomogravityOptions::default()),
             ipf: IpfOptions::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches stage-timing metrics to the per-bin kernel. Purely
+    /// observational: the estimated series is bit-identical with or
+    /// without.
+    pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached stage-timing metrics, if any.
+    pub fn metrics(&self) -> Option<&Arc<PipelineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Replaces the tomogravity options.
@@ -279,11 +331,17 @@ impl EstimationPipeline {
         ws: &mut PipelineWorkspace,
     ) -> Result<()> {
         let n = self.model.nodes();
+        // Stage timings are observational only: clock reads plus relaxed
+        // atomic records on pre-registered handles, skipped entirely (one
+        // branch) when no metrics are attached.
+        let metrics = self.metrics.as_deref();
+        let bin_start = metrics.map(|_| Instant::now());
         ws.ensure(n, obs.stacked_len());
         for (row, slot) in ws.xp.iter_mut().enumerate() {
             *slot = prior_series.as_matrix()[(row, t)];
         }
         obs.stacked_at_into(t, &mut ws.b)?;
+        let refine_start = metrics.map(|_| Instant::now());
         self.tomo.refine_bin_sparse_with(
             self.model.stacked_sparse(),
             self.model.stacked_transpose(),
@@ -291,6 +349,9 @@ impl EstimationPipeline {
             &ws.b,
             &mut ws.tomo,
         )?;
+        if let (Some(m), Some(start)) = (metrics, refine_start) {
+            m.refine.record(start.elapsed().as_secs_f64());
+        }
         for i in 0..n {
             for j in 0..n {
                 ws.snapshot[(i, j)] = ws.tomo.solution()[i * n + j];
@@ -298,7 +359,15 @@ impl EstimationPipeline {
             ws.ingress[i] = obs.ingress[(i, t)];
             ws.egress[i] = obs.egress[(i, t)];
         }
+        let ipf_start = metrics.map(|_| Instant::now());
         ipf_fit_with(&ws.snapshot, &ws.ingress, &ws.egress, self.ipf, &mut ws.ipf)?;
+        if let (Some(m), Some(start)) = (metrics, ipf_start) {
+            m.ipf.record(start.elapsed().as_secs_f64());
+        }
+        if let (Some(m), Some(start)) = (metrics, bin_start) {
+            m.bin.record(start.elapsed().as_secs_f64());
+            m.bins.inc();
+        }
         Ok(())
     }
 
@@ -354,6 +423,10 @@ pub struct ComparisonResult {
     pub errors_candidate: Vec<f64>,
     /// Per-bin relative L2 errors of the gravity-prior estimate.
     pub errors_gravity: Vec<f64>,
+    /// Normal-equations solver counters accumulated across **both**
+    /// refinements (candidate and gravity) — the comparison's solver
+    /// health, deterministic for every thread count.
+    pub solve_stats: SolveStats,
 }
 
 /// Runs the pipeline twice — once with `candidate`, once with the gravity
@@ -365,8 +438,9 @@ pub fn compare_priors(
     truth: &TmSeries,
     obs: &Observations,
 ) -> Result<ComparisonResult> {
-    let est_candidate = pipeline.estimate(candidate, obs)?;
-    let est_gravity = pipeline.estimate(&GravityPrior, obs)?;
+    let mut ws = PipelineWorkspace::new();
+    let est_candidate = pipeline.estimate_with(candidate, obs, &mut ws)?;
+    let est_gravity = pipeline.estimate_with(&GravityPrior, obs, &mut ws)?;
     let errors_candidate = rel_l2_series(truth, &est_candidate)?;
     let errors_gravity = rel_l2_series(truth, &est_gravity)?;
     let improvement: Vec<f64> = errors_gravity
@@ -380,6 +454,7 @@ pub fn compare_priors(
         mean_improvement,
         errors_candidate,
         errors_gravity,
+        solve_stats: ws.solve_stats(),
     })
 }
 
@@ -413,6 +488,13 @@ pub fn compare_priors_with(
     let mut est_gravity = TmSeries::zeros(n, obs.bins(), obs.bin_seconds)?;
     assemble_chunks(&mut est_candidate, &chunks[..per_prior]);
     assemble_chunks(&mut est_gravity, &chunks[per_prior..]);
+    // Every worker has restored its workspace; the idle sum is the
+    // whole run's counters, deterministic because each bin is solved
+    // exactly once regardless of scheduling.
+    let solve_stats = pool.fold_idle(SolveStats::default(), |mut acc, ws| {
+        acc.merge(&ws.solve_stats());
+        acc
+    });
     let errors_candidate = rel_l2_series(truth, &est_candidate)?;
     let errors_gravity = rel_l2_series(truth, &est_gravity)?;
     let improvement: Vec<f64> = errors_gravity
@@ -426,6 +508,7 @@ pub fn compare_priors_with(
         mean_improvement,
         errors_candidate,
         errors_gravity,
+        solve_stats,
     })
 }
 
@@ -597,6 +680,58 @@ mod tests {
         let obs = pipeline.model().observe(&truth).unwrap();
         let est = pipeline.estimate(&GravityPrior, &obs).unwrap();
         assert!(est.is_physical());
+    }
+
+    #[test]
+    fn instrumented_pipeline_is_bit_identical_and_records_stages() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, _) = truth_series(5, 3, 0.25);
+        let obs = om.observe(&truth).unwrap();
+        let bare = EstimationPipeline::new(om.clone());
+        let registry = MetricsRegistry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let instrumented = EstimationPipeline::new(om).with_metrics(Arc::clone(&metrics));
+        assert!(instrumented.metrics().is_some());
+        let a = bare.estimate(&GravityPrior, &obs).unwrap();
+        let b = instrumented.estimate(&GravityPrior, &obs).unwrap();
+        assert_eq!(a, b, "metrics must not change the estimate");
+        assert_eq!(metrics.bins.get(), 3);
+        assert_eq!(metrics.refine.count(), 3);
+        assert_eq!(metrics.ipf.count(), 3);
+        assert_eq!(metrics.bin.count(), 3);
+        assert!(metrics.bin.sum() >= metrics.refine.sum());
+        let text = registry.render_prometheus();
+        assert!(text.contains("pipeline_bins_total 3"));
+    }
+
+    #[test]
+    fn comparisons_report_solver_health() {
+        let topo = ring_topology(6);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let (truth, params) = truth_series(6, 3, 0.22);
+        let obs = om.observe(&truth).unwrap();
+        let pipeline = EstimationPipeline::new(om);
+        let prior = MeasuredIcPrior { params };
+        let serial = compare_priors(&pipeline, &prior, &truth, &obs).unwrap();
+        // Both priors over 3 bins, refined through small dense systems.
+        assert_eq!(serial.solve_stats.solves(), 6);
+        assert!(serial.solve_stats.dense_solves > 0);
+        // The engine form reports identical counters for any thread count.
+        for threads in [1, 3] {
+            let parallel = compare_priors_with(
+                &pipeline,
+                &prior,
+                &truth,
+                &obs,
+                &Engine::new().with_threads(threads).with_shard_bins(1),
+            )
+            .unwrap();
+            assert_eq!(
+                parallel.solve_stats, serial.solve_stats,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

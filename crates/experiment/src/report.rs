@@ -5,7 +5,7 @@
 //! this offline workspace): CSV carries the per-scenario summary row,
 //! JSON carries everything including the per-bin series.
 
-use ic_stream::{DriftEvent, DriftKind};
+use ic_stream::{DriftEvent, SolveStats};
 use std::io::{self, Write};
 
 /// Results of one executed scenario.
@@ -37,6 +37,11 @@ pub struct ScenarioReport {
     /// Previously these died inside the replay loop; now they are part
     /// of the report and both emitters carry them.
     pub drift_events: Vec<DriftEvent>,
+    /// Solver-health counters accumulated over every normal-equations
+    /// solve the scenario performed (prior fits, tomogravity refinement,
+    /// streaming windows). All-zero for tasks that never solve
+    /// (gravity-gap).
+    pub solve_stats: SolveStats,
 }
 
 impl ScenarioReport {
@@ -48,15 +53,6 @@ impl ScenarioReport {
     /// Mean gravity error over bins (NaN if the task produced none).
     pub fn mean_gravity_error(&self) -> f64 {
         mean(&self.errors_gravity)
-    }
-}
-
-/// Stable string form of a drift kind, used by both emitters.
-fn drift_kind_str(kind: DriftKind) -> &'static str {
-    match kind {
-        DriftKind::ForwardRatioTrend => "forward-ratio-trend",
-        DriftKind::ForwardRatioJump => "forward-ratio-jump",
-        DriftKind::PreferenceDecorrelation => "preference-decorrelation",
     }
 }
 
@@ -104,12 +100,12 @@ impl Report {
         let mut out = String::from(
             "name,task,prior,bins,mean_improvement,p5_improvement,p50_improvement,\
              p95_improvement,mean_error_candidate,mean_error_gravity,fitted_f,fit_objective,\
-             drift_events\n",
+             drift_events,dense_solves,pcg_solves,pcg_iterations,pcg_stalls,fallbacks\n",
         );
         for s in &self.scenarios {
             let (p5, p50, p95) = percentiles(&s.improvement);
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&s.name),
                 csv_field(&s.task),
                 csv_field(s.prior.as_deref().unwrap_or("")),
@@ -123,6 +119,11 @@ impl Report {
                 s.fitted_f.map(csv_num).unwrap_or_default(),
                 s.fit_objective.map(csv_num).unwrap_or_default(),
                 s.drift_events.len(),
+                s.solve_stats.dense_solves,
+                s.solve_stats.pcg_solves,
+                s.solve_stats.pcg_iterations,
+                s.solve_stats.pcg_stalls,
+                s.solve_stats.fallbacks,
             ));
         }
         out
@@ -144,7 +145,8 @@ impl Report {
                 "{{\"name\":{},\"task\":{},\"prior\":{},\"bins\":{},\
                  \"mean_improvement\":{},\"improvement\":{},\
                  \"errors_candidate\":{},\"errors_gravity\":{},\
-                 \"fitted_f\":{},\"fit_objective\":{},\"drift_events\":{}}}",
+                 \"fitted_f\":{},\"fit_objective\":{},\"drift_events\":{},\
+                 \"solve_stats\":{}}}",
                 json_string(&s.name),
                 json_string(&s.task),
                 s.prior
@@ -161,6 +163,7 @@ impl Report {
                     .map(json_num)
                     .unwrap_or_else(|| "null".into()),
                 json_drift_events(&s.drift_events),
+                json_solve_stats(&s.solve_stats),
             ));
         }
         out.push_str("]}");
@@ -222,12 +225,20 @@ fn json_drift_events(events: &[DriftEvent]) -> String {
         out.push_str(&format!(
             "{{\"window\":{},\"kind\":{},\"statistic\":{}}}",
             ev.window,
-            json_string(drift_kind_str(ev.kind)),
+            json_string(ev.kind.as_str()),
             json_num(ev.statistic),
         ));
     }
     out.push(']');
     out
+}
+
+fn json_solve_stats(s: &SolveStats) -> String {
+    format!(
+        "{{\"dense_solves\":{},\"pcg_solves\":{},\"pcg_iterations\":{},\
+         \"pcg_stalls\":{},\"fallbacks\":{}}}",
+        s.dense_solves, s.pcg_solves, s.pcg_iterations, s.pcg_stalls, s.fallbacks,
+    )
 }
 
 fn json_string(s: &str) -> String {
@@ -251,6 +262,7 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ic_stream::DriftKind;
 
     fn sample_report() -> Report {
         Report {
@@ -271,6 +283,13 @@ mod tests {
                         kind: DriftKind::ForwardRatioJump,
                         statistic: 0.08,
                     }],
+                    solve_stats: SolveStats {
+                        dense_solves: 3,
+                        pcg_solves: 2,
+                        pcg_iterations: 40,
+                        pcg_stalls: 1,
+                        fallbacks: 1,
+                    },
                 },
                 ScenarioReport {
                     name: "gap".into(),
@@ -284,6 +303,7 @@ mod tests {
                     fitted_f: None,
                     fit_objective: None,
                     drift_events: Vec::new(),
+                    solve_stats: SolveStats::default(),
                 },
             ],
         }
@@ -297,9 +317,12 @@ mod tests {
         assert!(lines[0].starts_with("name,task,prior,bins"));
         // Comma-containing name is quoted.
         assert!(lines[1].starts_with("\"fig11a, geant\",estimation,ic-measured,3,20,"));
-        // Missing numerics are empty cells; the drift count closes the row.
-        assert!(lines[2].ends_with(",,0"));
-        assert!(lines[1].ends_with(",1"));
+        // Missing numerics are empty cells; the solver counters close the
+        // row after the drift count.
+        assert!(lines[0]
+            .ends_with("drift_events,dense_solves,pcg_solves,pcg_iterations,pcg_stalls,fallbacks"));
+        assert!(lines[2].ends_with(",,0,0,0,0,0,0"));
+        assert!(lines[1].ends_with(",1,3,2,40,1,1"));
         let mut buf = Vec::new();
         sample_report().write_csv(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), csv);
@@ -327,6 +350,14 @@ mod tests {
             "\"drift_events\":[{\"window\":2,\"kind\":\"forward-ratio-jump\",\"statistic\":0.08}]"
         ));
         assert!(json.contains("\"drift_events\":[]"));
+        assert!(json.contains(
+            "\"solve_stats\":{\"dense_solves\":3,\"pcg_solves\":2,\"pcg_iterations\":40,\
+             \"pcg_stalls\":1,\"fallbacks\":1}"
+        ));
+        assert!(json.contains(
+            "\"solve_stats\":{\"dense_solves\":0,\"pcg_solves\":0,\"pcg_iterations\":0,\
+             \"pcg_stalls\":0,\"fallbacks\":0}"
+        ));
         // NaN means render as null, not as invalid JSON.
         let mut r = sample_report();
         r.scenarios[0].mean_improvement = f64::NAN;

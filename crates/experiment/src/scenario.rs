@@ -21,7 +21,7 @@ use ic_estimation::{
     ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
 };
 use ic_stream::{
-    replay_estimation_with, replay_fit_with, ReplayOptions, ReplayReport, ReplayStream,
+    replay_estimation_with, replay_fit_with, ReplayOptions, ReplayReport, ReplayStream, SolveStats,
 };
 use ic_topology::{
     geant22, hierarchical, totem23, waxman, HierarchicalConfig, RoutingScheme, Topology,
@@ -304,9 +304,11 @@ impl Scenario {
         // Step 1: construct the prior per the measurement scenario.
         let mut fitted_f = None;
         let mut fit_objective = None;
+        let mut solve_stats = SolveStats::default();
         let mut record_fit = |fit: &FitResult| {
             fitted_f = Some(fit.params.f);
             fit_objective = Some(fit.final_objective());
+            solve_stats.merge(&fit.solve_stats);
         };
         let prior: Box<dyn TmPrior> = match &self.prior {
             PriorStrategy::Gravity => Box::new(GravityPrior),
@@ -343,6 +345,7 @@ impl Scenario {
             .with_tomogravity(self.tomogravity)
             .with_ipf(self.ipf);
         let cmp = compare_priors_with(&pipeline, prior.as_ref(), target, &obs, engine)?;
+        solve_stats.merge(&cmp.solve_stats);
 
         Ok(ScenarioReport {
             name: self.name.clone(),
@@ -356,6 +359,7 @@ impl Scenario {
             fitted_f,
             fit_objective,
             drift_events: Vec::new(),
+            solve_stats,
         })
     }
 
@@ -383,6 +387,7 @@ impl Scenario {
             fitted_f: Some(fit.params.f),
             fit_objective: Some(fit.final_objective()),
             drift_events: Vec::new(),
+            solve_stats: fit.solve_stats,
         })
     }
 
@@ -425,6 +430,7 @@ impl Scenario {
             fitted_f: Some(last.fitted_f),
             fit_objective: Some(last.fit_objective),
             drift_events,
+            solve_stats: replay.total_solve_stats(),
         })
     }
 
@@ -443,6 +449,7 @@ impl Scenario {
             fitted_f: None,
             fit_objective: None,
             drift_events: Vec::new(),
+            solve_stats: SolveStats::default(),
         })
     }
 }
@@ -753,6 +760,8 @@ mod tests {
         assert!(report.fitted_f.is_some());
         // Synthetic data is exactly IC, so the fit dominates gravity.
         assert!(report.mean_improvement > 0.0);
+        // The fit's activity subproblems surface as solver-health counters.
+        assert!(report.solve_stats.solves() > 0);
     }
 
     #[test]
@@ -768,6 +777,8 @@ mod tests {
         assert!(report.errors_candidate.is_empty());
         assert_eq!(report.errors_gravity.len(), 8);
         assert!(report.mean_gravity_error() > 0.0);
+        // Gravity-gap never solves normal equations.
+        assert_eq!(report.solve_stats, Default::default());
     }
 
     #[test]
@@ -875,6 +886,8 @@ mod tests {
         assert_eq!(report.prior.as_deref(), Some("ic-rolling-fit"));
         assert_eq!(report.improvement.len(), 2);
         assert_eq!(report.errors_candidate.len(), 2);
+        // The per-window tomogravity refits land in the solver counters.
+        assert!(report.solve_stats.dense_solves > 0);
         // Window 1 estimates from observations with window 0's fit as
         // its prior; on IC data that beats the gravity prior.
         assert!(report.improvement[1] > 0.0, "{:?}", report.improvement);

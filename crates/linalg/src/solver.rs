@@ -125,6 +125,20 @@ impl SolveStats {
     pub fn solves(&self) -> u64 {
         self.dense_solves + self.pcg_solves
     }
+
+    /// The counters accrued since an `earlier` snapshot of the same
+    /// cumulative stats (`self − earlier`, saturating per field) — how
+    /// per-window/per-scenario solver health is carved out of the
+    /// workspace-cumulative counters.
+    pub fn since(&self, earlier: &SolveStats) -> SolveStats {
+        SolveStats {
+            dense_solves: self.dense_solves.saturating_sub(earlier.dense_solves),
+            pcg_solves: self.pcg_solves.saturating_sub(earlier.pcg_solves),
+            pcg_iterations: self.pcg_iterations.saturating_sub(earlier.pcg_iterations),
+            pcg_stalls: self.pcg_stalls.saturating_sub(earlier.pcg_stalls),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
 }
 
 /// A solver for the weighted normal equations

@@ -1,0 +1,121 @@
+//! A bounded ring buffer of structured events.
+//!
+//! Events are for *rare, operator-meaningful* occurrences — drift
+//! alerts, solver fallbacks and stalls, snapshot/restore, slow polls —
+//! not per-bin telemetry (that is what histograms are for). The buffer
+//! is bounded: once full, the oldest event is dropped, and the
+//! monotonically increasing sequence number makes the drop visible to a
+//! scraper.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonically increasing sequence number (gaps mean the ring
+    /// dropped older events).
+    pub seq: u64,
+    /// Stable kebab-case kind string (e.g. `drift-alert`,
+    /// `solver-fallback`, `snapshot`, `slow-poll`) — the greppable part.
+    pub kind: &'static str,
+    /// Free-form human-readable detail.
+    pub message: String,
+}
+
+/// The bounded event ring.
+///
+/// Recording takes a short mutex (events are rare by contract) and one
+/// `String`; never used on per-bin hot paths.
+#[derive(Debug)]
+pub struct EventLog {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    next_seq: u64,
+    capacity: usize,
+    buf: VecDeque<Event>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// An empty ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(Ring {
+                next_seq: 0,
+                capacity: capacity.max(1),
+                buf: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Appends an event, dropping the oldest one when full. Returns the
+    /// event's sequence number.
+    pub fn record(&self, kind: &'static str, message: impl Into<String>) -> u64 {
+        let mut ring = self.inner.lock().expect("event ring poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+        }
+        let event = Event {
+            seq,
+            kind,
+            message: message.into(),
+        };
+        ring.buf.push_back(event);
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.inner.lock().expect("event ring poisoned");
+        ring.buf.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().expect("event ring poisoned").next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_sequence() {
+        let log = EventLog::new(2);
+        assert_eq!(log.record("snapshot", "tenant a"), 0);
+        assert_eq!(log.record("restore", "tenant a"), 1);
+        assert_eq!(log.record("drift-alert", "tenant b"), 2);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[0].kind, "restore");
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(events[1].message, "tenant b");
+        assert_eq!(log.total_recorded(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let log = EventLog::new(0);
+        log.record("a", "1");
+        log.record("b", "2");
+        let events = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "b");
+    }
+}

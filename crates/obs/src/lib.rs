@@ -1,0 +1,59 @@
+//! `ic-obs`: a hand-rolled observability layer for the estimation stack.
+//!
+//! Three primitives, all allocation-free on the hot path once registered:
+//!
+//! * **Metrics** — a [`MetricsRegistry`] of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket [`Histogram`]s (p50/p95/p99/max).
+//!   Registration (cold path) takes a lock and allocates; the returned
+//!   `Arc` handles are lock-free atomics, so instrumented inner loops
+//!   never contend or allocate.
+//! * **Spans** — [`Span`] timers that record wall-clock durations into a
+//!   histogram on drop. Hierarchical, dot-separated metric names
+//!   (`pipeline.refine`, `solver.pcg`, `serve.poll.seconds`) organize
+//!   them; per-entity breakdowns use labels
+//!   (`serve.poll.seconds{tenant="pop-west"}`).
+//! * **Events** — a bounded ring buffer of structured [`Event`]s (drift
+//!   alerts, solver fallbacks/stalls, snapshot/restore, slow polls) with
+//!   stable machine-greppable kind strings.
+//!
+//! The registry renders itself as Prometheus exposition text
+//! ([`MetricsRegistry::render_prometheus`]) and as JSON
+//! ([`MetricsRegistry::render_json`]); `ic-serve` exposes both over the
+//! wire protocol's `Stats` request.
+//!
+//! Instrumentation in this workspace is **result-neutral by
+//! construction**: the registry only ever observes values, so an
+//! instrumented run is bit-identical to a bare one, and a disabled
+//! registry is represented by absence (`Option<&MetricsRegistry>` /
+//! `Option<Arc<...>>` threading) — the no-op path is a branch on `None`,
+//! not a dynamic dispatch.
+//!
+//! # Examples
+//!
+//! ```
+//! use ic_obs::{MetricsRegistry, Span};
+//!
+//! let registry = MetricsRegistry::new();
+//! let polls = registry.counter("serve.polls_total");
+//! let latency = registry.histogram("serve.poll.seconds");
+//!
+//! for _ in 0..4 {
+//!     let _span = Span::start(&latency); // records on drop
+//!     polls.inc();
+//! }
+//! assert_eq!(polls.get(), 4);
+//! assert_eq!(latency.count(), 4);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("serve_polls_total 4"));
+//! ```
+
+pub mod event;
+pub mod metric;
+pub mod registry;
+pub mod render;
+pub mod span;
+
+pub use event::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{MetricKey, MetricsRegistry};
+pub use span::Span;

@@ -1,0 +1,292 @@
+//! Lock-free metric primitives: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Every handle is a plain atomic cell (or a fixed array of them), so the
+//! record path is a handful of relaxed atomic operations — no locks, no
+//! allocation, no branching beyond bucket selection. Metrics carry no
+//! ordering semantics: they observe, they never synchronize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic `u64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0.0_f64.to_bits()))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of geometric buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// Lowest bucket upper bound. With 48 power-of-two buckets the histogram
+/// spans `1e-7` (100 ns — below the cost of the record itself) to
+/// `~1.4e7` (half a year of seconds): every latency this workspace can
+/// produce lands in a finite bucket.
+const FIRST_UPPER_BOUND: f64 = 1e-7;
+
+/// A fixed-bucket histogram with geometric (power-of-two) bucket bounds.
+///
+/// Designed for latencies in seconds but value-agnostic: any
+/// non-negative finite `f64` records into the bucket whose upper bound
+/// first reaches it. Quantiles ([`Histogram::percentile`]) are
+/// nearest-rank over bucket counts and report the selected bucket's
+/// upper bound — a conservative (never underestimating) answer with
+/// bounded relative error 2x; the exact [`Histogram::max`] is tracked
+/// separately.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            max_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Upper bound of bucket `i` (`FIRST_UPPER_BOUND * 2^i`).
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        FIRST_UPPER_BOUND * (i as f64).exp2()
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if !(v > FIRST_UPPER_BOUND) {
+            return 0; // NaN and negatives land in bucket 0 defensively
+        }
+        let idx = (v / FIRST_UPPER_BOUND).log2().ceil();
+        (idx as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation. Lock- and allocation-free.
+    pub fn record(&self, v: f64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS loop; contention is rare (one record per bin
+        // or window) and the loop allocates nothing.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile `q ∈ [0, 1]` over the bucket counts,
+    /// reported as the selected bucket's upper bound and clamped to the
+    /// exact max (NaN when empty).
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // The top bucket is effectively unbounded: report the
+                // exact max instead of its nominal bound.
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return self.max();
+                }
+                return Self::bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median ([`Histogram::percentile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Per-bucket counts (render-side accessor).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.percentile(0.5).is_nan());
+        assert!(h.mean().is_nan());
+        for v in [1e-6, 2e-6, 4e-3, 0.5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 0.504003).abs() < 1e-9);
+        assert_eq!(h.max(), 0.5);
+        assert!((h.mean() - 0.504003 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_conservative_within_a_bucket_factor() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(1e-1);
+        }
+        // p50 covers the 1ms mass: upper bound within 2x above.
+        let p50 = h.p50();
+        assert!((1e-3..=2e-3).contains(&p50), "p50 {p50}");
+        // p95 and p99 land in the 100ms mass, clamped to the exact max.
+        assert_eq!(h.p95(), 1e-1);
+        assert_eq!(h.p99(), 1e-1);
+        assert_eq!(h.percentile(1.0), 1e-1);
+    }
+
+    #[test]
+    fn extreme_values_land_in_edge_buckets() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1e12); // beyond the last bound: clamped to the top bucket
+        assert_eq!(h.count(), 4);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 3);
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1);
+        // The top-bucket quantile is clamped to the true max.
+        assert_eq!(h.percentile(1.0), 1e12);
+    }
+
+    #[test]
+    fn bucket_bounds_are_geometric() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 1e-7);
+        assert_eq!(Histogram::bucket_upper_bound(1), 2e-7);
+        let last = Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1);
+        assert!(last > 1e7, "top bound {last}");
+    }
+}

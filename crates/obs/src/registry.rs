@@ -1,0 +1,206 @@
+//! The metrics registry: named, optionally labeled metric handles plus
+//! the event ring.
+//!
+//! Registration is the cold path: it takes a mutex, allocates the key,
+//! and returns an `Arc` handle. Callers register once (at construction /
+//! tenant-registration time), stash the handle, and record through it
+//! lock-free ever after. Registering the same `(name, labels)` twice
+//! returns the same underlying metric, so independent layers can share a
+//! series without coordination.
+
+use crate::event::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
+use crate::metric::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A metric's identity: hierarchical dot-separated name plus sorted
+/// `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Dot-separated hierarchical name (`pipeline.refine.seconds`).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels for a canonical identity.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
+    histograms: BTreeMap<MetricKey, Arc<Histogram>>,
+}
+
+/// The registry: one per process (or per [`Service`]), shared via `Arc`.
+///
+/// [`Service`]: https://docs.rs/ic-serve
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+    events: EventLog,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        MetricsRegistry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty registry whose event ring holds at most `capacity`
+    /// events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            inner: Mutex::new(Inner::default()),
+            events: EventLog::new(capacity),
+        }
+    }
+
+    /// Registers (or fetches) an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.counters.entry(key).or_default())
+    }
+
+    /// Registers (or fetches) an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.gauges.entry(key).or_default())
+    }
+
+    /// Registers (or fetches) an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.histograms.entry(key).or_default())
+    }
+
+    /// Records a structured event (see [`EventLog::record`]).
+    pub fn event(&self, kind: &'static str, message: impl Into<String>) -> u64 {
+        self.events.record(kind, message)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.snapshot()
+    }
+
+    /// Total events ever recorded (including ones the ring dropped).
+    pub fn events_recorded(&self) -> u64 {
+        self.events.total_recorded()
+    }
+
+    /// Snapshot of every registered metric, in deterministic (sorted)
+    /// key order — the renderers' input.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time listing of registered metrics (handles, not copies:
+/// values are read at render time).
+#[derive(Debug)]
+pub struct MetricsSnapshot {
+    /// Counters in sorted key order.
+    pub counters: Vec<(MetricKey, Arc<Counter>)>,
+    /// Gauges in sorted key order.
+    pub gauges: Vec<(MetricKey, Arc<Gauge>)>,
+    /// Histograms in sorted key order.
+    pub histograms: Vec<(MetricKey, Arc<Histogram>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_key() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("serve.polls_total", &[("tenant", "a")]);
+        let b = registry.counter_with("serve.polls_total", &[("tenant", "a")]);
+        let other = registry.counter_with("serve.polls_total", &[("tenant", "b")]);
+        a.inc();
+        b.inc();
+        other.add(7);
+        assert_eq!(a.get(), 2);
+        assert_eq!(other.get(), 7);
+        // Same name, disjoint metric types coexist.
+        registry.gauge("serve.polls_total").set(1.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.gauges.len(), 1);
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.histogram_with("h", &[("x", "1"), ("a", "2")]);
+        let b = registry.histogram_with("h", &[("a", "2"), ("x", "1")]);
+        a.record(1.0);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn events_flow_through_the_registry() {
+        let registry = MetricsRegistry::with_event_capacity(4);
+        registry.event("drift-alert", "tenant=a window=3");
+        let events = registry.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "drift-alert");
+        assert_eq!(registry.events_recorded(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Renderings of a registry: Prometheus exposition text and JSON.
+//!
+//! Both renderings are deterministic (sorted key order from
+//! [`MetricsRegistry::snapshot`]) so scrapes diff cleanly. Histograms
+//! render as Prometheus *summaries* (pre-computed p50/p95/p99 quantiles
+//! plus `_sum`/`_count`, with the exact max as a companion gauge) —
+//! quantiles are computed server-side from the fixed buckets, so the
+//! scraper needs no histogram_quantile machinery.
+
+use crate::metric::Histogram;
+use crate::registry::{MetricKey, MetricsRegistry};
+use std::fmt::Write as _;
+
+impl MetricsRegistry {
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4). Dots in names become underscores
+    /// (`pipeline.refine.seconds` → `pipeline_refine_seconds`).
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_type_header = String::new();
+        for (key, counter) in &snap.counters {
+            prom_type_header(&mut out, &mut last_type_header, &key.name, "counter");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                prom_name(&key.name),
+                prom_labels(&key.labels, &[]),
+                counter.get()
+            );
+        }
+        for (key, gauge) in &snap.gauges {
+            prom_type_header(&mut out, &mut last_type_header, &key.name, "gauge");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                prom_name(&key.name),
+                prom_labels(&key.labels, &[]),
+                prom_f64(gauge.get())
+            );
+        }
+        for (key, histogram) in &snap.histograms {
+            prom_type_header(&mut out, &mut last_type_header, &key.name, "summary");
+            let name = prom_name(&key.name);
+            for (q, v) in [
+                ("0.5", histogram.p50()),
+                ("0.95", histogram.p95()),
+                ("0.99", histogram.p99()),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    name,
+                    prom_labels(&key.labels, &[("quantile", q)]),
+                    prom_f64(v)
+                );
+            }
+            let plain = prom_labels(&key.labels, &[]);
+            let _ = writeln!(out, "{}_sum{} {}", name, plain, prom_f64(histogram.sum()));
+            let _ = writeln!(out, "{}_count{} {}", name, plain, histogram.count());
+            let _ = writeln!(out, "{}_max{} {}", name, plain, prom_f64(histogram.max()));
+        }
+        out
+    }
+
+    /// Renders every metric plus the retained events as a JSON object
+    /// with `counters` / `gauges` / `histograms` / `events` arrays.
+    pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, (key, counter)) in snap.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{{}, \"value\": {}}}",
+                json_key(key),
+                counter.get()
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (key, gauge)) in snap.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{{}, \"value\": {}}}",
+                json_key(key),
+                json_f64(gauge.get())
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, (key, histogram)) in snap.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{{}, {}}}",
+                json_key(key),
+                json_histogram(histogram)
+            );
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        for (i, event) in self.events().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\": {}, \"kind\": {}, \"message\": {}}}",
+                event.seq,
+                json_string(event.kind),
+                json_string(&event.message)
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"events_recorded\": {}\n}}\n",
+            self.events_recorded()
+        );
+        out
+    }
+}
+
+/// Emits a `# TYPE` header when the (sanitized) metric name changes.
+fn prom_type_header(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    let sanitized = prom_name(name);
+    if *last != sanitized {
+        let _ = writeln!(out, "# TYPE {sanitized} {kind}");
+        *last = sanitized;
+    }
+}
+
+/// Sanitizes a hierarchical name into the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `{k="v",...}` (empty string when there are no labels).
+fn prom_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let push = |out: &mut String, k: &str, v: &str, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let _ = write!(out, "{}=\"{}\"", prom_name(k), prom_escape(v));
+    };
+    for (k, v) in labels {
+        push(&mut out, k, v, &mut first);
+    }
+    for (k, v) in extra {
+        push(&mut out, k, v, &mut first);
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way Prometheus spells specials.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats an `f64` as JSON (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `"name": ..., "labels": {...}` for a metric key.
+fn json_key(key: &MetricKey) -> String {
+    let mut out = format!("\"name\": {}, \"labels\": {{", json_string(&key.name));
+    for (i, (k, v)) in key.labels.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}{}: {}", json_string(k), json_string(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a histogram's summary fields.
+fn json_histogram(h: &Histogram) -> String {
+    format!(
+        "\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}",
+        h.count(),
+        json_f64(h.sum()),
+        json_f64(h.mean()),
+        json_f64(h.p50()),
+        json_f64(h.p95()),
+        json_f64(h.p99()),
+        json_f64(h.max())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("serve.polls_total", &[("tenant", "pop\"west")])
+            .add(3);
+        registry.counter("serve.polls_total").add(9);
+        registry.gauge("engine.workers").set(2.0);
+        registry.histogram("pipeline.bin.seconds").record(1e-3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE serve_polls_total counter\n"));
+        // The type header appears once for the two-series counter.
+        assert_eq!(text.matches("# TYPE serve_polls_total").count(), 1);
+        assert!(text.contains("serve_polls_total 9\n"));
+        assert!(text.contains("serve_polls_total{tenant=\"pop\\\"west\"} 3\n"));
+        assert!(text.contains("# TYPE engine_workers gauge\n"));
+        assert!(text.contains("engine_workers 2\n"));
+        assert!(text.contains("# TYPE pipeline_bin_seconds summary\n"));
+        assert!(text.contains("pipeline_bin_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("pipeline_bin_seconds_count 1\n"));
+        assert!(text.contains("pipeline_bin_seconds_max 0.001\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!series.is_empty());
+            assert!(value == "NaN" || value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_carries_metrics_and_events() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("c", &[("tenant", "a")]).inc();
+        registry.gauge("g").set(f64::NAN);
+        registry.histogram("h").record(2.0);
+        registry.event("slow-poll", "poll took 2s\n(tenant \"a\")");
+        let json = registry.render_json();
+        assert!(json.contains("\"name\": \"c\""));
+        assert!(json.contains("\"tenant\": \"a\""));
+        assert!(json.contains("\"value\": null")); // NaN gauge
+        assert!(json.contains("\"p99\": 2"));
+        assert!(json.contains("\"kind\": \"slow-poll\""));
+        assert!(json.contains("\\n(tenant \\\"a\\\")"));
+        assert!(json.contains("\"events_recorded\": 1"));
+    }
+
+    #[test]
+    fn name_sanitization_covers_edge_cases() {
+        assert_eq!(
+            prom_name("pipeline.refine.seconds"),
+            "pipeline_refine_seconds"
+        );
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name("a-b/c 9"), "a_b_c_9");
+        assert_eq!(prom_name(""), "_");
+    }
+}

@@ -1,0 +1,99 @@
+//! Span timers: wall-clock durations recorded into a histogram on drop.
+
+use crate::metric::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A timing guard. While alive it represents one in-flight operation;
+/// dropping it records the elapsed seconds into the histogram it was
+/// started against. A [`Span::noop`] (or a span started against `None`)
+/// neither reads the clock nor records — the disabled path costs one
+/// branch.
+///
+/// Spans are named by the histogram they record into; the workspace
+/// convention is hierarchical dot-separated names (`pipeline.refine`,
+/// `solver.pcg`, `serve.poll.seconds`) with labels for per-entity
+/// breakdowns.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    timing: Option<(Instant, Arc<Histogram>)>,
+}
+
+impl Span {
+    /// Starts a span recording into `histogram` on drop.
+    pub fn start(histogram: &Arc<Histogram>) -> Span {
+        Span {
+            timing: Some((Instant::now(), Arc::clone(histogram))),
+        }
+    }
+
+    /// Starts a span when a histogram is present; a no-op span otherwise.
+    /// The idiom for `Option<&Arc<Histogram>>`-threaded instrumentation.
+    pub fn maybe(histogram: Option<&Arc<Histogram>>) -> Span {
+        match histogram {
+            Some(h) => Span::start(h),
+            None => Span::noop(),
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn noop() -> Span {
+        Span { timing: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.timing.is_some()
+    }
+
+    /// Ends the span now (equivalent to dropping it), returning the
+    /// recorded seconds (`None` for a no-op span).
+    pub fn finish(mut self) -> Option<f64> {
+        let (start, histogram) = self.timing.take()?;
+        let secs = start.elapsed().as_secs_f64();
+        histogram.record(secs);
+        Some(secs)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, histogram)) = self.timing.take() {
+            histogram.record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop_and_finish() {
+        let h = Arc::new(Histogram::new());
+        {
+            let span = Span::start(&h);
+            assert!(span.is_recording());
+        }
+        assert_eq!(h.count(), 1);
+        let secs = Span::start(&h).finish().unwrap();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn noop_span_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        assert!(!Span::noop().is_recording());
+        assert_eq!(Span::noop().finish(), None);
+        {
+            let _span = Span::maybe(None);
+        }
+        assert_eq!(h.count(), 0);
+        {
+            let _span = Span::maybe(Some(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

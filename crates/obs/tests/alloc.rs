@@ -1,0 +1,81 @@
+//! Allocation contract of the metric hot path.
+//!
+//! Registration is the cold path (it locks and allocates); *recording*
+//! is the hot path threaded through per-bin estimation kernels, and it
+//! must never allocate — otherwise "zero-overhead instrumentation" would
+//! silently break the estimation stack's allocation-free warm loops.
+//! A counting global allocator proves it.
+
+use ic_obs::{MetricsRegistry, Span};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System` verbatim; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn recording_metrics_never_allocates() {
+    // Cold path: registration may allocate freely.
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("test.counter");
+    let gauge = registry.gauge("test.gauge");
+    let histogram = registry.histogram_with("test.seconds", &[("k", "v")]);
+
+    // Warm one full pass so lazily initialized state (if any) settles.
+    counter.inc();
+    counter.add(3);
+    gauge.set(1.5);
+    histogram.record(0.002);
+    let span = Span::start(&histogram);
+    let _ = span.finish();
+
+    // Hot path: many records, zero allocations.
+    let before = allocations();
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        gauge.set(i as f64);
+        histogram.record(i as f64 * 1e-6);
+        let span = Span::start(&histogram);
+        drop(span); // records on drop
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "metric recording allocated on the hot path"
+    );
+    assert_eq!(counter.get(), 4 + 10_000 + (0..10_000u64).sum::<u64>());
+    assert_eq!(histogram.count(), 2 + 2 * 10_000);
+}
+
+#[test]
+fn disabled_span_never_allocates() {
+    let before = allocations();
+    for _ in 0..10_000 {
+        let span = Span::maybe(None);
+        assert!(!span.is_recording());
+        let _ = span.finish();
+    }
+    assert_eq!(allocations() - before, 0, "a no-op span allocated");
+}

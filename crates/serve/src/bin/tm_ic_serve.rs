@@ -15,11 +15,14 @@
 //!   and asserts the resumed reports are bit-identical to an
 //!   uninterrupted offline replay of the full trace. Proves the
 //!   kill-and-restore story end to end over real sockets.
+//! - `stats --addr HOST:PORT [--format prometheus|json]` — scrape the
+//!   server's metrics registry (counters, latency histograms, events)
+//!   and print it. `prometheus` output is scrape-endpoint-shaped.
 
 use ic_core::{generate_synthetic, SynthConfig, TmSeries};
 use ic_estimation::{EstimationPipeline, ObservationModel};
 use ic_serve::wire::encode_window_report;
-use ic_serve::{codec::Enc, Client, Server, Service, TenantSpec};
+use ic_serve::{codec::Enc, Client, Server, Service, StatsFormat, TenantEvent, TenantSpec};
 use ic_stream::{replay_estimation, ReplayStream, WindowReport};
 use ic_topology::{RoutingScheme, Topology};
 use std::time::Duration;
@@ -47,10 +50,13 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 Some(t) => Some(t.parse::<usize>()?),
                 None => None,
             };
-            let service = match threads {
+            let mut service = match threads {
                 Some(t) => Service::with_engine(ic_engine::Engine::new().with_threads(t)),
                 None => Service::new(),
             };
+            // Metrics are result-neutral and near-free; the served stack
+            // is always scrapable via the `Stats` request.
+            service.enable_metrics();
             let handle = Server::bind(addr.as_str(), service)?;
             println!("listening on {}", handle.addr());
             handle.wait();
@@ -59,6 +65,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         "smoke" => smoke(&addr, &required_flag(args, "--snapshot-dir")?),
         "resume" => resume(&addr, &required_flag(args, "--snapshot-dir")?),
+        "stats" => stats(&addr, flag(args, "--format")?.as_deref()),
         _ => Err(usage()),
     }
 }
@@ -66,8 +73,30 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn usage() -> Box<dyn std::error::Error> {
     "usage: tm-ic-serve serve --addr HOST:PORT [--threads N]\n\
      \x20      tm-ic-serve smoke  --addr HOST:PORT --snapshot-dir DIR\n\
-     \x20      tm-ic-serve resume --addr HOST:PORT --snapshot-dir DIR"
+     \x20      tm-ic-serve resume --addr HOST:PORT --snapshot-dir DIR\n\
+     \x20      tm-ic-serve stats  --addr HOST:PORT [--format prometheus|json]"
         .into()
+}
+
+fn stats(addr: &str, format: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let format = match format.unwrap_or("prometheus") {
+        "prometheus" => StatsFormat::Prometheus,
+        "json" => StatsFormat::Json,
+        other => return Err(format!("unknown stats format {other:?}").into()),
+    };
+    let mut client = Client::connect_with_retry(addr, Duration::from_secs(10))?;
+    print!("{}", client.stats(format)?);
+    Ok(())
+}
+
+/// The reports `poll()` produced for one tenant, in stream order (shared
+/// by the smoke and resume assertions).
+fn tenant_reports(events: &[TenantEvent], tenant: u32) -> Vec<WindowReport> {
+    events
+        .iter()
+        .filter(|ev| ev.tenant == tenant)
+        .map(|ev| ev.report.clone())
+        .collect()
 }
 
 fn flag(args: &[String], name: &str) -> Result<Option<String>, Box<dyn std::error::Error>> {
@@ -181,12 +210,11 @@ fn smoke(addr: &str, snapshot_dir: &str) -> Result<(), Box<dyn std::error::Error
         ids.push(id);
     }
     let events = client.poll()?;
+    for ev in &events {
+        println!("smoke: {ev}");
+    }
     for (id, (spec, series)) in ids.iter().zip(&tenants) {
-        let got: Vec<WindowReport> = events
-            .iter()
-            .filter(|ev| ev.tenant == *id)
-            .map(|ev| ev.report.clone())
-            .collect();
+        let got = tenant_reports(&events, *id);
         let want = offline_reports(spec, series, HALF_BINS)?;
         assert_reports_match(&format!("smoke/{}", spec.name), &got, &want)?;
         // The estimate endpoint serves the last window's full series.
@@ -205,6 +233,30 @@ fn smoke(addr: &str, snapshot_dir: &str) -> Result<(), Box<dyn std::error::Error
             snap.len()
         );
     }
+    // Scrape the observability endpoint mid-run: the poll above must be
+    // visible as non-zero per-tenant counters, in both renderings.
+    let prom = client.stats(StatsFormat::Prometheus)?;
+    if !prom.contains("# TYPE serve_polls_total counter") {
+        return Err(format!("smoke: malformed prometheus stats:\n{prom}").into());
+    }
+    for needle in [
+        "serve_polls_total 1",
+        "serve_poll_windows_total{tenant=\"pop-west\"} 2",
+        "serve_poll_windows_total{tenant=\"pop-east\"} 2",
+        "serve_ingest_bins_total{tenant=\"pop-west\"} 8",
+        "stream_window_seconds_count 4",
+        "solver_dense_solves_total",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("smoke: stats missing {needle:?}:\n{prom}").into());
+        }
+    }
+    let json = client.stats(StatsFormat::Json)?;
+    if !json.contains("\"name\": \"serve.poll.windows_total\"") || !json.contains("\"histograms\":")
+    {
+        return Err(format!("smoke: malformed json stats:\n{json}").into());
+    }
+    println!("smoke: stats scrape ok ({} bytes prometheus)", prom.len());
     client.shutdown()?;
     println!("smoke ok");
     Ok(())
@@ -225,13 +277,12 @@ fn resume(addr: &str, snapshot_dir: &str) -> Result<(), Box<dyn std::error::Erro
         }
     }
     let events = client.poll()?;
+    for ev in &events {
+        println!("resume: {ev}");
+    }
     let resumed_windows = HALF_BINS / WINDOW_BINS;
     for (id, (spec, series)) in ids.iter().zip(&tenants) {
-        let got: Vec<WindowReport> = events
-            .iter()
-            .filter(|ev| ev.tenant == *id)
-            .map(|ev| ev.report.clone())
-            .collect();
+        let got = tenant_reports(&events, *id);
         // The uninterrupted reference: one offline replay over the FULL
         // trace; the resumed service must reproduce its tail bit for bit.
         let want = offline_reports(spec, series, TRACE_BINS)?;

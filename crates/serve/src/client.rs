@@ -8,7 +8,7 @@
 use crate::service::{TenantEvent, TenantId};
 use crate::snapshot::TenantSnapshot;
 use crate::spec::TenantSpec;
-use crate::wire::{read_frame, write_frame, EstimateFrame, Request, Response};
+use crate::wire::{read_frame, write_frame, EstimateFrame, Request, Response, StatsFormat};
 use crate::{Result, ServeError};
 use ic_stream::{ParamForecast, WindowReport};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -135,6 +135,15 @@ impl Client {
     pub fn restore(&mut self, snapshot: &[u8]) -> Result<TenantId> {
         match self.call(&Request::Restore(snapshot.to_vec()))? {
             Response::Restored { tenant } => Ok(tenant),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// The server's metrics rendered as Prometheus text or JSON. Requires
+    /// the server to have metrics enabled.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String> {
+        match self.call(&Request::Stats { format })? {
+            Response::Stats(text) => Ok(text),
             resp => Err(Self::unexpected(resp)),
         }
     }

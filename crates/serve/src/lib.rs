@@ -72,7 +72,7 @@ pub use server::{Server, ServerHandle};
 pub use service::{Service, TenantEvent, TenantId};
 pub use snapshot::{TenantSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use spec::{LinkSpec, TenantSpec};
-pub use wire::{EstimateFrame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
+pub use wire::{EstimateFrame, Request, Response, StatsFormat, MAX_FRAME, PROTOCOL_VERSION};
 
 use ic_estimation::EstimationError;
 use ic_stream::StreamError;
@@ -100,6 +100,27 @@ pub enum ServeError {
     Estimation(EstimationError),
     /// The streaming layer rejected a configuration or window.
     Stream(StreamError),
+}
+
+impl ServeError {
+    /// Stable kebab-case error class. Wire [`Response::Error`] payloads
+    /// lead with this slug in square brackets (`[unknown-tenant] ...`),
+    /// so clients and log greps can match the class without parsing the
+    /// prose, which may change between releases. The slugs themselves
+    /// never change spelling.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::Codec(_) => "codec",
+            ServeError::UnknownTenant(_) => "unknown-tenant",
+            ServeError::NameTaken(_) => "name-taken",
+            ServeError::Io(_) => "io",
+            ServeError::Remote(_) => "remote",
+            ServeError::Topology(_) => "topology",
+            ServeError::Estimation(_) => "estimation",
+            ServeError::Stream(_) => "stream",
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -184,6 +205,16 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
         }
+        // The wire-stable class slugs never change spelling.
+        assert_eq!(ServeError::BadRequest("b".into()).kind(), "bad-request");
+        assert_eq!(ServeError::Codec("c".into()).kind(), "codec");
+        assert_eq!(ServeError::UnknownTenant(3).kind(), "unknown-tenant");
+        assert_eq!(ServeError::NameTaken("t".into()).kind(), "name-taken");
+        assert_eq!(ServeError::Remote("r".into()).kind(), "remote");
+        assert_eq!(
+            ServeError::from(StreamError::BadConfig("bad")).kind(),
+            "stream"
+        );
         use std::error::Error;
         assert!(ServeError::Codec("c".into()).source().is_none());
         assert!(ServeError::from(StreamError::BadConfig("bad"))

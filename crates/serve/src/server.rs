@@ -137,7 +137,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<()> {
             Err(e) => {
                 // Undecodable frame: report and drop the connection — the
                 // stream offset can no longer be trusted.
-                let _ = write_frame(&mut stream, &Response::Error(e.to_string()).encode());
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error(format!("[{}] {e}", e.kind())).encode(),
+                );
                 return Ok(());
             }
         };
@@ -203,6 +206,7 @@ fn execute(request: Request, shared: &Shared) -> Response {
             Response::Estimate(estimate.map(|est| Box::new(EstimateFrame::from_estimate(est))))
         }),
         Request::Forecast { tenant } => service.forecast(tenant).map(Response::Forecast),
+        Request::Stats { format } => service.render_stats(format).map(Response::Stats),
         Request::Snapshot { tenant } => service.snapshot_tenant(tenant).map(Response::Snapshot),
         Request::Restore(bytes) => service
             .restore_tenant(&bytes)
@@ -212,7 +216,9 @@ fn execute(request: Request, shared: &Shared) -> Response {
             Ok(Response::Error("unreachable control request".into()))
         }
     };
-    result.unwrap_or_else(|e| Response::Error(e.to_string()))
+    // Wire errors lead with the stable kind slug so clients can match on
+    // the class without parsing prose (`ServeError::kind`).
+    result.unwrap_or_else(|e| Response::Error(format!("[{}] {e}", e.kind())))
 }
 
 /// Sends an encoded frame to every live subscriber, dropping dead ones.

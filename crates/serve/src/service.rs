@@ -28,16 +28,18 @@
 use crate::codec::{Dec, Enc};
 use crate::snapshot::TenantSnapshot;
 use crate::spec::TenantSpec;
+use crate::wire::StatsFormat;
 use crate::{Result, ServeError};
 use ic_core::{improvement_percent, mean_rel_l2};
 use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace};
+use ic_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ic_stream::{
-    DriftDetector, OnlineEstimator, ParamForecast, ParamForecaster, StreamError,
+    DriftDetector, OnlineEstimator, ParamForecast, ParamForecaster, StreamError, StreamMetrics,
     StreamingTomogravity, Window, WindowEstimate, WindowReport, Windower,
 };
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Identifies a registered tenant (assigned densely from 0).
 pub type TenantId = u32;
@@ -56,6 +58,44 @@ pub struct TenantEvent {
     pub report: WindowReport,
 }
 
+impl TenantEvent {
+    /// Stable kebab-case event kind: `"drift-alert"` when the window
+    /// fired change detection, else `"window-report"`. This string is the
+    /// event-log/CLI vocabulary — grep for it, don't re-derive it.
+    pub fn kind(&self) -> &'static str {
+        if self.report.drift_events.is_empty() {
+            "window-report"
+        } else {
+            "drift-alert"
+        }
+    }
+}
+
+impl std::fmt::Display for TenantEvent {
+    /// The one-line human rendering shared by the CLI and event logs:
+    /// `tenant=<name> window=<k> kind=<kind> error=<e> gravity=<g>
+    /// improvement=<p>% [drift: <kinds>]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant={} window={} kind={} error={:.6} gravity={:.6} improvement={:.2}%",
+            self.name,
+            self.report.window,
+            self.kind(),
+            self.report.error_candidate,
+            self.report.error_gravity,
+            self.report.improvement,
+        )?;
+        if !self.report.drift_events.is_empty() {
+            write!(f, " drift:")?;
+            for ev in &self.report.drift_events {
+                write!(f, " {}={:.6}", ev.kind.as_str(), ev.statistic)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Magic bytes opening every journal.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"ICJL";
 /// Current journal format version.
@@ -64,6 +104,15 @@ pub const JOURNAL_VERSION: u32 = 1;
 const RECORD_REGISTER: u8 = 0;
 const RECORD_INGEST: u8 = 1;
 const RECORD_RESTORE: u8 = 2;
+
+/// Per-tenant labeled counter handles (`tenant=<name>` series),
+/// registered when the service has metrics enabled.
+struct TenantMetrics {
+    /// `serve.ingest.bins_total{tenant=..}`.
+    ingested_bins: Arc<Counter>,
+    /// `serve.poll.windows_total{tenant=..}`.
+    polled_windows: Arc<Counter>,
+}
 
 struct Tenant {
     spec: TenantSpec,
@@ -80,22 +129,27 @@ struct Tenant {
     ready: VecDeque<Window>,
     last_estimate: Option<WindowEstimate>,
     last_report: Option<WindowReport>,
+    metrics: Option<TenantMetrics>,
 }
 
 impl Tenant {
-    fn build(spec: TenantSpec) -> Result<Self> {
+    fn build(spec: TenantSpec, metrics: Option<&ServiceMetrics>) -> Result<Self> {
         spec.validate()?;
         let topology = spec.build_topology()?;
         let model = ObservationModel::new(&topology, spec.routing)?;
         let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
-        let candidate =
+        let mut candidate =
             StreamingTomogravity::new(pipeline.clone()).with_fit_options(spec.fit.clone());
+        if let Some(m) = metrics {
+            candidate.set_metrics(Arc::clone(&m.stream));
+        }
         let windower = match spec.stride {
             None => Windower::tumbling(spec.window_bins),
             Some(stride) => Windower::sliding(spec.window_bins, stride),
         }?;
         let forecaster = ParamForecaster::new(spec.forecast.clone())?;
         let detector = DriftDetector::new(spec.drift.clone())?;
+        let tenant_metrics = metrics.map(|m| m.for_tenant(&spec.name));
         Ok(Tenant {
             spec,
             pipeline,
@@ -106,6 +160,7 @@ impl Tenant {
             ready: VecDeque::new(),
             last_estimate: None,
             last_report: None,
+            metrics: tenant_metrics,
         })
     }
 }
@@ -116,6 +171,64 @@ enum StepOut {
     Baseline(f64),
 }
 
+/// A poll that takes longer than this logs a `slow-poll` event.
+const SLOW_POLL_SECONDS: f64 = 1.0;
+
+/// Pre-registered handles for the serving layer's metrics (see
+/// [`Service::enable_metrics`]). Registration happens once here and per
+/// tenant at registration time; the poll/ingest hot paths only touch
+/// atomics.
+struct ServiceMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Shared by every tenant's streaming estimator
+    /// (`stream.window.seconds`, `stream.windows_total`, ...).
+    stream: Arc<StreamMetrics>,
+    /// `serve.poll.seconds` — wall time of one [`Service::poll`].
+    poll: Arc<Histogram>,
+    /// `serve.polls_total`.
+    polls: Arc<Counter>,
+    /// `solver.dense_solves_total` — live view of [`SolveStats`]
+    /// accumulated across all tenants' windows.
+    ///
+    /// [`SolveStats`]: ic_linalg::SolveStats
+    dense_solves: Arc<Counter>,
+    /// `solver.pcg_solves_total`.
+    pcg_solves: Arc<Counter>,
+    /// `solver.pcg_iterations_total`.
+    pcg_iterations: Arc<Counter>,
+    /// `solver.pcg_stalls_total`.
+    pcg_stalls: Arc<Counter>,
+    /// `solver.fallbacks_total`.
+    fallbacks: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn register(registry: Arc<MetricsRegistry>) -> Self {
+        ServiceMetrics {
+            stream: StreamMetrics::register(&registry),
+            poll: registry.histogram("serve.poll.seconds"),
+            polls: registry.counter("serve.polls_total"),
+            dense_solves: registry.counter("solver.dense_solves_total"),
+            pcg_solves: registry.counter("solver.pcg_solves_total"),
+            pcg_iterations: registry.counter("solver.pcg_iterations_total"),
+            pcg_stalls: registry.counter("solver.pcg_stalls_total"),
+            fallbacks: registry.counter("solver.fallbacks_total"),
+            registry,
+        }
+    }
+
+    fn for_tenant(&self, name: &str) -> TenantMetrics {
+        TenantMetrics {
+            ingested_bins: self
+                .registry
+                .counter_with("serve.ingest.bins_total", &[("tenant", name)]),
+            polled_windows: self
+                .registry
+                .counter_with("serve.poll.windows_total", &[("tenant", name)]),
+        }
+    }
+}
+
 /// The multi-tenant streaming estimation service.
 #[derive(Default)]
 pub struct Service {
@@ -124,6 +237,9 @@ pub struct Service {
     /// Per-worker scratch for the gravity-baseline jobs (result-neutral).
     scratch: WorkspacePool<PipelineWorkspace>,
     journal: Option<Vec<u8>>,
+    /// Observability handles; absent (the default) every recording site
+    /// is a single branch. Metrics never change results.
+    metrics: Option<ServiceMetrics>,
 }
 
 impl std::fmt::Debug for Service {
@@ -151,6 +267,7 @@ impl Service {
             tenants: Vec::new(),
             scratch: WorkspacePool::new(),
             journal: None,
+            metrics: None,
         }
     }
 
@@ -203,12 +320,55 @@ impl Service {
         self.journal.as_deref()
     }
 
+    /// Turns on metrics and structured events for this service.
+    ///
+    /// Creates the registry, pre-registers the serve/stream/solver metric
+    /// families, instruments every already-registered tenant, and attaches
+    /// the shared stream metrics to each tenant's estimator. Recording is
+    /// lock-free atomics and is **result-neutral**: every estimate,
+    /// snapshot, and journal byte is bit-identical with metrics on or off
+    /// (proptest-locked in `tests/service.rs`). Idempotent.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_some() {
+            return;
+        }
+        let metrics = ServiceMetrics::register(Arc::new(MetricsRegistry::new()));
+        for tenant in &mut self.tenants {
+            tenant.metrics = Some(metrics.for_tenant(&tenant.spec.name));
+            tenant
+                .candidate
+                .get_mut()
+                .expect("candidate lock poisoned")
+                .set_metrics(Arc::clone(&metrics.stream));
+        }
+        self.metrics = Some(metrics);
+    }
+
+    /// The metrics registry, when [`Service::enable_metrics`] was called.
+    /// Embedders can register their own instruments on it or read events.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// Renders the metrics registry as Prometheus exposition text or
+    /// JSON. Fails with [`ServeError::BadRequest`] when metrics are not
+    /// enabled.
+    pub fn render_stats(&self, format: StatsFormat) -> Result<String> {
+        let m = self.metrics.as_ref().ok_or_else(|| {
+            ServeError::BadRequest("metrics are not enabled on this service".into())
+        })?;
+        Ok(match format {
+            StatsFormat::Prometheus => m.registry.render_prometheus(),
+            StatsFormat::Json => m.registry.render_json(),
+        })
+    }
+
     /// Registers a tenant; its name must be unused.
     pub fn register(&mut self, spec: TenantSpec) -> Result<TenantId> {
         if self.tenant_id(&spec.name).is_some() {
             return Err(ServeError::NameTaken(spec.name));
         }
-        let tenant = Tenant::build(spec)?;
+        let tenant = Tenant::build(spec, self.metrics.as_ref())?;
         // Journal only successful registrations, so a replayed journal
         // never trips over a spec this build rejected.
         if let Some(journal) = &mut self.journal {
@@ -230,7 +390,7 @@ impl Service {
         if self.tenant_id(&snap.spec.name).is_some() {
             return Err(ServeError::NameTaken(snap.spec.name));
         }
-        let mut tenant = Tenant::build(snap.spec)?;
+        let mut tenant = Tenant::build(snap.spec, self.metrics.as_ref())?;
         if let Some(journal) = &mut self.journal {
             let mut e = Enc::new();
             e.put_u8(RECORD_RESTORE);
@@ -245,6 +405,10 @@ impl Service {
             .restore(snap.estimator);
         tenant.forecaster.restore(snap.forecaster);
         tenant.detector.restore(snap.detector);
+        if let Some(m) = &self.metrics {
+            m.registry
+                .event("restore", format!("tenant={}", tenant.spec.name));
+        }
         self.tenants.push(tenant);
         Ok((self.tenants.len() - 1) as TenantId)
     }
@@ -262,14 +426,21 @@ impl Service {
                 t.ready.len()
             )));
         }
-        Ok(TenantSnapshot {
+        let bytes = TenantSnapshot {
             spec: t.spec.clone(),
             windower: t.windower.state(),
             estimator: t.candidate.lock().expect("candidate lock poisoned").state(),
             forecaster: t.forecaster.state(),
             detector: t.detector.state(),
         }
-        .to_bytes())
+        .to_bytes();
+        if let Some(m) = &self.metrics {
+            m.registry.event(
+                "snapshot",
+                format!("tenant={} bytes={}", t.spec.name, bytes.len()),
+            );
+        }
+        Ok(bytes)
     }
 
     /// Ingests one link-load column (length `nodes²`) for a tenant.
@@ -295,6 +466,9 @@ impl Service {
         let t = &mut self.tenants[idx];
         let nodes = t.spec.nodes();
         let bin_seconds = t.spec.bin_seconds;
+        if let Some(m) = &t.metrics {
+            m.ingested_bins.inc();
+        }
         if let Some(window) = t.windower.push(nodes, bin_seconds, column)? {
             t.ready.push_back(window);
         }
@@ -309,6 +483,7 @@ impl Service {
     /// order while distinct tenants (and each window's candidate/baseline
     /// pair) batch onto the shared engine as one job list.
     pub fn poll(&mut self) -> Result<Vec<TenantEvent>> {
+        let span = Span::maybe(self.metrics.as_ref().map(|m| &m.poll));
         let mut events = Vec::new();
         loop {
             let mut round: Vec<(usize, Window)> = Vec::new();
@@ -392,14 +567,64 @@ impl Service {
                     improvement,
                     forecast_f_error,
                     drift_events,
+                    solve_stats: cand.solve_stats,
                 };
+                if let Some(m) = &self.metrics {
+                    if let Some(tm) = &tenant.metrics {
+                        tm.polled_windows.inc();
+                    }
+                    if report.forecast_f_error.is_some() {
+                        m.stream.forecasts.inc();
+                    }
+                    m.stream.drift_events.add(report.drift_events.len() as u64);
+                    m.dense_solves.add(report.solve_stats.dense_solves);
+                    m.pcg_solves.add(report.solve_stats.pcg_solves);
+                    m.pcg_iterations.add(report.solve_stats.pcg_iterations);
+                    m.pcg_stalls.add(report.solve_stats.pcg_stalls);
+                    m.fallbacks.add(report.solve_stats.fallbacks);
+                    if report.solve_stats.fallbacks > 0 {
+                        m.registry.event(
+                            "solver-fallback",
+                            format!(
+                                "tenant={} window={} fallbacks={}",
+                                tenant.spec.name, report.window, report.solve_stats.fallbacks
+                            ),
+                        );
+                    }
+                    if report.solve_stats.pcg_stalls > 0 {
+                        m.registry.event(
+                            "pcg-stall",
+                            format!(
+                                "tenant={} window={} stalls={}",
+                                tenant.spec.name, report.window, report.solve_stats.pcg_stalls
+                            ),
+                        );
+                    }
+                }
                 tenant.last_report = Some(report.clone());
                 tenant.last_estimate = Some(*cand);
-                events.push(TenantEvent {
+                let event = TenantEvent {
                     tenant: idx as TenantId,
                     name: tenant.spec.name.clone(),
                     report,
-                });
+                };
+                if let Some(m) = &self.metrics {
+                    if event.kind() == "drift-alert" {
+                        m.registry.event("drift-alert", event.to_string());
+                    }
+                }
+                events.push(event);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.polls.inc();
+            if let Some(elapsed) = span.finish() {
+                if elapsed > SLOW_POLL_SECONDS {
+                    m.registry.event(
+                        "slow-poll",
+                        format!("windows={} seconds={elapsed:.3}", events.len()),
+                    );
+                }
             }
         }
         Ok(events)

@@ -13,11 +13,14 @@ use crate::service::{TenantEvent, TenantId};
 use crate::spec::TenantSpec;
 use crate::{Result, ServeError};
 use ic_core::TmSeries;
+use ic_linalg::SolveStats;
 use ic_stream::{DriftEvent, DriftKind, ParamForecast, WindowEstimate, WindowReport};
 use std::io::{Read, Write};
 
-/// Protocol version exchanged in [`Request::Hello`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version exchanged in [`Request::Hello`]. Version 2 added
+/// solver-health counters to window reports and the [`Request::Stats`]
+/// observability endpoint.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (corrupt-length guard).
 pub const MAX_FRAME: usize = 1 << 28;
@@ -65,6 +68,37 @@ pub enum Request {
     Subscribe,
     /// Stops the server.
     Shutdown,
+    /// Renders the server's metrics registry (counters, histograms,
+    /// structured events) in the requested text format.
+    Stats {
+        /// The rendering to return.
+        format: StatsFormat,
+    },
+}
+
+/// Text format for a [`Request::Stats`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Prometheus text exposition (scrape-ready).
+    Prometheus,
+    /// One JSON object (counters, gauges, histograms, events).
+    Json,
+}
+
+impl StatsFormat {
+    /// Stable lowercase name (the CLI flag spelling).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StatsFormat::Prometheus => "prometheus",
+            StatsFormat::Json => "json",
+        }
+    }
+}
+
+impl std::fmt::Display for StatsFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A window estimate on the wire: the estimated series plus its error.
@@ -154,6 +188,8 @@ pub enum Response {
     Subscribed,
     /// Server is shutting down.
     ShutdownOk,
+    /// Rendered metrics text in the requested [`StatsFormat`].
+    Stats(String),
 }
 
 // --- request/response opcodes ------------------------------------------
@@ -169,6 +205,7 @@ const REQ_SNAPSHOT: u8 = 8;
 const REQ_RESTORE: u8 = 9;
 const REQ_SUBSCRIBE: u8 = 10;
 const REQ_SHUTDOWN: u8 = 11;
+const REQ_STATS: u8 = 12;
 
 const RESP_ERROR: u8 = 0;
 const RESP_HELLO: u8 = 1;
@@ -182,6 +219,10 @@ const RESP_SNAPSHOT: u8 = 8;
 const RESP_RESTORED: u8 = 9;
 const RESP_SUBSCRIBED: u8 = 10;
 const RESP_SHUTDOWN: u8 = 11;
+const RESP_STATS: u8 = 12;
+
+const STATS_FORMAT_PROMETHEUS: u8 = 0;
+const STATS_FORMAT_JSON: u8 = 1;
 
 impl Request {
     /// Encodes the request into a frame payload.
@@ -221,6 +262,13 @@ impl Request {
             }
             Request::Subscribe => e.put_u8(REQ_SUBSCRIBE),
             Request::Shutdown => e.put_u8(REQ_SHUTDOWN),
+            Request::Stats { format } => {
+                e.put_u8(REQ_STATS);
+                e.put_u8(match format {
+                    StatsFormat::Prometheus => STATS_FORMAT_PROMETHEUS,
+                    StatsFormat::Json => STATS_FORMAT_JSON,
+                });
+            }
         }
         e.into_bytes()
     }
@@ -251,6 +299,15 @@ impl Request {
             REQ_RESTORE => Request::Restore(d.take_bytes()?),
             REQ_SUBSCRIBE => Request::Subscribe,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_STATS => Request::Stats {
+                format: match d.take_u8()? {
+                    STATS_FORMAT_PROMETHEUS => StatsFormat::Prometheus,
+                    STATS_FORMAT_JSON => StatsFormat::Json,
+                    b => {
+                        return Err(ServeError::Codec(format!("unknown stats format byte {b}")));
+                    }
+                },
+            },
             op => return Err(ServeError::Codec(format!("unknown request opcode {op}"))),
         };
         d.expect_end()?;
@@ -334,6 +391,10 @@ impl Response {
             }
             Response::Subscribed => e.put_u8(RESP_SUBSCRIBED),
             Response::ShutdownOk => e.put_u8(RESP_SHUTDOWN),
+            Response::Stats(text) => {
+                e.put_u8(RESP_STATS);
+                e.put_str(text);
+            }
         }
         e.into_bytes()
     }
@@ -393,6 +454,7 @@ impl Response {
             },
             RESP_SUBSCRIBED => Response::Subscribed,
             RESP_SHUTDOWN => Response::ShutdownOk,
+            RESP_STATS => Response::Stats(d.take_str()?),
             op => return Err(ServeError::Codec(format!("unknown response opcode {op}"))),
         };
         d.expect_end()?;
@@ -437,6 +499,11 @@ pub fn encode_window_report(e: &mut Enc, r: &WindowReport) {
         e.put_usize(ev.window);
         e.put_f64(ev.statistic);
     }
+    e.put_u64(r.solve_stats.dense_solves);
+    e.put_u64(r.solve_stats.pcg_solves);
+    e.put_u64(r.solve_stats.pcg_iterations);
+    e.put_u64(r.solve_stats.pcg_stalls);
+    e.put_u64(r.solve_stats.fallbacks);
 }
 
 /// Decodes a [`WindowReport`].
@@ -467,6 +534,13 @@ pub fn decode_window_report(d: &mut Dec<'_>) -> Result<WindowReport> {
             statistic: d.take_f64()?,
         });
     }
+    let solve_stats = SolveStats {
+        dense_solves: d.take_u64()?,
+        pcg_solves: d.take_u64()?,
+        pcg_iterations: d.take_u64()?,
+        pcg_stalls: d.take_u64()?,
+        fallbacks: d.take_u64()?,
+    };
     Ok(WindowReport {
         window,
         start_bin,
@@ -480,6 +554,7 @@ pub fn decode_window_report(d: &mut Dec<'_>) -> Result<WindowReport> {
         improvement,
         forecast_f_error,
         drift_events,
+        solve_stats,
     })
 }
 
@@ -567,6 +642,13 @@ mod tests {
             } else {
                 Vec::new()
             },
+            solve_stats: SolveStats {
+                dense_solves: 1,
+                pcg_solves: 8,
+                pcg_iterations: 95,
+                pcg_stalls: 1,
+                fallbacks: 0,
+            },
         }
     }
 
@@ -587,6 +669,12 @@ mod tests {
             Request::Restore(vec![9, 9, 9]),
             Request::Subscribe,
             Request::Shutdown,
+            Request::Stats {
+                format: StatsFormat::Prometheus,
+            },
+            Request::Stats {
+                format: StatsFormat::Json,
+            },
         ];
         for req in requests {
             let payload = req.encode();
@@ -643,6 +731,7 @@ mod tests {
             Response::Restored { tenant: 0 },
             Response::Subscribed,
             Response::ShutdownOk,
+            Response::Stats("# TYPE serve_polls_total counter\n".into()),
         ];
         for resp in responses {
             let payload = resp.encode();
@@ -665,6 +754,7 @@ mod tests {
             fit_objective: None,
             sweeps: None,
             warm: false,
+            solve_stats: SolveStats::default(),
         };
         let frame = EstimateFrame::from_estimate(&est);
         assert_eq!(frame.to_series().unwrap(), series);
@@ -703,6 +793,8 @@ mod tests {
             fe_present in any::<bool>(),
             fe_value in 0.0f64..1.0,
             kinds in proptest::collection::vec(0u8..3, 0..4),
+            pcg_iterations in 0u64..10_000,
+            pcg_stalls in 0u64..4,
         ) {
             let fe = if fe_present { Some(fe_value) } else { None };
             let r = WindowReport {
@@ -729,6 +821,13 @@ mod tests {
                         statistic: err,
                     })
                     .collect(),
+                solve_stats: SolveStats {
+                    dense_solves: window as u64,
+                    pcg_solves: window as u64 / 2,
+                    pcg_iterations,
+                    pcg_stalls,
+                    fallbacks: pcg_stalls / 2,
+                },
             };
             let mut e = Enc::new();
             encode_window_report(&mut e, &r);

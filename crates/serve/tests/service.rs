@@ -9,7 +9,7 @@
 use ic_core::{generate_synthetic, SynthConfig, TmSeries};
 use ic_engine::Engine;
 use ic_estimation::{EstimationPipeline, ObservationModel};
-use ic_serve::{Service, TenantSpec};
+use ic_serve::{Service, StatsFormat, TenantSpec};
 use ic_stream::{replay_estimation, ReplayStream, WindowReport};
 use ic_topology::{RoutingScheme, Topology};
 use proptest::prelude::*;
@@ -332,5 +332,68 @@ proptest! {
                 prop_assert_eq!(&got, &off);
             }
         }
+    }
+
+    /// Observability is result-neutral: a metrics-enabled service emits
+    /// bit-identical events, snapshot bytes, and journal bytes to a bare
+    /// one over the same stream — while its counters actually count.
+    #[test]
+    fn instrumented_service_is_bit_identical_to_bare(
+        threads in 1usize..4,
+        seed in 1u64..1000,
+        poll_after in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let spec = spec_for("obs", 4);
+        let series = series_for(seed, 4, 12);
+        let mut bare = Service::with_engine(Engine::new().with_threads(threads));
+        let mut instrumented = Service::with_engine(Engine::new().with_threads(threads));
+        bare.enable_journal();
+        instrumented.enable_journal();
+        instrumented.enable_metrics();
+        let id = bare.register(spec.clone()).unwrap();
+        prop_assert_eq!(id, instrumented.register(spec).unwrap());
+
+        let mut bare_events = Vec::new();
+        let mut inst_events = Vec::new();
+        let mut polls = 1u64; // the final poll below
+        for (t, poll) in poll_after.iter().enumerate() {
+            bare.ingest(id, series.column(t)).unwrap();
+            instrumented.ingest(id, series.column(t)).unwrap();
+            if *poll {
+                bare_events.extend(bare.poll().unwrap());
+                inst_events.extend(instrumented.poll().unwrap());
+                polls += 1;
+            }
+        }
+        bare_events.extend(bare.poll().unwrap());
+        inst_events.extend(instrumented.poll().unwrap());
+
+        prop_assert_eq!(&bare_events, &inst_events);
+        prop_assert_eq!(
+            bare.snapshot_tenant(id).unwrap(),
+            instrumented.snapshot_tenant(id).unwrap()
+        );
+        prop_assert_eq!(
+            bare.journal_bytes().unwrap(),
+            instrumented.journal_bytes().unwrap()
+        );
+
+        // The bare side has no registry; the instrumented side counted
+        // every poll and every ingested bin.
+        prop_assert!(bare.metrics_registry().is_none());
+        prop_assert!(bare.render_stats(StatsFormat::Prometheus).is_err());
+        let prom = instrumented.render_stats(StatsFormat::Prometheus).unwrap();
+        prop_assert!(prom.contains(&format!("serve_polls_total {polls}")), "{}", prom);
+        prop_assert!(
+            prom.contains("serve_ingest_bins_total{tenant=\"obs\"} 12"),
+            "{}", prom
+        );
+        prop_assert!(
+            prom.contains(&format!(
+                "serve_poll_windows_total{{tenant=\"obs\"}} {}",
+                inst_events.len()
+            )),
+            "{}", prom
+        );
     }
 }

@@ -104,6 +104,26 @@ pub enum DriftKind {
     PreferenceDecorrelation,
 }
 
+impl DriftKind {
+    /// Stable kebab-case identifier for report emitters and event logs.
+    ///
+    /// These strings are part of the CSV/JSON/wire surface — grep targets
+    /// for operators — so they never change spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DriftKind::ForwardRatioTrend => "forward-ratio-trend",
+            DriftKind::ForwardRatioJump => "forward-ratio-jump",
+            DriftKind::PreferenceDecorrelation => "preference-decorrelation",
+        }
+    }
+}
+
+impl core::fmt::Display for DriftKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One fired change-detection event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriftEvent {

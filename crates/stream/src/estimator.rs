@@ -17,6 +17,7 @@
 //!   fit (the streaming form of the paper's "previous week calibrates the
 //!   next" scenario, Section 6.2).
 
+use crate::metrics::StreamMetrics;
 use crate::window::Window;
 use crate::{Result, StreamError};
 use ic_core::{
@@ -24,6 +25,9 @@ use ic_core::{
 };
 use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace, StableFpPrior, TmPrior};
+use ic_linalg::SolveStats;
+use ic_obs::Span;
+use std::sync::Arc;
 
 /// One window's estimation outcome.
 #[derive(Debug, Clone)]
@@ -47,6 +51,9 @@ pub struct WindowEstimate {
     pub sweeps: Option<usize>,
     /// Whether this window's fit was warm-started from a previous window.
     pub warm: bool,
+    /// Normal-equations solver work this window consumed (refinement +
+    /// rolling fit); all-zero for estimators that never solve.
+    pub solve_stats: SolveStats,
 }
 
 /// A stateful estimator advancing one window at a time.
@@ -157,6 +164,7 @@ impl OnlineEstimator for OnlineGravity {
             fit_objective: None,
             sweeps: None,
             warm: false,
+            solve_stats: SolveStats::default(),
         })
     }
 
@@ -239,6 +247,7 @@ impl OnlineEstimator for WarmStartIcFit {
             fit_objective: Some(fit.final_objective()),
             sweeps: Some(fit.objective_history.len()),
             warm,
+            solve_stats: fit.solve_stats,
         };
         self.previous = Some(fit);
         Ok(out)
@@ -291,6 +300,9 @@ pub struct StreamingTomogravity {
     /// multi-thread engines add only small per-window scheduling
     /// allocations.
     pool: WorkspacePool<PipelineWorkspace>,
+    /// Optional observability handles; recording is result-neutral
+    /// (atomics only, never on the numeric path).
+    metrics: Option<Arc<StreamMetrics>>,
 }
 
 impl StreamingTomogravity {
@@ -303,7 +315,22 @@ impl StreamingTomogravity {
             previous: None,
             engine: Engine::serial(),
             pool: WorkspacePool::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches pre-registered streaming metrics: per-window latency into
+    /// `stream.window.seconds`, window count into `stream.windows_total`.
+    /// Estimates are bit-identical with or without metrics attached.
+    pub fn with_metrics(mut self, metrics: Arc<StreamMetrics>) -> Self {
+        self.set_metrics(metrics);
+        self
+    }
+
+    /// In-place form of [`StreamingTomogravity::with_metrics`], for
+    /// estimators already embedded in a larger structure.
+    pub fn set_metrics(&mut self, metrics: Arc<StreamMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Sets the options of the rolling per-window fit.
@@ -348,6 +375,16 @@ impl StreamingTomogravity {
     pub fn restore(&mut self, state: StreamingTomogravityState) {
         self.previous = state.previous;
     }
+
+    /// Sum of the cumulative solver counters across the pool's idle
+    /// workspaces. Between windows every workspace is idle, so deltas of
+    /// this sum are per-window solver work.
+    fn pool_solve_stats(&self) -> SolveStats {
+        self.pool.fold_idle(SolveStats::default(), |mut acc, ws| {
+            acc.merge(&ws.solve_stats());
+            acc
+        })
+    }
 }
 
 impl OnlineEstimator for StreamingTomogravity {
@@ -356,6 +393,12 @@ impl OnlineEstimator for StreamingTomogravity {
     }
 
     fn process(&mut self, window: &Window) -> Result<WindowEstimate> {
+        let span = Span::maybe(self.metrics.as_deref().map(|m| &m.window));
+        // Solver work is read as a delta of the pool's cumulative
+        // workspace counters: every workspace is idle between windows
+        // (the engine restores them), so the delta is exactly this
+        // window's solves, for any worker count.
+        let stats_before = self.pool_solve_stats();
         let obs = self
             .pipeline
             .model()
@@ -378,6 +421,8 @@ impl OnlineEstimator for StreamingTomogravity {
             None => self.fit_options.clone(),
         };
         let fit = fit_stable_fp(&window.series, options).map_err(StreamError::from)?;
+        let mut solve_stats = self.pool_solve_stats().since(&stats_before);
+        solve_stats.merge(&fit.solve_stats);
         let out = WindowEstimate {
             window: window.index,
             start_bin: window.start_bin,
@@ -388,8 +433,13 @@ impl OnlineEstimator for StreamingTomogravity {
             fit_objective: Some(fit.final_objective()),
             sweeps: Some(fit.objective_history.len()),
             warm,
+            solve_stats,
         };
         self.previous = Some(fit);
+        if let Some(m) = self.metrics.as_deref() {
+            m.windows.inc();
+        }
+        drop(span);
         Ok(out)
     }
 
@@ -572,6 +622,11 @@ mod tests {
                 ed.error,
                 ep.error
             );
+            // Per-window solver health surfaces the policy actually used.
+            assert!(ed.solve_stats.dense_solves > 0);
+            assert_eq!(ed.solve_stats.pcg_solves, 0);
+            assert!(ep.solve_stats.pcg_solves > 0);
+            assert!(ep.solve_stats.pcg_iterations > 0);
         }
     }
 
@@ -614,6 +669,34 @@ mod tests {
         // same snapshot.
         live.restore(snapshot.clone());
         assert_eq!(live.state(), snapshot);
+    }
+
+    #[test]
+    fn instrumented_streaming_is_bit_identical_and_counts_windows() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(29).with_nodes(5).with_bins(12)).unwrap();
+        let ws = Windower::tumbling(4)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        let registry = ic_obs::MetricsRegistry::new();
+        let metrics = StreamMetrics::register(&registry);
+        let mut bare = StreamingTomogravity::new(EstimationPipeline::new(om.clone()));
+        let mut instrumented = StreamingTomogravity::new(EstimationPipeline::new(om))
+            .with_metrics(Arc::clone(&metrics));
+        for w in &ws {
+            let a = bare.process(w).unwrap();
+            let b = instrumented.process(w).unwrap();
+            assert_eq!(a.estimate, b.estimate, "window {}", w.index);
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.solve_stats, b.solve_stats);
+            assert!(b.solve_stats.solves() > 0);
+        }
+        assert_eq!(metrics.windows.get(), ws.len() as u64);
+        assert_eq!(metrics.window.count(), ws.len() as u64);
+        assert!(metrics.window.max() > 0.0);
     }
 
     #[test]

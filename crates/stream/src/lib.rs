@@ -49,6 +49,7 @@
 pub mod drift;
 pub mod estimator;
 pub mod forecast;
+pub mod metrics;
 pub mod replay;
 pub mod source;
 pub mod window;
@@ -59,12 +60,18 @@ pub use estimator::{
     WarmStartIcFit, WindowEstimate,
 };
 pub use forecast::{ForecastOptions, ParamForecast, ParamForecaster, ParamForecasterState};
+pub use metrics::StreamMetrics;
 pub use replay::{
     replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, ReplayOptions,
     ReplayReport, WindowReport,
 };
 pub use source::{LinkLoadStream, ReplayStream, SyntheticStream};
 pub use window::{Window, Windower, WindowerState};
+
+// Re-exported so report consumers (e.g. `ic-experiment`) can name the
+// solver-health counters [`WindowReport`] carries without depending on
+// `ic-linalg` directly.
+pub use ic_linalg::SolveStats;
 
 /// Errors produced by the streaming subsystem.
 #[derive(Debug)]

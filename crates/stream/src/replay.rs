@@ -28,6 +28,7 @@ use crate::{Result, StreamError};
 use ic_core::{improvement_percent, mean_rel_l2, FitOptions, TmSeries};
 use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace};
+use ic_linalg::SolveStats;
 
 /// Options for a streaming replay run.
 ///
@@ -146,6 +147,9 @@ pub struct WindowReport {
     pub forecast_f_error: Option<f64>,
     /// Change-detection events fired at this window.
     pub drift_events: Vec<DriftEvent>,
+    /// Normal-equations solver work the candidate spent on this window
+    /// (PCG iterations, stalls, dense fallbacks).
+    pub solve_stats: SolveStats,
 }
 
 /// Results of a streaming replay.
@@ -211,6 +215,15 @@ impl ReplayReport {
     /// The per-window fitted `f` series (forecasting/drift input).
     pub fn f_series(&self) -> Vec<f64> {
         self.windows.iter().map(|w| w.fitted_f).collect()
+    }
+
+    /// Candidate solver work accumulated across all windows.
+    pub fn total_solve_stats(&self) -> SolveStats {
+        let mut acc = SolveStats::default();
+        for w in &self.windows {
+            acc.merge(&w.solve_stats);
+        }
+        acc
     }
 }
 
@@ -315,6 +328,13 @@ impl OnlineEstimator for PipelineGravity {
     }
 
     fn process(&mut self, window: &crate::Window) -> Result<crate::WindowEstimate> {
+        let pool_stats = |pool: &WorkspacePool<PipelineWorkspace>| {
+            pool.fold_idle(SolveStats::default(), |mut acc, ws| {
+                acc.merge(&ws.solve_stats());
+                acc
+            })
+        };
+        let stats_before = pool_stats(&self.pool);
         let obs = self
             .pipeline
             .model()
@@ -335,6 +355,7 @@ impl OnlineEstimator for PipelineGravity {
             fit_objective: None,
             sweeps: None,
             warm: false,
+            solve_stats: pool_stats(&self.pool).since(&stats_before),
         })
     }
 
@@ -398,6 +419,7 @@ fn run_replay(
             improvement,
             forecast_f_error,
             drift_events,
+            solve_stats: cand.solve_stats,
         });
     }
     if windows.is_empty() {

@@ -15,6 +15,9 @@
 //! * [`engine`] — the deterministic sharded execution engine
 //!   ([`engine::Engine`]) every parallel layer schedules on: 1 worker and
 //!   N workers are bit-identical by construction,
+//! * [`obs`] — the hand-rolled observability layer: atomic metrics
+//!   registry, span timers, structured event ring buffer, and the
+//!   Prometheus/JSON renderings the serving layer exposes over the wire,
 //! * [`estimation`] — traffic-matrix estimation with IC and gravity priors,
 //! * [`stream`] — online/streaming estimation: windowed ingestion,
 //!   warm-started incremental fits, parameter forecasting, and drift
@@ -39,6 +42,7 @@ pub use ic_estimation as estimation;
 pub use ic_experiment as experiment;
 pub use ic_flowsim as flowsim;
 pub use ic_linalg as linalg;
+pub use ic_obs as obs;
 pub use ic_serve as serve;
 pub use ic_stats as stats;
 pub use ic_stream as stream;
@@ -154,7 +158,10 @@ pub mod prelude {
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
     pub use ic_linalg::{Matrix, SolveStats, SolverPolicy};
-    pub use ic_serve::{Client, Server, Service, TenantEvent, TenantSnapshot, TenantSpec};
+    pub use ic_obs::{MetricsRegistry, Span};
+    pub use ic_serve::{
+        Client, Server, Service, StatsFormat, TenantEvent, TenantSnapshot, TenantSpec,
+    };
     pub use ic_stream::{
         replay_estimation, replay_estimation_with, replay_fit, replay_fit_with, DriftDetector,
         DriftOptions, ForecastOptions, LinkLoadStream, OnlineEstimator, OnlineGravity,
