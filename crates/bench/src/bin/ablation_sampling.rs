@@ -37,7 +37,7 @@ fn main() {
             Scenario::builder(label)
                 .dataset_d1(cfg)
                 .task(Task::FitImprovement)
-                .fit_options(paper_fit_options())
+                .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
                 .build()
                 .expect("valid scenario")
         })

@@ -29,16 +29,22 @@
 //! always measured and gated; solver counters (PCG iterations, stalls,
 //! Cholesky→pseudo-inverse fallbacks) are logged per size.
 //!
+//! `--batch B1,B2,...` sweeps the batched SoA pipeline at each width:
+//! every width is asserted bit-identical to the serial per-bin estimate,
+//! then timed, and the per-width throughput is emitted as
+//! `bins_per_sec_batch{B}` (the `B ∈ {1, 16}` keys are perf-gated).
+//!
 //! Usage: `estimation_perf [--scale smoke|full] [--sizes 50,100,200]
 //! [--bins N] [--dense-max N] [--threads N] [--shard-bins N]
-//! [--solver auto|dense|pcg] [--out PATH]`.
+//! [--solver auto|dense|pcg] [--batch 1,4,16] [--out PATH]`.
 
 use ic_bench::{arg_value, json_f, out_path, Scale};
 use ic_core::{generate_synthetic, SynthConfig};
 use ic_engine::{default_threads, Engine, WorkspacePool};
 use ic_estimation::{
-    EstimationPipeline, GravityPrior, ObservationModel, PipelineMetrics, PipelineWorkspace,
-    SolveStats, SolverPolicy, TmPrior, Tomogravity, TomogravityOptions, TomogravityWorkspace,
+    EstimationConfig, EstimationPipeline, GravityPrior, ObservationModel, PipelineBatchWorkspace,
+    PipelineMetrics, PipelineWorkspace, SolveStats, SolverPolicy, TmPrior, Tomogravity,
+    TomogravityOptions, TomogravityWorkspace,
 };
 use ic_obs::{MetricsRegistry, Span};
 use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
@@ -119,6 +125,10 @@ struct SizeResult {
     /// into a registry histogram. Must stay 0: metric recording is
     /// clock reads and relaxed atomics only.
     instrumented_allocs_per_bin_warm: u64,
+    /// Batched SoA pipeline throughput per batch width `B`, as
+    /// `(B, bins_per_sec)`. Every width is asserted bit-identical to the
+    /// serial per-bin estimate before it is timed.
+    batch_sweep: Vec<(usize, f64)>,
 }
 
 fn default_sizes(scale: Scale) -> Vec<usize> {
@@ -151,12 +161,26 @@ fn parse_solver(spec: &str) -> SolverPolicy {
     }
 }
 
+fn parse_batch(spec: &str) -> Vec<usize> {
+    let widths: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse::<usize>().ok())
+        .filter(|&b| b >= 1)
+        .collect();
+    assert!(
+        !widths.is_empty(),
+        "--batch {spec:?} contains no valid width (comma-separated integers >= 1)"
+    );
+    widths
+}
+
 fn bench_size(
     nodes: usize,
     bins: usize,
     dense_max: usize,
     engine: Engine,
     policy: SolverPolicy,
+    batch_widths: &[usize],
 ) -> SizeResult {
     // Hierarchical topology: nodes/10 backbones with 9 PoPs each, so the
     // node count lands exactly on the requested size for multiples of 10.
@@ -318,7 +342,7 @@ fn bench_size(
         };
 
     // Full sparse pipeline (prior + tomogravity + IPF) for context.
-    let pipeline = EstimationPipeline::new(om).with_solver(policy);
+    let pipeline = EstimationPipeline::new(om).config(EstimationConfig::new().with_solver(policy));
     let mut pws = PipelineWorkspace::new();
     let serial_est = pipeline
         .estimate_with(&GravityPrior, &obs, &mut pws)
@@ -359,9 +383,12 @@ fn bench_size(
     // The serial pipeline with stage metrics attached: bit-identical
     // output, and the timing difference vs the bare run is the whole
     // observability overhead.
-    let instrumented_pipeline = pipeline
-        .clone()
-        .with_metrics(PipelineMetrics::register(&registry));
+    let instrumented_pipeline = pipeline.clone().config(
+        pipeline
+            .estimation_config()
+            .clone()
+            .with_metrics(PipelineMetrics::register(&registry)),
+    );
     let instrumented_est = instrumented_pipeline
         .estimate_with(&GravityPrior, &obs, &mut pws)
         .expect("instrumented warm-up");
@@ -379,6 +406,53 @@ fn bench_size(
         200,
     );
     let instrumented_pipeline_secs_per_bin = instrumented_secs / bins as f64;
+
+    // Batched SoA sweep: the same pipeline with batch width B folds up to
+    // B bins into each CSR kernel pass (shards become batches). Every
+    // width is warmed through a reusable batch-workspace pool, asserted
+    // bit-identical to the serial per-bin estimate (f64 compute), then
+    // timed; `bins_per_sec_batch{1,16}` feed the CI perf gate.
+    let mut batch_sweep = Vec::new();
+    for &width in batch_widths {
+        let batched = pipeline.clone().config(
+            EstimationConfig::new()
+                .with_solver(policy)
+                .with_batch_width(width),
+        );
+        let secs = if width > 1 {
+            let batch_pool: WorkspacePool<PipelineBatchWorkspace> = WorkspacePool::new();
+            let batched_est = batched
+                .estimate_batch_parallel_pooled(&GravityPrior, &obs, &engine, &batch_pool)
+                .expect("batched warm-up");
+            assert_eq!(
+                batched_est, serial_est,
+                "batched estimate (B={width}) must be bit-identical to serial at {n} nodes"
+            );
+            time_min(
+                || {
+                    batched
+                        .estimate_batch_parallel_pooled(&GravityPrior, &obs, &engine, &batch_pool)
+                        .expect("batched estimate");
+                },
+                0.5,
+                200,
+            )
+        } else {
+            // Width 1 is the per-bin path by construction; time it through
+            // the same parallel entry point so the sweep's B=1 row is the
+            // exact baseline the wider rows are compared against.
+            time_min(
+                || {
+                    batched
+                        .estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool)
+                        .expect("per-bin estimate");
+                },
+                0.5,
+                200,
+            )
+        };
+        batch_sweep.push((width, bins as f64 / secs));
+    }
 
     let sparse = pipeline.model().stacked_sparse();
     SizeResult {
@@ -400,6 +474,7 @@ fn bench_size(
         solve_stats,
         instrumented_pipeline_secs_per_bin,
         instrumented_allocs_per_bin_warm,
+        batch_sweep,
     }
 }
 
@@ -427,12 +502,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
     let solver = arg_value("--solver").map_or(SolverPolicy::Auto, |s| parse_solver(&s));
+    let batch_widths = arg_value("--batch").map_or_else(|| vec![1, 4, 16], |s| parse_batch(&s));
     let engine = Engine::new()
         .with_threads(threads)
         .with_shard_bins(shard_bins);
     println!(
         "# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}, \
-         solver {solver:?}, {} threads x {}-bin shards ({} cpus available)",
+         solver {solver:?}, batch {batch_widths:?}, {} threads x {}-bin shards \
+         ({} cpus available)",
         engine.threads(),
         engine.shard_bins(),
         default_threads(),
@@ -442,7 +519,7 @@ fn main() {
     );
     let mut results = Vec::new();
     for &size in &sizes {
-        let r = bench_size(size, bins, dense_max, engine, solver);
+        let r = bench_size(size, bins, dense_max, engine, solver, &batch_widths);
         println!(
             "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{:.5}\t{:.5}\t{:.2}x\t{}",
             r.nodes,
@@ -501,6 +578,17 @@ fn main() {
             "instrumented warm refine sweep allocated at {} nodes",
             r.nodes
         );
+        // Batched throughput sweep, relative to the B=1 per-bin row. On a
+        // 1-CPU runner the kernel-level batching gain is the whole story;
+        // the multi-core gain shows up in the nightly sweep.
+        let base = r.batch_sweep.first().map_or(0.0, |&(_, bps)| bps);
+        for &(width, bps) in &r.batch_sweep {
+            println!(
+                "#   batch @ {} nodes: B={width} -> {bps:.1} bins/s ({:.2}x vs B=1)",
+                r.nodes,
+                if base > 0.0 { bps / base } else { f64::NAN },
+            );
+        }
         if let Some(diff) = r.max_rel_diff_vs_dense {
             // PCG solves to a 1e-12 relative residual, not to machine
             // epsilon, so when the policy path ran PCG the dense
@@ -522,6 +610,13 @@ fn main() {
     let entries: Vec<String> = results
         .iter()
         .map(|r| {
+            // One flat key per swept width so the perf gate's exact-key
+            // extraction can track each width independently.
+            let batch_json: String = r
+                .batch_sweep
+                .iter()
+                .map(|&(w, bps)| format!(",\"bins_per_sec_batch{w}\":{}", json_f(bps)))
+                .collect();
             format!(
                 "{{\"nodes\":{},\"links\":{},\"nnz\":{},\"density\":{},\"bins\":{},\
                  \"sparse_refine_secs_per_bin\":{},\"dense_refine_secs_per_bin\":{},\
@@ -531,7 +626,7 @@ fn main() {
                  \"parallel_pipeline_secs_per_bin\":{},\"parallel_speedup\":{},\
                  \"allocs_per_bin_warm\":{},\
                  \"instrumented_pipeline_secs_per_bin\":{},\
-                 \"instrumented_allocs_per_bin_warm\":{}}}",
+                 \"instrumented_allocs_per_bin_warm\":{}{}}}",
                 r.nodes,
                 r.links,
                 r.nnz,
@@ -553,6 +648,7 @@ fn main() {
                 r.allocs_per_bin_warm,
                 json_f(r.instrumented_pipeline_secs_per_bin),
                 r.instrumented_allocs_per_bin_warm,
+                batch_json,
             )
         })
         .collect();

@@ -22,14 +22,14 @@ fn main() {
             .dataset_d1(d1_config(scale, 1, 1))
             .geant22()
             .prior(PriorStrategy::MeasuredIc)
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
         Scenario::builder("Figure 11(b): totem-d2")
             .dataset_d2(d2_config(scale, 1, 20041114))
             .totem23()
             .prior(PriorStrategy::MeasuredIc)
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
     ];

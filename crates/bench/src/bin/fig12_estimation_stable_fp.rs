@@ -24,7 +24,7 @@ fn main() {
             .prior(PriorStrategy::StableFpFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
         Scenario::builder("Figure 12(b): totem-d2 (calibrated on week 1, estimated week 3)")
@@ -34,7 +34,7 @@ fn main() {
             .prior(PriorStrategy::StableFpFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
     ];

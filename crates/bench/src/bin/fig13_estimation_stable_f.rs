@@ -23,7 +23,7 @@ fn main() {
             .prior(PriorStrategy::StableFFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
         Scenario::builder("Figure 13(b): totem-d2 (f from week 1, estimated week 3)")
@@ -33,7 +33,7 @@ fn main() {
             .prior(PriorStrategy::StableFFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .expect("valid scenario"),
     ];

@@ -13,8 +13,10 @@
 //!   `allocs_per_bin_warm` ↓, `instrumented_pipeline_secs_per_bin` ↓ and
 //!   `instrumented_allocs_per_bin_warm` ↓ (the `ic-obs`-instrumented
 //!   pipeline and warm refine sweep; a 0-alloc baseline means any
-//!   instrumentation-added allocation fails the gate) — compared
-//!   positionally per topology size.
+//!   instrumentation-added allocation fails the gate), and
+//!   `bins_per_sec_batch1` / `bins_per_sec_batch16` ↑ (batched SoA
+//!   pipeline throughput at B=1 and B=16) — compared positionally per
+//!   topology size.
 //!
 //! The engine-sharded timing is gated as an absolute per-bin time rather
 //! than as a parallel-speedup ratio: the ratio is a function of the
@@ -54,6 +56,11 @@ const METRICS: &[(&str, Direction)] = &[
         Direction::LowerIsBetter,
     ),
     ("instrumented_allocs_per_bin_warm", Direction::LowerIsBetter),
+    // Batched SoA pipeline throughput at the per-bin baseline width and
+    // at a representative wide batch (key extraction is exact, so
+    // `batch1` never aliases `batch16`).
+    ("bins_per_sec_batch1", Direction::HigherIsBetter),
+    ("bins_per_sec_batch16", Direction::HigherIsBetter),
 ];
 
 fn main() -> ExitCode {

@@ -10,7 +10,7 @@
 //! finish in seconds and exercise the identical code paths on shorter
 //! weeks, which is what the integration tests use.
 
-use ic_core::{fit_stable_fp, improvement_percent, rel_l2_series, FitOptions, FitResult, TmSeries};
+use ic_core::{fit_stable_fp, improvement_percent, rel_l2_series, FitOptions, FitReport, TmSeries};
 use ic_datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
 use ic_estimation::{
     compare_priors, ComparisonResult, EstimationPipeline, ObservationModel, TmPrior,
@@ -198,7 +198,7 @@ pub fn paper_fit_options() -> FitOptions {
 }
 
 /// Fits the stable-fP model to every week of a measured series.
-pub fn fit_weeks(weeks: &[TmSeries]) -> Vec<FitResult> {
+pub fn fit_weeks(weeks: &[TmSeries]) -> Vec<FitReport<ic_core::StableFpParams>> {
     weeks
         .iter()
         .map(|w| fit_stable_fp(w, paper_fit_options()).expect("weekly fit"))
@@ -207,7 +207,10 @@ pub fn fit_weeks(weeks: &[TmSeries]) -> Vec<FitResult> {
 
 /// Per-bin percentage improvement of an IC fit over the gravity model on
 /// the same observed week (the Figure 3 quantity).
-pub fn fit_improvement_series(observed: &TmSeries, fit: &FitResult) -> Vec<f64> {
+pub fn fit_improvement_series(
+    observed: &TmSeries,
+    fit: &FitReport<ic_core::StableFpParams>,
+) -> Vec<f64> {
     let ic_pred = fit
         .predict(observed.bin_seconds())
         .expect("prediction from valid fit");

@@ -46,7 +46,7 @@ fn fig11_totem_panel_is_bit_identical() {
             .dataset_d2(d2_config(Scale::Smoke, 1, 20041114))
             .totem23()
             .prior(PriorStrategy::MeasuredIc)
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .unwrap(),
     );
@@ -76,7 +76,7 @@ fn fig11_geant_panel_is_bit_identical() {
             .dataset_d1(cfg)
             .geant22()
             .prior(PriorStrategy::MeasuredIc)
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .unwrap(),
     );
@@ -105,7 +105,7 @@ fn fig12_totem_panel_is_bit_identical() {
             .prior(PriorStrategy::StableFpFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .unwrap(),
     );
@@ -134,7 +134,7 @@ fn fig13_totem_panel_is_bit_identical() {
             .prior(PriorStrategy::StableFFromWeek {
                 calibration_week: 0,
             })
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .unwrap(),
     );
@@ -168,7 +168,7 @@ fn ablation_sampling_point_is_bit_identical() {
         Scenario::builder("1/1000")
             .dataset_d1(cfg)
             .task(Task::FitImprovement)
-            .fit_options(paper_fit_options())
+            .config(ic_estimation::EstimationConfig::new().with_fit(paper_fit_options()))
             .build()
             .unwrap(),
     );

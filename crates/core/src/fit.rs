@@ -76,7 +76,7 @@ pub struct WarmStart {
 
 impl WarmStart {
     /// Extracts the warm-start point from a completed stable-fP fit.
-    pub fn from_fit(previous: &FitResult) -> Self {
+    pub fn from_fit(previous: &FitReport<StableFpParams>) -> Self {
         WarmStart {
             f: previous.params.f,
             preference: previous.params.preference.clone(),
@@ -162,7 +162,7 @@ impl FitOptions {
     /// Warm-starts the descent from a previous stable-fP fit: the previous
     /// optimum's `(f, P)` replace the Eq. 11–12 cold initialization. All
     /// three family fits honor the warm start.
-    pub fn with_initial(mut self, previous: &FitResult) -> Self {
+    pub fn with_initial(mut self, previous: &FitReport<StableFpParams>) -> Self {
         self.initial = Some(WarmStart::from_fit(previous));
         self
     }
@@ -215,12 +215,15 @@ impl<M> FitReport<M> {
 }
 
 /// Result of a stable-fP fit (Eq. 5 parameters).
+#[deprecated(note = "use `FitReport<StableFpParams>`")]
 pub type FitResult = FitReport<StableFpParams>;
 
 /// Result of a stable-f fit (Eq. 4 parameters).
+#[deprecated(note = "use `FitReport<StableFParams>`")]
 pub type StableFFitResult = FitReport<StableFParams>;
 
 /// Result of a time-varying fit (Eq. 3 parameters).
+#[deprecated(note = "use `FitReport<TimeVaryingParams>`")]
 pub type TimeVaryingFitResult = FitReport<TimeVaryingParams>;
 
 /// Builds the two-term Gram matrix `(c1·s2)·I + c2·v·vᵀ` of the
@@ -614,7 +617,7 @@ fn initialize(x: &TmSeries, f0: f64) -> (Vec<f64>, Matrix) {
 /// let fit = fit_stable_fp(&data, FitOptions::default()).unwrap();
 /// assert!(fit.final_objective() < 1e-3);
 /// ```
-pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
+pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitReport<StableFpParams>> {
     validate_input(x)?;
     let bins = x.bins();
     let n = x.nodes();
@@ -724,7 +727,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
         }
     }
 
-    Ok(FitResult {
+    Ok(FitReport {
         params: StableFpParams {
             f,
             preference: p,
@@ -738,7 +741,7 @@ pub fn fit_stable_fp(x: &TmSeries, options: FitOptions) -> Result<FitResult> {
 
 /// Fits the **stable-f** model (Eq. 4): constant `f`, per-bin activity and
 /// preference. Used by the Section 6.3 estimation scenario analyses.
-pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResult> {
+pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<FitReport<StableFParams>> {
     validate_input(x)?;
     let n = x.nodes();
     let bins = x.bins();
@@ -816,7 +819,7 @@ pub fn fit_stable_f(x: &TmSeries, options: FitOptions) -> Result<StableFFitResul
         }
     }
 
-    Ok(StableFFitResult {
+    Ok(FitReport {
         params: StableFParams {
             f,
             preference,
@@ -869,7 +872,7 @@ fn solve_f_per_bin_preference(
 ///
 /// Each bin is an independent small BCD problem; with `3n` parameters per
 /// `n²` observations this is the loosest (best-fitting) family member.
-pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVaryingFitResult> {
+pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<FitReport<TimeVaryingParams>> {
     validate_input(x)?;
     let n = x.nodes();
     let bins = x.bins();
@@ -960,7 +963,7 @@ pub fn fit_time_varying(x: &TmSeries, options: FitOptions) -> Result<TimeVarying
         }
     }
 
-    Ok(TimeVaryingFitResult {
+    Ok(FitReport {
         params: TimeVaryingParams {
             f: fs,
             preference,

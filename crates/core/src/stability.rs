@@ -8,7 +8,8 @@
 //! diurnal/weekend structure (Figure 9). This module computes those
 //! analytics from a set of per-week fits.
 
-use crate::fit::{fit_stable_fp, FitOptions, FitResult};
+use crate::fit::{fit_stable_fp, FitOptions, FitReport};
+use crate::model::StableFpParams;
 use crate::tm::TmSeries;
 use crate::{IcError, Result};
 use ic_stats::{pearson, spearman};
@@ -17,7 +18,7 @@ use ic_stats::{pearson, spearman};
 #[derive(Debug, Clone)]
 pub struct WeeklyFits {
     /// One fit per week, in chronological order.
-    pub fits: Vec<FitResult>,
+    pub fits: Vec<FitReport<StableFpParams>>,
 }
 
 impl WeeklyFits {
@@ -134,7 +135,10 @@ pub struct PreferenceVsEgress {
 }
 
 /// Computes the Figure 8 comparison for one fitted week.
-pub fn preference_vs_egress(fit: &FitResult, week: &TmSeries) -> Result<PreferenceVsEgress> {
+pub fn preference_vs_egress(
+    fit: &FitReport<StableFpParams>,
+    week: &TmSeries,
+) -> Result<PreferenceVsEgress> {
     let p = fit.params.preference.clone();
     if p.len() != week.nodes() {
         return Err(IcError::DimensionMismatch {
@@ -179,7 +183,7 @@ pub fn preference_vs_egress(fit: &FitResult, week: &TmSeries) -> Result<Preferen
 /// the node with the largest mean activity, an intermediate node, and the
 /// smallest. Returns `(node index, mean activity, series)` triples ordered
 /// largest → smallest.
-pub fn activity_extremes(fit: &FitResult) -> Vec<(usize, f64, Vec<f64>)> {
+pub fn activity_extremes(fit: &FitReport<StableFpParams>) -> Vec<(usize, f64, Vec<f64>)> {
     let a = &fit.params.activity;
     let n = a.rows();
     let bins = a.cols();
@@ -293,7 +297,7 @@ mod tests {
             ])
             .unwrap(),
         };
-        let fit = FitResult {
+        let fit = FitReport {
             params,
             objective_history: vec![0.0],
             converged: true,

@@ -1,0 +1,157 @@
+//! The unified estimation configuration.
+//!
+//! [`EstimationConfig`] collapses the parallel `with_*` ladders that used
+//! to be repeated across [`EstimationPipeline`](crate::EstimationPipeline),
+//! the streaming estimator, and the scenario builder into one value:
+//! step options (fit, tomogravity, IPF), the cross-cutting solver policy,
+//! the batched-execution knobs (batch width, compute precision), and the
+//! optional stage-metrics handle. Every consumer accepts it through a
+//! single `.config(..)` call; the old per-option setters survive as thin
+//! `#[deprecated]` forwarders.
+
+use crate::ipf::IpfOptions;
+use crate::pipeline::PipelineMetrics;
+use crate::tomogravity::TomogravityOptions;
+use ic_core::FitOptions;
+use ic_linalg::{BatchOptions, Precision, SolverPolicy};
+use std::sync::Arc;
+
+/// One configuration value for the whole estimation stack.
+///
+/// Construct with [`EstimationConfig::default`] and refine with the
+/// `with_*` setters; pass to `EstimationPipeline::config`,
+/// `StreamingTomogravity::config`, or `ScenarioBuilder::config`. Each
+/// consumer reads the fields it understands (the pipeline ignores `fit`,
+/// a pure fitting call ignores `ipf`) so one value can configure an
+/// entire scenario end to end.
+///
+/// Marked `#[non_exhaustive]`: future knobs are not breaking changes.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct EstimationConfig {
+    /// Block-coordinate-descent options for the parameter fits (step 1
+    /// priors and streaming window fits).
+    pub fit: FitOptions,
+    /// Tomogravity refinement options (step 2).
+    pub tomogravity: TomogravityOptions,
+    /// IPF options (step 3).
+    pub ipf: IpfOptions,
+    /// Batched multi-bin execution: batch width and compute precision.
+    pub batch: BatchOptions,
+    /// Optional pre-registered pipeline stage metrics.
+    pub metrics: Option<Arc<PipelineMetrics>>,
+}
+
+impl EstimationConfig {
+    /// A default configuration: default step options, batch width 1,
+    /// `f64` compute, no metrics.
+    pub fn new() -> Self {
+        EstimationConfig::default()
+    }
+
+    /// Replaces the fit options.
+    pub fn with_fit(mut self, fit: FitOptions) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Replaces the tomogravity options.
+    pub fn with_tomogravity(mut self, tomogravity: TomogravityOptions) -> Self {
+        self.tomogravity = tomogravity;
+        self
+    }
+
+    /// Replaces the IPF options.
+    pub fn with_ipf(mut self, ipf: IpfOptions) -> Self {
+        self.ipf = ipf;
+        self
+    }
+
+    /// Selects the normal-equations solver policy for **every** stage
+    /// that solves one (the fit subproblems and the tomogravity
+    /// refinement), keeping their other options intact.
+    pub fn with_solver(mut self, policy: SolverPolicy) -> Self {
+        self.fit = self.fit.with_solver(policy);
+        self.tomogravity = self.tomogravity.with_solver(policy);
+        self
+    }
+
+    /// Replaces the batched-execution options wholesale.
+    pub fn with_batch(mut self, batch: BatchOptions) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the multi-bin batch width (clamped to at least 1). Width 1 is
+    /// the classic per-bin path; wider batches run the SoA kernels.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch = self.batch.with_width(width);
+        self
+    }
+
+    /// Selects the batched-kernel compute precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.batch = self.batch.with_precision(precision);
+        self
+    }
+
+    /// Attaches pipeline stage metrics.
+    pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The configured batch width.
+    pub fn batch_width(&self) -> usize {
+        self.batch.width()
+    }
+
+    /// The configured compute precision.
+    pub fn precision(&self) -> Precision {
+        self.batch.precision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_obs::MetricsRegistry;
+
+    #[test]
+    fn defaults_are_the_classic_per_bin_path() {
+        let c = EstimationConfig::new();
+        assert_eq!(c.batch_width(), 1);
+        assert_eq!(c.precision(), Precision::F64);
+        assert!(c.metrics.is_none());
+        assert_eq!(c.tomogravity, TomogravityOptions::default());
+        assert_eq!(c.ipf, IpfOptions::default());
+    }
+
+    #[test]
+    fn with_solver_reaches_fit_and_tomogravity() {
+        let c = EstimationConfig::new().with_solver(SolverPolicy::Pcg);
+        assert_eq!(c.fit.solver, SolverPolicy::Pcg);
+        assert_eq!(c.tomogravity.solver, SolverPolicy::Pcg);
+    }
+
+    #[test]
+    fn setters_compose() {
+        let registry = MetricsRegistry::new();
+        let metrics = PipelineMetrics::register(&registry);
+        let c = EstimationConfig::new()
+            .with_fit(FitOptions::default().with_max_sweeps(7))
+            .with_tomogravity(TomogravityOptions::default().with_ridge(1e-8))
+            .with_ipf(IpfOptions::default().with_max_iterations(5))
+            .with_batch_width(16)
+            .with_precision(Precision::F32)
+            .with_metrics(metrics);
+        assert_eq!(c.fit.max_sweeps, 7);
+        assert_eq!(c.tomogravity.ridge, 1e-8);
+        assert_eq!(c.ipf.max_iterations, 5);
+        assert_eq!(c.batch_width(), 16);
+        assert_eq!(c.precision(), Precision::F32);
+        assert!(c.metrics.is_some());
+        let c = c.with_batch(BatchOptions::new().with_width(0));
+        assert_eq!(c.batch_width(), 1, "width clamps to >= 1");
+    }
+}

@@ -24,6 +24,7 @@
 //! [`pipeline`] wires the steps together and computes the
 //! improvement-over-gravity series that Figures 11–13 plot.
 
+pub mod config;
 pub mod evaluate;
 pub mod ipf;
 pub mod observe;
@@ -31,19 +32,22 @@ pub mod pipeline;
 pub mod prior;
 pub mod tomogravity;
 
+pub use config::EstimationConfig;
 pub use evaluate::{rel_l2_spatial, spatial_error_by_volume, top_flow_error};
 pub use ipf::{ipf_fit, ipf_fit_with, IpfOptions, IpfWorkspace};
 pub use observe::{ObservationModel, Observations};
 pub use pipeline::{
-    compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline, PipelineMetrics,
-    PipelineWorkspace,
+    compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline,
+    PipelineBatchWorkspace, PipelineMetrics, PipelineWorkspace,
 };
 pub use prior::{GravityPrior, MeasuredIcPrior, StableFPrior, StableFpPrior, TmPrior};
-pub use tomogravity::{Tomogravity, TomogravityOptions, TomogravityWorkspace};
+pub use tomogravity::{
+    Tomogravity, TomogravityBatchWorkspace, TomogravityOptions, TomogravityWorkspace,
+};
 
-// Re-exported so downstream crates can pick a solver without depending on
-// ic-linalg directly.
-pub use ic_linalg::{SolveStats, SolverPolicy};
+// Re-exported so downstream crates can pick a solver or batched-execution
+// mode without depending on ic-linalg directly.
+pub use ic_linalg::{BatchOptions, Precision, SolveStats, SolverPolicy};
 
 // Send/Sync audit for the parallel execution engine: the pipeline, its
 // inputs, and every reusable workspace cross `ic-engine` worker
@@ -54,8 +58,11 @@ const _: () = {
     _assert_send_sync::<ObservationModel>();
     _assert_send_sync::<Observations>();
     _assert_send_sync::<EstimationPipeline>();
+    _assert_send_sync::<EstimationConfig>();
     _assert_send_sync::<PipelineWorkspace>();
+    _assert_send_sync::<PipelineBatchWorkspace>();
     _assert_send_sync::<TomogravityWorkspace>();
+    _assert_send_sync::<TomogravityBatchWorkspace>();
     _assert_send_sync::<IpfWorkspace>();
     _assert_send_sync::<EstimationError>();
 };

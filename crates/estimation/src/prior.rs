@@ -106,7 +106,7 @@ impl StableFpPrior {
     /// next window's prior, where Eq. 7–9 recover the activities from
     /// that window's own marginals. The paper's Section 6.2 calibration
     /// week, rolled forward continuously.
-    pub fn from_fit(fit: &ic_core::FitResult) -> Self {
+    pub fn from_fit(fit: &ic_core::FitReport<ic_core::StableFpParams>) -> Self {
         StableFpPrior {
             f: fit.params.f,
             preference: fit.params.preference.clone(),

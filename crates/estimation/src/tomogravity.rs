@@ -26,7 +26,8 @@ use crate::observe::{ObservationModel, Observations};
 use crate::{EstimationError, Result};
 use ic_core::TmSeries;
 use ic_linalg::{
-    pseudo_inverse, Cholesky, Matrix, NormalSolverWorkspace, SolveStats, SolverPolicy, SparseMatrix,
+    pseudo_inverse, Cholesky, Matrix, NormalSolverWorkspace, Precision, SolveStats, SolverPolicy,
+    SparseMatrix,
 };
 
 /// Options for the tomogravity refinement.
@@ -133,6 +134,56 @@ impl TomogravityWorkspace {
     /// Cumulative solver counters for every bin refined through this
     /// workspace: dense/PCG solve counts, total PCG iterations, and the
     /// previously-silent pseudo-inverse fallbacks and PCG stalls.
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solver.stats()
+    }
+
+    /// Zeroes the cumulative solver counters.
+    pub fn reset_solve_stats(&mut self) {
+        self.solver.reset_stats();
+    }
+}
+
+/// Reusable buffers for the **batched** tomogravity refinement
+/// ([`Tomogravity::refine_batch_sparse_with`]): the same vectors as
+/// [`TomogravityWorkspace`], widened to B structure-of-arrays lanes
+/// (element `i` of bin `k` at `i·B + k`). Allocation-free once warm at a
+/// fixed `(shape, B)`; the embedded solver accumulates the same
+/// observable [`SolveStats`] B per-bin refinements would.
+#[derive(Debug, Clone, Default)]
+pub struct TomogravityBatchWorkspace {
+    w: Vec<f64>,
+    resid: Vec<f64>,
+    lambda: Vec<f64>,
+    at_lambda: Vec<f64>,
+    x: Vec<f64>,
+    solver: NormalSolverWorkspace,
+}
+
+impl TomogravityBatchWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        TomogravityBatchWorkspace::default()
+    }
+
+    fn ensure(&mut self, rows: usize, cols: usize, batch: usize) {
+        self.w.resize(cols * batch, 0.0);
+        self.at_lambda.resize(cols * batch, 0.0);
+        self.x.resize(cols * batch, 0.0);
+        self.resid.resize(rows * batch, 0.0);
+        self.lambda.resize(rows * batch, 0.0);
+    }
+
+    /// The refined bins of the latest
+    /// [`Tomogravity::refine_batch_sparse_with`] call, SoA: entry `i` of
+    /// lane `k` at `i·B + k`.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Cumulative solver counters (see
+    /// [`TomogravityWorkspace::solve_stats`]); a batch of B bins counts
+    /// as B solves.
     pub fn solve_stats(&self) -> SolveStats {
         self.solver.stats()
     }
@@ -267,6 +318,92 @@ impl Tomogravity {
         for (slot, ((&xp, &atl), &wi)) in
             ws.x.iter_mut()
                 .zip(x_prior.iter().zip(ws.at_lambda.iter()).zip(ws.w.iter()))
+        {
+            *slot = xp + wi * atl;
+        }
+        if self.options.clamp_negative {
+            for v in &mut ws.x {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Refines `batch` bins at once on the sparse operator, with priors
+    /// and observations laid out structure-of-arrays (element `i` of bin
+    /// `k` at `i·batch + k`; result SoA in
+    /// [`TomogravityBatchWorkspace::solution`]).
+    ///
+    /// One CSR traversal per kernel serves all lanes — the residuals, the
+    /// normal solve ([`NormalSolverWorkspace::solve_batch`], batched PCG
+    /// under the PCG policy) and the update `x = x_p + W Aᵀ λ` all run
+    /// batched. Every lane performs exactly the per-bin arithmetic of
+    /// [`Tomogravity::refine_bin_sparse_with`] (weight floor, residual,
+    /// solve, update, clamp — same accumulation orders), so lane `k` is
+    /// bit-identical to refining bin `k` alone, for any batch width.
+    /// `precision` opts the batched PCG operator products into f32
+    /// compute / f64 accumulate ([`Precision::F32`]); [`Precision::F64`]
+    /// (the default everywhere) keeps full precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_batch_sparse_with(
+        &self,
+        a: &SparseMatrix,
+        at: &SparseMatrix,
+        x_priors: &[f64],
+        b: &[f64],
+        batch: usize,
+        precision: Precision,
+        ws: &mut TomogravityBatchWorkspace,
+    ) -> Result<()> {
+        let (rows, cols) = a.shape();
+        if batch == 0 || x_priors.len() != cols * batch || b.len() != rows * batch {
+            return Err(EstimationError::DimensionMismatch {
+                context: "tomogravity refine_batch",
+                expected: cols * batch.max(1),
+                actual: x_priors.len(),
+            });
+        }
+        ws.ensure(rows, cols, batch);
+        // Per-lane weight floor from the lane's own prior mean (strided
+        // sum in the same ascending order as the per-bin path), then
+        // floored weights.
+        for k in 0..batch {
+            let mean_prior = x_priors.iter().skip(k).step_by(batch).sum::<f64>() / cols as f64;
+            let floor = (mean_prior * self.options.weight_floor).max(f64::MIN_POSITIVE);
+            for i in 0..cols {
+                let idx = i * batch + k;
+                ws.w[idx] = x_priors[idx].max(floor);
+            }
+        }
+
+        // Residuals of the constraints at the priors: resid = b − A x_p.
+        a.matvec_batch_into(x_priors, batch, &mut ws.resid)
+            .map_err(EstimationError::from)?;
+        for (r, &bi) in ws.resid.iter_mut().zip(b.iter()) {
+            *r = bi - *r;
+        }
+
+        // Batched normal solve, then x = x_p + W Aᵀ λ per lane.
+        ws.solver.set_policy(self.options.solver);
+        ws.solver
+            .solve_batch(
+                a,
+                at,
+                &ws.w,
+                self.options.ridge,
+                &ws.resid,
+                &mut ws.lambda,
+                batch,
+                precision,
+            )
+            .map_err(EstimationError::from)?;
+        a.matvec_transposed_batch_into(&ws.lambda, batch, &mut ws.at_lambda)
+            .map_err(EstimationError::from)?;
+        for (slot, ((&xp, &atl), &wi)) in
+            ws.x.iter_mut()
+                .zip(x_priors.iter().zip(ws.at_lambda.iter()).zip(ws.w.iter()))
         {
             *slot = xp + wi * atl;
         }
@@ -503,6 +640,70 @@ mod tests {
         assert_eq!(ws_a.solve_stats().dense_solves, 2);
         ws_a.reset_solve_stats();
         assert_eq!(ws_a.solve_stats(), SolveStats::default());
+    }
+
+    #[test]
+    fn batched_refine_matches_per_bin_bitwise() {
+        let topo = square_topology();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let bins = 3;
+        let truth = ic_series(0.25, bins);
+        let obs = om.observe(&truth).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        let a = om.stacked_sparse();
+        let at = om.stacked_transpose();
+        let cols = a.cols();
+        let rows = a.rows();
+        for policy in [SolverPolicy::Dense, SolverPolicy::Pcg] {
+            let tomo = Tomogravity::new(TomogravityOptions::default().with_solver(policy));
+            // SoA priors/observations over all bins as one batch.
+            let mut xp_soa = vec![0.0; cols * bins];
+            let mut b_soa = vec![0.0; rows * bins];
+            let mut b = vec![0.0; rows];
+            for t in 0..bins {
+                for row in 0..cols {
+                    xp_soa[row * bins + t] = prior.as_matrix()[(row, t)];
+                }
+                obs.stacked_at_into(t, &mut b).unwrap();
+                for (i, &v) in b.iter().enumerate() {
+                    b_soa[i * bins + t] = v;
+                }
+            }
+            let mut bws = TomogravityBatchWorkspace::new();
+            tomo.refine_batch_sparse_with(a, at, &xp_soa, &b_soa, bins, Precision::F64, &mut bws)
+                .unwrap();
+            // Per-bin reference through the scalar workspace.
+            let mut ws = TomogravityWorkspace::new();
+            let mut xp = vec![0.0; cols];
+            for t in 0..bins {
+                for row in 0..cols {
+                    xp[row] = prior.as_matrix()[(row, t)];
+                }
+                obs.stacked_at_into(t, &mut b).unwrap();
+                tomo.refine_bin_sparse_with(a, at, &xp, &b, &mut ws)
+                    .unwrap();
+                for (row, &want) in ws.solution().iter().enumerate() {
+                    let got = bws.solution()[row * bins + t];
+                    assert!(
+                        got == want,
+                        "{policy:?} bin {t} row {row}: batched {got} != per-bin {want}"
+                    );
+                }
+            }
+            // Stats match B per-bin solves exactly.
+            assert_eq!(bws.solve_stats(), ws.solve_stats());
+            bws.reset_solve_stats();
+            assert_eq!(bws.solve_stats(), SolveStats::default());
+        }
+        // Shape validation.
+        let tomo = Tomogravity::new(TomogravityOptions::default());
+        let mut bws = TomogravityBatchWorkspace::new();
+        assert!(tomo
+            .refine_batch_sparse_with(a, at, &[1.0], &[1.0], 0, Precision::F64, &mut bws)
+            .is_err());
+        assert!(tomo
+            .refine_batch_sparse_with(a, at, &[1.0], &[1.0], 2, Precision::F64, &mut bws)
+            .is_err());
     }
 
     #[test]

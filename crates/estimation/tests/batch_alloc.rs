@@ -1,0 +1,102 @@
+//! Allocation gate for the batched SoA pipeline: once the batch
+//! workspace is warm, sweeping a series through
+//! [`EstimationPipeline::estimate_from_series_batch_with`] performs a
+//! **bin-count-independent** number of heap allocations — i.e. zero
+//! allocations per bin. The test compares total allocation counts of
+//! warm sweeps over different bin counts instead of asserting an
+//! absolute number, so per-call constants (the output series' single
+//! backing `Vec`, error-path formatting that never runs) cannot mask a
+//! real per-bin or per-batch allocation creeping into the kernels.
+//!
+//! This file holds exactly one `#[test]`: the counting allocator is
+//! process-global, and a concurrent test would pollute the counts.
+
+use ic_core::TmSeries;
+use ic_estimation::{
+    EstimationConfig, EstimationPipeline, GravityPrior, ObservationModel, PipelineBatchWorkspace,
+    TmPrior,
+};
+use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System` verbatim; the counter is a relaxed atomic
+// with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic positive traffic on a 40-node hierarchical topology.
+fn model_and_series(bins: usize) -> (ObservationModel, TmSeries) {
+    let cfg = HierarchicalConfig::new(4, 9, 20060419);
+    let topo = hierarchical(&cfg).unwrap();
+    let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+    let n = topo.node_count();
+    let mut tm = TmSeries::zeros(n, bins, 300.0).unwrap();
+    for t in 0..bins {
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let v = 1e5 * (1.0 + ((i * 31 + j * 17 + t * 7) % 13) as f64);
+                    tm.set(i, j, t, v).unwrap();
+                }
+            }
+        }
+    }
+    (om, tm)
+}
+
+/// Allocation count of one warm batched sweep over `bins` bins.
+fn warm_sweep_allocs(bins: usize, width: usize) -> u64 {
+    let (om, tm) = model_and_series(bins);
+    let obs = om.observe(&tm).unwrap();
+    let pipeline =
+        EstimationPipeline::new(om).config(EstimationConfig::new().with_batch_width(width));
+    let prior = GravityPrior.prior_series(&obs).unwrap();
+    let mut ws = PipelineBatchWorkspace::new();
+    // Two warm-up sweeps: the first sizes the workspace buffers, the
+    // second settles any lazily grown scratch (IPF, solver) at this size.
+    for _ in 0..2 {
+        pipeline
+            .estimate_from_series_batch_with(&prior, &obs, &mut ws)
+            .unwrap();
+    }
+    let before = allocations();
+    pipeline
+        .estimate_from_series_batch_with(&prior, &obs, &mut ws)
+        .unwrap();
+    allocations() - before
+}
+
+#[test]
+fn warm_batched_sweep_allocates_nothing_per_bin() {
+    let width = 4;
+    let short = warm_sweep_allocs(8, width);
+    let long = warm_sweep_allocs(32, width);
+    // Same allocation count at 8 and 32 bins: everything the warm sweep
+    // allocates is a per-call constant (the output series), so the
+    // per-bin — and per-batch — allocation count is exactly zero.
+    assert_eq!(
+        short, long,
+        "warm batched sweep allocations grew with bin count: \
+         {short} allocs at 8 bins vs {long} at 32 bins (width {width})"
+    );
+}

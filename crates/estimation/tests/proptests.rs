@@ -8,9 +8,10 @@
 use ic_core::TmSeries;
 use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{
-    compare_priors, compare_priors_with, ipf_fit, ipf_fit_with, EstimationPipeline, GravityPrior,
-    IpfOptions, IpfWorkspace, ObservationModel, PipelineWorkspace, StableFPrior, TmPrior,
-    Tomogravity, TomogravityOptions, TomogravityWorkspace,
+    compare_priors, compare_priors_with, ipf_fit, ipf_fit_with, EstimationConfig,
+    EstimationPipeline, GravityPrior, IpfOptions, IpfWorkspace, ObservationModel,
+    PipelineBatchWorkspace, PipelineWorkspace, Precision, StableFPrior, TmPrior, Tomogravity,
+    TomogravityOptions, TomogravityWorkspace,
 };
 use ic_linalg::Matrix;
 use ic_topology::{waxman, RoutingScheme, WaxmanConfig};
@@ -160,8 +161,10 @@ proptest! {
     fn pipeline_pcg_matches_dense_end_to_end((om, tm) in topo_and_series()) {
         use ic_estimation::SolverPolicy;
         let obs = om.observe(&tm).unwrap();
-        let dense_pipe = EstimationPipeline::new(om.clone()).with_solver(SolverPolicy::Dense);
-        let pcg_pipe = EstimationPipeline::new(om.clone()).with_solver(SolverPolicy::Pcg);
+        let dense_pipe = EstimationPipeline::new(om.clone())
+            .config(EstimationConfig::new().with_solver(SolverPolicy::Dense));
+        let pcg_pipe = EstimationPipeline::new(om.clone())
+            .config(EstimationConfig::new().with_solver(SolverPolicy::Pcg));
         let auto_pipe = EstimationPipeline::new(om);
         let mut ws_d = PipelineWorkspace::new();
         let mut ws_p = PipelineWorkspace::new();
@@ -267,6 +270,87 @@ proptest! {
         let warm = pipeline.estimate_parallel_pooled(&GravityPrior, &obs, &engine, &pool).unwrap();
         prop_assert_eq!(&first, &serial);
         prop_assert_eq!(&warm, &serial);
+    }
+
+    /// The batched SoA path against the per-bin path on random
+    /// topologies: width 1 is **bit-identical** (it degenerates to the
+    /// same operation sequence), and wider batches stay within the
+    /// 1e-12-relative contract (in practice they are bitwise equal too —
+    /// every per-lane reduction accumulates in the per-bin order).
+    #[test]
+    fn batched_pipeline_matches_per_bin(
+        (om, tm) in topo_and_long_series(),
+        width in 2usize..7,
+    ) {
+        let obs = om.observe(&tm).unwrap();
+        let per_bin = EstimationPipeline::new(om.clone());
+        let want = per_bin.estimate(&GravityPrior, &obs).unwrap();
+        let one = EstimationPipeline::new(om.clone())
+            .config(EstimationConfig::new().with_batch_width(1));
+        let mut ws = PipelineBatchWorkspace::new();
+        let got1 = one.estimate_batch_with(&GravityPrior, &obs, &mut ws).unwrap();
+        prop_assert_eq!(&got1, &want, "width 1 must be exact");
+        let wide = EstimationPipeline::new(om)
+            .config(EstimationConfig::new().with_batch_width(width));
+        // Reuse the workspace across widths: warm buffers are invisible.
+        let got = wide.estimate_batch_with(&GravityPrior, &obs, &mut ws).unwrap();
+        let scale = want.as_matrix().max_abs().max(1.0);
+        for (g, w) in got.as_matrix().as_slice().iter().zip(want.as_matrix().as_slice()) {
+            prop_assert!((g - w).abs() <= 1e-12 * scale, "batched {g} vs per-bin {w}");
+        }
+    }
+
+    /// Batched shards-as-batches parallel execution is bit-identical to
+    /// the serial batched path for every thread count and width.
+    #[test]
+    fn batched_parallel_is_bit_identical_to_batched_serial(
+        (om, tm) in topo_and_long_series(),
+        width in 1usize..6,
+        threads in 1usize..6,
+    ) {
+        let obs = om.observe(&tm).unwrap();
+        let pipeline = EstimationPipeline::new(om)
+            .config(EstimationConfig::new().with_batch_width(width));
+        let mut ws = PipelineBatchWorkspace::new();
+        let serial = pipeline.estimate_batch_with(&GravityPrior, &obs, &mut ws).unwrap();
+        let engine = Engine::new().with_threads(threads);
+        let pool: WorkspacePool<PipelineBatchWorkspace> = WorkspacePool::new();
+        let first = pipeline
+            .estimate_batch_parallel_pooled(&GravityPrior, &obs, &engine, &pool)
+            .unwrap();
+        let warm = pipeline
+            .estimate_batch_parallel_pooled(&GravityPrior, &obs, &engine, &pool)
+            .unwrap();
+        prop_assert_eq!(&first, &serial);
+        prop_assert_eq!(&warm, &serial);
+    }
+
+    /// The f32 compute mode stays within its documented tolerance of the
+    /// f64 batched path: operator products are computed in f32 but
+    /// accumulated in f64, so ~1e-6 relative agreement end to end.
+    #[test]
+    fn batched_f32_mode_within_documented_tolerance(
+        (om, tm) in topo_and_long_series(),
+        width in 1usize..6,
+    ) {
+        use ic_estimation::SolverPolicy;
+        let obs = om.observe(&tm).unwrap();
+        // The PCG policy is where precision applies (dense lanes ignore it).
+        let f64_pipe = EstimationPipeline::new(om.clone()).config(
+            EstimationConfig::new().with_solver(SolverPolicy::Pcg).with_batch_width(width),
+        );
+        let f32_pipe = EstimationPipeline::new(om).config(
+            EstimationConfig::new()
+                .with_solver(SolverPolicy::Pcg)
+                .with_batch_width(width)
+                .with_precision(Precision::F32),
+        );
+        let a = f64_pipe.estimate_batch(&GravityPrior, &obs).unwrap();
+        let b = f32_pipe.estimate_batch(&GravityPrior, &obs).unwrap();
+        let scale = a.as_matrix().max_abs().max(1.0);
+        for (x, y) in a.as_matrix().as_slice().iter().zip(b.as_matrix().as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-4 * scale, "f64 {x} vs f32 {y}");
+        }
     }
 
     /// The engine-backed multi-prior comparison equals the serial

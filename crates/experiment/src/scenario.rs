@@ -12,13 +12,13 @@ use crate::report::ScenarioReport;
 use crate::{ExperimentError, Result};
 use ic_core::{
     fit_stable_fp, generate_synthetic, gravity_predict, improvement_percent, rel_l2_series,
-    FitOptions, FitResult, SynthConfig, TmSeries,
+    FitOptions, FitReport, StableFpParams, SynthConfig, TmSeries,
 };
 use ic_datasets::{build_d1, build_d2, GeantConfig, TotemConfig};
 use ic_engine::Engine;
 use ic_estimation::{
-    compare_priors_with, EstimationPipeline, GravityPrior, IpfOptions, MeasuredIcPrior,
-    ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
+    compare_priors_with, EstimationConfig, EstimationPipeline, GravityPrior, IpfOptions,
+    MeasuredIcPrior, ObservationModel, StableFPrior, StableFpPrior, TmPrior, TomogravityOptions,
 };
 use ic_stream::{
     replay_estimation_with, replay_fit_with, ReplayOptions, ReplayReport, ReplayStream, SolveStats,
@@ -221,9 +221,7 @@ pub struct Scenario {
     prior: PriorStrategy,
     task: Task,
     target_week: usize,
-    fit: FitOptions,
-    tomogravity: TomogravityOptions,
-    ipf: IpfOptions,
+    config: EstimationConfig,
     stream: ReplayOptions,
 }
 
@@ -238,9 +236,7 @@ impl Scenario {
             prior: PriorStrategy::Gravity,
             task: None,
             target_week: 0,
-            fit: FitOptions::default(),
-            tomogravity: TomogravityOptions::default(),
-            ipf: IpfOptions::default(),
+            config: EstimationConfig::default(),
             stream: ReplayOptions::default(),
         }
     }
@@ -291,8 +287,8 @@ impl Scenario {
         }
     }
 
-    fn fit_week(&self, week: &TmSeries) -> Result<FitResult> {
-        Ok(fit_stable_fp(week, self.fit.clone())?)
+    fn fit_week(&self, week: &TmSeries) -> Result<FitReport<StableFpParams>> {
+        Ok(fit_stable_fp(week, self.config.fit.clone())?)
     }
 
     fn run_estimation(
@@ -305,7 +301,7 @@ impl Scenario {
         let mut fitted_f = None;
         let mut fit_objective = None;
         let mut solve_stats = SolveStats::default();
-        let mut record_fit = |fit: &FitResult| {
+        let mut record_fit = |fit: &FitReport<StableFpParams>| {
             fitted_f = Some(fit.params.f);
             fit_objective = Some(fit.final_objective());
             solve_stats.merge(&fit.solve_stats);
@@ -341,9 +337,7 @@ impl Scenario {
             .build()?;
         let om = ObservationModel::new(&topo, self.routing)?;
         let obs = om.observe(target)?;
-        let pipeline = EstimationPipeline::new(om)
-            .with_tomogravity(self.tomogravity)
-            .with_ipf(self.ipf);
+        let pipeline = EstimationPipeline::new(om).config(self.config.clone());
         let cmp = compare_priors_with(&pipeline, prior.as_ref(), target, &obs, engine)?;
         solve_stats.merge(&cmp.solve_stats);
 
@@ -394,14 +388,15 @@ impl Scenario {
     fn run_streaming(&self, target: &TmSeries, engine: &Engine) -> Result<ScenarioReport> {
         // The scenario-level fit options drive the per-window refits, the
         // same single source of truth the other tasks use.
-        let options = self.stream.clone().with_fit_options(self.fit.clone());
+        let options = self
+            .stream
+            .clone()
+            .with_fit_options(self.config.fit.clone());
         let mut stream = ReplayStream::new(target.clone());
         let (replay, prior): (ReplayReport, Option<String>) = match &self.topology {
             Some(spec) => {
                 let om = ObservationModel::new(&spec.build()?, self.routing)?;
-                let pipeline = EstimationPipeline::new(om)
-                    .with_tomogravity(self.tomogravity)
-                    .with_ipf(self.ipf);
+                let pipeline = EstimationPipeline::new(om).config(self.config.clone());
                 let replay = replay_estimation_with(&mut stream, pipeline, &options, engine)?;
                 (replay, Some("ic-rolling-fit".to_string()))
             }
@@ -478,9 +473,7 @@ pub struct ScenarioBuilder {
     prior: PriorStrategy,
     task: Option<Task>,
     target_week: usize,
-    fit: FitOptions,
-    tomogravity: TomogravityOptions,
-    ipf: IpfOptions,
+    config: EstimationConfig,
     stream: ReplayOptions,
 }
 
@@ -573,10 +566,11 @@ impl ScenarioBuilder {
 
     /// Shorthand for [`Task::Streaming`] with the given replay options
     /// (window size/stride, warm start, forecast and drift settings). The
-    /// per-window fit uses the scenario's [`fit_options`]
-    /// (the replay options' own `fit` field is overridden).
+    /// per-window fit uses the scenario's configured fit options
+    /// ([`EstimationConfig::with_fit`] via [`config`]; the replay
+    /// options' own `fit` field is overridden).
     ///
-    /// [`fit_options`]: ScenarioBuilder::fit_options
+    /// [`config`]: ScenarioBuilder::config
     pub fn streaming(mut self, options: ReplayOptions) -> Self {
         self.stream = options;
         self.task(Task::Streaming)
@@ -589,30 +583,42 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the scenario's whole estimation configuration — fit,
+    /// tomogravity, IPF, solver policy, and batched execution — in one
+    /// call. The single configuration entry point; the setters below are
+    /// deprecated forwarders onto it.
+    pub fn config(mut self, config: EstimationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Sets the Section 5.1 fit options used wherever the scenario fits.
+    #[deprecated(note = "use `config` with `EstimationConfig::with_fit`")]
     pub fn fit_options(mut self, options: FitOptions) -> Self {
-        self.fit = options;
+        self.config.fit = options;
         self
     }
 
     /// Sets the tomogravity refinement options.
+    #[deprecated(note = "use `config` with `EstimationConfig::with_tomogravity`")]
     pub fn tomogravity(mut self, options: TomogravityOptions) -> Self {
-        self.tomogravity = options;
+        self.config.tomogravity = options;
         self
     }
 
     /// Sets the IPF options.
+    #[deprecated(note = "use `config` with `EstimationConfig::with_ipf`")]
     pub fn ipf(mut self, options: IpfOptions) -> Self {
-        self.ipf = options;
+        self.config.ipf = options;
         self
     }
 
     /// Selects the normal-equations solver for every solve the scenario
     /// performs: the tomogravity refinement of the estimation/streaming
     /// tasks and the activity subproblems of the BCD fits.
+    #[deprecated(note = "use `config` with `EstimationConfig::with_solver`")]
     pub fn solver(mut self, policy: ic_core::SolverPolicy) -> Self {
-        self.fit = self.fit.clone().with_solver(policy);
-        self.tomogravity = self.tomogravity.with_solver(policy);
+        self.config = self.config.with_solver(policy);
         self
     }
 
@@ -684,9 +690,7 @@ impl ScenarioBuilder {
             prior: self.prior,
             task,
             target_week: self.target_week,
-            fit: self.fit,
-            tomogravity: self.tomogravity,
-            ipf: self.ipf,
+            config: self.config,
             stream: self.stream,
         })
     }
@@ -818,19 +822,22 @@ mod tests {
     fn solver_builder_applies_to_fit_and_tomogravity() {
         use ic_core::SolverPolicy;
 
+        // The deprecated `solver` forwarder and the unified config route
+        // must produce the same scenario.
+        #[allow(deprecated)]
         let sc = Scenario::builder("pcg")
             .synth(tiny_synth())
             .geant22()
             .solver(SolverPolicy::Pcg)
             .build()
             .unwrap();
-        assert_eq!(sc.fit.solver, SolverPolicy::Pcg);
-        assert_eq!(sc.tomogravity.solver, SolverPolicy::Pcg);
+        assert_eq!(sc.config.fit.solver, SolverPolicy::Pcg);
+        assert_eq!(sc.config.tomogravity.solver, SolverPolicy::Pcg);
         let pcg = sc.run().unwrap();
         let dense = Scenario::builder("dense")
             .synth(tiny_synth())
             .geant22()
-            .solver(SolverPolicy::Dense)
+            .config(EstimationConfig::new().with_solver(SolverPolicy::Dense))
             .build()
             .unwrap()
             .run()
@@ -840,6 +847,41 @@ mod tests {
         for (a, b) in pcg.improvement.iter().zip(dense.improvement.iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn batched_scenario_is_bit_identical_to_per_bin() {
+        // Same scenario with and without a SoA batch width, estimation
+        // and streaming tasks: reports are bitwise equal.
+        let estimation = |config: EstimationConfig| {
+            Scenario::builder("batch-est")
+                .synth(tiny_synth())
+                .geant22()
+                .config(config)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        assert_eq!(
+            estimation(EstimationConfig::new()),
+            estimation(EstimationConfig::new().with_batch_width(3))
+        );
+        let streaming = |config: EstimationConfig| {
+            Scenario::builder("batch-stream")
+                .synth(tiny_synth().with_nodes(22).with_bins(12))
+                .geant22()
+                .streaming(ReplayOptions::default().with_window_bins(4))
+                .config(config)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        assert_eq!(
+            streaming(EstimationConfig::new()),
+            streaming(EstimationConfig::new().with_batch_width(4))
+        );
     }
 
     #[test]

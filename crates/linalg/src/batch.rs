@@ -1,0 +1,603 @@
+//! Batched (structure-of-arrays) execution primitives.
+//!
+//! The estimation workloads are *series* of independent per-bin solves
+//! over one shared operator. Executing them one bin at a time re-walks
+//! the CSR index structure per bin; laying B right-hand sides out
+//! column-major — element `c` of lane `k` lives at `v[c*B + k]` — lets a
+//! single index traversal serve all B bins with a contiguous B-wide inner
+//! loop the compiler autovectorizes (see the `*_batch_into` kernels on
+//! [`crate::SparseMatrix`]).
+//!
+//! [`PcgBatchWorkspace`] runs B independent Jacobi-preconditioned CG
+//! solves through one batched operator application per outer iteration,
+//! with per-lane convergence masks: each lane performs exactly the
+//! arithmetic [`crate::PcgWorkspace`] would perform on it alone (same
+//! accumulation orders, same stopping rule), so every lane's iterate is
+//! bit-identical to the corresponding per-bin solve — for any batch
+//! width, on any thread.
+//!
+//! [`Precision`] selects an opt-in reduced-precision mode for the batched
+//! operator products (compute in `f32`, accumulate in `f64`), trading a
+//! documented ~1e-6 relative accuracy for bandwidth.
+
+use crate::pcg::{PCG_MAX_ITERATIONS, PCG_REL_TOLERANCE};
+use crate::{LinalgError, Result};
+
+/// Floating-point mode of the batched operator products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full `f64` arithmetic — bit-identical to the per-bin kernels. The
+    /// default.
+    #[default]
+    F64,
+    /// Products computed in `f32`, accumulated in `f64` (the batched CSR
+    /// `*_batch_f32_into` kernels). Halves the multiply bandwidth at a
+    /// relative accuracy of roughly `1e-6` (single-precision rounding of
+    /// each product; the `f64` accumulator avoids cancellation growth).
+    F32,
+}
+
+impl Precision {
+    /// Stable lower-case name (CLI/report identifier).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// How the estimation layers batch bins through the SoA kernels.
+///
+/// The default (`width == 1`, [`Precision::F64`]) executes exactly the
+/// historical per-bin arithmetic; wider batches amortize the CSR index
+/// traversal over `width` bins per operator application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    width: usize,
+    precision: Precision,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            width: 1,
+            precision: Precision::F64,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Per-bin execution (`width == 1`, full precision) — the default.
+    pub fn new() -> Self {
+        BatchOptions::default()
+    }
+
+    /// Sets the batch width (clamped to at least 1): how many bins share
+    /// one kernel traversal.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Sets the floating-point mode of the batched operator products.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The batch width (≥ 1).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The floating-point mode.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+}
+
+/// Outcome of one [`PcgBatchWorkspace::solve`] call, summarizing all
+/// lanes; per-lane detail stays readable on the workspace
+/// ([`PcgBatchWorkspace::lane_iterations`] /
+/// [`PcgBatchWorkspace::lane_converged`]) so the summary allocates
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcgBatchSolve {
+    /// Lanes solved (the batch width).
+    pub lanes: usize,
+    /// Total operator applications summed over lanes, counting each lane
+    /// only up to its own stopping iteration — the same quantity `B`
+    /// per-bin [`crate::PcgSolve::iterations`] values would sum to.
+    pub total_iterations: u64,
+    /// Lanes that stopped without meeting the residual threshold.
+    pub stalled_lanes: u64,
+}
+
+impl PcgBatchSolve {
+    /// True when every lane converged.
+    pub fn all_converged(&self) -> bool {
+        self.stalled_lanes == 0
+    }
+}
+
+/// Reusable buffers for batched Jacobi-preconditioned conjugate
+/// gradients: B independent solves advanced in lockstep through one
+/// batched operator application per iteration.
+///
+/// All vectors are SoA (`len == n·B`, lane `k` of element `i` at
+/// `i·B + k`). Lane-local arithmetic — dot products, axpy updates, the
+/// stopping test — is strided per lane in the same order the per-bin
+/// [`crate::PcgWorkspace`] uses, and a lane freezes the moment its own
+/// residual passes (or its curvature check fails), so each lane is
+/// bit-identical to the per-bin solve regardless of what the other lanes
+/// do. Allocation-free once warm at a fixed `(n, B)`.
+#[derive(Debug, Clone, Default)]
+pub struct PcgBatchWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    // Per-lane scalar state.
+    rz: Vec<f64>,
+    tol2: Vec<f64>,
+    active: Vec<bool>,
+    iterations: Vec<usize>,
+    converged: Vec<bool>,
+}
+
+impl PcgBatchWorkspace {
+    /// An empty workspace; buffers are sized on first solve.
+    pub fn new() -> Self {
+        PcgBatchWorkspace::default()
+    }
+
+    /// Operator applications lane `k` performed in the last solve.
+    pub fn lane_iterations(&self) -> &[usize] {
+        &self.iterations
+    }
+
+    /// Whether lane `k` met the residual threshold in the last solve.
+    pub fn lane_converged(&self) -> &[bool] {
+        &self.converged
+    }
+
+    /// Solves `(M_k + ridge[k]·I) x_k = b_k` for `k in 0..batch`, where
+    /// `apply` computes all B products `y_k = M_k·v_k` over SoA vectors
+    /// and `diag` holds the B (unridged) operator diagonals SoA — the
+    /// per-lane Jacobi preconditioners.
+    ///
+    /// Each lane starts from `x_k = 0` and iterates until its own
+    /// residual drops below [`PCG_REL_TOLERANCE`]`·‖b_k‖` or the shared
+    /// budget of `2·n` applications (capped at [`PCG_MAX_ITERATIONS`]) is
+    /// spent; frozen lanes are masked out of all updates while the
+    /// remaining lanes keep iterating. Zero right-hand sides short-circuit
+    /// per lane (0 iterations, converged). Non-positive preconditioner
+    /// entries fall back to the identity scaling for that coordinate,
+    /// exactly as in the per-bin solver.
+    pub fn solve(
+        &mut self,
+        diag: &[f64],
+        ridge: &[f64],
+        b: &[f64],
+        x: &mut [f64],
+        batch: usize,
+        mut apply: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+    ) -> Result<PcgBatchSolve> {
+        if batch == 0 {
+            return Err(LinalgError::InvalidArgument("pcg_batch: zero batch width"));
+        }
+        let nb = b.len();
+        if nb == 0 || !nb.is_multiple_of(batch) {
+            return Err(LinalgError::InvalidArgument(
+                "pcg_batch: rhs length must be a positive multiple of the batch width",
+            ));
+        }
+        let n = nb / batch;
+        if x.len() != nb || diag.len() != nb || ridge.len() != batch {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pcg_batch_solve",
+                lhs: (nb, batch),
+                rhs: (x.len(), diag.len()),
+            });
+        }
+        if ridge.iter().any(|r| !(*r >= 0.0)) {
+            return Err(LinalgError::InvalidArgument(
+                "pcg_batch: ridge must be non-negative",
+            ));
+        }
+        self.ensure(nb, batch);
+        let precond = |diag_i: f64, ridge_k: f64| {
+            let m = diag_i + ridge_k;
+            if m > 0.0 && m.is_finite() {
+                m
+            } else {
+                1.0
+            }
+        };
+
+        // Per lane: x = 0, r = b, zero-rhs short-circuit, tolerance.
+        x.fill(0.0);
+        self.r.copy_from_slice(b);
+        let mut live = 0usize;
+        for k in 0..batch {
+            let b_norm2 = dot_lane(b, b, k, batch);
+            self.iterations[k] = 0;
+            if b_norm2 == 0.0 {
+                self.active[k] = false;
+                self.converged[k] = true;
+            } else {
+                self.active[k] = true;
+                self.converged[k] = false;
+                self.tol2[k] = PCG_REL_TOLERANCE * PCG_REL_TOLERANCE * b_norm2;
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return Ok(self.summary(batch));
+        }
+        // z = r ⊘ precond, p = z, rz = r·z — per lane.
+        for k in 0..batch {
+            if !self.active[k] {
+                continue;
+            }
+            let rk = ridge[k];
+            for i in 0..n {
+                let idx = i * batch + k;
+                self.z[idx] = self.r[idx] / precond(diag[idx], rk);
+            }
+            self.rz[k] = dot_lane(&self.r, &self.z, k, batch);
+        }
+        self.p.copy_from_slice(&self.z);
+        let max_iterations = (2 * n).clamp(32, PCG_MAX_ITERATIONS);
+        for iteration in 1..=max_iterations {
+            apply(&self.p, &mut self.ap)?;
+            for k in 0..batch {
+                if !self.active[k] {
+                    continue;
+                }
+                let rk = ridge[k];
+                if rk > 0.0 {
+                    for i in 0..n {
+                        let idx = i * batch + k;
+                        self.ap[idx] += rk * self.p[idx];
+                    }
+                }
+                let pap = dot_lane(&self.p, &self.ap, k, batch);
+                if !(pap > 0.0) || !pap.is_finite() {
+                    // Loss of positive definiteness in this lane: freeze
+                    // it on its best iterate; the other lanes continue.
+                    self.active[k] = false;
+                    self.iterations[k] = iteration;
+                    continue;
+                }
+                let alpha = self.rz[k] / pap;
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    x[idx] += alpha * self.p[idx];
+                }
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    self.r[idx] -= alpha * self.ap[idx];
+                }
+                if dot_lane(&self.r, &self.r, k, batch) <= self.tol2[k] {
+                    self.active[k] = false;
+                    self.iterations[k] = iteration;
+                    self.converged[k] = true;
+                    continue;
+                }
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    self.z[idx] = self.r[idx] / precond(diag[idx], rk);
+                }
+                let rz_next = dot_lane(&self.r, &self.z, k, batch);
+                let beta = rz_next / self.rz[k];
+                self.rz[k] = rz_next;
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    self.p[idx] = self.z[idx] + beta * self.p[idx];
+                }
+            }
+            if !self.active.iter().any(|&a| a) {
+                break;
+            }
+        }
+        for k in 0..batch {
+            if self.active[k] {
+                // Budget exhausted with the lane still live: a stall, on
+                // its best iterate, exactly as per-bin.
+                self.active[k] = false;
+                self.iterations[k] = max_iterations;
+            }
+        }
+        Ok(self.summary(batch))
+    }
+
+    fn summary(&self, batch: usize) -> PcgBatchSolve {
+        PcgBatchSolve {
+            lanes: batch,
+            total_iterations: self.iterations[..batch].iter().map(|&i| i as u64).sum(),
+            stalled_lanes: self.converged[..batch].iter().filter(|&&c| !c).count() as u64,
+        }
+    }
+
+    fn ensure(&mut self, nb: usize, batch: usize) {
+        if self.r.len() != nb {
+            self.r.resize(nb, 0.0);
+            self.z.resize(nb, 0.0);
+            self.p.resize(nb, 0.0);
+            self.ap.resize(nb, 0.0);
+        }
+        if self.rz.len() != batch {
+            self.rz.resize(batch, 0.0);
+            self.tol2.resize(batch, 0.0);
+            self.active.resize(batch, false);
+            self.iterations.resize(batch, 0);
+            self.converged.resize(batch, false);
+        }
+    }
+}
+
+/// Strided per-lane dot product over SoA vectors — the same sequential
+/// accumulation order the per-bin solver's contiguous dot uses, which is
+/// what makes each lane bit-identical to its per-bin run.
+fn dot_lane(a: &[f64], b: &[f64], k: usize, batch: usize) -> f64 {
+    a.iter()
+        .skip(k)
+        .step_by(batch)
+        .zip(b.iter().skip(k).step_by(batch))
+        .map(|(&x, &y)| x * y)
+        .sum()
+}
+
+/// Interleaves `lane` into lane `k` of the SoA vector `soa`
+/// (`soa[i*batch + k] = lane[i]`).
+pub fn scatter_lane(lane: &[f64], soa: &mut [f64], k: usize, batch: usize) {
+    for (i, &v) in lane.iter().enumerate() {
+        soa[i * batch + k] = v;
+    }
+}
+
+/// Extracts lane `k` of the SoA vector `soa` into `lane`
+/// (`lane[i] = soa[i*batch + k]`).
+pub fn gather_lane(soa: &[f64], lane: &mut [f64], k: usize, batch: usize) {
+    for (i, slot) in lane.iter_mut().enumerate() {
+        *slot = soa[i * batch + k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, PcgWorkspace};
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let data: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let b = Matrix::from_vec(n, n, data).unwrap();
+        let mut a = b.gram();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    fn diag_of(a: &Matrix) -> Vec<f64> {
+        (0..a.rows()).map(|i| a[(i, i)]).collect()
+    }
+
+    /// Batched solve over B copies of different SPD systems must be
+    /// bit-identical per lane to B per-bin solves.
+    #[test]
+    fn lanes_match_per_bin_bitwise() {
+        let n = 7;
+        let batch = 4;
+        let systems: Vec<Matrix> = (0..batch).map(|k| spd(n, 100 + k as u64)).collect();
+        let rhs: Vec<Vec<f64>> = (0..batch)
+            .map(|k| {
+                (0..n)
+                    .map(|i| (i as f64 + 1.0) * (k as f64 - 1.5))
+                    .collect()
+            })
+            .collect();
+        let ridges = [0.0, 1e-6, 0.5, 1e-9];
+
+        // SoA inputs.
+        let mut diag = vec![0.0; n * batch];
+        let mut b = vec![0.0; n * batch];
+        for k in 0..batch {
+            scatter_lane(&diag_of(&systems[k]), &mut diag, k, batch);
+            scatter_lane(&rhs[k], &mut b, k, batch);
+        }
+        let mut ws = PcgBatchWorkspace::new();
+        let mut x = vec![0.0; n * batch];
+        let mut lane_in = vec![0.0; n];
+        let out = ws
+            .solve(&diag, &ridges, &b, &mut x, batch, |v, y| {
+                for (k, sys) in systems.iter().enumerate() {
+                    gather_lane(v, &mut lane_in, k, batch);
+                    scatter_lane(&sys.matvec(&lane_in).unwrap(), y, k, batch);
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(out.lanes, batch);
+        assert!(out.all_converged());
+
+        let mut lane_x = vec![0.0; n];
+        for k in 0..batch {
+            let mut per_bin = PcgWorkspace::new();
+            let mut want = vec![0.0; n];
+            let solved = per_bin
+                .solve(
+                    &diag_of(&systems[k]),
+                    ridges[k],
+                    &rhs[k],
+                    &mut want,
+                    |v, y| {
+                        y.copy_from_slice(&systems[k].matvec(v).unwrap());
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            gather_lane(&x, &mut lane_x, k, batch);
+            assert_eq!(lane_x, want, "lane {k} diverged from per-bin");
+            assert_eq!(ws.lane_iterations()[k], solved.iterations, "lane {k} iters");
+            assert_eq!(ws.lane_converged()[k], solved.converged, "lane {k} flag");
+        }
+        assert_eq!(
+            out.total_iterations,
+            ws.lane_iterations().iter().map(|&i| i as u64).sum::<u64>()
+        );
+    }
+
+    /// A lane with b = 0 short-circuits (x = 0, 0 iterations) without
+    /// disturbing the live lanes.
+    #[test]
+    fn zero_rhs_lane_short_circuits() {
+        let n = 5;
+        let batch = 2;
+        let sys = spd(n, 3);
+        let mut diag = vec![0.0; n * batch];
+        let mut b = vec![0.0; n * batch];
+        scatter_lane(&diag_of(&sys), &mut diag, 0, batch);
+        scatter_lane(&diag_of(&sys), &mut diag, 1, batch);
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        scatter_lane(&rhs, &mut b, 0, batch);
+        // Lane 1 stays all-zero.
+        let mut ws = PcgBatchWorkspace::new();
+        let mut x = vec![1.0; n * batch];
+        let mut lane_in = vec![0.0; n];
+        let out = ws
+            .solve(&diag, &[0.0, 0.0], &b, &mut x, batch, |v, y| {
+                for k in 0..batch {
+                    gather_lane(v, &mut lane_in, k, batch);
+                    scatter_lane(&sys.matvec(&lane_in).unwrap(), y, k, batch);
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.all_converged());
+        assert_eq!(ws.lane_iterations()[1], 0);
+        let mut lane_x = vec![0.0; n];
+        gather_lane(&x, &mut lane_x, 1, batch);
+        assert_eq!(lane_x, vec![0.0; n]);
+        gather_lane(&x, &mut lane_x, 0, batch);
+        assert!(lane_x.iter().any(|&v| v != 0.0));
+    }
+
+    /// An all-zero batch never applies the operator.
+    #[test]
+    fn all_zero_batch_skips_operator() {
+        let mut ws = PcgBatchWorkspace::new();
+        let mut x = vec![9.0; 6];
+        let out = ws
+            .solve(&[1.0; 6], &[0.0, 0.0], &[0.0; 6], &mut x, 2, |_, _| {
+                panic!("operator must not be applied for an all-zero batch")
+            })
+            .unwrap();
+        assert_eq!(out.total_iterations, 0);
+        assert!(out.all_converged());
+        assert_eq!(x, [0.0; 6]);
+    }
+
+    /// An indefinite lane stalls without corrupting the SPD lane next to
+    /// it.
+    #[test]
+    fn indefinite_lane_stalls_in_isolation() {
+        let n = 4;
+        let batch = 2;
+        let sys = spd(n, 11);
+        let mut diag = vec![0.0; n * batch];
+        scatter_lane(&diag_of(&sys), &mut diag, 0, batch);
+        scatter_lane(&vec![-1.0; n], &mut diag, 1, batch);
+        let mut b = vec![0.0; n * batch];
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        scatter_lane(&rhs, &mut b, 0, batch);
+        scatter_lane(&rhs, &mut b, 1, batch);
+        let mut ws = PcgBatchWorkspace::new();
+        let mut x = vec![0.0; n * batch];
+        let mut lane_in = vec![0.0; n];
+        let out = ws
+            .solve(&diag, &[0.0, 0.0], &b, &mut x, batch, |v, y| {
+                gather_lane(v, &mut lane_in, 0, batch);
+                scatter_lane(&sys.matvec(&lane_in).unwrap(), y, 0, batch);
+                // Lane 1 applies -I.
+                for i in 0..n {
+                    y[i * batch + 1] = -v[i * batch + 1];
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(out.stalled_lanes, 1);
+        assert!(ws.lane_converged()[0]);
+        assert!(!ws.lane_converged()[1]);
+        // The SPD lane still matches its per-bin solve bitwise.
+        let mut per_bin = PcgWorkspace::new();
+        let mut want = vec![0.0; n];
+        per_bin
+            .solve(&diag_of(&sys), 0.0, &rhs, &mut want, |v, y| {
+                y.copy_from_slice(&sys.matvec(v).unwrap());
+                Ok(())
+            })
+            .unwrap();
+        let mut lane_x = vec![0.0; n];
+        gather_lane(&x, &mut lane_x, 0, batch);
+        assert_eq!(lane_x, want);
+        gather_lane(&x, &mut lane_x, 1, batch);
+        assert!(lane_x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let mut ws = PcgBatchWorkspace::new();
+        let ok = |_: &[f64], _: &mut [f64]| Ok(());
+        let mut x = vec![0.0; 4];
+        // Zero batch width.
+        assert!(ws.solve(&[1.0; 4], &[], &[1.0; 4], &mut x, 0, ok).is_err());
+        // Length not a multiple of the width.
+        assert!(ws
+            .solve(&[1.0; 3], &[0.0, 0.0], &[1.0; 3], &mut x[..3], 2, ok)
+            .is_err());
+        // Mismatched x / diag / ridge lengths.
+        assert!(ws
+            .solve(&[1.0; 4], &[0.0, 0.0], &[1.0; 4], &mut x[..2], 2, ok)
+            .is_err());
+        assert!(ws
+            .solve(&[1.0; 2], &[0.0, 0.0], &[1.0; 4], &mut x, 2, ok)
+            .is_err());
+        assert!(ws
+            .solve(&[1.0; 4], &[0.0], &[1.0; 4], &mut x, 2, ok)
+            .is_err());
+        // Negative / NaN ridge.
+        assert!(ws
+            .solve(&[1.0; 4], &[0.0, -1.0], &[1.0; 4], &mut x, 2, ok)
+            .is_err());
+        assert!(ws
+            .solve(&[1.0; 4], &[f64::NAN, 0.0], &[1.0; 4], &mut x, 2, ok)
+            .is_err());
+    }
+
+    #[test]
+    fn options_defaults_and_setters() {
+        let o = BatchOptions::default();
+        assert_eq!(o.width(), 1);
+        assert_eq!(o.precision(), Precision::F64);
+        let o = BatchOptions::new()
+            .with_width(0)
+            .with_precision(Precision::F32);
+        assert_eq!(o.width(), 1, "width clamps to >= 1");
+        assert_eq!(o.precision(), Precision::F32);
+        assert_eq!(BatchOptions::new().with_width(16).width(), 16);
+        assert_eq!(Precision::F64.name(), "f64");
+        assert_eq!(Precision::F32.name(), "f32");
+    }
+}

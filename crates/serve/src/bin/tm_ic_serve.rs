@@ -154,7 +154,7 @@ fn offline_reports(
 ) -> Result<Vec<WindowReport>, Box<dyn std::error::Error>> {
     let topo = spec.build_topology()?;
     let model = ObservationModel::new(&topo, spec.routing)?;
-    let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
+    let pipeline = EstimationPipeline::new(model).config(spec.estimation_config());
     let mut stream = ReplayStream::new(series.slice_bins(0, bins)?);
     let report = replay_estimation(&mut stream, pipeline, &spec.replay_options())?;
     Ok(report.windows)

@@ -32,7 +32,9 @@ use crate::wire::StatsFormat;
 use crate::{Result, ServeError};
 use ic_core::{improvement_percent, mean_rel_l2};
 use ic_engine::{Engine, WorkspacePool};
-use ic_estimation::{EstimationPipeline, GravityPrior, ObservationModel, PipelineWorkspace};
+use ic_estimation::{
+    EstimationPipeline, GravityPrior, ObservationModel, PipelineBatchWorkspace, PipelineWorkspace,
+};
 use ic_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ic_stream::{
     DriftDetector, OnlineEstimator, ParamForecast, ParamForecaster, StreamError, StreamMetrics,
@@ -98,8 +100,9 @@ impl std::fmt::Display for TenantEvent {
 
 /// Magic bytes opening every journal.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"ICJL";
-/// Current journal format version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Current journal format version (2: tenant specs carry batched-
+/// execution fields).
+pub const JOURNAL_VERSION: u32 = 2;
 
 const RECORD_REGISTER: u8 = 0;
 const RECORD_INGEST: u8 = 1;
@@ -137,9 +140,9 @@ impl Tenant {
         spec.validate()?;
         let topology = spec.build_topology()?;
         let model = ObservationModel::new(&topology, spec.routing)?;
-        let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
-        let mut candidate =
-            StreamingTomogravity::new(pipeline.clone()).with_fit_options(spec.fit.clone());
+        let config = spec.estimation_config();
+        let pipeline = EstimationPipeline::new(model).config(config.clone());
+        let mut candidate = StreamingTomogravity::new(pipeline.clone()).config(config);
         if let Some(m) = metrics {
             candidate.set_metrics(Arc::clone(&m.stream));
         }
@@ -236,6 +239,8 @@ pub struct Service {
     tenants: Vec<Tenant>,
     /// Per-worker scratch for the gravity-baseline jobs (result-neutral).
     scratch: WorkspacePool<PipelineWorkspace>,
+    /// SoA scratch for gravity-baseline jobs of batched tenants.
+    batch_scratch: WorkspacePool<PipelineBatchWorkspace>,
     journal: Option<Vec<u8>>,
     /// Observability handles; absent (the default) every recording site
     /// is a single branch. Metrics never change results.
@@ -266,6 +271,7 @@ impl Service {
             engine,
             tenants: Vec::new(),
             scratch: WorkspacePool::new(),
+            batch_scratch: WorkspacePool::new(),
             journal: None,
             metrics: None,
         }
@@ -497,6 +503,7 @@ impl Service {
             }
             let tenants = &self.tenants;
             let round_ref = &round;
+            let batch_scratch = &self.batch_scratch;
             let outs: Vec<StepOut> = self
                 .engine
                 .run(round.len() * 2, &self.scratch, |j, ws| {
@@ -521,10 +528,20 @@ impl Service {
                             .model()
                             .observe(&window.series)
                             .map_err(StreamError::from)?;
-                        let estimate = tenant
-                            .pipeline
-                            .estimate_with(&GravityPrior, &obs, ws)
-                            .map_err(StreamError::from)?;
+                        // Batched tenants feed the baseline through the
+                        // SoA multi-bin kernel too (bit-identical at f64;
+                        // the serial inner engine keeps this one job).
+                        let estimate = if tenant.pipeline.batch_options().width() > 1 {
+                            tenant.pipeline.estimate_batch_parallel_pooled(
+                                &GravityPrior,
+                                &obs,
+                                &Engine::serial(),
+                                batch_scratch,
+                            )
+                        } else {
+                            tenant.pipeline.estimate_with(&GravityPrior, &obs, ws)
+                        }
+                        .map_err(StreamError::from)?;
                         let error =
                             mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
                         Ok(StepOut::Baseline(error))

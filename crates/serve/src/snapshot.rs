@@ -14,7 +14,7 @@
 use crate::codec::{Dec, Enc};
 use crate::spec::TenantSpec;
 use crate::{Result, ServeError};
-use ic_core::{FitResult, StableFpParams};
+use ic_core::{FitReport, StableFpParams};
 use ic_linalg::{Matrix, SolveStats};
 use ic_stream::{
     DriftDetectorState, ParamForecasterState, StreamingTomogravityState, WindowerState,
@@ -22,8 +22,9 @@ use ic_stream::{
 
 /// Magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ICSV";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (2: tenant specs carry batched-
+/// execution fields).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One tenant's complete persisted state.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,7 +113,7 @@ fn decode_windower(d: &mut Dec<'_>) -> Result<WindowerState> {
     })
 }
 
-fn encode_fit(e: &mut Enc, fit: Option<&FitResult>) {
+fn encode_fit(e: &mut Enc, fit: Option<&FitReport<StableFpParams>>) {
     let Some(fit) = fit else {
         e.put_bool(false);
         return;
@@ -132,7 +133,7 @@ fn encode_fit(e: &mut Enc, fit: Option<&FitResult>) {
     e.put_u64(fit.solve_stats.fallbacks);
 }
 
-fn decode_fit(d: &mut Dec<'_>) -> Result<Option<FitResult>> {
+fn decode_fit(d: &mut Dec<'_>) -> Result<Option<FitReport<StableFpParams>>> {
     if !d.take_bool()? {
         return Ok(None);
     }
@@ -151,7 +152,7 @@ fn decode_fit(d: &mut Dec<'_>) -> Result<Option<FitResult>> {
         pcg_stalls: d.take_u64()?,
         fallbacks: d.take_u64()?,
     };
-    Ok(Some(FitResult {
+    Ok(Some(FitReport {
         params: StableFpParams {
             f,
             preference,
@@ -252,7 +253,7 @@ mod tests {
                 produced: 2,
             },
             estimator: StreamingTomogravityState {
-                previous: Some(FitResult {
+                previous: Some(FitReport {
                     params: StableFpParams {
                         f: 0.27,
                         preference: vec![0.6, 0.4],

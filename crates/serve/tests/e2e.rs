@@ -45,7 +45,7 @@ fn series_for(seed: u64, nodes: usize, bins: usize) -> TmSeries {
 fn offline_windows(spec: &TenantSpec, series: &TmSeries) -> Vec<WindowReport> {
     let topo = spec.build_topology().unwrap();
     let model = ObservationModel::new(&topo, spec.routing).unwrap();
-    let pipeline = EstimationPipeline::new(model).with_solver(spec.fit.solver);
+    let pipeline = EstimationPipeline::new(model).config(spec.estimation_config());
     let mut stream = ReplayStream::new(series.clone());
     replay_estimation(&mut stream, pipeline, &spec.replay_options())
         .unwrap()

@@ -21,10 +21,14 @@ use crate::metrics::StreamMetrics;
 use crate::window::Window;
 use crate::{Result, StreamError};
 use ic_core::{
-    fit_stable_fp, gravity_from_marginals, mean_rel_l2, FitOptions, FitResult, TmSeries,
+    fit_stable_fp, gravity_from_marginals, mean_rel_l2, FitOptions, FitReport, StableFpParams,
+    TmSeries,
 };
 use ic_engine::{Engine, WorkspacePool};
-use ic_estimation::{EstimationPipeline, GravityPrior, PipelineWorkspace, StableFpPrior, TmPrior};
+use ic_estimation::{
+    EstimationConfig, EstimationPipeline, GravityPrior, PipelineBatchWorkspace, PipelineWorkspace,
+    StableFpPrior, TmPrior,
+};
 use ic_linalg::SolveStats;
 use ic_obs::Span;
 use std::sync::Arc;
@@ -183,7 +187,7 @@ impl OnlineEstimator for OnlineGravity {
 pub struct WarmStartIcFit {
     options: FitOptions,
     warm: bool,
-    previous: Option<FitResult>,
+    previous: Option<FitReport<StableFpParams>>,
 }
 
 impl WarmStartIcFit {
@@ -208,7 +212,7 @@ impl WarmStartIcFit {
     }
 
     /// The most recent window's fit, once a window has been processed.
-    pub fn last_fit(&self) -> Option<&FitResult> {
+    pub fn last_fit(&self) -> Option<&FitReport<StableFpParams>> {
         self.previous.as_ref()
     }
 
@@ -272,7 +276,7 @@ impl OnlineEstimator for WarmStartIcFit {
 pub struct StreamingTomogravityState {
     /// The rolling fit carried from the most recent processed window
     /// (`None` in the cold-start condition).
-    pub previous: Option<FitResult>,
+    pub previous: Option<FitReport<StableFpParams>>,
 }
 
 /// Streaming tomogravity/IPF with a rolling IC prior.
@@ -290,7 +294,7 @@ pub struct StreamingTomogravityState {
 pub struct StreamingTomogravity {
     pipeline: EstimationPipeline,
     fit_options: FitOptions,
-    previous: Option<FitResult>,
+    previous: Option<FitReport<StableFpParams>>,
     /// Bin-sharding engine for the per-window pipeline run (serial by
     /// default; thread count never changes results).
     engine: Engine,
@@ -300,6 +304,10 @@ pub struct StreamingTomogravity {
     /// multi-thread engines add only small per-window scheduling
     /// allocations.
     pool: WorkspacePool<PipelineWorkspace>,
+    /// SoA scratch for the batched multi-bin path, checked out when the
+    /// pipeline's configured batch width exceeds 1. Kept separate from
+    /// `pool` so switching widths never mixes workspace shapes.
+    batch_pool: WorkspacePool<PipelineBatchWorkspace>,
     /// Optional observability handles; recording is result-neutral
     /// (atomics only, never on the numeric path).
     metrics: Option<Arc<StreamMetrics>>,
@@ -315,8 +323,18 @@ impl StreamingTomogravity {
             previous: None,
             engine: Engine::serial(),
             pool: WorkspacePool::new(),
+            batch_pool: WorkspacePool::new(),
             metrics: None,
         }
+    }
+
+    /// Applies a unified [`EstimationConfig`] in one call: the pipeline
+    /// takes the tomogravity/IPF/solver/batch/metrics settings, and the
+    /// rolling per-window fit takes `config.fit`.
+    pub fn config(mut self, config: EstimationConfig) -> Self {
+        self.fit_options = config.fit.clone();
+        self.pipeline = self.pipeline.config(config);
+        self
     }
 
     /// Attaches pre-registered streaming metrics: per-window latency into
@@ -334,17 +352,23 @@ impl StreamingTomogravity {
     }
 
     /// Sets the options of the rolling per-window fit.
-    pub fn with_fit_options(mut self, options: FitOptions) -> Self {
-        self.fit_options = options;
-        self
+    #[deprecated(note = "use `config` with `EstimationConfig::with_fit`")]
+    pub fn with_fit_options(self, options: FitOptions) -> Self {
+        let config = self.pipeline.estimation_config().clone().with_fit(options);
+        self.config(config)
     }
 
     /// Selects the normal-equations solver for both the per-window
     /// tomogravity refinement and the rolling BCD fit.
-    pub fn with_solver(mut self, policy: ic_core::SolverPolicy) -> Self {
-        self.pipeline = self.pipeline.with_solver(policy);
-        self.fit_options = self.fit_options.clone().with_solver(policy);
-        self
+    #[deprecated(note = "use `config` with `EstimationConfig::with_solver`")]
+    pub fn with_solver(self, policy: ic_core::SolverPolicy) -> Self {
+        let config = self
+            .pipeline
+            .estimation_config()
+            .clone()
+            .with_fit(self.fit_options.clone())
+            .with_solver(policy);
+        self.config(config)
     }
 
     /// Shards each window's pipeline run across the engine's worker pool.
@@ -355,7 +379,7 @@ impl StreamingTomogravity {
     }
 
     /// The most recent window's rolling fit.
-    pub fn last_fit(&self) -> Option<&FitResult> {
+    pub fn last_fit(&self) -> Option<&FitReport<StableFpParams>> {
         self.previous.as_ref()
     }
 
@@ -376,11 +400,16 @@ impl StreamingTomogravity {
         self.previous = state.previous;
     }
 
-    /// Sum of the cumulative solver counters across the pool's idle
+    /// Sum of the cumulative solver counters across both pools' idle
     /// workspaces. Between windows every workspace is idle, so deltas of
-    /// this sum are per-window solver work.
+    /// this sum are per-window solver work (only one pool accumulates,
+    /// depending on the configured batch width).
     fn pool_solve_stats(&self) -> SolveStats {
-        self.pool.fold_idle(SolveStats::default(), |mut acc, ws| {
+        let per_bin = self.pool.fold_idle(SolveStats::default(), |mut acc, ws| {
+            acc.merge(&ws.solve_stats());
+            acc
+        });
+        self.batch_pool.fold_idle(per_bin, |mut acc, ws| {
             acc.merge(&ws.solve_stats());
             acc
         })
@@ -409,10 +438,21 @@ impl OnlineEstimator for StreamingTomogravity {
             Some(fit) => Box::new(StableFpPrior::from_fit(fit)),
             None => Box::new(GravityPrior),
         };
-        let estimate = self
-            .pipeline
-            .estimate_parallel_pooled(prior.as_ref(), &obs, &self.engine, &self.pool)
-            .map_err(StreamError::from)?;
+        // Batch width > 1 routes the window through the SoA multi-bin
+        // kernel; width 1 keeps the per-bin path. Both are bit-identical
+        // in f64 (the batched kernel accumulates in per-bin order).
+        let estimate = if self.pipeline.batch_options().width() > 1 {
+            self.pipeline.estimate_batch_parallel_pooled(
+                prior.as_ref(),
+                &obs,
+                &self.engine,
+                &self.batch_pool,
+            )
+        } else {
+            self.pipeline
+                .estimate_parallel_pooled(prior.as_ref(), &obs, &self.engine, &self.pool)
+        }
+        .map_err(StreamError::from)?;
         let error = mean_rel_l2(&window.series, &estimate).map_err(StreamError::from)?;
         // The window's TM has now "been measured": refresh the rolling
         // fit for the next window, warm-starting from the current one.
@@ -571,7 +611,7 @@ mod tests {
             .take_windows(&mut stream, None)
             .unwrap();
         let mut est = StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
-            .with_fit_options(FitOptions::default());
+            .config(EstimationConfig::new().with_fit(FitOptions::default()));
         assert_eq!(est.name(), "streaming-tomogravity");
         let mut errors = Vec::new();
         for w in &ws {
@@ -609,9 +649,9 @@ mod tests {
             .take_windows(&mut stream, None)
             .unwrap();
         let mut dense = StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
-            .with_solver(ic_core::SolverPolicy::Dense);
+            .config(EstimationConfig::new().with_solver(ic_core::SolverPolicy::Dense));
         let mut pcg = StreamingTomogravity::new(EstimationPipeline::new(om))
-            .with_solver(ic_core::SolverPolicy::Pcg);
+            .config(EstimationConfig::new().with_solver(ic_core::SolverPolicy::Pcg));
         for w in &ws {
             let ed = dense.process(w).unwrap();
             let ep = pcg.process(w).unwrap();
@@ -627,6 +667,68 @@ mod tests {
             assert_eq!(ed.solve_stats.pcg_solves, 0);
             assert!(ep.solve_stats.pcg_solves > 0);
             assert!(ep.solve_stats.pcg_iterations > 0);
+        }
+    }
+
+    #[test]
+    fn batched_streaming_is_bit_identical_to_per_bin_streaming() {
+        let topo = ring_topology(5);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(31).with_nodes(5).with_bins(18)).unwrap();
+        let ws = Windower::tumbling(6)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        // The per-bin reference and three batched variants, including a
+        // width that does not divide the window and one that exceeds it.
+        let mut per_bin = StreamingTomogravity::new(EstimationPipeline::new(om.clone()));
+        let mut batched: Vec<StreamingTomogravity> = [2usize, 4, 8]
+            .iter()
+            .map(|&w| {
+                StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
+                    .config(EstimationConfig::new().with_batch_width(w))
+            })
+            .collect();
+        for w in &ws {
+            let a = per_bin.process(w).unwrap();
+            for est in &mut batched {
+                let b = est.process(w).unwrap();
+                assert_eq!(a.estimate, b.estimate, "window {}", w.index);
+                assert_eq!(a.error.to_bits(), b.error.to_bits());
+                assert_eq!(a.fitted_f, b.fitted_f);
+                assert_eq!(a.fit_objective, b.fit_objective);
+                assert_eq!(a.solve_stats, b.solve_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_streaming_setters_forward_to_config() {
+        let topo = ring_topology(4);
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut stream =
+            SyntheticStream::new(SynthConfig::geant_like(37).with_nodes(4).with_bins(8)).unwrap();
+        let ws = Windower::tumbling(4)
+            .unwrap()
+            .take_windows(&mut stream, None)
+            .unwrap();
+        #[allow(deprecated)]
+        let mut ladder = StreamingTomogravity::new(EstimationPipeline::new(om.clone()))
+            .with_fit_options(FitOptions::default().with_max_sweeps(7))
+            .with_solver(ic_core::SolverPolicy::Pcg);
+        let mut unified = StreamingTomogravity::new(EstimationPipeline::new(om)).config(
+            EstimationConfig::new()
+                .with_fit(FitOptions::default().with_max_sweeps(7))
+                .with_solver(ic_core::SolverPolicy::Pcg),
+        );
+        for w in &ws {
+            let a = ladder.process(w).unwrap();
+            let b = unified.process(w).unwrap();
+            assert_eq!(a.estimate, b.estimate, "window {}", w.index);
+            assert_eq!(a.fit_objective, b.fit_objective);
+            assert_eq!(a.solve_stats, b.solve_stats);
+            assert!(a.solve_stats.pcg_solves > 0);
         }
     }
 

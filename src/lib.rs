@@ -150,14 +150,14 @@ pub mod prelude {
     pub use ic_datasets::{build_d1, build_d2, Dataset, GeantConfig, TotemConfig};
     pub use ic_engine::{default_threads, Engine, Shard, ShardPlan, WorkspacePool};
     pub use ic_estimation::{
-        compare_priors, compare_priors_with, EstimationPipeline, GravityPrior, IpfOptions,
-        MeasuredIcPrior, ObservationModel, Observations, StableFPrior, StableFpPrior, TmPrior,
-        TomogravityOptions,
+        compare_priors, compare_priors_with, EstimationConfig, EstimationPipeline, GravityPrior,
+        IpfOptions, MeasuredIcPrior, ObservationModel, Observations, StableFPrior, StableFpPrior,
+        TmPrior, TomogravityOptions,
     };
     pub use ic_experiment::{
         PriorStrategy, Report, Runner, Scenario, ScenarioReport, Source, Task, TopologySpec,
     };
-    pub use ic_linalg::{Matrix, SolveStats, SolverPolicy};
+    pub use ic_linalg::{BatchOptions, Matrix, Precision, SolveStats, SolverPolicy};
     pub use ic_obs::{MetricsRegistry, Span};
     pub use ic_serve::{
         Client, Server, Service, StatsFormat, TenantEvent, TenantSnapshot, TenantSpec,
