@@ -34,21 +34,39 @@
 //! then timed, and the per-width throughput is emitted as
 //! `bins_per_sec_batch{B}` (the `B ∈ {1, 16}` keys are perf-gated).
 //!
+//! `--mode flat|multilevel|both` selects the decomposition paths under
+//! test (default `both`). `both` augments every size with the
+//! partition-aware multilevel solve (coarse quotient + per-cluster
+//! blocks, [`MultilevelPipeline`]) on the same observations: its error
+//! against the synthetic truth is asserted to stay within
+//! `ML_ERR_MARGIN` of the flat pipeline's error **before** anything is
+//! timed, and `multilevel_secs_per_bin` joins the perf-gated keys.
+//! `multilevel` is the scale sweep the flat path cannot follow: a
+//! streaming single-path observation generator produces link loads
+//! without ever materializing the `links x n²` routing matrix or the
+//! `n²` traffic vector, so 10k–20k-node topologies fit in bounded
+//! memory; the flat pipeline is run for cross-checking and timing only
+//! up to `--flat-max` nodes (default 1000), and the sweep writes
+//! `BENCH_estimation_multilevel.json`.
+//!
 //! Usage: `estimation_perf [--scale smoke|full] [--sizes 50,100,200]
 //! [--bins N] [--dense-max N] [--threads N] [--shard-bins N]
-//! [--solver auto|dense|pcg] [--batch 1,4,16] [--out PATH]`.
+//! [--solver auto|dense|pcg] [--batch 1,4,16]
+//! [--mode flat|multilevel|both] [--flat-max N] [--out PATH]`.
 
 use ic_bench::{arg_value, json_f, out_path, Scale};
-use ic_core::{generate_synthetic, SynthConfig};
+use ic_core::{generate_synthetic, mean_rel_l2, SynthConfig, TmSeries};
 use ic_engine::{default_threads, Engine, WorkspacePool};
 use ic_estimation::{
-    EstimationConfig, EstimationPipeline, GravityPrior, ObservationModel, PipelineBatchWorkspace,
-    PipelineMetrics, PipelineWorkspace, SolveStats, SolverPolicy, TmPrior, Tomogravity,
-    TomogravityOptions, TomogravityWorkspace,
+    EstimationConfig, EstimationPipeline, GravityPrior, MultilevelPipeline, ObservationModel,
+    Observations, PipelineBatchWorkspace, PipelineMetrics, PipelineWorkspace, SolveStats,
+    SolverPolicy, TmPrior, Tomogravity, TomogravityOptions, TomogravityWorkspace,
 };
+use ic_linalg::Matrix;
 use ic_obs::{MetricsRegistry, Span};
-use ic_topology::{hierarchical, HierarchicalConfig, RoutingScheme};
+use ic_topology::{hierarchical, HierarchicalConfig, Partition, RoutingScheme, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -129,6 +147,10 @@ struct SizeResult {
     /// `(B, bins_per_sec)`. Every width is asserted bit-identical to the
     /// serial per-bin estimate before it is timed.
     batch_sweep: Vec<(usize, f64)>,
+    /// Multilevel solve on the same observations (`--mode both`): timing
+    /// plus the truth-relative errors of both paths, asserted within
+    /// `ML_ERR_MARGIN` before the timing ran.
+    multilevel: Option<MlNumbers>,
 }
 
 fn default_sizes(scale: Scale) -> Vec<usize> {
@@ -174,6 +196,320 @@ fn parse_batch(spec: &str) -> Vec<usize> {
     widths
 }
 
+/// Which decomposition paths a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The classic flat sweep only.
+    Flat,
+    /// The multilevel scale sweep with its streaming observation
+    /// generator; flat runs for cross-checking up to `--flat-max`.
+    Multilevel,
+    /// The flat sweep with the multilevel solve piggybacked on every
+    /// size (the CI default, so `multilevel_secs_per_bin` is always
+    /// emitted and gated).
+    Both,
+}
+
+fn parse_mode(spec: &str) -> Mode {
+    match spec {
+        "flat" => Mode::Flat,
+        "multilevel" => Mode::Multilevel,
+        "both" => Mode::Both,
+        other => panic!("--mode {other:?} is not one of flat|multilevel|both"),
+    }
+}
+
+/// How much worse (mean relative L2 vs truth) the multilevel estimate
+/// may be than the flat estimate before the bench fails. The coarse
+/// level loses intra-vs-inter attribution detail, so a small additive
+/// margin is expected; a blow-up here means the decomposition is broken,
+/// and the assertion fires before any multilevel timing is recorded.
+const ML_ERR_MARGIN: f64 = 0.25;
+
+/// Groups the generator's per-backbone clusters (10 nodes each) into
+/// contiguous super-clusters of roughly `2·sqrt(n)` nodes. Per-backbone
+/// clusters would make the quotient itself a large ring — coarse paths
+/// of O(k) hops and a quadratic-in-k coarse solve — while sqrt-sized
+/// groups balance the coarse solve against the per-cluster solves.
+fn grouped_partition(topo: &Topology, cfg: &HierarchicalConfig) -> Partition {
+    let backbone_of = cfg.cluster_assignment();
+    let target = ((topo.node_count() as f64).sqrt() / 2.0).round().max(2.0) as usize;
+    let group = cfg.backbones.div_ceil(target).max(1);
+    let assign: Vec<usize> = backbone_of.iter().map(|&k| k / group).collect();
+    Partition::from_assignment(topo, &assign)
+        .expect("contiguous backbone groups are a valid partition")
+}
+
+/// splitmix64: the bench's deterministic weight source (no RNG state to
+/// thread through).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Normalized gravity weights in `[0.25, 2.0)` before normalization —
+/// enough spread to make the solve non-trivial, no heavy tail that
+/// would starve small clusters of traffic.
+fn gravity_weights(n: usize, salt: u64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n)
+        .map(|i| 0.25 + 1.75 * (splitmix(salt ^ (i as u64)) as f64 / u64::MAX as f64))
+        .collect();
+    let sum: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// Min-heap entry for the generator's Dijkstra (reversed distance order,
+/// node-id tie-break for determinism — same rule as `ic-topology`).
+#[derive(PartialEq)]
+struct MinDist {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for MinDist {}
+
+impl PartialOrd for MinDist {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinDist {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Streaming single-path link loads for a unit-total gravity matrix
+/// `T[s][t] = o[s]·d[t]` (`s ≠ t`): one reverse Dijkstra per destination
+/// plus a flow-accumulation pass down the forwarding tree, replicating
+/// `RoutingScheme::SinglePath`'s lowest-link-id tie-break. `O(n·(m +
+/// n log n))` time and `O(n + m)` working memory — never the `links x
+/// n²` routing matrix, which is what lets the multilevel sweep reach
+/// sizes the flat observation model cannot.
+fn single_path_unit_loads(topo: &Topology, o: &[f64], d: &[f64]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let n = topo.node_count();
+    let links = topo.links();
+    // Reverse adjacency for the to-destination Dijkstra, forward
+    // adjacency in link-id order for the deterministic next-hop pick.
+    let mut rev: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut fwd: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n];
+    for (lid, l) in links.iter().enumerate() {
+        rev[l.to].push((l.from, l.igp_weight));
+        fwd[l.from].push((lid, l.to, l.igp_weight));
+    }
+    let mut y = vec![0.0; links.len()];
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    let mut load = vec![0.0; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for t in 0..n {
+        dist.fill(f64::INFINITY);
+        done.fill(false);
+        order.clear();
+        dist[t] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(MinDist { dist: 0.0, node: t });
+        while let Some(MinDist { dist: du, node: u }) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            order.push(u);
+            for &(from, w) in &rev[u] {
+                let nd = du + w;
+                if nd + EPS < dist[from] {
+                    dist[from] = nd;
+                    heap.push(MinDist {
+                        dist: nd,
+                        node: from,
+                    });
+                }
+            }
+        }
+        assert_eq!(
+            order.len(),
+            n,
+            "generator requires a strongly connected topology"
+        );
+        // Farthest-first: every node's accumulated load is final before
+        // it is pushed one hop closer to `t` (positive weights make the
+        // next hop strictly closer).
+        for &s in order.iter().rev() {
+            if s == t {
+                continue;
+            }
+            load[s] += o[s] * d[t];
+            let mut pushed = false;
+            for &(lid, to, w) in &fwd[s] {
+                if (w + dist[to] - dist[s]).abs() < EPS {
+                    y[lid] += load[s];
+                    load[to] += load[s];
+                    pushed = true;
+                    break; // lowest link id, as in RoutingScheme::SinglePath
+                }
+            }
+            assert!(pushed, "no shortest-path next hop from node {s}");
+            load[s] = 0.0;
+        }
+        load[t] = 0.0;
+    }
+    y
+}
+
+/// Multilevel numbers piggybacked on a flat size sweep (`--mode both`).
+struct MlNumbers {
+    clusters: usize,
+    boundary_link_fraction: f64,
+    secs_per_bin: f64,
+    rel_err: f64,
+    flat_rel_err: f64,
+}
+
+/// One size of the `--mode multilevel` scale sweep.
+struct MlSizeResult {
+    nodes: usize,
+    links: usize,
+    clusters: usize,
+    boundary_link_fraction: f64,
+    bins: usize,
+    multilevel_secs_per_bin: f64,
+    flat_secs_per_bin: Option<f64>,
+    speedup_vs_flat: Option<f64>,
+    multilevel_rel_err: Option<f64>,
+    flat_rel_err: Option<f64>,
+}
+
+/// Benches one size of the multilevel scale sweep: streaming
+/// observations, multilevel solve timing, and — up to `flat_max` nodes —
+/// the flat pipeline on the same observations for the accuracy assertion
+/// and the speedup column.
+fn bench_multilevel_size(
+    nodes: usize,
+    bins: usize,
+    flat_max: usize,
+    engine: Engine,
+    policy: SolverPolicy,
+) -> MlSizeResult {
+    let cfg = HierarchicalConfig::new((nodes / 10).max(1), 9, 20060419);
+    let topo = hierarchical(&cfg).expect("generator config is valid");
+    let n = topo.node_count();
+    let links = topo.link_count();
+    let partition = grouped_partition(&topo, &cfg);
+    let clusters = partition.cluster_count();
+    let boundary_link_fraction = partition.boundary_link_fraction();
+
+    // Gravity truth `T[i][j](b) = total_b·o_i·d_j`, observed under
+    // single-path routing by the streaming generator; marginals are
+    // analytic (`Σ_{j≠i} d_j = 1 − d_i`), so nothing `n²`-sized exists
+    // unless the flat cross-check below materializes the truth.
+    let o = gravity_weights(n, 0xA11C_E5EE_D000 + n as u64);
+    let d = gravity_weights(n, 0xB0B5_EED0_0000 + n as u64);
+    let y_unit = single_path_unit_loads(&topo, &o, &d);
+    let totals: Vec<f64> = (0..bins)
+        .map(|b| n as f64 * 1e6 * (1.0 + 0.1 * b as f64))
+        .collect();
+    let mut obs = Observations {
+        y: Matrix::zeros(links, bins),
+        ingress: Matrix::zeros(n, bins),
+        egress: Matrix::zeros(n, bins),
+        bin_seconds: 300.0,
+    };
+    for (b, &total) in totals.iter().enumerate() {
+        for (l, &unit) in y_unit.iter().enumerate() {
+            obs.y[(l, b)] = unit * total;
+        }
+        for i in 0..n {
+            obs.ingress[(i, b)] = total * o[i] * (1.0 - d[i]);
+            obs.egress[(i, b)] = total * d[i] * (1.0 - o[i]);
+        }
+    }
+
+    let config = EstimationConfig::new().with_solver(policy);
+    let ml = MultilevelPipeline::new(&topo, RoutingScheme::SinglePath, partition, config.clone())
+        .expect("quotient of backbone groups is strongly connected");
+
+    // Flat cross-check, only where the full `links x n²` observation
+    // model is tractable. The accuracy assertion runs before any timing.
+    let (flat_secs_per_bin, multilevel_rel_err, flat_rel_err) = if n <= flat_max {
+        let om =
+            ObservationModel::new(&topo, RoutingScheme::SinglePath).expect("strongly connected");
+        let flat = EstimationPipeline::new(om).config(config.clone());
+        let mut pws = PipelineWorkspace::new();
+        let flat_est = flat
+            .estimate_with(&GravityPrior, &obs, &mut pws)
+            .expect("flat estimate");
+        let mut truth = TmSeries::zeros(n, bins, 300.0).expect("truth dims");
+        for (b, &total) in totals.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        truth
+                            .set(i, j, b, total * o[i] * d[j])
+                            .expect("truth in bounds");
+                    }
+                }
+            }
+        }
+        let ml_mat = ml
+            .estimate_parallel(&GravityPrior, &obs, &engine)
+            .expect("multilevel estimate")
+            .materialize()
+            .expect("materialize");
+        let ml_err = mean_rel_l2(&truth, &ml_mat).expect("series align");
+        let flat_err = mean_rel_l2(&truth, &flat_est).expect("series align");
+        assert!(
+            ml_err <= flat_err + ML_ERR_MARGIN,
+            "multilevel error {ml_err:.4} exceeds flat {flat_err:.4} + {ML_ERR_MARGIN} at {n} nodes"
+        );
+        let secs = time_min(
+            || {
+                flat.estimate_with(&GravityPrior, &obs, &mut pws)
+                    .expect("flat estimate");
+            },
+            0.5,
+            20,
+        );
+        (Some(secs / bins as f64), Some(ml_err), Some(flat_err))
+    } else {
+        (None, None, None)
+    };
+
+    ml.estimate_parallel(&GravityPrior, &obs, &engine)
+        .expect("multilevel warm-up");
+    let ml_secs = time_min(
+        || {
+            ml.estimate_parallel(&GravityPrior, &obs, &engine)
+                .expect("multilevel estimate");
+        },
+        0.5,
+        50,
+    );
+    let multilevel_secs_per_bin = ml_secs / bins as f64;
+    MlSizeResult {
+        nodes: n,
+        links,
+        clusters,
+        boundary_link_fraction,
+        bins,
+        multilevel_secs_per_bin,
+        flat_secs_per_bin,
+        speedup_vs_flat: flat_secs_per_bin.map(|f| f / multilevel_secs_per_bin),
+        multilevel_rel_err,
+        flat_rel_err,
+    }
+}
+
 fn bench_size(
     nodes: usize,
     bins: usize,
@@ -181,6 +517,7 @@ fn bench_size(
     engine: Engine,
     policy: SolverPolicy,
     batch_widths: &[usize],
+    with_multilevel: bool,
 ) -> SizeResult {
     // Hierarchical topology: nodes/10 backbones with 9 PoPs each, so the
     // node count lands exactly on the requested size for multiples of 10.
@@ -454,6 +791,51 @@ fn bench_size(
         batch_sweep.push((width, bins as f64 / secs));
     }
 
+    // Multilevel solve on the same observations: accuracy vs truth is
+    // asserted against the flat pipeline's accuracy before the timing,
+    // so a broken decomposition can never post a (meaningless) time.
+    let multilevel = if with_multilevel {
+        let partition = grouped_partition(&topo, &cfg);
+        let clusters = partition.cluster_count();
+        let boundary_link_fraction = partition.boundary_link_fraction();
+        let ml = MultilevelPipeline::new(
+            &topo,
+            RoutingScheme::Ecmp,
+            partition,
+            EstimationConfig::new().with_solver(policy),
+        )
+        .expect("quotient of backbone groups is strongly connected");
+        let ml_mat = ml
+            .estimate_parallel(&GravityPrior, &obs, &engine)
+            .expect("multilevel warm-up")
+            .materialize()
+            .expect("materialize");
+        let rel_err = mean_rel_l2(&truth, &ml_mat).expect("series align");
+        let flat_rel_err = mean_rel_l2(&truth, &serial_est).expect("series align");
+        assert!(
+            rel_err <= flat_rel_err + ML_ERR_MARGIN,
+            "multilevel error {rel_err:.4} exceeds flat {flat_rel_err:.4} + {ML_ERR_MARGIN} \
+             at {n} nodes"
+        );
+        let secs = time_min(
+            || {
+                ml.estimate_parallel(&GravityPrior, &obs, &engine)
+                    .expect("multilevel estimate");
+            },
+            0.5,
+            200,
+        );
+        Some(MlNumbers {
+            clusters,
+            boundary_link_fraction,
+            secs_per_bin: secs / bins as f64,
+            rel_err,
+            flat_rel_err,
+        })
+    } else {
+        None
+    };
+
     let sparse = pipeline.model().stacked_sparse();
     SizeResult {
         nodes: n,
@@ -475,6 +857,7 @@ fn bench_size(
         instrumented_pipeline_secs_per_bin,
         instrumented_allocs_per_bin_warm,
         batch_sweep,
+        multilevel,
     }
 }
 
@@ -503,9 +886,25 @@ fn main() {
         .unwrap_or(1);
     let solver = arg_value("--solver").map_or(SolverPolicy::Auto, |s| parse_solver(&s));
     let batch_widths = arg_value("--batch").map_or_else(|| vec![1, 4, 16], |s| parse_batch(&s));
+    let mode = arg_value("--mode").map_or(Mode::Both, |s| parse_mode(&s));
+    let flat_max: usize = arg_value("--flat-max")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
     let engine = Engine::new()
         .with_threads(threads)
         .with_shard_bins(shard_bins);
+    if mode == Mode::Multilevel {
+        // The scale sweep has its own default sizes: the whole point is
+        // territory beyond the flat defaults.
+        let ml_sizes = arg_value("--sizes")
+            .map(|s| parse_sizes(&s))
+            .unwrap_or_else(|| match scale {
+                Scale::Smoke => vec![200, 500],
+                Scale::Full => vec![1000, 2000, 5000],
+            });
+        run_multilevel_sweep(scale, &ml_sizes, bins, flat_max, engine, solver);
+        return;
+    }
     println!(
         "# estimation_perf ({scale:?}): sizes {sizes:?}, {bins} bins, dense-max {dense_max}, \
          solver {solver:?}, batch {batch_widths:?}, {} threads x {}-bin shards \
@@ -519,7 +918,15 @@ fn main() {
     );
     let mut results = Vec::new();
     for &size in &sizes {
-        let r = bench_size(size, bins, dense_max, engine, solver, &batch_widths);
+        let r = bench_size(
+            size,
+            bins,
+            dense_max,
+            engine,
+            solver,
+            &batch_widths,
+            mode == Mode::Both,
+        );
         println!(
             "{}\t{}\t{}\t{:.5}\t{:.5}\t{}\t{}\t{:.5}\t{:.5}\t{:.2}x\t{}",
             r.nodes,
@@ -589,6 +996,20 @@ fn main() {
                 if base > 0.0 { bps / base } else { f64::NAN },
             );
         }
+        if let Some(ml) = &r.multilevel {
+            println!(
+                "#   multilevel @ {} nodes: {} clusters ({:.1}% boundary links), \
+                 {:.5} s/bin vs flat {:.5} ({:.2}x), rel err {:.4} vs flat {:.4}",
+                r.nodes,
+                ml.clusters,
+                ml.boundary_link_fraction * 100.0,
+                ml.secs_per_bin,
+                r.pipeline_secs_per_bin,
+                r.pipeline_secs_per_bin / ml.secs_per_bin,
+                ml.rel_err,
+                ml.flat_rel_err,
+            );
+        }
         if let Some(diff) = r.max_rel_diff_vs_dense {
             // PCG solves to a 1e-12 relative residual, not to machine
             // epsilon, so when the policy path ran PCG the dense
@@ -617,6 +1038,18 @@ fn main() {
                 .iter()
                 .map(|&(w, bps)| format!(",\"bins_per_sec_batch{w}\":{}", json_f(bps)))
                 .collect();
+            let ml_json = r.multilevel.as_ref().map_or_else(String::new, |ml| {
+                format!(
+                    ",\"multilevel_secs_per_bin\":{},\"multilevel_clusters\":{},\
+                     \"multilevel_boundary_link_fraction\":{},\
+                     \"multilevel_rel_err\":{},\"multilevel_flat_rel_err\":{}",
+                    json_f(ml.secs_per_bin),
+                    ml.clusters,
+                    json_f(ml.boundary_link_fraction),
+                    json_f(ml.rel_err),
+                    json_f(ml.flat_rel_err),
+                )
+            });
             format!(
                 "{{\"nodes\":{},\"links\":{},\"nnz\":{},\"density\":{},\"bins\":{},\
                  \"sparse_refine_secs_per_bin\":{},\"dense_refine_secs_per_bin\":{},\
@@ -626,7 +1059,7 @@ fn main() {
                  \"parallel_pipeline_secs_per_bin\":{},\"parallel_speedup\":{},\
                  \"allocs_per_bin_warm\":{},\
                  \"instrumented_pipeline_secs_per_bin\":{},\
-                 \"instrumented_allocs_per_bin_warm\":{}{}}}",
+                 \"instrumented_allocs_per_bin_warm\":{}{}{}}}",
                 r.nodes,
                 r.links,
                 r.nnz,
@@ -649,6 +1082,7 @@ fn main() {
                 json_f(r.instrumented_pipeline_secs_per_bin),
                 r.instrumented_allocs_per_bin_warm,
                 batch_json,
+                ml_json,
             )
         })
         .collect();
@@ -663,6 +1097,95 @@ fn main() {
     );
     let path = out_path("BENCH_estimation.json");
     std::fs::write(&path, &json).expect("write BENCH_estimation.json");
+    println!("# wrote {path}");
+    print!("{json}");
+}
+
+/// The `--mode multilevel` scale sweep: sizes the flat observation model
+/// cannot reach, timed through the partition-aware decomposition, with a
+/// flat cross-check (accuracy asserted before timing) up to `flat_max`
+/// nodes. Writes `BENCH_estimation_multilevel.json`.
+fn run_multilevel_sweep(
+    scale: Scale,
+    sizes: &[usize],
+    bins: usize,
+    flat_max: usize,
+    engine: Engine,
+    solver: SolverPolicy,
+) {
+    println!(
+        "# estimation_perf ({scale:?}, multilevel): sizes {sizes:?}, {bins} bins, \
+         flat-max {flat_max}, solver {solver:?}, {} threads ({} cpus available)",
+        engine.threads(),
+        default_threads(),
+    );
+    println!(
+        "# nodes\tlinks\tclusters\tboundary%\tml_s/bin\tflat_s/bin\tspeedup\tml_err\tflat_err"
+    );
+    let mut results = Vec::new();
+    for &size in sizes {
+        let r = bench_multilevel_size(size, bins, flat_max, engine, solver);
+        println!(
+            "{}\t{}\t{}\t{:.1}\t{:.5}\t{}\t{}\t{}\t{}",
+            r.nodes,
+            r.links,
+            r.clusters,
+            r.boundary_link_fraction * 100.0,
+            r.multilevel_secs_per_bin,
+            r.flat_secs_per_bin
+                .map(|v| format!("{v:.5}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.speedup_vs_flat
+                .map(|v| format!("{v:.1}x"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.multilevel_rel_err
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.flat_rel_err
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        results.push(r);
+    }
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"nodes\":{},\"links\":{},\"clusters\":{},\
+                 \"boundary_link_fraction\":{},\"bins\":{},\
+                 \"multilevel_secs_per_bin\":{},\"flat_pipeline_secs_per_bin\":{},\
+                 \"speedup_vs_flat\":{},\"multilevel_rel_err\":{},\"flat_rel_err\":{}}}",
+                r.nodes,
+                r.links,
+                r.clusters,
+                json_f(r.boundary_link_fraction),
+                r.bins,
+                json_f(r.multilevel_secs_per_bin),
+                r.flat_secs_per_bin
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+                r.speedup_vs_flat
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+                r.multilevel_rel_err
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+                r.flat_rel_err
+                    .map(json_f)
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"scale\":\"{scale:?}\",\"mode\":\"multilevel\",\"bins\":{bins},\
+         \"flat_max\":{flat_max},\"solver\":\"{solver:?}\",\"threads\":{},\
+         \"cpus_available\":{},\"results\":[{}]}}\n",
+        engine.threads(),
+        default_threads(),
+        entries.join(",")
+    );
+    let path = out_path("BENCH_estimation_multilevel.json");
+    std::fs::write(&path, &json).expect("write BENCH_estimation_multilevel.json");
     println!("# wrote {path}");
     print!("{json}");
 }

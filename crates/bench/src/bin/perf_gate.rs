@@ -15,8 +15,10 @@
 //!   pipeline and warm refine sweep; a 0-alloc baseline means any
 //!   instrumentation-added allocation fails the gate), and
 //!   `bins_per_sec_batch1` / `bins_per_sec_batch16` ↑ (batched SoA
-//!   pipeline throughput at B=1 and B=16) — compared positionally per
-//!   topology size.
+//!   pipeline throughput at B=1 and B=16), and
+//!   `multilevel_secs_per_bin` ↓ (the partition-aware multilevel solve
+//!   the default `--mode both` piggybacks on every size) — compared
+//!   positionally per topology size.
 //!
 //! The engine-sharded timing is gated as an absolute per-bin time rather
 //! than as a parallel-speedup ratio: the ratio is a function of the
@@ -61,6 +63,9 @@ const METRICS: &[(&str, Direction)] = &[
     // `batch1` never aliases `batch16`).
     ("bins_per_sec_batch1", Direction::HigherIsBetter),
     ("bins_per_sec_batch16", Direction::HigherIsBetter),
+    // Partition-aware multilevel solve on the same observations
+    // (`--mode both`, the smoke default).
+    ("multilevel_secs_per_bin", Direction::LowerIsBetter),
 ];
 
 fn main() -> ExitCode {

@@ -10,6 +10,7 @@
 //! `#[deprecated]` forwarders.
 
 use crate::ipf::IpfOptions;
+use crate::multilevel::DecompositionPolicy;
 use crate::pipeline::PipelineMetrics;
 use crate::tomogravity::TomogravityOptions;
 use ic_core::FitOptions;
@@ -38,6 +39,14 @@ pub struct EstimationConfig {
     pub ipf: IpfOptions,
     /// Batched multi-bin execution: batch width and compute precision.
     pub batch: BatchOptions,
+    /// Network decomposition: [`DecompositionPolicy::Flat`] (the default)
+    /// runs the classic whole-network pipeline untouched;
+    /// [`DecompositionPolicy::Multilevel`] opts size-aware consumers
+    /// (`MultilevelPipeline::from_config`, the benchmark harness) into the
+    /// partition-aware two-level solve. Flat consumers ignore the field
+    /// entirely, so setting it never perturbs a flat estimate
+    /// (proptest-locked).
+    pub decomposition: DecompositionPolicy,
     /// Optional pre-registered pipeline stage metrics.
     pub metrics: Option<Arc<PipelineMetrics>>,
 }
@@ -95,6 +104,12 @@ impl EstimationConfig {
         self
     }
 
+    /// Selects the network decomposition policy.
+    pub fn with_decomposition(mut self, decomposition: DecompositionPolicy) -> Self {
+        self.decomposition = decomposition;
+        self
+    }
+
     /// Attaches pipeline stage metrics.
     pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
         self.metrics = Some(metrics);
@@ -125,6 +140,20 @@ mod tests {
         assert!(c.metrics.is_none());
         assert_eq!(c.tomogravity, TomogravityOptions::default());
         assert_eq!(c.ipf, IpfOptions::default());
+        assert_eq!(c.decomposition, DecompositionPolicy::Flat);
+    }
+
+    #[test]
+    fn with_decomposition_stores_the_policy() {
+        use crate::multilevel::MultilevelOptions;
+
+        let c = EstimationConfig::new().with_decomposition(DecompositionPolicy::Multilevel(
+            MultilevelOptions::default().with_seed(7),
+        ));
+        match c.decomposition {
+            DecompositionPolicy::Multilevel(opts) => assert_eq!(opts.seed, 7),
+            DecompositionPolicy::Flat => panic!("policy not stored"),
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod config;
 pub mod evaluate;
 pub mod ipf;
+pub mod multilevel;
 pub mod observe;
 pub mod pipeline;
 pub mod prior;
@@ -35,6 +36,10 @@ pub mod tomogravity;
 pub use config::EstimationConfig;
 pub use evaluate::{rel_l2_spatial, spatial_error_by_volume, top_flow_error};
 pub use ipf::{ipf_fit, ipf_fit_with, IpfOptions, IpfWorkspace};
+pub use multilevel::{
+    stacked_row_blocks, DecompositionPolicy, MultilevelEstimate, MultilevelMetrics,
+    MultilevelOptions, MultilevelPipeline,
+};
 pub use observe::{ObservationModel, Observations};
 pub use pipeline::{
     compare_priors, compare_priors_with, ComparisonResult, EstimationPipeline,
@@ -64,6 +69,9 @@ const _: () = {
     _assert_send_sync::<TomogravityWorkspace>();
     _assert_send_sync::<TomogravityBatchWorkspace>();
     _assert_send_sync::<IpfWorkspace>();
+    _assert_send_sync::<MultilevelPipeline>();
+    _assert_send_sync::<MultilevelEstimate>();
+    _assert_send_sync::<DecompositionPolicy>();
     _assert_send_sync::<EstimationError>();
 };
 

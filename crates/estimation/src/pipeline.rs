@@ -120,6 +120,17 @@ impl PipelineWorkspace {
     pub fn reset_solve_stats(&mut self) {
         self.tomo.reset_solve_stats();
     }
+
+    /// Installs (or clears) partition-aligned row blocks on the embedded
+    /// tomogravity solver: under the PCG policy, every bin refined
+    /// through this workspace preconditions with block-Jacobi over the
+    /// given stacked-operator row blocks
+    /// (`ic_estimation::stacked_row_blocks` derives them from a
+    /// [`ic_topology::Partition`]). `None` restores the scalar path
+    /// bit-identically.
+    pub fn set_solver_row_blocks(&mut self, blocks: Option<Vec<Vec<usize>>>) {
+        self.tomo.set_row_blocks(blocks);
+    }
 }
 
 /// Reusable buffers for the **batched** multi-bin pipeline: the SoA prior
@@ -183,6 +194,13 @@ impl PipelineBatchWorkspace {
     /// Zeroes the cumulative solver counters.
     pub fn reset_solve_stats(&mut self) {
         self.tomo.reset_solve_stats();
+    }
+
+    /// Installs (or clears) partition-aligned row blocks on the embedded
+    /// tomogravity solver — the batched counterpart of
+    /// [`PipelineWorkspace::set_solver_row_blocks`].
+    pub fn set_solver_row_blocks(&mut self, blocks: Option<Vec<Vec<usize>>>) {
+        self.tomo.set_row_blocks(blocks);
     }
 }
 

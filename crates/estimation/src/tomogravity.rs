@@ -142,6 +142,17 @@ impl TomogravityWorkspace {
     pub fn reset_solve_stats(&mut self) {
         self.solver.reset_stats();
     }
+
+    /// Installs (or clears) row blocks on the embedded normal solver:
+    /// under the PCG policy, subsequent refinements precondition with
+    /// block-Jacobi over these stacked-operator row blocks (see
+    /// [`ic_linalg::NormalSolverWorkspace::set_row_blocks`] and
+    /// `ic_estimation::stacked_row_blocks` for partition-aligned blocks).
+    /// `None` restores the scalar-Jacobi path bit-identically; the dense
+    /// path ignores blocks entirely.
+    pub fn set_row_blocks(&mut self, blocks: Option<Vec<Vec<usize>>>) {
+        self.solver.set_row_blocks(blocks);
+    }
 }
 
 /// Reusable buffers for the **batched** tomogravity refinement
@@ -157,6 +168,7 @@ pub struct TomogravityBatchWorkspace {
     lambda: Vec<f64>,
     at_lambda: Vec<f64>,
     x: Vec<f64>,
+    pinned: Vec<bool>,
     solver: NormalSolverWorkspace,
 }
 
@@ -172,6 +184,7 @@ impl TomogravityBatchWorkspace {
         self.x.resize(cols * batch, 0.0);
         self.resid.resize(rows * batch, 0.0);
         self.lambda.resize(rows * batch, 0.0);
+        self.pinned.resize(batch, false);
     }
 
     /// The refined bins of the latest
@@ -191,6 +204,14 @@ impl TomogravityBatchWorkspace {
     /// Zeroes the cumulative solver counters.
     pub fn reset_solve_stats(&mut self) {
         self.solver.reset_stats();
+    }
+
+    /// Installs (or clears) row blocks on the embedded normal solver —
+    /// the batched counterpart of
+    /// [`TomogravityWorkspace::set_row_blocks`]; the batched PCG
+    /// preconditions each lane with its own block-Jacobi factorization.
+    pub fn set_row_blocks(&mut self, blocks: Option<Vec<Vec<usize>>>) {
+        self.solver.set_row_blocks(blocks);
     }
 }
 
@@ -292,6 +313,14 @@ impl Tomogravity {
             });
         }
         ws.ensure(rows, cols);
+        // An all-zero prior pins the answer: W → 0 turns the WLS update
+        // into a no-op (x = x_p), while flooring the weights at
+        // `f64::MIN_POSITIVE` would feed an all-subnormal `A W Aᵀ` to the
+        // solver and overflow into NaN. Return the prior itself.
+        if x_prior.iter().all(|&v| v == 0.0) {
+            ws.x.copy_from_slice(x_prior);
+            return Ok(());
+        }
         // Weights proportional to the prior, floored.
         let floor = weight_floor(x_prior, self.options.weight_floor);
         for (wi, &xp) in ws.w.iter_mut().zip(x_prior.iter()) {
@@ -346,6 +375,11 @@ impl Tomogravity {
     /// `precision` opts the batched PCG operator products into f32
     /// compute / f64 accumulate ([`Precision::F32`]); [`Precision::F64`]
     /// (the default everywhere) keeps full precision.
+    ///
+    /// Lanes whose prior is identically zero are pinned to that prior
+    /// (same answer as the per-bin path); only the solve *counters* may
+    /// differ for such lanes, since the batched solve still runs a
+    /// trivial system for them while the per-bin path skips it.
     #[allow(clippy::too_many_arguments)]
     pub fn refine_batch_sparse_with(
         &self,
@@ -371,18 +405,39 @@ impl Tomogravity {
         // floored weights.
         for k in 0..batch {
             let mean_prior = x_priors.iter().skip(k).step_by(batch).sum::<f64>() / cols as f64;
+            // An all-zero-prior lane is pinned to its prior (W → 0 makes
+            // the WLS update a no-op; the subnormal floor would otherwise
+            // drive the solve to NaN — see `refine_bin_sparse_with`).
+            // Zero weights plus a zeroed residual give λ = 0 under either
+            // solver policy; the lane's result is overwritten below.
+            ws.pinned[k] =
+                mean_prior == 0.0 && x_priors.iter().skip(k).step_by(batch).all(|&v| v == 0.0);
+            if ws.pinned[k] {
+                for i in 0..cols {
+                    ws.w[i * batch + k] = 0.0;
+                }
+                continue;
+            }
             let floor = (mean_prior * self.options.weight_floor).max(f64::MIN_POSITIVE);
             for i in 0..cols {
                 let idx = i * batch + k;
                 ws.w[idx] = x_priors[idx].max(floor);
             }
         }
+        let any_pinned = ws.pinned.iter().any(|&p| p);
 
         // Residuals of the constraints at the priors: resid = b − A x_p.
         a.matvec_batch_into(x_priors, batch, &mut ws.resid)
             .map_err(EstimationError::from)?;
         for (r, &bi) in ws.resid.iter_mut().zip(b.iter()) {
             *r = bi - *r;
+        }
+        if any_pinned {
+            for (idx, r) in ws.resid.iter_mut().enumerate() {
+                if ws.pinned[idx % batch] {
+                    *r = 0.0;
+                }
+            }
         }
 
         // Batched normal solve, then x = x_p + W Aᵀ λ per lane.
@@ -414,6 +469,16 @@ impl Tomogravity {
                 }
             }
         }
+        if any_pinned {
+            // Pinned lanes return their prior verbatim (matching the
+            // per-bin path), regardless of what the degenerate solve
+            // produced for them.
+            for (idx, slot) in ws.x.iter_mut().enumerate() {
+                if ws.pinned[idx % batch] {
+                    *slot = x_priors[idx];
+                }
+            }
+        }
         Ok(())
     }
 
@@ -432,6 +497,10 @@ impl Tomogravity {
                 expected: cols,
                 actual: x_prior.len(),
             });
+        }
+        // All-zero prior: W → 0 pins x = x_p (see the sparse path).
+        if x_prior.iter().all(|&v| v == 0.0) {
+            return Ok(x_prior.to_vec());
         }
         // Weights proportional to the prior, floored.
         let floor = weight_floor(x_prior, self.options.weight_floor);
@@ -724,5 +793,94 @@ mod tests {
         let tomo = Tomogravity::new(TomogravityOptions::default());
         let refined = tomo.refine(&om, &obs, &prior).unwrap();
         assert!(refined.is_physical());
+    }
+
+    /// An all-zero prior used to drive the weight floor subnormal and
+    /// the normal solve into NaN (caught downstream as an IPF
+    /// "non-negative input" rejection). W → 0 pins x = x_p, so every
+    /// refine path must hand the prior back untouched.
+    #[test]
+    fn all_zero_prior_refines_to_the_prior_in_every_path() {
+        let topo = square_topology();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let truth = ic_series(0.25, 2);
+        let obs = om.observe(&truth).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        let a = om.stacked_sparse();
+        let at = om.stacked_transpose();
+        let (rows, cols) = a.shape();
+        let zero_prior = vec![0.0; cols];
+        let b0 = obs.stacked_at(0);
+        let b1 = obs.stacked_at(1);
+        for policy in [SolverPolicy::Dense, SolverPolicy::Pcg] {
+            let tomo = Tomogravity::new(TomogravityOptions::default().with_solver(policy));
+            // Scalar sparse path: pinned without invoking the solver.
+            let mut ws = TomogravityWorkspace::new();
+            tomo.refine_bin_sparse_with(a, at, &zero_prior, &b0, &mut ws)
+                .unwrap();
+            assert!(ws.solution().iter().all(|&v| v == 0.0), "{policy:?}");
+            let stats = ws.solve_stats();
+            assert_eq!(stats.dense_solves + stats.pcg_solves, 0, "{policy:?}");
+            // Dense reference path.
+            let dense = tomo
+                .refine_bin(&om.stacked().unwrap(), &zero_prior, &b0)
+                .unwrap();
+            assert!(dense.iter().all(|&v| v == 0.0), "{policy:?}");
+            // Batched path, one live lane + one pinned lane: the live
+            // lane stays bit-identical to its solo refine, the pinned
+            // lane returns its (zero) prior, nothing goes non-finite.
+            let batch = 2;
+            let mut xp_soa = vec![0.0; cols * batch];
+            let mut b_soa = vec![0.0; rows * batch];
+            let mut live = vec![0.0; cols];
+            for row in 0..cols {
+                live[row] = prior.as_matrix()[(row, 1)];
+                xp_soa[row * batch] = live[row];
+            }
+            for i in 0..rows {
+                b_soa[i * batch] = b1[i];
+                b_soa[i * batch + 1] = b0[i];
+            }
+            let mut bws = TomogravityBatchWorkspace::new();
+            tomo.refine_batch_sparse_with(a, at, &xp_soa, &b_soa, batch, Precision::F64, &mut bws)
+                .unwrap();
+            let mut solo = TomogravityWorkspace::new();
+            tomo.refine_bin_sparse_with(a, at, &live, &b1, &mut solo)
+                .unwrap();
+            for row in 0..cols {
+                assert!(
+                    bws.solution()[row * batch] == solo.solution()[row],
+                    "{policy:?} live lane row {row}"
+                );
+                assert_eq!(bws.solution()[row * batch + 1], 0.0, "{policy:?}");
+            }
+        }
+    }
+
+    /// End to end: a bin with zero traffic everywhere produces a zero
+    /// gravity prior and must refine to zeros rather than NaN.
+    #[test]
+    fn zero_traffic_bin_refines_to_zero_through_the_series_path() {
+        let topo = square_topology();
+        let om = ObservationModel::new(&topo, RoutingScheme::Ecmp).unwrap();
+        let mut truth = ic_series(0.25, 2);
+        for i in 0..4 {
+            for j in 0..4 {
+                truth.set(i, j, 1, 0.0).unwrap();
+            }
+        }
+        let obs = om.observe(&truth).unwrap();
+        let prior = GravityPrior.prior_series(&obs).unwrap();
+        let tomo = Tomogravity::new(TomogravityOptions::default());
+        let refined = tomo.refine(&om, &obs, &prior).unwrap();
+        assert!(refined.is_physical());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(refined.get(i, j, 1).unwrap(), 0.0);
+            }
+        }
+        // Bin 0 is untouched by the idle bin riding in the same series.
+        let solo = tomo.refine(&om, &obs, &prior).unwrap();
+        assert_eq!(refined.get(0, 1, 0).unwrap(), solo.get(0, 1, 0).unwrap());
     }
 }

@@ -353,6 +353,40 @@ proptest! {
         }
     }
 
+    /// `DecompositionPolicy::Flat` is inert: a config carrying it (or any
+    /// decomposition policy) produces the bit-identical estimate of a
+    /// default config through every flat entry point — the lock that
+    /// guards the existing paths while the multilevel machinery exists
+    /// alongside them.
+    #[test]
+    fn flat_decomposition_policy_is_bit_identical(
+        (om, tm) in topo_and_long_series(),
+        width in 1usize..5,
+        multilevel in any::<bool>(),
+    ) {
+        use ic_estimation::{DecompositionPolicy, MultilevelOptions};
+        let obs = om.observe(&tm).unwrap();
+        let policy = if multilevel {
+            DecompositionPolicy::Multilevel(MultilevelOptions::default().with_seed(3))
+        } else {
+            DecompositionPolicy::Flat
+        };
+        let plain = EstimationPipeline::new(om.clone());
+        let tagged = EstimationPipeline::new(om)
+            .config(EstimationConfig::new().with_decomposition(policy));
+        let want = plain.estimate(&GravityPrior, &obs).unwrap();
+        prop_assert_eq!(&tagged.estimate(&GravityPrior, &obs).unwrap(), &want);
+        let tagged_batch = tagged.clone().config(
+            tagged.estimation_config().clone().with_batch_width(width),
+        );
+        let mut ws = PipelineBatchWorkspace::new();
+        let got = tagged_batch.estimate_batch_with(&GravityPrior, &obs, &mut ws).unwrap();
+        let scale = want.as_matrix().max_abs().max(1.0);
+        for (g, w) in got.as_matrix().as_slice().iter().zip(want.as_matrix().as_slice()) {
+            prop_assert!((g - w).abs() <= 1e-12 * scale, "tagged batched {g} vs plain {w}");
+        }
+    }
+
     /// The engine-backed multi-prior comparison equals the serial
     /// `compare_priors` exactly — errors, improvements, and means.
     #[test]

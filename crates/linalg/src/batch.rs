@@ -313,6 +313,166 @@ impl PcgBatchWorkspace {
         Ok(self.summary(batch))
     }
 
+    /// Solves `(M_k + ridge[k]·I) x_k = b_k` for `k in 0..batch` with a
+    /// caller-supplied preconditioner: `apply` computes all B products
+    /// `y_k = M_k·v_k` over SoA vectors exactly as in
+    /// [`PcgBatchWorkspace::solve`], and `precond` computes all B
+    /// applications `z_k = P_k⁻¹·r_k` over SoA vectors, where each `P_k`
+    /// is an SPD approximation of `M_k + ridge[k]·I` (e.g. a per-lane
+    /// block-Jacobi [`crate::BlockJacobiPreconditioner`]).
+    ///
+    /// Same starts, stopping rules, freezing semantics, and shared
+    /// iteration budget as [`PcgBatchWorkspace::solve`]; the only
+    /// structural difference is that the preconditioner application is
+    /// batched into one call per outer iteration (covering every lane,
+    /// frozen lanes included — their residuals are fixed so the extra
+    /// work is redundant but harmless). A lane whose preconditioner is
+    /// not positive definite on its running residual freezes on its best
+    /// iterate, as with an indefinite operator.
+    pub fn solve_preconditioned(
+        &mut self,
+        ridge: &[f64],
+        b: &[f64],
+        x: &mut [f64],
+        batch: usize,
+        mut apply: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+        mut precond: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+    ) -> Result<PcgBatchSolve> {
+        if batch == 0 {
+            return Err(LinalgError::InvalidArgument("pcg_batch: zero batch width"));
+        }
+        let nb = b.len();
+        if nb == 0 || !nb.is_multiple_of(batch) {
+            return Err(LinalgError::InvalidArgument(
+                "pcg_batch: rhs length must be a positive multiple of the batch width",
+            ));
+        }
+        let n = nb / batch;
+        if x.len() != nb || ridge.len() != batch {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pcg_batch_solve_preconditioned",
+                lhs: (nb, batch),
+                rhs: (x.len(), ridge.len()),
+            });
+        }
+        if ridge.iter().any(|r| !(*r >= 0.0)) {
+            return Err(LinalgError::InvalidArgument(
+                "pcg_batch: ridge must be non-negative",
+            ));
+        }
+        self.ensure(nb, batch);
+
+        // Per lane: x = 0, r = b, zero-rhs short-circuit, tolerance.
+        x.fill(0.0);
+        self.r.copy_from_slice(b);
+        let mut live = 0usize;
+        for k in 0..batch {
+            let b_norm2 = dot_lane(b, b, k, batch);
+            self.iterations[k] = 0;
+            if b_norm2 == 0.0 {
+                self.active[k] = false;
+                self.converged[k] = true;
+            } else {
+                self.active[k] = true;
+                self.converged[k] = false;
+                self.tol2[k] = PCG_REL_TOLERANCE * PCG_REL_TOLERANCE * b_norm2;
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return Ok(self.summary(batch));
+        }
+        // z = P⁻¹ r (all lanes at once), p = z, rz = r·z per lane.
+        precond(&self.r, &mut self.z)?;
+        for k in 0..batch {
+            if !self.active[k] {
+                continue;
+            }
+            let rz = dot_lane(&self.r, &self.z, k, batch);
+            if !(rz > 0.0) || !rz.is_finite() {
+                // Non-SPD preconditioner on this lane: freeze on x = 0.
+                self.active[k] = false;
+                continue;
+            }
+            self.rz[k] = rz;
+        }
+        self.p.copy_from_slice(&self.z);
+        let max_iterations = (2 * n).clamp(32, PCG_MAX_ITERATIONS);
+        for iteration in 1..=max_iterations {
+            if !self.active.iter().any(|&a| a) {
+                break;
+            }
+            apply(&self.p, &mut self.ap)?;
+            // First per-lane sweep: step and test the residual.
+            for k in 0..batch {
+                if !self.active[k] {
+                    continue;
+                }
+                let rk = ridge[k];
+                if rk > 0.0 {
+                    for i in 0..n {
+                        let idx = i * batch + k;
+                        self.ap[idx] += rk * self.p[idx];
+                    }
+                }
+                let pap = dot_lane(&self.p, &self.ap, k, batch);
+                if !(pap > 0.0) || !pap.is_finite() {
+                    // Loss of positive definiteness in this lane: freeze
+                    // it on its best iterate; the other lanes continue.
+                    self.active[k] = false;
+                    self.iterations[k] = iteration;
+                    continue;
+                }
+                let alpha = self.rz[k] / pap;
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    x[idx] += alpha * self.p[idx];
+                }
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    self.r[idx] -= alpha * self.ap[idx];
+                }
+                if dot_lane(&self.r, &self.r, k, batch) <= self.tol2[k] {
+                    self.active[k] = false;
+                    self.iterations[k] = iteration;
+                    self.converged[k] = true;
+                }
+            }
+            if !self.active.iter().any(|&a| a) {
+                break;
+            }
+            // One batched preconditioner application serves every live
+            // lane, then the second per-lane sweep updates directions.
+            precond(&self.r, &mut self.z)?;
+            for k in 0..batch {
+                if !self.active[k] {
+                    continue;
+                }
+                let rz_next = dot_lane(&self.r, &self.z, k, batch);
+                if !(rz_next > 0.0) || !rz_next.is_finite() {
+                    self.active[k] = false;
+                    self.iterations[k] = iteration;
+                    continue;
+                }
+                let beta = rz_next / self.rz[k];
+                self.rz[k] = rz_next;
+                for i in 0..n {
+                    let idx = i * batch + k;
+                    self.p[idx] = self.z[idx] + beta * self.p[idx];
+                }
+            }
+        }
+        for k in 0..batch {
+            if self.active[k] {
+                // Budget exhausted with the lane still live: a stall, on
+                // its best iterate, exactly as per-bin.
+                self.active[k] = false;
+                self.iterations[k] = max_iterations;
+            }
+        }
+        Ok(self.summary(batch))
+    }
+
     fn summary(&self, batch: usize) -> PcgBatchSolve {
         PcgBatchSolve {
             lanes: batch,

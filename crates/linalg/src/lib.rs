@@ -40,6 +40,7 @@ pub mod matrix;
 pub mod nnls;
 pub mod pcg;
 pub mod pinv;
+pub mod precond;
 pub mod qr;
 pub mod simplex;
 pub mod solver;
@@ -52,6 +53,7 @@ pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsOptions};
 pub use pcg::{PcgSolve, PcgWorkspace, PCG_MAX_ITERATIONS, PCG_REL_TOLERANCE};
 pub use pinv::pseudo_inverse;
+pub use precond::BlockJacobiPreconditioner;
 pub use qr::Qr;
 pub use simplex::project_to_simplex;
 pub use solver::{
@@ -76,6 +78,7 @@ const _: () = {
     _assert_send_sync::<Svd>();
     _assert_send_sync::<PcgWorkspace>();
     _assert_send_sync::<PcgBatchWorkspace>();
+    _assert_send_sync::<BlockJacobiPreconditioner>();
     _assert_send_sync::<BatchOptions>();
     _assert_send_sync::<Precision>();
     _assert_send_sync::<DenseNormalSolver>();

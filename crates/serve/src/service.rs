@@ -33,7 +33,8 @@ use crate::{Result, ServeError};
 use ic_core::{improvement_percent, mean_rel_l2};
 use ic_engine::{Engine, WorkspacePool};
 use ic_estimation::{
-    EstimationPipeline, GravityPrior, ObservationModel, PipelineBatchWorkspace, PipelineWorkspace,
+    EstimationPipeline, GravityPrior, MultilevelMetrics, ObservationModel, PipelineBatchWorkspace,
+    PipelineWorkspace,
 };
 use ic_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ic_stream::{
@@ -203,6 +204,14 @@ struct ServiceMetrics {
     pcg_stalls: Arc<Counter>,
     /// `solver.fallbacks_total`.
     fallbacks: Arc<Counter>,
+    /// `multilevel.*` — cluster count, boundary-link fraction, and the
+    /// per-level solve-time histograms of the multilevel decomposition.
+    /// Pre-registered so `Request::Stats` always surfaces the family;
+    /// embedders running a [`MultilevelPipeline`] attach these handles
+    /// via [`Service::multilevel_metrics`].
+    ///
+    /// [`MultilevelPipeline`]: ic_estimation::MultilevelPipeline
+    multilevel: Arc<MultilevelMetrics>,
 }
 
 impl ServiceMetrics {
@@ -216,6 +225,7 @@ impl ServiceMetrics {
             pcg_iterations: registry.counter("solver.pcg_iterations_total"),
             pcg_stalls: registry.counter("solver.pcg_stalls_total"),
             fallbacks: registry.counter("solver.fallbacks_total"),
+            multilevel: MultilevelMetrics::register(&registry),
             registry,
         }
     }
@@ -354,6 +364,15 @@ impl Service {
     /// Embedders can register their own instruments on it or read events.
     pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// The pre-registered `multilevel.*` handles, when metrics are
+    /// enabled. Embedders running a multilevel decomposition attach them
+    /// (`MultilevelPipeline::with_metrics`) so cluster counts,
+    /// boundary-link fractions, and per-level solve times flow through
+    /// this service's registry — and out over `Request::Stats`.
+    pub fn multilevel_metrics(&self) -> Option<Arc<MultilevelMetrics>> {
+        self.metrics.as_ref().map(|m| Arc::clone(&m.multilevel))
     }
 
     /// Renders the metrics registry as Prometheus exposition text or

@@ -307,6 +307,46 @@ fn service_rejects_bad_requests() {
     assert!(service.restore_tenant(b"not a snapshot").is_err());
 }
 
+#[test]
+fn multilevel_metrics_are_pre_registered_and_surfaced_in_stats() {
+    let mut service = Service::with_engine(Engine::serial());
+    assert!(service.multilevel_metrics().is_none());
+
+    service.enable_metrics();
+    let handles = service
+        .multilevel_metrics()
+        .expect("enable_metrics pre-registers the multilevel family");
+
+    // An embedder running a MultilevelPipeline records through the shared
+    // handles; the numbers show up in both stats renderings without any
+    // extra wiring.
+    handles.clusters.set(6.0);
+    handles.boundary_link_fraction.set(0.125);
+    handles.coarse.record(0.5);
+    handles.cluster.record(0.1);
+    handles.cluster.record(0.2);
+    handles.reconcile.record(0.05);
+
+    let prom = service.render_stats(StatsFormat::Prometheus).unwrap();
+    assert!(prom.contains("multilevel_clusters 6"), "{prom}");
+    assert!(
+        prom.contains("multilevel_boundary_link_fraction 0.125"),
+        "{prom}"
+    );
+    assert!(prom.contains("multilevel_coarse_seconds_count 1"), "{prom}");
+    assert!(
+        prom.contains("multilevel_cluster_seconds_count 2"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("multilevel_reconcile_seconds_count 1"),
+        "{prom}"
+    );
+
+    let json = service.render_stats(StatsFormat::Json).unwrap();
+    assert!(json.contains("multilevel.clusters"), "{json}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

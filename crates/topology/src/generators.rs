@@ -22,6 +22,7 @@ use crate::graph::Topology;
 use crate::{Result, TopologyError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Default link capacity: 10 Gbit/s expressed in bytes per 5-minute bin
 /// (matches the hand-built topologies in [`crate::builders`]).
@@ -84,6 +85,21 @@ impl WaxmanConfig {
     }
 }
 
+/// Draws a geometric skip count: the number of consecutive rejections
+/// before the next acceptance in a Bernoulli(`p`) sequence, `p ∈ (0, 1)`.
+/// One uniform draw replaces a run of per-candidate draws (the
+/// Batagelj–Brandes random-graph sampling trick).
+fn skip_geometric(rng: &mut StdRng, p: f64) -> usize {
+    // 1 - gen::<f64>() lies in (0, 1]: ln is finite and ≤ 0.
+    let u = 1.0 - rng.gen::<f64>();
+    let s = (u.ln() / (1.0 - p).ln()).floor();
+    if s >= 0.0 && s.is_finite() {
+        s as usize // saturating conversion caps absurdly long skips
+    } else {
+        0
+    }
+}
+
 /// Generates a Waxman-style random topology.
 ///
 /// Nodes are named `w000`, `w001`, …; every link is symmetric with an IGP
@@ -91,6 +107,15 @@ impl WaxmanConfig {
 /// geography, like IGP metrics tuned to fiber latency). A uniform random
 /// spanning tree is laid down first, guaranteeing strong connectivity for
 /// every seed.
+///
+/// Candidate pairs are enumerated through a spatial grid: nodes are
+/// bucketed into cells sized to the decay scale `α·√2`, and within each
+/// cell pair candidates are skipped geometrically under the cell pair's
+/// distance-based upper-bound probability, then thinned to the exact
+/// per-pair Waxman probability. Every pair still carries its exact
+/// `β·exp(−d/(α·L))` acceptance probability, but the RNG work drops from
+/// one draw per node pair to `O(nodes + links)` expected draws — which is
+/// what lets the 5k-node configuration stay test-locked.
 ///
 /// # Examples
 ///
@@ -123,28 +148,82 @@ pub fn waxman(config: &WaxmanConfig) -> Result<Topology> {
     // latency-proportional, quantized to half-integers like hand-tuned
     // metrics.
     let weight = |d: f64| 1.0 + (20.0 * d).round() / 2.0;
-    let mut linked = vec![false; n * n];
-    let link = |topo: &mut Topology, linked: &mut Vec<bool>, a: usize, b: usize| -> Result<()> {
-        linked[a * n + b] = true;
-        linked[b * n + a] = true;
-        topo.add_symmetric_link(a, b, weight(dist(a, b)), CAP_10G_5MIN)?;
-        Ok(())
-    };
     // Random spanning tree: node k attaches to a uniform earlier node.
+    // Tree edges are remembered so the Waxman sweep does not duplicate
+    // them (candidates landing on a tree edge are discarded, which leaves
+    // every non-tree pair's acceptance probability exact).
+    let mut tree: HashSet<(usize, usize)> = HashSet::with_capacity(n.saturating_sub(1));
     for k in 1..n {
         let parent = rng.gen_range(0..k);
-        link(&mut topo, &mut linked, k, parent)?;
+        tree.insert((parent, k));
+        topo.add_symmetric_link(k, parent, weight(dist(k, parent)), CAP_10G_5MIN)?;
     }
-    // Waxman links over the remaining pairs.
-    let l_max = core::f64::consts::SQRT_2;
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if linked[a * n + b] {
+    // Spatial grid: cells no smaller than the decay scale, no finer than
+    // √n per side (so sparse graphs don't drown in empty cell pairs).
+    let scale = config.alpha * core::f64::consts::SQRT_2;
+    let g_max = ((n as f64).sqrt().floor() as usize).max(1);
+    let g = (((2.0 / scale).round() as usize).max(1)).min(g_max);
+    let cell_of = |k: usize| -> usize {
+        let (x, y) = positions[k];
+        let cx = ((x * g as f64) as usize).min(g - 1);
+        let cy = ((y * g as f64) as usize).min(g - 1);
+        cy * g + cx
+    };
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); g * g];
+    for k in 0..n {
+        buckets[cell_of(k)].push(k); // id order: deterministic buckets
+    }
+    let h = 1.0 / g as f64;
+    for ca in 0..g * g {
+        if buckets[ca].is_empty() {
+            continue;
+        }
+        for cb in ca..g * g {
+            if buckets[cb].is_empty() {
                 continue;
             }
-            let p = config.beta * (-dist(a, b) / (config.alpha * l_max)).exp();
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                link(&mut topo, &mut linked, a, b)?;
+            // Upper-bound acceptance probability for this cell pair from
+            // the minimum possible inter-cell distance.
+            let dx = (ca % g).abs_diff(cb % g).saturating_sub(1) as f64 * h;
+            let dy = (ca / g).abs_diff(cb / g).saturating_sub(1) as f64 * h;
+            let d_min = (dx * dx + dy * dy).sqrt();
+            let p_ub = (config.beta * (-d_min / scale).exp()).min(1.0);
+            let same = ca == cb;
+            let ka = buckets[ca].len();
+            let kb = buckets[cb].len();
+            let total = if same { ka * (ka - 1) / 2 } else { ka * kb };
+            if total == 0 {
+                continue;
+            }
+            // Triangular decode state for same-cell pairs: row `i` spans
+            // candidate indices [row_start, row_start + ka-1-i).
+            let mut i = 0usize;
+            let mut row_start = 0usize;
+            let mut t = if p_ub < 1.0 {
+                skip_geometric(&mut rng, p_ub)
+            } else {
+                0
+            };
+            while t < total {
+                let (a, b) = if same {
+                    while t >= row_start + (ka - 1 - i) {
+                        row_start += ka - 1 - i;
+                        i += 1;
+                    }
+                    (buckets[ca][i], buckets[ca][i + 1 + t - row_start])
+                } else {
+                    (buckets[ca][t / kb], buckets[cb][t % kb])
+                };
+                // Thin the upper-bound acceptance down to the exact
+                // per-pair probability.
+                let p = config.beta * (-dist(a, b) / scale).exp();
+                if rng.gen::<f64>() * p_ub < p && !tree.contains(&(a.min(b), a.max(b))) {
+                    topo.add_symmetric_link(a, b, weight(dist(a, b)), CAP_10G_5MIN)?;
+                }
+                t += 1;
+                if p_ub < 1.0 {
+                    t += skip_geometric(&mut rng, p_ub);
+                }
             }
         }
     }
@@ -200,6 +279,26 @@ impl HierarchicalConfig {
     /// Total node count of the generated topology.
     pub fn node_count(&self) -> usize {
         self.backbones * (1 + self.pops_per_backbone)
+    }
+
+    /// Ground-truth cluster assignment of the generated topology, in node
+    /// id order: backbone `k` and its primary-homed PoPs form cluster `k`.
+    ///
+    /// [`hierarchical`] creates the `backbones` backbone routers first
+    /// (node ids `0..backbones`) and then the PoPs grouped by their
+    /// primary backbone, so the assignment follows directly from the
+    /// config — no re-clustering of the generated graph is needed. The
+    /// result is ready for [`crate::Partition::from_assignment`];
+    /// dual-homing links land in the boundary set, exactly like the
+    /// backbone core links.
+    pub fn cluster_assignment(&self) -> Vec<usize> {
+        let b = self.backbones;
+        let mut assign = Vec::with_capacity(self.node_count());
+        assign.extend(0..b);
+        for k in 0..b {
+            assign.extend(std::iter::repeat_n(k, self.pops_per_backbone));
+        }
+        assign
     }
 
     fn validate(&self) -> Result<()> {
@@ -354,9 +453,8 @@ mod tests {
     fn generators_reach_production_scale() {
         // The scale target of the matrix-free solver work: generation
         // must stay deterministic and valid at thousands of nodes.
-        // Hierarchical is O(nodes) and carries the 5k point; Waxman is
-        // quadratic (every node pair is sampled), so its lock sits at 2k
-        // to keep the debug-build suite fast.
+        // Hierarchical is O(nodes); Waxman's grid-bucketed sampler does
+        // O(nodes + links) expected RNG work, so both carry a 5k lock.
         let cfg = HierarchicalConfig::new(100, 49, 20060419);
         assert_eq!(cfg.node_count(), 5000);
         let h = hierarchical(&cfg).unwrap();
@@ -364,11 +462,30 @@ mod tests {
         assert!(h.validate().is_ok());
         assert_eq!(h, hierarchical(&cfg).unwrap());
 
-        let wax_cfg = WaxmanConfig::new(2000, 20060419);
+        let wax_cfg = WaxmanConfig::new(5000, 20060419);
         let w = waxman(&wax_cfg).unwrap();
-        assert_eq!(w.node_count(), 2000);
+        assert_eq!(w.node_count(), 5000);
         assert!(w.validate().is_ok());
         assert_eq!(w, waxman(&wax_cfg).unwrap());
+    }
+
+    #[test]
+    fn hierarchical_cluster_assignment_matches_construction() {
+        let cfg = HierarchicalConfig::new(4, 3, 11);
+        let assign = cfg.cluster_assignment();
+        assert_eq!(assign.len(), cfg.node_count());
+        let topo = hierarchical(&cfg).unwrap();
+        // Backbones b00..b03 land in their own cluster; PoP pXX-Y in
+        // cluster XX — verified against the generated node names.
+        for (id, &c) in assign.iter().enumerate() {
+            let name = topo.node_name(id);
+            let expect = if let Some(rest) = name.strip_prefix('b') {
+                rest.parse::<usize>().unwrap()
+            } else {
+                name[1..3].parse::<usize>().unwrap()
+            };
+            assert_eq!(c, expect, "node {name}");
+        }
     }
 
     #[test]

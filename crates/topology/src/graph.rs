@@ -213,20 +213,31 @@ impl Topology {
 
     fn reachable_from(&self, start: NodeId, reverse: bool) -> Vec<bool> {
         let n = self.node_count();
+        // Intrusive adjacency index (head/next linked lists over link ids)
+        // built in one O(links) pass, so the search is O(nodes + links)
+        // instead of rescanning every link per visited node — the
+        // difference between instant and minutes when validating the
+        // multi-thousand-node generated topologies.
+        let mut head = vec![usize::MAX; n];
+        let mut next = vec![usize::MAX; self.links.len()];
+        for (id, l) in self.links.iter().enumerate() {
+            let src = if reverse { l.to } else { l.from };
+            next[id] = head[src];
+            head[src] = id;
+        }
         let mut seen = vec![false; n];
         let mut stack = vec![start];
         seen[start] = true;
         while let Some(v) = stack.pop() {
-            for l in &self.links {
-                let (src, dst) = if reverse {
-                    (l.to, l.from)
-                } else {
-                    (l.from, l.to)
-                };
-                if src == v && !seen[dst] {
+            let mut e = head[v];
+            while e != usize::MAX {
+                let l = &self.links[e];
+                let dst = if reverse { l.from } else { l.to };
+                if !seen[dst] {
                     seen[dst] = true;
                     stack.push(dst);
                 }
+                e = next[e];
             }
         }
         seen

@@ -19,7 +19,11 @@
 //!   `de1`/`de2`), and the 11-node Abilene backbone,
 //! * [`generators`] — seeded synthetic topology generators for scale
 //!   sweeps beyond PoP size: Waxman-style random geometric graphs and
-//!   hierarchical backbone/PoP networks from tens to hundreds of nodes.
+//!   hierarchical backbone/PoP networks from tens to hundreds of nodes,
+//! * [`partition`] — cluster partitions of a topology (ground-truth or
+//!   seeded label propagation), with boundary-link extraction, induced
+//!   intra-cluster sub-topologies, and the coarse inter-cluster quotient
+//!   topology that multilevel estimation solves.
 //!
 //! ## OD-pair vectorization convention
 //!
@@ -31,11 +35,13 @@
 pub mod builders;
 pub mod generators;
 pub mod graph;
+pub mod partition;
 pub mod routing;
 
 pub use builders::{abilene, geant22, totem23};
 pub use generators::{hierarchical, waxman, HierarchicalConfig, WaxmanConfig};
 pub use graph::{LinkId, NodeId, Topology};
+pub use partition::{label_propagation, ClusterId, InducedCluster, Partition, Quotient};
 pub use routing::{
     egress_incidence, egress_incidence_sparse, ingress_incidence, ingress_incidence_sparse,
     RoutingMatrix, RoutingScheme,
@@ -67,6 +73,10 @@ pub enum TopologyError {
     },
     /// The topology has no nodes.
     Empty,
+    /// A cluster assignment does not form a valid partition of the
+    /// topology (wrong length, unknown cluster, or a quotient that is not
+    /// strongly connected).
+    InvalidPartition(&'static str),
 }
 
 impl core::fmt::Display for TopologyError {
@@ -84,6 +94,9 @@ impl core::fmt::Display for TopologyError {
                 )
             }
             TopologyError::Empty => write!(f, "topology has no nodes"),
+            TopologyError::InvalidPartition(reason) => {
+                write!(f, "invalid partition: {reason}")
+            }
         }
     }
 }
@@ -119,6 +132,9 @@ mod tests {
         .to_string()
         .contains("strongly connected"));
         assert!(TopologyError::Empty.to_string().contains("no nodes"));
+        assert!(TopologyError::InvalidPartition("bad length")
+            .to_string()
+            .contains("bad length"));
     }
 
     #[test]

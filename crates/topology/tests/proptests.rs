@@ -4,7 +4,8 @@
 //! and the scaled topology generators are deterministic in their seed.
 
 use ic_topology::{
-    hierarchical, waxman, HierarchicalConfig, RoutingMatrix, RoutingScheme, Topology, WaxmanConfig,
+    hierarchical, label_propagation, waxman, HierarchicalConfig, Partition, RoutingMatrix,
+    RoutingScheme, Topology, WaxmanConfig,
 };
 use proptest::prelude::*;
 
@@ -117,6 +118,50 @@ proptest! {
         prop_assert_eq!(r1.as_sparse(), r2.as_sparse());
     }
 
+    /// A partition built from any assignment is a true partition: every
+    /// node lands in exactly one cluster, and the boundary set is exactly
+    /// the cut set of the assignment.
+    #[test]
+    fn partition_invariants_hold(
+        topo in topo_strategy(),
+        labels in proptest::collection::vec(0usize..5, 8),
+        seed in any::<u64>(),
+    ) {
+        let n = topo.node_count();
+        let assignment: Vec<usize> = labels[..n].to_vec();
+        let ground = Partition::from_assignment(&topo, &assignment).unwrap();
+        let lp = label_propagation(&topo, seed);
+        for part in [&ground, &lp] {
+            // Exactly one cluster per node, members sorted, ids dense.
+            let mut seen = vec![0usize; n];
+            for c in 0..part.cluster_count() {
+                prop_assert!(!part.members(c).is_empty());
+                prop_assert!(part.members(c).windows(2).all(|w| w[0] < w[1]));
+                for &v in part.members(c) {
+                    seen[v] += 1;
+                    prop_assert_eq!(part.cluster_of(v), c);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s == 1));
+            // Boundary links are exactly the cut set, in link-id order.
+            let cut: Vec<usize> = topo
+                .links()
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| part.cluster_of(l.from) != part.cluster_of(l.to))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(part.boundary_links(), cut.as_slice());
+            // Intra links + boundary links cover the link set exactly.
+            let intra: usize = (0..part.cluster_count())
+                .map(|c| part.induced(&topo, c).unwrap().links.len())
+                .sum();
+            prop_assert_eq!(intra + cut.len(), topo.link_count());
+        }
+        // Label propagation is deterministic in its seed.
+        prop_assert_eq!(&lp, &label_propagation(&topo, seed));
+    }
+
     /// Link counts scale linearly with traffic: Y(c·x) = c·Y(x).
     #[test]
     fn link_counts_linear(topo in topo_strategy(), c in 0.1f64..10.0) {
@@ -163,10 +208,11 @@ proptest! {
     /// The generators stay deterministic at production scale (2k–5k
     /// nodes, the sizes the matrix-free PCG solver unlocks).
     /// Hierarchical generation is O(nodes), so both graphs of each case
-    /// are cheap; Waxman samples every node pair (quadratic), so it gets
-    /// one modest scaled size per case instead of a sweep, and routing is
-    /// deliberately not built here (a 5k-node all-pairs shortest path
-    /// would dominate the suite).
+    /// are cheap; Waxman's grid-bucketed sampler is O(nodes + links)
+    /// expected RNG work but still materializes every drawn link, so it
+    /// gets one modest scaled size per case instead of a sweep, and
+    /// routing is deliberately not built here (a 5k-node all-pairs
+    /// shortest path would dominate the suite).
     #[test]
     fn generators_deterministic_at_scale(
         backbones in 50usize..100,
